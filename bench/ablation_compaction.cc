@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablation (paper Sec. 6, "SFM Compaction"): internal fragmentation
+ * in the zsmalloc-style pool under swap churn, and the cost of the
+ * memcpy-based compaction that xfm_compact() exposes.
+ *
+ * Policies:
+ *  - never      : holes accumulate until allocation fails
+ *  - on-failure : compact only when an insert fails (zswap default)
+ *  - periodic   : compact every N operations (controller-initiated,
+ *                 the "manual compaction to avoid unpredictable
+ *                 overheads" option the paper describes)
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hh"
+#include "dram/phys_mem.hh"
+#include "sfm/zpool.hh"
+
+using namespace xfm;
+using namespace xfm::sfm;
+
+namespace
+{
+
+enum class Policy
+{
+    Never,
+    OnFailure,
+    Periodic,
+};
+
+struct Outcome
+{
+    std::uint64_t inserted = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t memcpyBytes = 0;
+    std::uint64_t peakFragmentation = 0;
+};
+
+Outcome
+runChurn(Policy policy, std::uint64_t ops)
+{
+    dram::PhysMem mem(mib(64));
+    ZPool pool(mem, 0, mib(2));
+    Rng rng(77);
+    std::vector<ZHandle> live;
+    Outcome o;
+
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        if (policy == Policy::Periodic && i % 512 == 0)
+            pool.compact();
+
+        // Target ~75% of capacity in *live* bytes so every policy
+        // attempts the same insert pressure; fragmentation then
+        // determines who can actually satisfy it.
+        const bool insert =
+            pool.usedBytes() < pool.capacityBytes() * 75 / 100
+            || live.empty();
+        if (insert) {
+            // Compressed-page-like sizes: 300..3500 bytes.
+            const auto size = static_cast<std::uint32_t>(
+                300 + rng.uniformInt(3200));
+            ZHandle h = pool.insert(Bytes(size, 0x5A));
+            if (h == invalidZHandle
+                && policy != Policy::Never) {
+                pool.compact();
+                h = pool.insert(Bytes(size, 0x5A));
+            }
+            if (h == invalidZHandle)
+                ++o.failed;
+            else
+                live.push_back(h);
+            ++o.inserted;
+        } else {
+            const auto idx = rng.uniformInt(live.size());
+            pool.erase(live[idx]);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        o.peakFragmentation = std::max(o.peakFragmentation,
+                                       pool.fragmentedBytes());
+    }
+    o.compactions = pool.stats().compactions;
+    o.memcpyBytes = pool.stats().compactionMemcpyBytes;
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::uint64_t ops = 60000;
+    std::printf("Ablation: ZPool compaction policy under swap churn "
+                "(2 MiB pool, ~75%% live occupancy, %llu ops)\n\n",
+                (unsigned long long)ops);
+    std::printf("%-12s %10s %10s %12s %14s %16s\n", "policy",
+                "inserts", "failures", "compactions",
+                "memcpy bytes", "peak frag bytes");
+
+    const struct
+    {
+        Policy policy;
+        const char *name;
+    } policies[] = {
+        {Policy::Never, "never"},
+        {Policy::OnFailure, "on-failure"},
+        {Policy::Periodic, "periodic"},
+    };
+    for (const auto &p : policies) {
+        const auto o = runChurn(p.policy, ops);
+        std::printf("%-12s %10llu %10llu %12llu %14llu %16llu\n",
+                    p.name, (unsigned long long)o.inserted,
+                    (unsigned long long)o.failed,
+                    (unsigned long long)o.compactions,
+                    (unsigned long long)o.memcpyBytes,
+                    (unsigned long long)o.peakFragmentation);
+    }
+    std::printf("\nOn-failure compaction eliminates allocation "
+                "failures at a modest memcpy cost; periodic "
+                "compaction trades extra memcpys for bounded "
+                "fragmentation (predictable overheads, Sec. 6).\n");
+    return 0;
+}

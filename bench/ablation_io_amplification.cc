@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Quantifies Sec. 3.2's I/O-amplification argument: when an
+ * *on-chip* accelerator decompresses a page, the 4 KiB output
+ * lands in the cache hierarchy; if the application's use-distance
+ * is long or the LLC is contended, those lines are written back to
+ * DRAM before they are used and must be fetched again — so the
+ * channel moves more bytes than the application consumes. XFM's
+ * in-memory decompression leaves the page in DRAM and the CPU
+ * demand-fetches only the lines it touches.
+ *
+ * amplification = bytes over the DDR channel / bytes the
+ * application actually uses.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hh"
+#include "interference/cache.hh"
+
+using namespace xfm;
+using namespace xfm::interference;
+
+namespace
+{
+
+constexpr std::uint32_t lineBytes = 64;
+constexpr std::uint32_t pageLines = 4096 / lineBytes;
+constexpr std::uint32_t compressedBytes = 1365;  // ratio ~3
+
+/**
+ * Simulate on-chip decompression: the page's 64 lines are installed
+ * in the LLC, the app does `use_distance` unrelated accesses, then
+ * touches `used_lines` of the page. Returns the fraction of touched
+ * lines that survived in cache.
+ */
+double
+survivalFraction(std::uint64_t use_distance,
+                 std::uint32_t used_lines, std::uint64_t seed)
+{
+    SetAssocCache llc(16ull << 20, 16, lineBytes, 2);
+    Rng rng(seed);
+    // Warm the cache with the app's working set (contended LLC).
+    const std::uint64_t ws = 64ull << 20;
+    for (int i = 0; i < 400000; ++i)
+        llc.access(rng.uniformInt(ws), 0);
+
+    // Install the decompressed page (stream 1).
+    const std::uint64_t page_base = 1ull << 40;
+    for (std::uint32_t l = 0; l < pageLines; ++l)
+        llc.access(page_base + l * lineBytes, 1);
+
+    // Unrelated traffic for the use-distance.
+    for (std::uint64_t i = 0; i < use_distance; ++i)
+        llc.access(rng.uniformInt(ws), 0);
+
+    // Touch the used lines and count survivors.
+    std::uint32_t hits = 0;
+    for (std::uint32_t l = 0; l < used_lines; ++l)
+        if (llc.access(page_base + l * lineBytes, 1))
+            ++hits;
+    return static_cast<double>(hits) / used_lines;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Sec. 3.2: I/O amplification of on-chip vs "
+                "in-memory (XFM) decompression\n");
+    std::printf("(16 MiB LLC shared with a 64 MiB working set; "
+                "page compressed to %u B)\n\n", compressedBytes);
+    std::printf("%12s %10s | %10s %12s %12s\n", "use-distance",
+                "used", "survive%", "on-chip amp", "XFM amp");
+
+    for (std::uint64_t dist : {0ull, 100000ull, 200000ull,
+                               400000ull, 1000000ull}) {
+        for (std::uint32_t used_lines : {64u, 16u, 4u}) {
+            const double survive =
+                survivalFraction(dist, used_lines, 99);
+            const double used_bytes = used_lines * lineBytes;
+            // On-chip: compressed block over the channel, the page
+            // written back on eviction, plus re-reads of the
+            // evicted-but-used lines.
+            const double evicted_used =
+                (1.0 - survive) * used_bytes;
+            const double onchip_channel = compressedBytes
+                + (1.0 - survive) * pageLines * lineBytes
+                + evicted_used;
+            // XFM: compressed block moved on-DIMM (no channel), the
+            // CPU demand-fetches only the used lines.
+            const double xfm_channel = used_bytes;
+            std::printf("%12llu %9.0fB | %9.1f%% %12.2f %12.2f\n",
+                        (unsigned long long)dist, used_bytes,
+                        100.0 * survive,
+                        onchip_channel / used_bytes,
+                        xfm_channel / used_bytes);
+        }
+    }
+
+    std::printf("\nOn-chip decompression only wins when the "
+                "decompressed data is used immediately and fully; "
+                "with long use-distances or sparse use the channel "
+                "moves several times the useful bytes — XFM's "
+                "in-memory placement keeps the ratio at 1.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablation: the controller's prediction proficiency (paper Sec. 8:
+ * "The benefits of XFM can be increased by improving the far memory
+ * controller's proficiency at predicting application memory access
+ * patterns").
+ *
+ * A strided scan walks a far-memory-resident region on an XFM
+ * system. Demand faults decompress on the CPU (latency-critical),
+ * predicted pages are promoted by the NMA inside refresh windows —
+ * so the prefetcher's quality directly controls how much of the
+ * promotion work the NMA absorbs.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "compress/corpus.hh"
+#include "system/system.hh"
+
+using namespace xfm;
+using namespace xfm::system;
+
+namespace
+{
+
+struct Outcome
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t demandFaults = 0;
+    std::uint64_t prefetchHits = 0;
+    std::uint64_t offloadedSwapIns = 0;
+    std::uint64_t cpuSwapIns = 0;
+};
+
+Outcome
+runScan(std::size_t depth, bool stride_detect, int stride)
+{
+    EventQueue eq;
+    SystemConfig cfg;
+    cfg.backend = BackendKind::Xfm;
+    cfg.pages = 512;
+    cfg.sfmBytes = mib(16);
+    cfg.controller.coldThreshold = milliseconds(5.0);
+    cfg.controller.scanInterval = milliseconds(1.0);
+    cfg.controller.maxSwapOutsPerScan = 256;
+    cfg.controller.prefetchDepth = depth;
+    cfg.controller.stridePrefetch = stride_detect;
+
+    System sys("sys", eq, cfg);
+    for (sfm::VirtPage p = 0; p < cfg.pages; ++p)
+        sys.writePage(p, compress::generateCorpus(
+                             compress::CorpusKind::CsvTable, p,
+                             pageBytes));
+    sys.start();
+    eq.run(milliseconds(60.0));  // demote everything
+
+    Outcome o;
+    // Strided scan across the region; ~0.5 ms of compute per page.
+    for (int i = 0; i * stride < static_cast<int>(cfg.pages)
+                    && i * stride >= 0;
+         ++i) {
+        const auto page = static_cast<sfm::VirtPage>(i * stride);
+        ++o.accesses;
+        if (!sys.access(page))
+            ++o.demandFaults;
+        eq.run(eq.now() + microseconds(500.0));
+    }
+
+    const auto &cs = sys.controller().stats();
+    o.prefetchHits = cs.prefetchHits;
+    auto &backend = dynamic_cast<xfmsys::XfmBackend &>(sys.backend());
+    o.offloadedSwapIns = backend.xfmStats().offloadedSwapIns;
+    o.cpuSwapIns = backend.stats().cpuSwapIns;
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: prefetcher proficiency on an XFM system "
+                "(strided scan over 512 far pages)\n\n");
+    std::printf("%8s %8s %7s | %10s %11s %13s %9s\n", "depth",
+                "stride?", "stride", "faults", "prefetchHit",
+                "NMA swap-ins", "CPU ins");
+
+    const struct
+    {
+        std::size_t depth;
+        bool detect;
+        int stride;
+    } points[] = {
+        {0, false, 1}, {1, false, 1}, {2, false, 1}, {4, false, 1},
+        {4, false, 3}, {4, true, 3},  {8, true, 3},
+    };
+    for (const auto &pt : points) {
+        const auto o = runScan(pt.depth, pt.detect, pt.stride);
+        std::printf("%8zu %8s %7d | %10llu %11llu %13llu %9llu\n",
+                    pt.depth, pt.detect ? "yes" : "no", pt.stride,
+                    (unsigned long long)o.demandFaults,
+                    (unsigned long long)o.prefetchHits,
+                    (unsigned long long)o.offloadedSwapIns,
+                    (unsigned long long)o.cpuSwapIns);
+    }
+
+    std::printf("\nBetter prediction (deeper prefetch, stride "
+                "detection for non-unit scans) shifts promotions "
+                "from latency-critical CPU demand faults onto the "
+                "NMA's refresh-window channel — the paper's closing "
+                "observation.\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * End-to-end validation of the abstract's headline: "XFM eliminates
+ * memory bandwidth utilization when performing compression and
+ * decompression operations."
+ *
+ * The same application + SFM control plane runs on two full-system
+ * configurations — the zswap-style CPU baseline and XFM — and the
+ * host memory controller's byte counters are split into application
+ * traffic vs SFM-caused traffic.
+ */
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "compress/corpus.hh"
+#include "system/system.hh"
+
+using namespace xfm;
+using namespace xfm::system;
+
+namespace
+{
+
+struct Outcome
+{
+    std::uint64_t appBytes;
+    std::uint64_t sfmBytes;
+    std::uint64_t swapOuts;
+    std::uint64_t swapIns;
+    double cpuFraction;
+    std::uint64_t cpuMcycles;
+};
+
+Outcome
+run(BackendKind kind)
+{
+    EventQueue eq;
+    SystemConfig cfg;
+    cfg.backend = kind;
+    cfg.pages = 512;
+    cfg.sfmBytes = mib(16);
+    cfg.controller.coldThreshold = milliseconds(20.0);
+    cfg.controller.scanInterval = milliseconds(2.0);
+    cfg.controller.maxSwapOutsPerScan = 64;
+    cfg.controller.prefetchDepth = 2;
+
+    System sys("sys", eq, cfg);
+    for (sfm::VirtPage p = 0; p < cfg.pages; ++p) {
+        sys.writePage(p, compress::generateCorpus(
+                             compress::CorpusKind::KeyValue, p,
+                             pageBytes));
+    }
+    sys.start();
+
+    // Phased workload: hot sweeps over a shifting window of pages;
+    // everything else goes cold and gets demoted, then faults back.
+    Rng rng(1);
+    for (int phase = 0; phase < 6; ++phase) {
+        const sfm::VirtPage base = phase * 80;
+        for (int i = 0; i < 400; ++i) {
+            const auto page =
+                (base + rng.zipf(96, 0.9)) % cfg.pages;
+            eq.scheduleIn(microseconds(i * 100.0),
+                          [&sys, page] { sys.access(page); });
+        }
+        eq.run(eq.now() + milliseconds(45.0));
+    }
+
+    const auto &bs = sys.backend().stats();
+    Outcome o;
+    o.appBytes = sys.memCtrl().stats().bytesRead
+        + sys.memCtrl().stats().bytesWritten - sys.sfmHostBytes();
+    o.sfmBytes = sys.sfmHostBytes();
+    o.swapOuts = bs.swapOuts;
+    o.swapIns = bs.swapIns;
+    o.cpuFraction = bs.cpuFraction();
+    o.cpuMcycles = bs.cpuCycles / 1000000;
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("End-to-end host-channel traffic: CPU baseline vs "
+                "XFM (512-page app, phased working set)\n\n");
+    std::printf("%-12s %10s %10s | %12s %14s | %10s %10s\n",
+                "backend", "swapOuts", "swapIns", "app bytes",
+                "SFM bytes", "SFM/app", "Mcycles");
+    for (auto kind : {BackendKind::BaselineCpu, BackendKind::Xfm}) {
+        const auto o = run(kind);
+        std::printf("%-12s %10llu %10llu | %12llu %14llu | %9.2f%% "
+                    "%10llu\n",
+                    kind == BackendKind::BaselineCpu ? "baseline"
+                                                     : "xfm",
+                    (unsigned long long)o.swapOuts,
+                    (unsigned long long)o.swapIns,
+                    (unsigned long long)o.appBytes,
+                    (unsigned long long)o.sfmBytes,
+                    o.appBytes
+                        ? 100.0 * static_cast<double>(o.sfmBytes)
+                              / o.appBytes
+                        : 0.0,
+                    (unsigned long long)o.cpuMcycles);
+    }
+    std::printf("\nXFM's remaining SFM host traffic comes only from "
+                "demand faults (CPU by design) and rare fallbacks; "
+                "all offloaded work moves inside refresh windows, "
+                "invisible to the host channels.\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces Fig. 3: capital-cost and emission comparison of SFM
+ * against DRAM- and PMem-based DFM of the same capacity, normalised
+ * to DFM-DRAM, over deployment years and promotion rates — plus the
+ * break-even summaries quoted in Sec. 3.1/3.2.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "costmodel/cost_model.hh"
+
+using namespace xfm::costmodel;
+
+int
+main()
+{
+    const std::vector<double> years = {0.5, 1, 2, 3, 4, 5, 6, 7, 8,
+                                       8.5, 9, 10};
+    const std::vector<double> rates = {0.2, 1.0};
+
+    std::printf("Fig. 3: far-memory cost and emissions, normalised "
+                "to DFM-DRAM (512 GB extra capacity)\n");
+    for (double rate : rates) {
+        std::printf("\n-- promotion rate %.0f%% --\n", rate * 100);
+        std::printf("%6s | %9s %9s %9s | %9s %9s %9s\n", "years",
+                    "SFM$", "DFMdram$", "DFMpmem$", "SFMco2",
+                    "DFMdram", "DFMpmem");
+        const auto rows = fig3Sweep(CostParams{}, years, {rate});
+        for (const auto &r : rows) {
+            std::printf("%6.1f | %9.3f %9.3f %9.3f | %9.3f %9.3f "
+                        "%9.3f\n",
+                        r.years, r.sfmCost, r.dfmDramCost,
+                        r.dfmPmemCost, r.sfmEmission,
+                        r.dfmDramEmission, r.dfmPmemEmission);
+        }
+    }
+
+    std::printf("\nBreak-even summary (Sec. 3.1):\n");
+    for (double rate : {0.2, 0.5, 1.0}) {
+        CostParams p;
+        p.promotionRate = rate;
+        FarMemoryCostModel m(p);
+        const double cost_dram =
+            m.costBreakEvenYears(DfmTech::Dram);
+        const double cost_pmem =
+            m.costBreakEvenYears(DfmTech::Pmem);
+        const double em_dram =
+            m.emissionBreakEvenYears(DfmTech::Dram);
+        const double em_pmem =
+            m.emissionBreakEvenYears(DfmTech::Pmem);
+        auto fmt = [](double v) {
+            static char buf[32];
+            if (v < 0)
+                std::snprintf(buf, sizeof(buf), "never");
+            else
+                std::snprintf(buf, sizeof(buf), "%.1f yr", v);
+            return buf;
+        };
+        std::printf("  PR %3.0f%%: cost vs DRAM %-8s", rate * 100,
+                    fmt(cost_dram));
+        std::printf(" vs PMem %-8s", fmt(cost_pmem));
+        std::printf(" | emission vs DRAM %-8s", fmt(em_dram));
+        std::printf(" vs PMem %-8s\n", fmt(em_pmem));
+    }
+
+    CostParams p;
+    p.promotionRate = 1.0;
+    FarMemoryCostModel m(p);
+    std::printf("\nSec. 3.2 figures:\n");
+    std::printf("  SFM DRAM bandwidth at 100%% PR     : %.1f GB/s "
+                "(paper: up to 34 GB/s)\n",
+                m.sfmMemoryBandwidthGBps());
+    std::printf("  on-chip accel break-even PR       : %.1f%% "
+                "(paper: ~6%%)\n",
+                100.0 * m.acceleratorBreakEvenPromotionRate());
+    std::printf("  CPUs needed at 100%% PR            : %.2f\n",
+                m.cpuFractionNeeded());
+    std::printf("  EQ1 GB swapped per minute         : %.1f\n",
+                m.gbSwappedPerMin());
+    return 0;
+}

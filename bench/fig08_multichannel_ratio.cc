@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces Fig. 8: compression ratios of 4 KiB pages from 16
+ * corpora when compressed in XFM's multi-channel mode (1-, 2-, and
+ * 4-DIMM configurations splitting each page at the 256 B channel
+ * interleave), plus the Sec. 8 summary (2-/4-channel modes cost ~5%
+ * and ~14% of the memory savings).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "compress/corpus.hh"
+#include "compress/deflate.hh"
+#include "xfm/multichannel.hh"
+
+using namespace xfm;
+using namespace xfm::compress;
+using namespace xfm::xfmsys;
+
+int
+main()
+{
+    constexpr std::size_t corpusBytes = 256 * 1024;
+    constexpr std::uint64_t seed = 2023;
+    DeflateCodec codec;  // XFM's engine runs Deflate (Sec. 7)
+
+    std::printf("Fig. 8: multi-channel compression ratios "
+                "(4 KiB pages, 256 B interleave, Deflate)\n\n");
+    std::printf("%-14s %8s %8s %8s | %9s %9s\n", "corpus", "1-DIMM",
+                "2-DIMM", "4-DIMM", "2D/1D", "4D/1D");
+
+    double sum1 = 0;
+    double sum2 = 0;
+    double sum4 = 0;
+    double placed4 = 0;
+    int counted = 0;
+    for (auto kind : allCorpusKinds()) {
+        const Bytes corpus = generateCorpus(kind, seed, corpusBytes);
+        const auto pages = paginate(corpus);
+        const auto r1 = measureMultiChannel(pages, codec, 1);
+        const auto r2 = measureMultiChannel(pages, codec, 2);
+        const auto r4 = measureMultiChannel(pages, codec, 4);
+        std::printf("%-14s %8.3f %8.3f %8.3f | %8.1f%% %8.1f%%\n",
+                    corpusName(kind).c_str(), r1.ratio(), r2.ratio(),
+                    r4.ratio(), 100.0 * r2.ratio() / r1.ratio(),
+                    100.0 * r4.ratio() / r1.ratio());
+        sum1 += r1.ratio();
+        sum2 += r2.ratio();
+        sum4 += r4.ratio();
+        placed4 += r4.placedRatio();
+        ++counted;
+    }
+    sum1 /= counted;
+    sum2 /= counted;
+    sum4 /= counted;
+    placed4 /= counted;
+
+    std::printf("\n%-14s %8.3f %8.3f %8.3f | %8.1f%% %8.1f%%\n",
+                "average", sum1, sum2, sum4, 100.0 * sum2 / sum1,
+                100.0 * sum4 / sum1);
+    std::printf("\nSec. 6 claim : 4-DIMM mode retains ~86.2%% of the "
+                "in-order compression ratio.\n");
+    std::printf("Measured     : %.1f%% (pure), %.1f%% incl. "
+                "same-offset placement fragmentation.\n",
+                100.0 * sum4 / sum1, 100.0 * placed4 / sum1);
+
+    // Fig. 8 caption: "losses due to the decreased compression
+    // window are also minimal, even down to the 1KB window used in
+    // the 4-DIMM configuration" — isolate the window effect from
+    // the data-interleaving effect by sweeping the LZ77 window on
+    // whole (non-split) pages.
+    std::printf("\nWindow-truncation sweep (whole pages, no "
+                "interleave):\n%-14s", "corpus");
+    const std::size_t windows[] = {32768, 4096, 2048, 1024};
+    for (auto w : windows)
+        std::printf(" %6zuB", w);
+    std::printf("\n");
+    for (auto kind : {CorpusKind::EnglishText, CorpusKind::Json,
+                      CorpusKind::LogLines,
+                      CorpusKind::NumericColumns}) {
+        const Bytes corpus = generateCorpus(kind, seed, corpusBytes);
+        const auto pages = paginate(corpus);
+        std::printf("%-14s", corpusName(kind).c_str());
+        for (auto w : windows) {
+            DeflateCodec windowed(w);
+            std::uint64_t compressed = 0;
+            std::uint64_t raw = 0;
+            for (const auto &page : pages) {
+                compressed += windowed.compress(page).size();
+                raw += page.size();
+            }
+            std::printf(" %7.3f",
+                        static_cast<double>(raw) / compressed);
+        }
+        std::printf("\n");
+    }
+
+    // Sec. 8: memory-savings loss. Savings = 1 - 1/ratio.
+    auto savings = [](double ratio) { return 1.0 - 1.0 / ratio; };
+    std::printf("\nSec. 8 claim : 2-/4-channel modes reduce memory "
+                "savings by ~5%% / ~14%%.\n");
+    std::printf("Measured     : %.1f%% / %.1f%% (savings loss vs "
+                "1-DIMM)\n",
+                100.0 * (savings(sum1) - savings(sum2))
+                    / savings(sum1),
+                100.0 * (savings(sum1) - savings(placed4))
+                    / savings(sum1));
+    return 0;
+}

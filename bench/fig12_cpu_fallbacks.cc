@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Fig. 12: CPU-fallback sensitivity to SPM size and the
+ * number of NMA accesses accommodated per tRFC, for a 512 GB SFM at
+ * 50% and 100% promotion rates, with the conditional/random access
+ * breakdown and the Sec. 8 energy-saving figure.
+ *
+ * Model: one rank of the 16-rank system (32 GB share of the SFM);
+ * see bench/swap_sim.hh for the harness. The tuned SFM controller
+ * books refresh-aligned rows for compress sources and all write-back
+ * destinations (it may pick which cold page to compress and where
+ * to place output), so those accesses ride refresh windows as
+ * *conditional* accesses; promotion (decompress) sources sit
+ * wherever the compressed data landed and consume the *random*
+ * SALP slots — which is why random traffic scales with the
+ * promotion rate.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "swap_sim.hh"
+
+using namespace xfm;
+using namespace xfm::bench;
+
+int
+main()
+{
+    const std::vector<double> rates = {0.5, 1.0};
+    const std::vector<std::uint32_t> accesses = {1, 2, 3};
+    const std::vector<std::size_t> spm_sizes = {
+        mib(1), mib(2), mib(4), mib(8)
+    };
+
+    std::printf("Fig. 12: CPU fallbacks vs SPM size and NMA "
+                "accesses per tRFC (512 GB SFM, 16 ranks, per-rank "
+                "model)\n");
+
+    double energy_saved_sum = 0.0;
+    int energy_points = 0;
+    for (double rate : rates) {
+        std::printf("\n-- promotion rate %.0f%% --\n", rate * 100);
+        std::printf("%10s |", "SPM");
+        for (auto acc : accesses)
+            std::printf("  %u acc/tRFC: fall%% cond%% rand%% |",
+                        acc);
+        std::printf("\n");
+        for (auto spm : spm_sizes) {
+            std::printf("%7llu MB |",
+                        (unsigned long long)(spm >> 20));
+            for (auto acc : accesses) {
+                SwapSimConfig sc;
+                sc.promotionRate = rate;
+                sc.accessesPerTrfc = acc;
+                sc.spmBytes = spm;
+                const auto r = runSwapSim(sc);
+                std::printf("      %14.1f %5.1f %5.1f |",
+                            r.fallbackPercent(),
+                            100.0 * r.conditionalShare(),
+                            100.0 * (1.0 - r.conditionalShare()));
+                energy_saved_sum += 100.0 * r.energySavedFraction;
+                ++energy_points;
+            }
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nSec. 8 claims vs measured:\n");
+    std::printf("  '8MB SPM + 3 accesses/tRFC eliminates all CPU "
+                "fallbacks at any promotion rate'\n");
+    std::printf("  'the majority of accesses are conditional; "
+                "random traffic scales with promotion rate'\n");
+    std::printf("  conditional accesses cut NMA access energy by "
+                "%.1f%% on average (paper: ~10.1%%)\n",
+                energy_saved_sum / energy_points);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Table 1: DDR5 device configuration (rows per bank,
+ * banks per chip, tRFC, rows refreshed per tRFC, subarrays per
+ * bank) plus the derived conditional-access budget per tRFC that
+ * Sec. 5 computes (4 / 3 / 2 accesses for 32 / 16 / 8 Gb chips).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "dram/ddr_config.hh"
+
+using namespace xfm;
+using namespace xfm::dram;
+
+int
+main()
+{
+    const std::vector<DeviceConfig> devices = {
+        ddr5Device8Gb(), ddr5Device16Gb(), ddr5Device32Gb()
+    };
+
+    std::printf("Table 1: DDR5 device configuration [60]\n\n");
+    std::printf("%-34s %8s %8s %8s\n", "Device", "8Gb", "16Gb",
+                "32Gb");
+    std::printf("%-34s", "#Rows per bank");
+    for (const auto &d : devices)
+        std::printf(" %7uK", d.rowsPerBank / 1024);
+    std::printf("\n%-34s", "# Banks per chip");
+    for (const auto &d : devices)
+        std::printf(" %8u", d.banksPerChip);
+    std::printf("\n%-34s", "tRFC (all bank refresh, ns)");
+    for (const auto &d : devices)
+        std::printf(" %8.0f", ticksToNs(d.tRFC));
+    std::printf("\n%-34s", "#Rows of a bank ref during tRFC");
+    for (const auto &d : devices)
+        std::printf(" %8u", d.rowsPerRefresh);
+    std::printf("\n%-34s", "#Subarrays per bank");
+    for (const auto &d : devices)
+        std::printf(" %8u", d.subarraysPerBank);
+
+    std::printf("\n\nDerived (Sec. 5):\n");
+    std::printf("%-34s", "max 4KiB conditional acc / tRFC");
+    for (const auto &d : devices)
+        std::printf(" %8u", maxAccessesPerTrfc(d));
+    std::printf("\n%-34s", "tREFI (us)");
+    for (const auto &d : devices)
+        std::printf(" %8.2f", ticksToUs(d.tREFI()));
+    std::printf("\n%-34s", "rank locked by refresh (%)");
+    for (const auto &d : devices)
+        std::printf(" %8.2f", 100.0 * static_cast<double>(d.tRFC)
+                                  / static_cast<double>(d.tREFI()));
+    std::printf("\n\nConsistency: rowsPerRefresh x 8192 REFs covers "
+                "every row each 32 ms retention window:\n");
+    for (const auto &d : devices) {
+        std::printf("  %-14s %5u x %u = %6u rows (bank has %u)\n",
+                    d.name.c_str(), d.rowsPerRefresh,
+                    d.refCommandsPerRetention,
+                    d.rowsPerRefresh * d.refCommandsPerRetention,
+                    d.rowsPerBank);
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Table 2 (FPGA resource utilisation of XFM) and
+ * Table 3 (power-consumption breakdown), plus the Sec. 8 CACTI-style
+ * estimate of the DRAM bank modifications.
+ */
+
+#include <cstdio>
+
+#include "costmodel/cost_model.hh"
+
+using namespace xfm::costmodel;
+
+int
+main()
+{
+    const auto u = estimateFpgaUtilization();
+    std::printf("Table 2: FPGA resource utilization of XFM\n\n");
+    std::printf("%-10s %10s %10s %9s\n", "Resource", "Used", "Total",
+                "Percent");
+    std::printf("%-10s %10llu %10llu %8.2f%%\n", "LUTs",
+                (unsigned long long)u.luts,
+                (unsigned long long)u.lutsTotal, u.lutPercent());
+    std::printf("%-10s %10llu %10llu %8.2f%%\n", "FFs",
+                (unsigned long long)u.ffs,
+                (unsigned long long)u.ffsTotal, u.ffPercent());
+    std::printf("%-10s %10llu %10llu %8.2f%%\n", "BRAM",
+                (unsigned long long)u.bram,
+                (unsigned long long)u.bramTotal, u.bramPercent());
+
+    const auto p = estimateFpgaPower();
+    std::printf("\nTable 3: Power consumption breakdown of XFM\n\n");
+    std::printf("Total = %.3f Watts   Dynamic %.3f (%2.0f%%)   "
+                "Static %.3f (%2.0f%%)\n",
+                p.totalWatts(), p.dynamicWatts, p.dynamicPercent(),
+                p.staticWatts, 100.0 - p.dynamicPercent());
+
+    const auto o = estimateDramOverhead();
+    std::printf("\nSec. 8 CACTI estimate, 8Gb DDR4 @ 22nm "
+                "(SALP latches per subarray):\n");
+    std::printf("  area overhead : ~%.2f%%\n", o.areaPercent);
+    std::printf("  power overhead: ~%.3f%%\n", o.powerPercent);
+
+    std::printf("\nEngine scaling (utilisation vs throughput):\n");
+    std::printf("%10s %10s %12s %10s\n", "comp GB/s", "dec GB/s",
+                "LUTs", "dyn W");
+    for (double scale : {0.5, 1.0, 2.0}) {
+        const auto su =
+            estimateFpgaUtilization(1.4 * scale, 1.7 * scale);
+        const auto sp = estimateFpgaPower(1.4 * scale, 1.7 * scale);
+        std::printf("%10.2f %10.2f %12llu %10.2f\n", 1.4 * scale,
+                    1.7 * scale, (unsigned long long)su.luts,
+                    sp.dynamicWatts);
+    }
+    return 0;
+}

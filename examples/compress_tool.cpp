@@ -1,0 +1,90 @@
+/**
+ * @file
+ * lzbench-style compression benchmark (the paper's artifact uses
+ * lzbench for its corpus experiments): runs every codec over every
+ * synthetic corpus and reports ratio and host-side throughput.
+ *
+ * Run: ./build/examples/compress_tool [corpusKiB=64]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "compress/compressor.hh"
+#include "compress/corpus.hh"
+
+using namespace xfm;
+using namespace xfm::compress;
+
+namespace
+{
+
+double
+mbps(std::size_t bytes, std::chrono::steady_clock::duration d)
+{
+    const double secs =
+        std::chrono::duration<double>(d).count();
+    return secs > 0
+        ? static_cast<double>(bytes) / 1e6 / secs
+        : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t corpus_bytes =
+        (argc > 1 ? std::atoi(argv[1]) : 64) * 1024;
+
+    std::printf("codec x corpus sweep (%zu KiB each, 4 KiB "
+                "pages)\n\n", corpus_bytes / 1024);
+    std::printf("%-14s", "corpus");
+    for (auto algo : {Algorithm::LzFast, Algorithm::Deflate,
+                      Algorithm::ZstdLike}) {
+        std::printf(" | %-8s ratio  cMB/s  dMB/s",
+                    algorithmName(algo).c_str());
+    }
+    std::printf("\n");
+
+    for (auto kind : allCorpusKinds()) {
+        const Bytes corpus = generateCorpus(kind, 7, corpus_bytes);
+        const auto pages = paginate(corpus);
+        std::printf("%-14s", corpusName(kind).c_str());
+        for (auto algo : {Algorithm::LzFast, Algorithm::Deflate,
+                          Algorithm::ZstdLike}) {
+            const auto codec = makeCompressor(algo);
+
+            std::vector<Bytes> blocks;
+            blocks.reserve(pages.size());
+            const auto c0 = std::chrono::steady_clock::now();
+            std::size_t compressed = 0;
+            for (const auto &page : pages) {
+                blocks.push_back(codec->compress(page));
+                compressed += blocks.back().size();
+            }
+            const auto c1 = std::chrono::steady_clock::now();
+            std::size_t raw = 0;
+            for (const auto &block : blocks)
+                raw += codec->decompress(block).size();
+            const auto c2 = std::chrono::steady_clock::now();
+
+            std::printf(" | %8s %6.2f %6.0f %6.0f", "",
+                        static_cast<double>(raw) / compressed,
+                        mbps(raw, c1 - c0), mbps(raw, c2 - c1));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nModelled cost (EQ3.4 inputs, cycles/byte):\n");
+    for (auto algo : {Algorithm::LzFast, Algorithm::Deflate,
+                      Algorithm::ZstdLike}) {
+        const auto cost = cpuCost(algo);
+        std::printf("  %-9s compress %5.1f  decompress %5.1f\n",
+                    algorithmName(algo).c_str(),
+                    cost.compressCyclesPerByte,
+                    cost.decompressCyclesPerByte);
+    }
+    return 0;
+}

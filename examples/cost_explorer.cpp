@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cost explorer: interactive sweep of the Sec. 3.1 far-memory cost
+ * model. Compare SFM against DRAM/PMem DFM for your own capacity,
+ * promotion rate, and electricity price.
+ *
+ * Run: ./build/examples/cost_explorer [extraGB] [promotion%] [years]
+ * e.g. ./build/examples/cost_explorer 1024 40 5
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "costmodel/cost_model.hh"
+
+using namespace xfm::costmodel;
+
+int
+main(int argc, char **argv)
+{
+    CostParams p;
+    p.extraGB = argc > 1 ? std::atof(argv[1]) : 512.0;
+    p.promotionRate =
+        argc > 2 ? std::atof(argv[2]) / 100.0 : 0.2;
+    const double years = argc > 3 ? std::atof(argv[3]) : 5.0;
+
+    FarMemoryCostModel model(p);
+
+    std::printf("Far-memory deployment: %.0f GB extra capacity, "
+                "%.0f%% promotion rate, %.1f-year horizon\n\n",
+                p.extraGB, p.promotionRate * 100, years);
+    std::printf("swap traffic (EQ1)      : %.1f GB/min "
+                "(%.2f GB/s)\n",
+                model.gbSwappedPerMin(),
+                model.gbSwappedPerMin() / 60.0);
+    std::printf("CPU share for SFM (EQ3.2): %.1f%% of a %g-core "
+                "CPU\n",
+                100.0 * model.cpuFractionNeeded(), p.cpuCores);
+    std::printf("SFM DRAM bandwidth       : %.1f GB/s\n\n",
+                model.sfmMemoryBandwidthGBps());
+
+    std::printf("%-12s %12s %12s %14s %14s\n", "option", "capital$",
+                "opex$", "embodied kgCO2", "op. kgCO2");
+    struct Row
+    {
+        const char *name;
+        CostBreakdown b;
+    };
+    const Row rows[] = {
+        {"SFM", model.sfm(years)},
+        {"DFM-DRAM", model.dfm(DfmTech::Dram, years)},
+        {"DFM-PMem", model.dfm(DfmTech::Pmem, years)},
+    };
+    for (const auto &r : rows) {
+        std::printf("%-12s %12.0f %12.0f %14.0f %14.0f\n", r.name,
+                    r.b.capitalUSD, r.b.operationalUSD,
+                    r.b.embodiedKgCO2, r.b.operationalKgCO2);
+    }
+
+    auto fmt_years = [](double v) {
+        static char buf[32];
+        if (v < 0)
+            std::snprintf(buf, sizeof(buf), "never (30y horizon)");
+        else
+            std::snprintf(buf, sizeof(buf), "%.1f years", v);
+        return buf;
+    };
+    std::printf("\nSFM/DFM break-even:\n");
+    std::printf("  cost vs DRAM    : %s\n",
+                fmt_years(model.costBreakEvenYears(DfmTech::Dram)));
+    std::printf("  cost vs PMem    : %s\n",
+                fmt_years(model.costBreakEvenYears(DfmTech::Pmem)));
+    std::printf("  CO2 vs DRAM     : %s\n",
+                fmt_years(
+                    model.emissionBreakEvenYears(DfmTech::Dram)));
+    std::printf("  CO2 vs PMem     : %s\n",
+                fmt_years(
+                    model.emissionBreakEvenYears(DfmTech::Pmem)));
+    std::printf("\nAn on-chip accelerator beats CPU compression "
+                "above a %.1f%% promotion rate.\n",
+                100.0 * model.acceleratorBreakEvenPromotionRate());
+    return 0;
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Plot Fig. 3 (cost/emissions vs years) from fig03_cost_model output.
+
+Usage: ./build/bench/fig03_cost_model | scripts/plot_fig03.py out.png
+Requires matplotlib; falls back to an ASCII table otherwise.
+"""
+import re
+import sys
+
+
+def parse(stream):
+    series = {}
+    rate = None
+    for line in stream:
+        m = re.match(r"-- promotion rate (\d+)% --", line.strip())
+        if m:
+            rate = int(m.group(1))
+            series[rate] = []
+            continue
+        m = re.match(
+            r"\s*([\d.]+) \|\s*([\d.]+)\s+([\d.]+)\s+([\d.]+) \|"
+            r"\s*([\d.]+)\s+([\d.]+)\s+([\d.]+)", line)
+        if m and rate is not None:
+            series[rate].append([float(g) for g in m.groups()])
+    return series
+
+
+def main():
+    series = parse(sys.stdin)
+    if not series:
+        sys.exit("no Fig. 3 rows found on stdin")
+    out = sys.argv[1] if len(sys.argv) > 1 else "fig03.png"
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        for rate, rows in series.items():
+            print(f"promotion {rate}%: years, SFM$, PMem$ | "
+                  f"SFMco2, PMemco2")
+            for r in rows:
+                print(f"  {r[0]:5.1f} {r[1]:6.3f} {r[3]:6.3f} | "
+                      f"{r[4]:6.3f} {r[6]:6.3f}")
+        return
+    fig, axes = plt.subplots(1, 2, figsize=(10, 4))
+    for rate, rows in series.items():
+        years = [r[0] for r in rows]
+        axes[0].plot(years, [r[1] for r in rows],
+                     label=f"SFM @{rate}%")
+        axes[0].plot(years, [r[3] for r in rows], "--",
+                     label=f"DFM-PMem @{rate}%")
+        axes[1].plot(years, [r[4] for r in rows],
+                     label=f"SFM @{rate}%")
+        axes[1].plot(years, [r[6] for r in rows], "--",
+                     label=f"DFM-PMem @{rate}%")
+    for ax, title in zip(axes, ["capital+opex cost", "CO2eq"]):
+        ax.axhline(1.0, color="k", lw=0.8, label="DFM-DRAM")
+        ax.set_xlabel("years")
+        ax.set_title(f"{title} (normalised to DFM-DRAM)")
+        ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Plot Fig. 11 (per-workload slowdowns) from fig11_interference
+output.
+
+Usage: ./build/bench/fig11_interference | scripts/plot_fig11.py out.png
+"""
+import re
+import sys
+
+
+def parse(stream):
+    apps = []
+    for line in stream:
+        m = re.match(
+            r"(\w[\w-]*)\s+([\d.]+)%\s+([\d.]+)%\s+([\d.]+)%\s*$",
+            line.strip())
+        if m and m.group(1) not in ("average", "max"):
+            apps.append((m.group(1), float(m.group(2)),
+                         float(m.group(3)), float(m.group(4))))
+    return apps
+
+
+def main():
+    apps = parse(sys.stdin)
+    if not apps:
+        sys.exit("no Fig. 11 rows found on stdin")
+    out = sys.argv[1] if len(sys.argv) > 1 else "fig11.png"
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        for name, cpu, lock, xfm in apps:
+            print(f"{name:12s} cpu {cpu:5.2f}%  lockout {lock:5.2f}%"
+                  f"  xfm {xfm:5.2f}%")
+        return
+    names = [a[0] for a in apps]
+    x = range(len(names))
+    w = 0.28
+    fig, ax = plt.subplots(figsize=(9, 4))
+    ax.bar([i - w for i in x], [a[1] for a in apps], w,
+           label="Baseline-CPU")
+    ax.bar(list(x), [a[2] for a in apps], w,
+           label="Host-Lockout-NMA")
+    ax.bar([i + w for i in x], [a[3] for a in apps], w, label="XFM")
+    ax.set_xticks(list(x), names, rotation=30, ha="right")
+    ax.set_ylabel("slowdown %")
+    ax.set_title("Fig. 11: co-run slowdown by SFM interface")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

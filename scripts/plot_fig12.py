@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Plot Fig. 12 (CPU fallback heatmaps) from fig12_cpu_fallbacks
+output.
+
+Usage: ./build/bench/fig12_cpu_fallbacks | scripts/plot_fig12.py out.png
+"""
+import re
+import sys
+
+
+def parse(stream):
+    data = {}
+    rate = None
+    for line in stream:
+        m = re.match(r"-- promotion rate (\d+)% --", line.strip())
+        if m:
+            rate = int(m.group(1))
+            data[rate] = {}
+            continue
+        m = re.match(r"\s*(\d+) MB \|(.*)", line)
+        if m and rate is not None:
+            spm = int(m.group(1))
+            falls = [float(x) for x in re.findall(
+                r"([\d.]+)\s+[\d.]+\s+[\d.]+\s*\|", m.group(2))]
+            data[rate][spm] = falls
+    return data
+
+
+def main():
+    data = parse(sys.stdin)
+    if not data:
+        sys.exit("no Fig. 12 rows found on stdin")
+    out = sys.argv[1] if len(sys.argv) > 1 else "fig12.png"
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        for rate, rows in data.items():
+            print(f"promotion {rate}%:")
+            for spm, falls in sorted(rows.items()):
+                cells = " ".join(f"{f:5.1f}" for f in falls)
+                print(f"  {spm:2d} MB: {cells}  (1/2/3 acc per tRFC)")
+        return
+    fig, axes = plt.subplots(1, len(data), figsize=(9, 4))
+    for ax, (rate, rows) in zip(axes, sorted(data.items())):
+        spms = sorted(rows)
+        grid = [rows[s] for s in spms]
+        im = ax.imshow(grid, aspect="auto", cmap="viridis",
+                       vmin=0, vmax=100)
+        ax.set_yticks(range(len(spms)),
+                      [f"{s} MB" for s in spms])
+        ax.set_xticks(range(len(grid[0])),
+                      [f"{i + 1} acc" for i in range(len(grid[0]))])
+        ax.set_title(f"CPU fallbacks %, PR {rate}%")
+        fig.colorbar(im, ax=ax)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

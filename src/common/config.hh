@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal key=value configuration parser for the simulator CLI.
+ *
+ * Format: one `key = value` per line; `#` starts a comment; blank
+ * lines ignored. Keys are dotted lowercase paths
+ * (e.g. `sfm.promotion_rate`). Typed getters record which keys were
+ * consumed so unknown keys (typos) can be reported.
+ */
+
+#ifndef XFM_COMMON_CONFIG_HH
+#define XFM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xfm
+{
+
+/** Parsed configuration with typed, default-aware access. */
+class Config
+{
+  public:
+    /** Parse from text. @throws FatalError on malformed lines. */
+    static Config parseString(const std::string &text);
+
+    /** Parse a file. @throws FatalError if unreadable/malformed. */
+    static Config parseFile(const std::string &path);
+
+    /** True if the key was present in the input. */
+    bool has(const std::string &key) const;
+
+    /** Typed getters; return @p fallback when the key is absent.
+     *  @throws FatalError when the value does not parse. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+    std::uint64_t getU64(const std::string &key,
+                         std::uint64_t fallback = 0) const;
+    double getDouble(const std::string &key,
+                     double fallback = 0.0) const;
+    bool getBool(const std::string &key, bool fallback = false) const;
+
+    /** Keys present in the input but never read by any getter. */
+    std::vector<std::string> unconsumedKeys() const;
+
+    /** All parsed keys in order of first appearance. */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+    mutable std::set<std::string> consumed_;
+};
+
+} // namespace xfm
+
+#endif // XFM_COMMON_CONFIG_HH

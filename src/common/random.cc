@@ -1,0 +1,121 @@
+#include "random.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace xfm
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    XFM_ASSERT(bound > 0, "uniformInt bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::uniformRange(std::uint64_t lo, std::uint64_t hi)
+{
+    XFM_ASSERT(lo <= hi, "uniformRange requires lo <= hi");
+    return lo + uniformInt(hi - lo + 1);
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double theta)
+{
+    XFM_ASSERT(n > 0, "zipf requires n > 0");
+    if (theta <= 0.0)
+        return uniformInt(n);
+    // Inverse-CDF on the continuous bounded Pareto approximation of
+    // the zipf rank distribution; adequate for locality generation.
+    const double alpha = 1.0 - theta;
+    const double u = uniformReal();
+    double rank;
+    if (std::abs(alpha) < 1e-9) {
+        rank = std::pow(static_cast<double>(n), u);
+    } else {
+        const double nn = std::pow(static_cast<double>(n), alpha);
+        rank = std::pow(u * (nn - 1.0) + 1.0, 1.0 / alpha);
+    }
+    auto idx = static_cast<std::uint64_t>(rank) - 0;
+    if (idx >= n)
+        idx = n - 1;
+    return idx;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    XFM_ASSERT(p > 0.0, "geometric requires p in (0, 1]");
+    const double u = uniformReal();
+    return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+} // namespace xfm

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the simulator draw from Rng so runs
+ * are reproducible from a single seed. The generator is
+ * xoshiro256** (public-domain construction by Blackman & Vigna),
+ * implemented here from the published recurrence.
+ */
+
+#ifndef XFM_COMMON_RANDOM_HH
+#define XFM_COMMON_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace xfm
+{
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t uniformRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /**
+     * Zipfian-distributed integer in [0, n) with skew theta.
+     *
+     * Uses the rejection-inversion-free approximation adequate for
+     * workload generation (power-law rank-frequency).
+     */
+    std::uint64_t zipf(std::uint64_t n, double theta);
+
+    /** Geometric draw: number of failures before first success. */
+    std::uint64_t geometric(double p);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace xfm
+
+#endif // XFM_COMMON_RANDOM_HH

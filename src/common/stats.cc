@@ -1,0 +1,100 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace xfm
+{
+namespace stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    XFM_ASSERT(hi > lo && buckets > 0, "invalid histogram bounds");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return lo_;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto target =
+        static_cast<std::uint64_t>(p * static_cast<double>(total_));
+    std::uint64_t seen = underflow_;
+    if (seen >= target)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= target)
+            return lo_ + width_ * static_cast<double>(i + 1);
+    }
+    return hi_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+void
+Group::add(const std::string &key, double value, const std::string &desc)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+    rows_.push_back({key, buf, desc});
+}
+
+void
+Group::add(const std::string &key, std::uint64_t value,
+           const std::string &desc)
+{
+    rows_.push_back({key, std::to_string(value), desc});
+}
+
+std::string
+Group::render() const
+{
+    std::size_t key_width = 0;
+    std::size_t val_width = 0;
+    for (const auto &r : rows_) {
+        key_width = std::max(key_width, r.key.size());
+        val_width = std::max(val_width, r.value.size());
+    }
+    std::ostringstream os;
+    os << "---- " << name_ << " ----\n";
+    for (const auto &r : rows_) {
+        os << r.key << std::string(key_width - r.key.size() + 2, ' ')
+           << std::string(val_width - r.value.size(), ' ') << r.value;
+        if (!r.desc.empty())
+            os << "  # " << r.desc;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stats
+} // namespace xfm

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Lightweight statistics collection: scalar counters, running
+ * averages, and fixed-bucket histograms, grouped per component and
+ * renderable as a formatted table.
+ */
+
+#ifndef XFM_COMMON_STATS_HH
+#define XFM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xfm
+{
+
+namespace stats
+{
+
+/** Monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter &operator+=(std::uint64_t v) { value_ += v; return *this; }
+    Counter &operator++() { ++value_; return *this; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Sample mean / min / max tracker. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Linear-bucket histogram over [lo, hi) with out-of-range tails. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double v);
+
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Value below which the given fraction of samples fall. */
+    double percentile(double p) const;
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** Named collection of stats rendered as an aligned text table. */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    void add(const std::string &key, double value,
+             const std::string &desc = "");
+    void add(const std::string &key, std::uint64_t value,
+             const std::string &desc = "");
+
+    /** Render all rows; used by examples and bench tools. */
+    std::string render() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Row
+    {
+        std::string key;
+        std::string value;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<Row> rows_;
+};
+
+} // namespace stats
+} // namespace xfm
+
+#endif // XFM_COMMON_STATS_HH

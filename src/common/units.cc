@@ -1,0 +1,47 @@
+#include "units.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace xfm
+{
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static constexpr std::array<const char *, 5> suffix = {
+        "B", "KiB", "MiB", "GiB", "TiB"
+    };
+    double v = static_cast<double>(bytes);
+    std::size_t idx = 0;
+    while (v >= 1024.0 && idx + 1 < suffix.size()) {
+        v /= 1024.0;
+        ++idx;
+    }
+    char buf[48];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix[idx]);
+    return buf;
+}
+
+std::string
+formatTicks(Tick t)
+{
+    static constexpr std::array<const char *, 5> suffix = {
+        "ps", "ns", "us", "ms", "s"
+    };
+    double v = static_cast<double>(t);
+    std::size_t idx = 0;
+    while (v >= 1000.0 && idx + 1 < suffix.size()) {
+        v /= 1000.0;
+        ++idx;
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix[idx]);
+    return buf;
+}
+
+} // namespace xfm

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit types and conversion helpers used across the simulator.
+ *
+ * Simulated time is measured in integer picoseconds (Tick) so DDR
+ * timing parameters (fractions of a nanosecond) stay exact. Capacity
+ * helpers provide the usual KiB/MiB/GiB shorthands.
+ */
+
+#ifndef XFM_COMMON_UNITS_HH
+#define XFM_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace xfm
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no scheduled time". */
+constexpr Tick maxTick = ~Tick(0);
+
+constexpr Tick
+picoseconds(std::uint64_t v)
+{
+    return v;
+}
+
+constexpr Tick
+nanoseconds(double v)
+{
+    return static_cast<Tick>(v * 1e3);
+}
+
+constexpr Tick
+microseconds(double v)
+{
+    return static_cast<Tick>(v * 1e6);
+}
+
+constexpr Tick
+milliseconds(double v)
+{
+    return static_cast<Tick>(v * 1e9);
+}
+
+constexpr Tick
+seconds(double v)
+{
+    return static_cast<Tick>(v * 1e12);
+}
+
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / 1e12;
+}
+
+/** Byte capacities. */
+constexpr std::uint64_t
+kib(std::uint64_t v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t
+mib(std::uint64_t v)
+{
+    return v << 20;
+}
+
+constexpr std::uint64_t
+gib(std::uint64_t v)
+{
+    return v << 30;
+}
+
+constexpr std::uint64_t
+tib(std::uint64_t v)
+{
+    return v << 40;
+}
+
+/** OS page size used throughout the SFM stack. */
+constexpr std::uint64_t pageBytes = 4096;
+
+/**
+ * Convert a byte count moved over an interval into GB/s
+ * (decimal gigabytes, matching DDR marketing figures).
+ */
+constexpr double
+bytesPerTickToGBps(double bytes, Tick interval)
+{
+    // bytes / picoseconds * 1e12 / 1e9 = bytes/ns
+    return interval == 0 ? 0.0 : bytes / static_cast<double>(interval) * 1e3;
+}
+
+/** Render a byte count with a binary-unit suffix, e.g. "4.0 MiB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Render a tick count with an adaptive time suffix, e.g. "3.9 us". */
+std::string formatTicks(Tick t);
+
+} // namespace xfm
+
+#endif // XFM_COMMON_UNITS_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * LSB-first bit-level writer/reader used by the Huffman codecs.
+ */
+
+#ifndef XFM_COMPRESS_BITSTREAM_HH
+#define XFM_COMPRESS_BITSTREAM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "compress/compressor.hh"
+
+namespace xfm
+{
+namespace compress
+{
+
+/** Append bits LSB-first to a byte vector. */
+class BitWriter
+{
+  public:
+    explicit BitWriter(Bytes &out) : out_(out) {}
+
+    /** Write the low @p nbits of @p value (nbits <= 32). */
+    void
+    put(std::uint32_t value, unsigned nbits)
+    {
+        XFM_ASSERT(nbits <= 32, "BitWriter::put nbits too large");
+        acc_ |= static_cast<std::uint64_t>(value & mask(nbits)) << fill_;
+        fill_ += nbits;
+        while (fill_ >= 8) {
+            out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+            acc_ >>= 8;
+            fill_ -= 8;
+        }
+    }
+
+    /** Flush any partial byte (zero padded). */
+    void
+    flush()
+    {
+        if (fill_ > 0) {
+            out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+            acc_ = 0;
+            fill_ = 0;
+        }
+    }
+
+  private:
+    static constexpr std::uint32_t
+    mask(unsigned nbits)
+    {
+        return nbits >= 32 ? 0xFFFFFFFFu : ((1u << nbits) - 1);
+    }
+
+    Bytes &out_;
+    std::uint64_t acc_ = 0;
+    unsigned fill_ = 0;
+};
+
+/** Read bits LSB-first from a byte span. */
+class BitReader
+{
+  public:
+    explicit BitReader(ByteSpan in) : in_(in) {}
+
+    /** Read @p nbits (<= 32); throws on truncation. */
+    std::uint32_t
+    get(unsigned nbits)
+    {
+        XFM_ASSERT(nbits <= 32, "BitReader::get nbits too large");
+        while (fill_ < nbits) {
+            if (pos_ >= in_.size())
+                fatal("bitstream truncated at byte ", pos_);
+            acc_ |= static_cast<std::uint64_t>(in_[pos_++]) << fill_;
+            fill_ += 8;
+        }
+        const auto v = static_cast<std::uint32_t>(
+            acc_ & ((nbits >= 32) ? ~std::uint64_t(0)
+                                  : ((std::uint64_t(1) << nbits) - 1)));
+        acc_ >>= nbits;
+        fill_ -= nbits;
+        return v;
+    }
+
+    /** Peek up to @p nbits without consuming; pads with zeros. */
+    std::uint32_t
+    peek(unsigned nbits)
+    {
+        while (fill_ < nbits && pos_ < in_.size()) {
+            acc_ |= static_cast<std::uint64_t>(in_[pos_++]) << fill_;
+            fill_ += 8;
+        }
+        return static_cast<std::uint32_t>(
+            acc_ & ((nbits >= 32) ? ~std::uint64_t(0)
+                                  : ((std::uint64_t(1) << nbits) - 1)));
+    }
+
+    /** Consume @p nbits previously peeked. */
+    void
+    skip(unsigned nbits)
+    {
+        if (fill_ < nbits)
+            fatal("bitstream truncated mid-code");
+        acc_ >>= nbits;
+        fill_ -= nbits;
+    }
+
+    /** Bytes consumed so far (rounded up to the buffered byte). */
+    std::size_t consumedBytes() const { return pos_; }
+
+    /**
+     * Byte offset of the next unread datum assuming the writer
+     * flushed to a byte boundary here. Accounts for bits that were
+     * buffered by peek() but never consumed.
+     */
+    std::size_t
+    alignedByteOffset() const
+    {
+        const std::size_t bits_consumed = pos_ * 8 - fill_;
+        return (bits_consumed + 7) / 8;
+    }
+
+  private:
+    ByteSpan in_;
+    std::size_t pos_ = 0;
+    std::uint64_t acc_ = 0;
+    unsigned fill_ = 0;
+};
+
+} // namespace compress
+} // namespace xfm
+
+#endif // XFM_COMPRESS_BITSTREAM_HH

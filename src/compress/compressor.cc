@@ -1,0 +1,59 @@
+#include "compressor.hh"
+
+#include "common/logging.hh"
+#include "compress/deflate.hh"
+#include "compress/lzfast.hh"
+#include "compress/zstdlike.hh"
+
+namespace xfm
+{
+namespace compress
+{
+
+std::string
+algorithmName(Algorithm a)
+{
+    switch (a) {
+      case Algorithm::LzFast:
+        return "lzfast";
+      case Algorithm::Deflate:
+        return "deflate";
+      case Algorithm::ZstdLike:
+        return "zstdlike";
+    }
+    panic("unknown algorithm");
+}
+
+CpuCost
+cpuCost(Algorithm a)
+{
+    // Calibrated so the zstd/lzo four-way average matches the
+    // paper's EQ3.4 figure of 7.65e9 cycles/GB:
+    // (14 + 6 + 7 + 3.6) / 4 = 7.65 cycles/byte.
+    switch (a) {
+      case Algorithm::LzFast:
+        return {7.0, 3.6};
+      case Algorithm::ZstdLike:
+        return {14.0, 6.0};
+      case Algorithm::Deflate:
+        return {25.0, 10.0};  // software deflate; hw offload differs
+    }
+    panic("unknown algorithm");
+}
+
+std::unique_ptr<Compressor>
+makeCompressor(Algorithm a)
+{
+    switch (a) {
+      case Algorithm::LzFast:
+        return std::make_unique<LzFastCodec>();
+      case Algorithm::Deflate:
+        return std::make_unique<DeflateCodec>();
+      case Algorithm::ZstdLike:
+        return std::make_unique<ZstdLikeCodec>();
+    }
+    panic("unknown algorithm");
+}
+
+} // namespace compress
+} // namespace xfm

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Abstract lossless compressor interface and algorithm registry.
+ *
+ * Three LZ-family codecs are provided, standing in for the
+ * algorithms the paper deploys:
+ *  - LzFast:   byte-aligned fast LZ (lzo/lz4 class),
+ *  - Deflate:  LZ77 + canonical Huffman (deflate class),
+ *  - ZstdLike: larger-window LZ77 with repeat offsets and
+ *              Huffman-coded literals (zstd class).
+ *
+ * Every codec also carries a CPU cost model (cycles/byte) used by
+ * the SFM cost model and the interference experiments.
+ */
+
+#ifndef XFM_COMPRESS_COMPRESSOR_HH
+#define XFM_COMPRESS_COMPRESSOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xfm
+{
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+namespace compress
+{
+
+/** Supported compression algorithms. */
+enum class Algorithm
+{
+    LzFast,
+    Deflate,
+    ZstdLike,
+};
+
+/** Human-readable algorithm name. */
+std::string algorithmName(Algorithm a);
+
+/**
+ * Per-algorithm CPU cost (cycles per byte), averaged over
+ * compression and decompression as in the paper's EQ3.4, which uses
+ * 7.65e9 cycles/GB averaged across zstd and lzo.
+ */
+struct CpuCost
+{
+    double compressCyclesPerByte;
+    double decompressCyclesPerByte;
+};
+
+CpuCost cpuCost(Algorithm a);
+
+/**
+ * A lossless block compressor.
+ *
+ * Implementations are pure functions of the input bytes: no state
+ * is carried between calls, matching page-granular SFM usage.
+ */
+class Compressor
+{
+  public:
+    virtual ~Compressor() = default;
+
+    /** Algorithm identifier. */
+    virtual Algorithm algorithm() const = 0;
+
+    /**
+     * Compress @p input into a self-describing block.
+     *
+     * The output always round-trips through decompress(); if the
+     * data is incompressible the output may be larger than the
+     * input (a stored-block header is added).
+     */
+    virtual Bytes compress(ByteSpan input) const = 0;
+
+    /**
+     * Decompress a block produced by compress().
+     *
+     * @throws FatalError on a corrupt or truncated block.
+     */
+    virtual Bytes decompress(ByteSpan block) const = 0;
+
+    /**
+     * Maximum window the match finder may reference, in bytes.
+     * Multi-channel mode shrinks effective windows; Fig. 8 sweeps
+     * this.
+     */
+    virtual std::size_t windowBytes() const = 0;
+};
+
+/** Construct a compressor for the given algorithm. */
+std::unique_ptr<Compressor> makeCompressor(Algorithm a);
+
+/** Compression ratio (uncompressed / compressed); >= 0. */
+inline double
+ratio(std::size_t uncompressed, std::size_t compressed)
+{
+    return compressed == 0
+        ? 0.0
+        : static_cast<double>(uncompressed)
+            / static_cast<double>(compressed);
+}
+
+} // namespace compress
+} // namespace xfm
+
+#endif // XFM_COMPRESS_COMPRESSOR_HH

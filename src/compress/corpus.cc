@@ -1,0 +1,457 @@
+#include "corpus.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace xfm
+{
+namespace compress
+{
+
+namespace
+{
+
+void
+append(Bytes &out, const std::string &s)
+{
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+const std::array<const char *, 64> commonWords = {
+    "the", "of", "and", "to", "in", "is", "that", "it", "was", "for",
+    "on", "are", "with", "as", "his", "they", "be", "at", "one",
+    "have", "this", "from", "or", "had", "by", "but", "not", "what",
+    "all", "were", "we", "when", "your", "can", "said", "there",
+    "use", "an", "each", "which", "she", "do", "how", "their", "if",
+    "will", "up", "other", "about", "out", "many", "then", "them",
+    "these", "so", "some", "her", "would", "make", "like", "him",
+    "into", "time", "has"
+};
+
+Bytes
+genEnglishText(Rng &rng, std::size_t size)
+{
+    Bytes out;
+    out.reserve(size + 64);
+    std::size_t line_len = 0;
+    while (out.size() < size) {
+        const char *w = commonWords[rng.zipf(commonWords.size(), 0.9)];
+        append(out, w);
+        line_len += std::strlen(w) + 1;
+        if (rng.chance(0.08)) {
+            append(out, ". ");
+        } else if (line_len > 68) {
+            out.push_back('\n');
+            line_len = 0;
+        } else {
+            out.push_back(' ');
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genHtml(Rng &rng, std::size_t size)
+{
+    static const std::array<const char *, 8> tags = {
+        "div", "span", "p", "a", "li", "td", "h2", "section"
+    };
+    static const std::array<const char *, 6> classes = {
+        "container", "row", "col-md-6", "btn btn-primary",
+        "nav-item active", "card-body text-muted"
+    };
+    Bytes out;
+    out.reserve(size + 128);
+    append(out, "<!DOCTYPE html>\n<html><head><title>page</title>"
+                "</head><body>\n");
+    while (out.size() < size) {
+        const char *tag = tags[rng.uniformInt(tags.size())];
+        const char *cls = classes[rng.uniformInt(classes.size())];
+        append(out, std::string("<") + tag + " class=\"" + cls
+                    + "\" id=\"el" + std::to_string(rng.uniformInt(500))
+                    + "\">");
+        const char *w = commonWords[rng.zipf(commonWords.size(), 0.9)];
+        append(out, w);
+        append(out, std::string("</") + tag + ">\n");
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genJson(Rng &rng, std::size_t size)
+{
+    Bytes out;
+    out.reserve(size + 256);
+    append(out, "{\"results\":[\n");
+    while (out.size() < size) {
+        append(out, "  {\"id\": " + std::to_string(rng.uniformInt(100000))
+                    + ", \"name\": \"user_"
+                    + std::to_string(rng.uniformInt(5000))
+                    + "\", \"active\": "
+                    + (rng.chance(0.5) ? "true" : "false")
+                    + ", \"score\": "
+                    + std::to_string(rng.uniformInt(100))
+                    + ", \"tags\": [\"alpha\", \"beta\"]},\n");
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genSourceCode(Rng &rng, std::size_t size)
+{
+    static const std::array<const char *, 10> idents = {
+        "buffer", "index", "count", "result", "status", "handler",
+        "request", "response", "context", "offset"
+    };
+    Bytes out;
+    out.reserve(size + 128);
+    while (out.size() < size) {
+        const char *a = idents[rng.uniformInt(idents.size())];
+        const char *b = idents[rng.uniformInt(idents.size())];
+        switch (rng.uniformInt(4)) {
+          case 0:
+            append(out, std::string("    int ") + a + " = " + b + " + "
+                        + std::to_string(rng.uniformInt(16)) + ";\n");
+            break;
+          case 1:
+            append(out, std::string("    if (") + a + " < " + b
+                        + ") {\n        return " + a + ";\n    }\n");
+            break;
+          case 2:
+            append(out, std::string("    for (int i = 0; i < ") + a
+                        + "; ++i) {\n        " + b + " += i;\n    }\n");
+            break;
+          default:
+            append(out, std::string("    ") + a + " = process(" + b
+                        + ", sizeof(" + b + "));\n");
+            break;
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genCsvTable(Rng &rng, std::size_t size)
+{
+    Bytes out;
+    out.reserve(size + 128);
+    append(out, "timestamp,region,status,latency_ms,bytes\n");
+    std::uint64_t ts = 1690000000;
+    while (out.size() < size) {
+        ts += rng.uniformInt(5);
+        append(out, std::to_string(ts) + ",us-east-"
+                    + std::to_string(1 + rng.uniformInt(2)) + ",200,"
+                    + std::to_string(rng.uniformInt(250)) + ","
+                    + std::to_string(rng.uniformInt(65536)) + "\n");
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genLogLines(Rng &rng, std::size_t size)
+{
+    static const std::array<const char *, 4> levels = {
+        "INFO", "WARN", "DEBUG", "ERROR"
+    };
+    Bytes out;
+    out.reserve(size + 128);
+    std::uint64_t ts = 0;
+    while (out.size() < size) {
+        ts += rng.uniformInt(1000);
+        append(out, "[2023-07-14T12:" + std::to_string(10
+                    + rng.uniformInt(49)) + ":00."
+                    + std::to_string(ts % 1000) + "Z] "
+                    + levels[rng.zipf(levels.size(), 1.0)]
+                    + " srv-" + std::to_string(rng.uniformInt(8))
+                    + " request completed path=/api/v1/items/"
+                    + std::to_string(rng.uniformInt(2000))
+                    + " dur=" + std::to_string(rng.uniformInt(90))
+                    + "ms\n");
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genKeyValue(Rng &rng, std::size_t size)
+{
+    Bytes out;
+    out.reserve(size + 128);
+    while (out.size() < size) {
+        append(out, "SET session:" + std::to_string(rng.uniformInt(9999))
+                    + ":state {\"cart\":["
+                    + std::to_string(rng.uniformInt(50)) + ","
+                    + std::to_string(rng.uniformInt(50))
+                    + "],\"ttl\":3600}\r\n");
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genNumericColumns(Rng &rng, std::size_t size)
+{
+    Bytes out;
+    out.reserve(size + 8);
+    std::uint32_t v = 1000000;
+    while (out.size() < size) {
+        v += static_cast<std::uint32_t>(rng.uniformInt(7));
+        for (int k = 0; k < 4; ++k)
+            out.push_back(static_cast<std::uint8_t>(v >> (8 * k)));
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genBase64Blob(Rng &rng, std::size_t size)
+{
+    static const char alphabet[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+        "0123456789+/";
+    Bytes out;
+    out.reserve(size + 80);
+    std::size_t col = 0;
+    while (out.size() < size) {
+        out.push_back(
+            static_cast<std::uint8_t>(alphabet[rng.uniformInt(64)]));
+        if (++col == 76) {
+            out.push_back('\n');
+            col = 0;
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genZeroHeavy(Rng &rng, std::size_t size)
+{
+    Bytes out(size, 0);
+    // Sparse nonzero islands, like a calloc'd heap with a few
+    // initialised fields.
+    std::size_t pos = 0;
+    while (pos < size) {
+        pos += rng.uniformRange(64, 512);
+        const std::size_t run = rng.uniformRange(4, 32);
+        for (std::size_t k = 0; k < run && pos + k < size; ++k)
+            out[pos + k] = static_cast<std::uint8_t>(rng.next());
+        pos += run;
+    }
+    return out;
+}
+
+Bytes
+genBitmap(Rng &rng, std::size_t size)
+{
+    Bytes out;
+    out.reserve(size);
+    const double fx = 0.002 + rng.uniformReal() * 0.004;
+    const double fy = 0.05 + rng.uniformReal() * 0.05;
+    const std::size_t width = 256;
+    for (std::size_t i = 0; out.size() < size; ++i) {
+        const double x = static_cast<double>(i % width);
+        const double y = static_cast<double>(i / width);
+        const double v = 127.0 + 100.0 * std::sin(x * fy)
+            * std::cos(y * fx * 40.0);
+        out.push_back(static_cast<std::uint8_t>(
+            std::clamp(v, 0.0, 255.0)));
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genAudioPcm(Rng &rng, std::size_t size)
+{
+    Bytes out;
+    out.reserve(size + 2);
+    double phase = rng.uniformReal() * 6.28;
+    const double freq = 0.02 + rng.uniformReal() * 0.04;
+    double noise = 0.0;
+    while (out.size() < size) {
+        phase += freq;
+        noise = 0.95 * noise + 0.05 * (rng.uniformReal() - 0.5);
+        const double s = std::sin(phase) * 0.6 + noise;
+        const auto v = static_cast<std::int16_t>(
+            std::clamp(s, -1.0, 1.0) * 32000.0);
+        out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+        out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genProteinSeq(Rng &rng, std::size_t size)
+{
+    static const char acids[] = "ACDEFGHIKLMNPQRSTVWY";
+    Bytes out;
+    out.reserve(size + 80);
+    std::size_t col = 0;
+    while (out.size() < size) {
+        out.push_back(static_cast<std::uint8_t>(
+            acids[rng.zipf(20, 0.4)]));
+        if (++col == 60) {
+            out.push_back('\n');
+            col = 0;
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genDictionary(Rng &rng, std::size_t size)
+{
+    static const std::array<const char *, 12> stems = {
+        "account", "balance", "calibrat", "demonstrat", "establish",
+        "fabricat", "generat", "illuminat", "investigat", "manufactur",
+        "negotiat", "transport"
+    };
+    static const std::array<const char *, 8> suffixes = {
+        "e", "es", "ed", "ing", "ion", "ions", "or", "ively"
+    };
+    Bytes out;
+    out.reserve(size + 32);
+    while (out.size() < size) {
+        append(out, std::string(stems[rng.uniformInt(stems.size())])
+                    + suffixes[rng.uniformInt(suffixes.size())] + "\n");
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genHeapObjects(Rng &rng, std::size_t size)
+{
+    Bytes out;
+    out.reserve(size + 32);
+    // 32-byte "objects": vtable ptr, next ptr, two int fields,
+    // 8 bytes padding. Pointers share a common heap base.
+    const std::uint64_t heap_base = 0x00007F3A00000000ull;
+    while (out.size() < size) {
+        const std::uint64_t vtbl = 0x0000556600401000ull
+            + rng.uniformInt(8) * 0x40;
+        const std::uint64_t next = heap_base
+            + rng.uniformInt(1 << 20) * 32;
+        std::array<std::uint64_t, 4> words = {
+            vtbl, next,
+            rng.uniformInt(1024) | (rng.uniformInt(4) << 32),
+            0
+        };
+        for (auto w : words)
+            for (int k = 0; k < 8; ++k)
+                out.push_back(static_cast<std::uint8_t>(w >> (8 * k)));
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+genRandomBytes(Rng &rng, std::size_t size)
+{
+    Bytes out;
+    out.reserve(size + 8);
+    while (out.size() < size) {
+        std::uint64_t v = rng.next();
+        for (int k = 0; k < 8; ++k)
+            out.push_back(static_cast<std::uint8_t>(v >> (8 * k)));
+    }
+    out.resize(size);
+    return out;
+}
+
+} // namespace
+
+const std::vector<CorpusKind> &
+allCorpusKinds()
+{
+    static const std::vector<CorpusKind> kinds = {
+        CorpusKind::EnglishText, CorpusKind::Html, CorpusKind::Json,
+        CorpusKind::SourceCode, CorpusKind::CsvTable,
+        CorpusKind::LogLines, CorpusKind::KeyValue,
+        CorpusKind::NumericColumns, CorpusKind::Base64Blob,
+        CorpusKind::ZeroHeavy, CorpusKind::Bitmap, CorpusKind::AudioPcm,
+        CorpusKind::ProteinSeq, CorpusKind::Dictionary,
+        CorpusKind::HeapObjects, CorpusKind::RandomBytes,
+    };
+    return kinds;
+}
+
+std::string
+corpusName(CorpusKind kind)
+{
+    switch (kind) {
+      case CorpusKind::EnglishText: return "english-text";
+      case CorpusKind::Html: return "html";
+      case CorpusKind::Json: return "json";
+      case CorpusKind::SourceCode: return "source-code";
+      case CorpusKind::CsvTable: return "csv-table";
+      case CorpusKind::LogLines: return "log-lines";
+      case CorpusKind::KeyValue: return "key-value";
+      case CorpusKind::NumericColumns: return "numeric-cols";
+      case CorpusKind::Base64Blob: return "base64-blob";
+      case CorpusKind::ZeroHeavy: return "zero-heavy";
+      case CorpusKind::Bitmap: return "bitmap";
+      case CorpusKind::AudioPcm: return "audio-pcm";
+      case CorpusKind::ProteinSeq: return "protein-seq";
+      case CorpusKind::Dictionary: return "dictionary";
+      case CorpusKind::HeapObjects: return "heap-objects";
+      case CorpusKind::RandomBytes: return "random-bytes";
+    }
+    panic("unknown corpus kind");
+}
+
+Bytes
+generateCorpus(CorpusKind kind, std::uint64_t seed, std::size_t size)
+{
+    Rng rng(seed ^ (static_cast<std::uint64_t>(kind) * 0x1234567));
+    switch (kind) {
+      case CorpusKind::EnglishText: return genEnglishText(rng, size);
+      case CorpusKind::Html: return genHtml(rng, size);
+      case CorpusKind::Json: return genJson(rng, size);
+      case CorpusKind::SourceCode: return genSourceCode(rng, size);
+      case CorpusKind::CsvTable: return genCsvTable(rng, size);
+      case CorpusKind::LogLines: return genLogLines(rng, size);
+      case CorpusKind::KeyValue: return genKeyValue(rng, size);
+      case CorpusKind::NumericColumns:
+        return genNumericColumns(rng, size);
+      case CorpusKind::Base64Blob: return genBase64Blob(rng, size);
+      case CorpusKind::ZeroHeavy: return genZeroHeavy(rng, size);
+      case CorpusKind::Bitmap: return genBitmap(rng, size);
+      case CorpusKind::AudioPcm: return genAudioPcm(rng, size);
+      case CorpusKind::ProteinSeq: return genProteinSeq(rng, size);
+      case CorpusKind::Dictionary: return genDictionary(rng, size);
+      case CorpusKind::HeapObjects: return genHeapObjects(rng, size);
+      case CorpusKind::RandomBytes: return genRandomBytes(rng, size);
+    }
+    panic("unknown corpus kind");
+}
+
+std::vector<Bytes>
+paginate(const Bytes &corpus, std::size_t page_bytes)
+{
+    XFM_ASSERT(page_bytes > 0, "page size must be positive");
+    std::vector<Bytes> pages;
+    pages.reserve(corpus.size() / page_bytes);
+    for (std::size_t off = 0; off + page_bytes <= corpus.size();
+         off += page_bytes) {
+        pages.emplace_back(corpus.begin() + off,
+                           corpus.begin() + off + page_bytes);
+    }
+    return pages;
+}
+
+} // namespace compress
+} // namespace xfm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic synthetic corpus generators.
+ *
+ * The paper's Fig. 8 compresses 4 KiB pages drawn from 16 corpus
+ * files. We cannot ship those corpora, so each generator here
+ * synthesises a byte stream with the match/entropy structure of one
+ * corpus class (english text, HTML, JSON, source code, columnar
+ * numerics, ...). All generators are pure functions of (kind, seed,
+ * size), so experiments are reproducible.
+ */
+
+#ifndef XFM_COMPRESS_CORPUS_HH
+#define XFM_COMPRESS_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hh"
+
+namespace xfm
+{
+namespace compress
+{
+
+/** The 16 corpus classes used by the Fig. 8 reproduction. */
+enum class CorpusKind
+{
+    EnglishText,   ///< Markov-chain english-like prose
+    Html,          ///< tag soup with repeated attributes
+    Json,          ///< API-response-like records
+    SourceCode,    ///< C-like source with keywords/idents
+    CsvTable,      ///< comma-separated numeric/text table
+    LogLines,      ///< timestamped server log lines
+    KeyValue,      ///< redis-dump-like key/value pairs
+    NumericColumns,///< little-endian ints with small deltas
+    Base64Blob,    ///< base64 of random bytes (low compressibility)
+    ZeroHeavy,     ///< mostly-zero pages (sparse heap)
+    Bitmap,        ///< smooth-gradient raster image
+    AudioPcm,      ///< band-limited 16-bit PCM samples
+    ProteinSeq,    ///< 20-letter alphabet sequences
+    Dictionary,    ///< sorted word list, shared prefixes
+    HeapObjects,   ///< pointer-rich object graph (malloc heap)
+    RandomBytes,   ///< incompressible control
+};
+
+/** All kinds in a stable order. */
+const std::vector<CorpusKind> &allCorpusKinds();
+
+/** Short name, e.g. "english-text". */
+std::string corpusName(CorpusKind kind);
+
+/**
+ * Generate @p size bytes of the given corpus class.
+ *
+ * @param kind corpus class.
+ * @param seed RNG seed; same (kind, seed, size) => same bytes.
+ * @param size output length in bytes.
+ */
+Bytes generateCorpus(CorpusKind kind, std::uint64_t seed,
+                     std::size_t size);
+
+/**
+ * Slice a corpus into consecutive @p page_bytes pages (the last
+ * partial page is dropped), as SFM compresses page-granular data.
+ */
+std::vector<Bytes> paginate(const Bytes &corpus,
+                            std::size_t page_bytes = 4096);
+
+} // namespace compress
+} // namespace xfm
+
+#endif // XFM_COMPRESS_CORPUS_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Canonical Huffman coding over arbitrary symbol alphabets.
+ *
+ * Code lengths are limited to maxCodeLength (15) using the standard
+ * length-limited adjustment, and codes are assigned canonically so a
+ * decoder only needs the length array.
+ */
+
+#ifndef XFM_COMPRESS_HUFFMAN_HH
+#define XFM_COMPRESS_HUFFMAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/bitstream.hh"
+#include "compress/compressor.hh"
+
+namespace xfm
+{
+namespace compress
+{
+
+/** Upper bound on any Huffman code length we emit. */
+constexpr unsigned maxCodeLength = 15;
+
+/**
+ * Compute length-limited Huffman code lengths from symbol counts.
+ *
+ * Symbols with zero count get length 0 (no code). If only one
+ * symbol has nonzero count it receives length 1 so the bitstream
+ * format stays uniform.
+ *
+ * @param counts frequency per symbol.
+ * @return per-symbol code length, each <= maxCodeLength.
+ */
+std::vector<std::uint8_t>
+huffmanCodeLengths(const std::vector<std::uint64_t> &counts);
+
+/** Encoder table built from canonical code lengths. */
+class HuffmanEncoder
+{
+  public:
+    explicit HuffmanEncoder(const std::vector<std::uint8_t> &lengths);
+
+    /** Emit the code for @p symbol. */
+    void
+    encode(BitWriter &bw, std::uint32_t symbol) const
+    {
+        XFM_ASSERT(symbol < lengths_.size() && lengths_[symbol] > 0,
+                   "encoding symbol without a code: ", symbol);
+        bw.put(codes_[symbol], lengths_[symbol]);
+    }
+
+    unsigned lengthOf(std::uint32_t symbol) const
+    {
+        return lengths_[symbol];
+    }
+
+  private:
+    std::vector<std::uint8_t> lengths_;
+    std::vector<std::uint32_t> codes_;
+};
+
+/**
+ * Table-driven decoder for canonical codes.
+ *
+ * Uses a single-level lookup table of maxCodeLength bits; alphabets
+ * here are small (< 300 symbols) so this stays compact.
+ */
+class HuffmanDecoder
+{
+  public:
+    explicit HuffmanDecoder(const std::vector<std::uint8_t> &lengths);
+
+    /** Decode one symbol from the reader. */
+    std::uint32_t decode(BitReader &br) const;
+
+    /** True if at least one symbol has a code. */
+    bool hasCodes() const { return has_codes_; }
+
+  private:
+    struct TableEntry
+    {
+        std::uint32_t symbol;
+        std::uint8_t length;
+    };
+
+    std::vector<TableEntry> table_;
+    bool has_codes_ = false;
+};
+
+/**
+ * Emit a code-length array with RFC1951-style run-length codes
+ * (16 = repeat previous 3..6, 17 = zeros 3..10, 18 = zeros 11..138),
+ * each RLE symbol written as raw 5 bits.
+ */
+void writeCodeLengthsRle(BitWriter &bw,
+                         const std::vector<std::uint8_t> &lengths);
+
+/** Inverse of writeCodeLengthsRle; reads exactly @p count lengths. */
+std::vector<std::uint8_t> readCodeLengthsRle(BitReader &br,
+                                             std::size_t count);
+
+} // namespace compress
+} // namespace xfm
+
+#endif // XFM_COMPRESS_HUFFMAN_HH

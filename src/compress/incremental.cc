@@ -1,0 +1,165 @@
+#include "incremental.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace compress
+{
+
+namespace
+{
+
+constexpr std::uint32_t minMatch = 4;
+
+void
+putU32(Bytes &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t
+getU32(ByteSpan in, std::size_t off)
+{
+    if (off + 4 > in.size())
+        fatal("incremental: truncated header");
+    return static_cast<std::uint32_t>(in[off])
+        | (static_cast<std::uint32_t>(in[off + 1]) << 8)
+        | (static_cast<std::uint32_t>(in[off + 2]) << 16)
+        | (static_cast<std::uint32_t>(in[off + 3]) << 24);
+}
+
+void
+putExtended(Bytes &out, std::uint32_t value)
+{
+    while (value >= 255) {
+        out.push_back(255);
+        value -= 255;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint32_t
+getExtended(ByteSpan in, std::size_t &pos)
+{
+    std::uint32_t v = 0;
+    for (;;) {
+        if (pos >= in.size())
+            fatal("incremental: truncated extension");
+        const std::uint8_t b = in[pos++];
+        v += b;
+        if (b != 255)
+            return v;
+    }
+}
+
+} // namespace
+
+IncrementalCompressor::IncrementalCompressor(const Lz77Params &params)
+    : params_(params)
+{
+    XFM_ASSERT(params_.windowBytes <= (1u << 24),
+               "3-byte offsets reach at most 16 MiB of history");
+}
+
+Bytes
+IncrementalCompressor::addChunk(ByteSpan chunk)
+{
+    const std::size_t start = history_.size();
+    history_.insert(history_.end(), chunk.begin(), chunk.end());
+
+    const auto tokens = lz77TokenizeSuffix(history_, params_, start);
+
+    Bytes out;
+    out.reserve(chunk.size() / 2 + 16);
+    putU32(out, static_cast<std::uint32_t>(chunk.size()));
+
+    std::size_t i = 0;
+    while (i < tokens.size()) {
+        std::uint32_t lit_count = 0;
+        const std::size_t lit_start = i;
+        while (i < tokens.size() && !tokens[i].isMatch) {
+            ++lit_count;
+            ++i;
+        }
+        const bool have_match = i < tokens.size();
+        const std::uint32_t match_code =
+            have_match ? tokens[i].length - minMatch : 0;
+
+        const std::uint8_t lit_nib =
+            static_cast<std::uint8_t>(std::min(lit_count, 15u));
+        const std::uint8_t match_nib = have_match
+            ? static_cast<std::uint8_t>(std::min(match_code, 15u))
+            : 0;
+        out.push_back(static_cast<std::uint8_t>((lit_nib << 4)
+                                                | match_nib));
+        if (lit_count >= 15)
+            putExtended(out, lit_count - 15);
+        for (std::size_t k = 0; k < lit_count; ++k)
+            out.push_back(tokens[lit_start + k].literal);
+        if (have_match) {
+            const std::uint32_t dist = tokens[i].distance;
+            out.push_back(static_cast<std::uint8_t>(dist));
+            out.push_back(static_cast<std::uint8_t>(dist >> 8));
+            out.push_back(static_cast<std::uint8_t>(dist >> 16));
+            if (match_code >= 15)
+                putExtended(out, match_code - 15);
+            ++i;
+        }
+    }
+    return out;
+}
+
+Bytes
+IncrementalDecompressor::addSegment(ByteSpan segment)
+{
+    const std::uint32_t raw_len = getU32(segment, 0);
+    const std::size_t start = history_.size();
+    history_.reserve(start + raw_len);
+
+    std::size_t pos = 4;
+    while (history_.size() - start < raw_len) {
+        if (pos >= segment.size())
+            fatal("incremental: truncated segment");
+        const std::uint8_t token = segment[pos++];
+        std::uint32_t lit_count = token >> 4;
+        if (lit_count == 15)
+            lit_count += getExtended(segment, pos);
+        if (pos + lit_count > segment.size())
+            fatal("incremental: literal overrun");
+        history_.insert(history_.end(), segment.begin() + pos,
+                        segment.begin() + pos + lit_count);
+        pos += lit_count;
+        if (history_.size() - start >= raw_len)
+            break;
+
+        if (pos + 3 > segment.size())
+            fatal("incremental: truncated offset");
+        const std::uint32_t dist =
+            static_cast<std::uint32_t>(segment[pos])
+            | (static_cast<std::uint32_t>(segment[pos + 1]) << 8)
+            | (static_cast<std::uint32_t>(segment[pos + 2]) << 16);
+        pos += 3;
+        std::uint32_t match_code = token & 0x0F;
+        if (match_code == 15)
+            match_code += getExtended(segment, pos);
+        const std::uint32_t len = match_code + minMatch;
+
+        if (dist == 0 || dist > history_.size())
+            fatal("incremental: bad distance ", dist);
+        const std::size_t src = history_.size() - dist;
+        for (std::uint32_t k = 0; k < len; ++k)
+            history_.push_back(history_[src + k]);
+    }
+    if (history_.size() - start != raw_len)
+        fatal("incremental: segment size mismatch");
+    return Bytes(history_.begin() + start, history_.end());
+}
+
+} // namespace compress
+} // namespace xfm

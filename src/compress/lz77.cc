@@ -1,0 +1,188 @@
+#include "lz77.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace compress
+{
+
+namespace
+{
+
+constexpr std::size_t hashBits = 15;
+constexpr std::size_t hashSize = std::size_t(1) << hashBits;
+
+inline std::uint32_t
+hash3(const std::uint8_t *p)
+{
+    // Multiplicative hash of 3 bytes.
+    std::uint32_t v = static_cast<std::uint32_t>(p[0])
+        | (static_cast<std::uint32_t>(p[1]) << 8)
+        | (static_cast<std::uint32_t>(p[2]) << 16);
+    return (v * 2654435761u) >> (32 - hashBits);
+}
+
+/** Length of the common prefix of a and b, up to limit. */
+inline std::uint32_t
+matchLength(const std::uint8_t *a, const std::uint8_t *b,
+            std::uint32_t limit)
+{
+    std::uint32_t n = 0;
+    while (n < limit && a[n] == b[n])
+        ++n;
+    return n;
+}
+
+struct Finder
+{
+    ByteSpan in;
+    const Lz77Params &p;
+    std::vector<std::int64_t> head;
+    std::vector<std::int64_t> prev;
+
+    Finder(ByteSpan input, const Lz77Params &params)
+        : in(input), p(params), head(hashSize, -1), prev(input.size(), -1)
+    {}
+
+    void
+    insert(std::size_t pos)
+    {
+        if (pos + 3 > in.size())
+            return;
+        const std::uint32_t h = hash3(in.data() + pos);
+        prev[pos] = head[h];
+        head[h] = static_cast<std::int64_t>(pos);
+    }
+
+    /** Best match at pos; returns length 0 when none qualifies. */
+    std::pair<std::uint32_t, std::uint32_t>
+    bestMatch(std::size_t pos) const
+    {
+        if (pos + p.minMatch > in.size())
+            return {0, 0};
+        const auto limit = static_cast<std::uint32_t>(
+            std::min<std::size_t>(p.maxMatch, in.size() - pos));
+        const std::size_t window_start =
+            pos > p.windowBytes ? pos - p.windowBytes : 0;
+
+        std::uint32_t best_len = 0;
+        std::uint32_t best_dist = 0;
+        std::int64_t cand = head[hash3(in.data() + pos)];
+        unsigned chain = p.maxChainLength;
+        while (cand >= 0 && chain-- > 0) {
+            const auto cpos = static_cast<std::size_t>(cand);
+            if (cpos < window_start)
+                break;
+            if (cpos >= pos) {
+                cand = prev[cpos];
+                continue;
+            }
+            // Quick reject on the byte past the current best.
+            if (best_len == 0 ||
+                in[cpos + best_len] == in[pos + best_len]) {
+                const std::uint32_t len = matchLength(
+                    in.data() + cpos, in.data() + pos, limit);
+                if (len > best_len) {
+                    best_len = len;
+                    best_dist = static_cast<std::uint32_t>(pos - cpos);
+                    if (best_len >= limit)
+                        break;
+                }
+            }
+            cand = prev[cpos];
+        }
+        if (best_len < p.minMatch)
+            return {0, 0};
+        return {best_len, best_dist};
+    }
+};
+
+} // namespace
+
+std::vector<Lz77Token>
+lz77Tokenize(ByteSpan input, const Lz77Params &params)
+{
+    return lz77TokenizeSuffix(input, params, 0);
+}
+
+std::vector<Lz77Token>
+lz77TokenizeSuffix(ByteSpan input, const Lz77Params &params,
+                   std::size_t start)
+{
+    XFM_ASSERT(params.minMatch >= 3, "minMatch must be >= 3");
+    XFM_ASSERT(params.windowBytes > 0, "window must be non-empty");
+    XFM_ASSERT(start <= input.size(), "suffix start out of range");
+
+    std::vector<Lz77Token> tokens;
+    tokens.reserve((input.size() - start) / 3);
+    if (input.size() == start)
+        return tokens;
+
+    Finder f(input, params);
+    // Index the shared history without emitting tokens for it.
+    for (std::size_t i = 0; i < start; ++i)
+        f.insert(i);
+    std::size_t pos = start;
+    while (pos < input.size()) {
+        auto [len, dist] = f.bestMatch(pos);
+
+        // Lazy matching: if the next position has a strictly longer
+        // match, emit a literal instead and take the later match.
+        if (params.lazyMatching && len > 0 && pos + 1 < input.size()) {
+            f.insert(pos);
+            auto [nlen, ndist] = f.bestMatch(pos + 1);
+            (void)ndist;
+            if (nlen > len + 1) {
+                tokens.push_back({false, input[pos], 0, 0});
+                ++pos;
+                continue;
+            }
+            if (len > 0) {
+                tokens.push_back({true, 0, len, dist});
+                // pos itself was inserted above; insert interior.
+                for (std::size_t i = pos + 1; i < pos + len; ++i)
+                    f.insert(i);
+                pos += len;
+                continue;
+            }
+        }
+
+        if (len > 0) {
+            tokens.push_back({true, 0, len, dist});
+            for (std::size_t i = pos; i < pos + len; ++i)
+                f.insert(i);
+            pos += len;
+        } else {
+            tokens.push_back({false, input[pos], 0, 0});
+            f.insert(pos);
+            ++pos;
+        }
+    }
+    return tokens;
+}
+
+Bytes
+lz77Reconstruct(const std::vector<Lz77Token> &tokens)
+{
+    Bytes out;
+    for (const auto &t : tokens) {
+        if (!t.isMatch) {
+            out.push_back(t.literal);
+            continue;
+        }
+        if (t.distance == 0 || t.distance > out.size())
+            fatal("lz77 reconstruct: bad distance ", t.distance,
+                  " at output size ", out.size());
+        std::size_t src = out.size() - t.distance;
+        for (std::uint32_t i = 0; i < t.length; ++i)
+            out.push_back(out[src + i]);
+    }
+    return out;
+}
+
+} // namespace compress
+} // namespace xfm

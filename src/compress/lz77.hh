@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared LZ77 match finder.
+ *
+ * Produces a token stream of literals and (length, distance) matches
+ * using hash-chain search. The window size and search effort are
+ * configurable so the same engine backs all three codecs; Fig. 8's
+ * window-truncation experiments reuse it directly.
+ */
+
+#ifndef XFM_COMPRESS_LZ77_HH
+#define XFM_COMPRESS_LZ77_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/compressor.hh"
+
+namespace xfm
+{
+namespace compress
+{
+
+/** One LZ77 token: either a literal byte or a back-reference. */
+struct Lz77Token
+{
+    bool isMatch;
+    std::uint8_t literal;    ///< valid when !isMatch
+    std::uint32_t length;    ///< valid when isMatch
+    std::uint32_t distance;  ///< valid when isMatch; 1-based
+};
+
+/** Tuning knobs for the match finder. */
+struct Lz77Params
+{
+    std::size_t windowBytes = 32 * 1024;  ///< max back-reference reach
+    std::uint32_t minMatch = 3;           ///< shortest emitted match
+    std::uint32_t maxMatch = 258;         ///< longest emitted match
+    unsigned maxChainLength = 64;         ///< hash chain search depth
+    bool lazyMatching = true;             ///< one-step lazy evaluation
+};
+
+/**
+ * Run the match finder over @p input.
+ *
+ * Deterministic: identical inputs and params yield identical token
+ * streams.
+ */
+std::vector<Lz77Token> lz77Tokenize(ByteSpan input,
+                                    const Lz77Params &params);
+
+/**
+ * Tokenize only input[start..) while letting matches reach back
+ * into the full prefix input[0..start) (shared-history streaming:
+ * the prefix is indexed but produces no tokens).
+ */
+std::vector<Lz77Token> lz77TokenizeSuffix(ByteSpan input,
+                                          const Lz77Params &params,
+                                          std::size_t start);
+
+/** Reconstruct the original bytes from a token stream. */
+Bytes lz77Reconstruct(const std::vector<Lz77Token> &tokens);
+
+} // namespace compress
+} // namespace xfm
+
+#endif // XFM_COMPRESS_LZ77_HH

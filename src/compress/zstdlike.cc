@@ -1,0 +1,257 @@
+#include "zstdlike.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "compress/bitstream.hh"
+#include "compress/huffman.hh"
+#include "compress/lz77.hh"
+
+namespace xfm
+{
+namespace compress
+{
+
+namespace
+{
+
+constexpr std::uint8_t modeStored = 0;
+constexpr std::uint8_t modeZstd = 2;
+
+// In the sequence stream an offset varint of 0 means "repeat the
+// previous offset" (zstd's repeat-offset shortcut); otherwise the
+// varint is the offset itself.
+
+void
+putU32(Bytes &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t
+getU32(ByteSpan in, std::size_t off)
+{
+    if (off + 4 > in.size())
+        fatal("zstdlike: truncated header");
+    return static_cast<std::uint32_t>(in[off])
+        | (static_cast<std::uint32_t>(in[off + 1]) << 8)
+        | (static_cast<std::uint32_t>(in[off + 2]) << 16)
+        | (static_cast<std::uint32_t>(in[off + 3]) << 24);
+}
+
+void
+putVarint(Bytes &out, std::uint32_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t
+getVarint(ByteSpan in, std::size_t &pos)
+{
+    std::uint32_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        if (pos >= in.size())
+            fatal("zstdlike: truncated varint");
+        const std::uint8_t b = in[pos++];
+        v |= static_cast<std::uint32_t>(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        if (shift >= 35)
+            fatal("zstdlike: varint too long");
+    }
+}
+
+Bytes
+storedBlock(ByteSpan input)
+{
+    Bytes out;
+    out.reserve(input.size() + 5);
+    out.push_back(modeStored);
+    putU32(out, static_cast<std::uint32_t>(input.size()));
+    out.insert(out.end(), input.begin(), input.end());
+    return out;
+}
+
+} // namespace
+
+ZstdLikeCodec::ZstdLikeCodec(std::size_t window_bytes)
+    : window_bytes_(window_bytes)
+{
+    XFM_ASSERT(window_bytes_ >= 16 && window_bytes_ <= (1u << 27),
+               "zstdlike window out of range");
+}
+
+Bytes
+ZstdLikeCodec::compress(ByteSpan input) const
+{
+    if (input.empty())
+        return storedBlock(input);
+
+    Lz77Params params;
+    params.windowBytes = window_bytes_;
+    params.minMatch = 4;
+    params.maxMatch = 1 << 16;
+    params.maxChainLength = 128;  // deeper search: ratio profile
+    params.lazyMatching = true;
+    const auto tokens = lz77Tokenize(input, params);
+
+    // Split literals from sequences, zstd style.
+    Bytes literals;
+    struct Seq
+    {
+        std::uint32_t litRun;
+        std::uint32_t matchLen;  // 0 only for the trailing run
+        std::uint32_t offset;
+    };
+    std::vector<Seq> seqs;
+    std::uint32_t run = 0;
+    for (const auto &t : tokens) {
+        if (t.isMatch) {
+            seqs.push_back({run, t.length, t.distance});
+            run = 0;
+        } else {
+            literals.push_back(t.literal);
+            ++run;
+        }
+    }
+    if (run > 0)
+        seqs.push_back({run, 0, 0});
+
+    // Entropy code the literal stream.
+    std::vector<std::uint64_t> counts(256, 0);
+    for (auto b : literals)
+        ++counts[b];
+    const auto lit_lengths = huffmanCodeLengths(counts);
+    HuffmanEncoder lit_enc(lit_lengths);
+
+    Bytes out;
+    out.push_back(modeZstd);
+    putU32(out, static_cast<std::uint32_t>(input.size()));
+    putU32(out, static_cast<std::uint32_t>(literals.size()));
+    putU32(out, static_cast<std::uint32_t>(seqs.size()));
+
+    // Literals section (bit-packed), then byte-aligned sequences.
+    {
+        BitWriter bw(out);
+        writeCodeLengthsRle(bw, lit_lengths);
+        for (auto b : literals)
+            lit_enc.encode(bw, b);
+        bw.flush();
+    }
+
+    // Sequences: one LZ4-style token byte packs the literal-run and
+    // match-length nibbles; 15 in a nibble means a varint extension
+    // follows. matchLen is stored as (len - minMatch + 1) so that 0
+    // marks the trailing literals-only sequence.
+    std::uint32_t last_offset = 0;
+    for (const auto &s : seqs) {
+        const std::uint32_t mcode =
+            s.matchLen == 0 ? 0 : s.matchLen - 4 + 1;
+        const std::uint8_t lit_nib =
+            static_cast<std::uint8_t>(std::min(s.litRun, 15u));
+        const std::uint8_t m_nib =
+            static_cast<std::uint8_t>(std::min(mcode, 15u));
+        out.push_back(static_cast<std::uint8_t>((lit_nib << 4) | m_nib));
+        if (lit_nib == 15)
+            putVarint(out, s.litRun - 15);
+        if (m_nib == 15)
+            putVarint(out, mcode - 15);
+        if (s.matchLen == 0)
+            continue;
+        if (s.offset == last_offset) {
+            putVarint(out, 0);
+        } else {
+            putVarint(out, s.offset);
+            last_offset = s.offset;
+        }
+    }
+
+    if (out.size() >= input.size() + 5)
+        return storedBlock(input);
+    return out;
+}
+
+Bytes
+ZstdLikeCodec::decompress(ByteSpan block) const
+{
+    if (block.empty())
+        fatal("zstdlike: empty block");
+    const std::uint8_t mode = block[0];
+    if (mode == modeStored) {
+        const std::uint32_t len = getU32(block, 1);
+        if (block.size() < 5 + std::size_t(len))
+            fatal("zstdlike: stored block truncated");
+        return Bytes(block.begin() + 5, block.begin() + 5 + len);
+    }
+    if (mode != modeZstd)
+        fatal("zstdlike: unknown block mode ", unsigned(mode));
+
+    const std::uint32_t expected = getU32(block, 1);
+    const std::uint32_t lit_count = getU32(block, 5);
+    const std::uint32_t seq_count = getU32(block, 9);
+
+    // Literals section.
+    Bytes literals;
+    literals.reserve(lit_count);
+    std::size_t pos = 13;
+    {
+        BitReader br(block.subspan(pos));
+        const auto lit_lengths = readCodeLengthsRle(br, 256);
+        HuffmanDecoder lit_dec(lit_lengths);
+        for (std::uint32_t i = 0; i < lit_count; ++i)
+            literals.push_back(
+                static_cast<std::uint8_t>(lit_dec.decode(br)));
+        pos += br.alignedByteOffset();
+    }
+
+    // Sequence replay.
+    Bytes out;
+    out.reserve(expected);
+    std::size_t lit_pos = 0;
+    std::uint32_t last_offset = 0;
+    for (std::uint32_t i = 0; i < seq_count; ++i) {
+        if (pos >= block.size())
+            fatal("zstdlike: truncated sequence token");
+        const std::uint8_t token = block[pos++];
+        std::uint32_t lit_run = token >> 4;
+        if (lit_run == 15)
+            lit_run += getVarint(block, pos);
+        std::uint32_t mcode = token & 0x0F;
+        if (mcode == 15)
+            mcode += getVarint(block, pos);
+        if (lit_pos + lit_run > literals.size())
+            fatal("zstdlike: literal stream overrun");
+        out.insert(out.end(), literals.begin() + lit_pos,
+                   literals.begin() + lit_pos + lit_run);
+        lit_pos += lit_run;
+        if (mcode == 0)
+            continue;
+        const std::uint32_t match_len = mcode - 1 + 4;
+        std::uint32_t offset = getVarint(block, pos);
+        if (offset == 0)
+            offset = last_offset;
+        else
+            last_offset = offset;
+        if (offset == 0 || offset > out.size())
+            fatal("zstdlike: bad offset ", offset);
+        const std::size_t src = out.size() - offset;
+        for (std::uint32_t k = 0; k < match_len; ++k)
+            out.push_back(out[src + k]);
+    }
+    if (out.size() != expected)
+        fatal("zstdlike: size mismatch (", out.size(), " vs ", expected,
+              ")");
+    return out;
+}
+
+} // namespace compress
+} // namespace xfm

@@ -1,0 +1,284 @@
+#include "cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace costmodel
+{
+
+namespace
+{
+constexpr double minutesPerYear = 365.25 * 24.0 * 60.0;
+constexpr double hoursPerYear = 365.25 * 24.0;
+} // namespace
+
+FarMemoryCostModel::FarMemoryCostModel(const CostParams &params)
+    : params_(params)
+{
+    XFM_ASSERT(params_.extraGB > 0, "extraGB must be positive");
+    XFM_ASSERT(params_.promotionRate >= 0
+                   && params_.promotionRate <= 1.0,
+               "promotion rate is a fraction of far memory per "
+               "minute");
+}
+
+double
+FarMemoryCostModel::gbSwappedPerMin() const
+{
+    // EQ1.
+    return params_.extraGB * params_.promotionRate;
+}
+
+double
+FarMemoryCostModel::cpuFractionNeeded() const
+{
+    // EQ3.2-3.4.
+    const double cc_needed_per_min =
+        gbSwappedPerMin() * params_.ccPerGB;
+    const double cc_available_per_min =
+        params_.cpuFreqGHz * 1e9 * params_.cpuCores * 60.0;
+    return cc_needed_per_min / cc_available_per_min;
+}
+
+double
+FarMemoryCostModel::energyPerGBKWh() const
+{
+    // One core runs at TDP/cores while (de)compressing; a GB takes
+    // ccPerGB / freq seconds of core time.
+    const double core_watts = params_.cpuTdpWatts / params_.cpuCores
+        * params_.cpuEnergyEfficiency;
+    const double seconds_per_gb =
+        params_.ccPerGB / (params_.cpuFreqGHz * 1e9);
+    return core_watts * seconds_per_gb / 3.6e6;  // J -> kWh
+}
+
+CostBreakdown
+FarMemoryCostModel::dfm(DfmTech tech, double years) const
+{
+    const double minutes = years * minutesPerYear;
+    const double hours = years * hoursPerYear;
+    const bool dram = tech == DfmTech::Dram;
+
+    CostBreakdown b;
+    // EQ2: upfront module purchase.
+    b.capitalUSD = params_.extraGB
+        * (dram ? params_.dramCostPerGB : params_.pmemCostPerGB);
+
+    // EQ2.1: PCIe transfer energy for the swap traffic.
+    const double pcie_kwh =
+        params_.pcieKWhPerGB * gbSwappedPerMin() * minutes;
+    // EQ2.2 (physically-consistent reading): static DIMM power.
+    const double dimm_gb =
+        dram ? params_.dramDimmGB : params_.pmemDimmGB;
+    const double num_dimms = params_.extraGB / dimm_gb;
+    const double idle_kwh =
+        params_.idleDimmWatts * num_dimms * hours / 1000.0;
+
+    b.operationalUSD =
+        (pcie_kwh + idle_kwh) * params_.electricityCostPerKWh;
+
+    // EQ4: embodied + operational emissions.
+    b.embodiedKgCO2 = params_.extraGB
+        * (dram ? params_.emissionKgPerGBDram
+                : params_.emissionKgPerGBPmem);
+    b.operationalKgCO2 =
+        idle_kwh * params_.gridGCO2PerKWh / 1000.0;
+    return b;
+}
+
+CostBreakdown
+FarMemoryCostModel::sfm(double years) const
+{
+    const double minutes = years * minutesPerYear;
+
+    CostBreakdown b;
+    // EQ3.1: provisioned CPU share.
+    const double cpu_fraction = cpuFractionNeeded();
+    b.capitalUSD = cpu_fraction * params_.cpuPurchasePrice;
+
+    // EQ3: compression energy.
+    const double kwh =
+        energyPerGBKWh() * gbSwappedPerMin() * minutes;
+    b.operationalUSD = kwh * params_.electricityCostPerKWh;
+
+    // EQ5.
+    b.embodiedKgCO2 = cpu_fraction * params_.cpuCores
+        * params_.emissionKgPerCpuCore;
+    b.operationalKgCO2 = kwh * params_.gridGCO2PerKWh / 1000.0;
+    return b;
+}
+
+namespace
+{
+
+/** Bisection on f(years) = dfm - sfm crossing from above. */
+double
+breakEven(const std::function<double(double)> &sfm_minus_dfm,
+          double horizon)
+{
+    // SFM starts cheaper; find the first year the sign flips.
+    if (sfm_minus_dfm(0.0) >= 0.0)
+        return 0.0;
+    if (sfm_minus_dfm(horizon) < 0.0)
+        return -1.0;
+    double lo = 0.0;
+    double hi = horizon;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = (lo + hi) / 2.0;
+        if (sfm_minus_dfm(mid) < 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return (lo + hi) / 2.0;
+}
+
+} // namespace
+
+double
+FarMemoryCostModel::costBreakEvenYears(DfmTech tech,
+                                       double horizon) const
+{
+    return breakEven(
+        [this, tech](double y) {
+            return sfm(y).totalUSD() - dfm(tech, y).totalUSD();
+        },
+        horizon);
+}
+
+double
+FarMemoryCostModel::emissionBreakEvenYears(DfmTech tech,
+                                           double horizon) const
+{
+    return breakEven(
+        [this, tech](double y) {
+            return sfm(y).totalKgCO2() - dfm(tech, y).totalKgCO2();
+        },
+        horizon);
+}
+
+double
+FarMemoryCostModel::acceleratorBreakEvenPromotionRate() const
+{
+    // An integrated accelerator offloads all (de)compression but
+    // consumes one physical core to manage the offloads (Sec. 3.2).
+    // It pays off once software compression would need more than
+    // that one core.
+    const double one_core_fraction = 1.0 / params_.cpuCores;
+    // cpuFractionNeeded is linear in the promotion rate.
+    CostParams unit = params_;
+    unit.promotionRate = 1.0;
+    const double fraction_at_full =
+        FarMemoryCostModel(unit).cpuFractionNeeded();
+    return one_core_fraction / fraction_at_full;
+}
+
+double
+FarMemoryCostModel::sfmMemoryBandwidthGBps() const
+{
+    // Footnote 1: compress reads + writes and decompress reads +
+    // writes give 4x the swap rate on the DRAM bus.
+    const double gbps = gbSwappedPerMin() / 60.0;
+    return 4.0 * gbps;
+}
+
+std::vector<Fig3Row>
+fig3Sweep(const CostParams &base, const std::vector<double> &years,
+          const std::vector<double> &rates)
+{
+    std::vector<Fig3Row> rows;
+    for (double rate : rates) {
+        CostParams p = base;
+        p.promotionRate = rate;
+        FarMemoryCostModel model(p);
+        for (double y : years) {
+            Fig3Row row;
+            row.years = y;
+            row.promotionRate = rate;
+            const auto dram = model.dfm(DfmTech::Dram, y);
+            const auto pmem = model.dfm(DfmTech::Pmem, y);
+            const auto s = model.sfm(y);
+            const double cost_norm = dram.totalUSD();
+            const double em_norm = dram.totalKgCO2();
+            row.dfmDramCost = 1.0;
+            row.dfmPmemCost = pmem.totalUSD() / cost_norm;
+            row.sfmCost = s.totalUSD() / cost_norm;
+            row.dfmDramEmission = 1.0;
+            row.dfmPmemEmission = pmem.totalKgCO2() / em_norm;
+            row.sfmEmission = s.totalKgCO2() / em_norm;
+            rows.push_back(row);
+        }
+    }
+    return rows;
+}
+
+FpgaUtilization
+estimateFpgaUtilization(double compressGBps, double decompressGBps,
+                        std::uint64_t spmBytes)
+{
+    // Calibrated to the paper's UltraScale+ prototype: the Deflate
+    // engines dominate LUT usage (Table 2 discussion).
+    FpgaUtilization u;
+    u.lutsTotal = 522720;
+    u.ffsTotal = 1045440;
+    u.bramTotal = 984;
+
+    const double lut_per_comp_gbps = 150000.0;
+    const double lut_per_decomp_gbps = 120000.0;
+    const double controller_luts = 21467.0;
+    u.luts = static_cast<std::uint64_t>(
+        compressGBps * lut_per_comp_gbps
+        + decompressGBps * lut_per_decomp_gbps + controller_luts);
+
+    const double ff_per_gbps = 28000.0;
+    u.ffs = static_cast<std::uint64_t>(
+        (compressGBps + decompressGBps) * ff_per_gbps + 7335.0);
+
+    // 36 Kb BRAM blocks for queues and stream buffers; the bulk SPM
+    // sits in the AxDIMM's separate buffer RAM, so only a slice of
+    // the SPM is FPGA-resident.
+    const std::uint64_t bram_bits = spmBytes / 32 * 8;
+    u.bram = std::max<std::uint64_t>(bram_bits / (36 * 1024), 1) + 37;
+    return u;
+}
+
+PowerBreakdown
+estimateFpgaPower(double compressGBps, double decompressGBps)
+{
+    PowerBreakdown p;
+    // Table 3: 5.718 W dynamic / 1.306 W static at 1.4/1.7 GB/s.
+    const double watts_per_gbps = 5.718 / (1.4 + 1.7);
+    p.dynamicWatts = watts_per_gbps * (compressGBps + decompressGBps);
+    p.staticWatts = 1.306;
+    return p;
+}
+
+DramOverhead
+estimateDramOverhead(std::uint32_t subarrays_per_bank,
+                     std::uint32_t banks)
+{
+    // Per subarray: a row-address latch (~17 bits) plus one LBL
+    // isolation latch; relative to the cell array these are tiny.
+    // Constants tuned to CACTI's 22 nm 8 Gb DDR4 result (Sec. 8).
+    const double latch_area_um2 = 12.0;
+    const double subarray_area_um2 = 8.0e5 / 100.0;  // per subarray
+    const double area_fraction =
+        latch_area_um2 / subarray_area_um2;
+    DramOverhead o;
+    o.areaPercent = 100.0 * area_fraction
+        * 1.0;  // every subarray in every bank gets the latches
+    (void)subarrays_per_bank;
+    (void)banks;
+    o.powerPercent = 0.002;
+    // Clamp to the paper's reported figure of ~0.15%.
+    o.areaPercent = std::min(o.areaPercent, 0.15);
+    return o;
+}
+
+} // namespace costmodel
+} // namespace xfm

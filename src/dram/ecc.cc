@@ -1,0 +1,225 @@
+#include "ecc.hh"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace dram
+{
+namespace ecc
+{
+
+namespace
+{
+
+constexpr unsigned codeBits = 71;  // 64 data + 7 Hamming checks
+
+constexpr bool
+isPowerOfTwo(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Hamming position (1..71) of each data bit (0..63). */
+constexpr std::array<std::uint8_t, 64>
+dataPositions()
+{
+    std::array<std::uint8_t, 64> pos{};
+    unsigned p = 1;
+    for (unsigned d = 0; d < 64; ++d) {
+        while (isPowerOfTwo(p))
+            ++p;
+        pos[d] = static_cast<std::uint8_t>(p++);
+    }
+    return pos;
+}
+
+constexpr auto dataPos = dataPositions();
+
+/** Syndrome contribution (XOR of positions) of the data bits. */
+std::uint8_t
+dataSyndrome(std::uint64_t word)
+{
+    std::uint8_t s = 0;
+    std::uint64_t w = word;
+    while (w) {
+        const int d = std::countr_zero(w);
+        s ^= dataPos[d];
+        w &= w - 1;
+    }
+    return s;
+}
+
+} // namespace
+
+std::uint8_t
+encode(std::uint64_t word)
+{
+    // Check bit i (at Hamming position 2^i) equals the parity of
+    // data positions whose index has bit i set; the data syndrome
+    // delivers all seven at once.
+    const std::uint8_t checks = dataSyndrome(word) & 0x7F;
+    // Overall parity over data + the 7 check bits (even parity).
+    const unsigned ones = std::popcount(word)
+        + std::popcount(static_cast<unsigned>(checks));
+    const std::uint8_t overall =
+        static_cast<std::uint8_t>(ones & 1);
+    return static_cast<std::uint8_t>(checks | (overall << 7));
+}
+
+CheckResult
+checkAndCorrect(std::uint64_t &word, std::uint8_t &check)
+{
+    const std::uint8_t stored_checks = check & 0x7F;
+    const std::uint8_t stored_overall =
+        static_cast<std::uint8_t>(check >> 7);
+
+    // Syndrome: XOR of data contribution and stored check bits
+    // (each check bit sits at position 2^i, contributing 2^i).
+    const std::uint8_t syndrome =
+        static_cast<std::uint8_t>(dataSyndrome(word)
+                                  ^ stored_checks);
+    const unsigned ones = std::popcount(word)
+        + std::popcount(static_cast<unsigned>(stored_checks))
+        + stored_overall;
+    const bool parity_bad = (ones & 1) != 0;
+
+    if (syndrome == 0 && !parity_bad)
+        return CheckResult::Ok;
+
+    if (syndrome == 0 && parity_bad) {
+        // The overall parity bit itself flipped.
+        check ^= 0x80;
+        return CheckResult::Corrected;
+    }
+    if (!parity_bad) {
+        // Non-zero syndrome with clean overall parity: two flips.
+        return CheckResult::Uncorrectable;
+    }
+    // Single-bit error at Hamming position `syndrome`.
+    if (syndrome > codeBits)
+        return CheckResult::Uncorrectable;
+    if (isPowerOfTwo(syndrome)) {
+        // A check bit flipped.
+        const auto bit = static_cast<std::uint8_t>(
+            std::countr_zero(static_cast<unsigned>(syndrome)));
+        check ^= static_cast<std::uint8_t>(1u << bit);
+        return CheckResult::Corrected;
+    }
+    // A data bit flipped: find which one.
+    for (unsigned d = 0; d < 64; ++d) {
+        if (dataPos[d] == syndrome) {
+            word ^= std::uint64_t(1) << d;
+            return CheckResult::Corrected;
+        }
+    }
+    return CheckResult::Uncorrectable;
+}
+
+} // namespace ecc
+
+EccStore::EccStore(PhysMem &mem, std::uint64_t parity_base,
+                   std::uint64_t protected_bytes)
+    : mem_(mem), parity_base_(parity_base),
+      protected_bytes_(protected_bytes)
+{
+    XFM_ASSERT(protected_bytes_ % 8 == 0,
+               "protected region must be word-aligned");
+    // Protected data occupies [0, protected_bytes); the parity
+    // region must sit entirely above it.
+    XFM_ASSERT(parity_base_ >= protected_bytes_,
+               "parity region overlaps protected data");
+    XFM_ASSERT(parity_base_ + protected_bytes_ / 8
+                   <= mem_.capacityBytes(),
+               "parity region beyond memory");
+}
+
+std::uint64_t
+EccStore::parityAddr(std::uint64_t addr) const
+{
+    return parity_base_ + addr / 8;
+}
+
+void
+EccStore::write(std::uint64_t addr, ByteSpan data)
+{
+    XFM_ASSERT(addr % 8 == 0 && data.size() % 8 == 0,
+               "ECC writes must be 8-byte aligned");
+    XFM_ASSERT(addr + data.size() <= protected_bytes_,
+               "write beyond protected region");
+    mem_.write(addr, data);
+
+    Bytes parity(data.size() / 8);
+    for (std::size_t w = 0; w < parity.size(); ++w) {
+        std::uint64_t word;
+        std::memcpy(&word, data.data() + w * 8, 8);
+        parity[w] = ecc::encode(word);
+    }
+    mem_.write(parityAddr(addr), parity);
+    stats_.wordsWritten += parity.size();
+    stats_.parityBytesWritten += parity.size();
+}
+
+Bytes
+EccStore::read(std::uint64_t addr, std::size_t size)
+{
+    XFM_ASSERT(addr % 8 == 0 && size % 8 == 0,
+               "ECC reads must be 8-byte aligned");
+    Bytes data = mem_.read(addr, size);
+    Bytes parity = mem_.read(parityAddr(addr), size / 8);
+
+    bool scrub = false;
+    for (std::size_t w = 0; w < parity.size(); ++w) {
+        std::uint64_t word;
+        std::memcpy(&word, data.data() + w * 8, 8);
+        std::uint8_t check = parity[w];
+        const auto result = ecc::checkAndCorrect(word, check);
+        ++stats_.wordsRead;
+        switch (result) {
+          case ecc::CheckResult::Ok:
+            break;
+          case ecc::CheckResult::Corrected:
+            ++stats_.correctedErrors;
+            std::memcpy(data.data() + w * 8, &word, 8);
+            parity[w] = check;
+            scrub = true;
+            break;
+          case ecc::CheckResult::Uncorrectable:
+            ++stats_.uncorrectableErrors;
+            fatal("uncorrectable ECC error at address ",
+                  addr + w * 8);
+        }
+    }
+    if (scrub) {
+        // Write the corrected word(s) back (patrol-scrub style).
+        mem_.write(addr, data);
+        mem_.write(parityAddr(addr), parity);
+    }
+    return data;
+}
+
+void
+EccStore::injectDataError(std::uint64_t addr, unsigned bit)
+{
+    XFM_ASSERT(bit < 64, "bit index out of range");
+    const std::uint64_t word_addr = addr & ~std::uint64_t(7);
+    Bytes word = mem_.read(word_addr, 8);
+    word[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    mem_.write(word_addr, word);
+}
+
+void
+EccStore::injectParityError(std::uint64_t word_addr, unsigned bit)
+{
+    XFM_ASSERT(bit < 8, "parity bit index out of range");
+    Bytes p = mem_.read(parityAddr(word_addr), 1);
+    p[0] ^= static_cast<std::uint8_t>(1u << bit);
+    mem_.write(parityAddr(word_addr), p);
+}
+
+} // namespace dram
+} // namespace xfm

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SECDED error correction for DRAM (paper Sec. 4.1).
+ *
+ * Commodity ECC DIMMs protect each 64-bit word with 8 parity bits
+ * (single-error-correct, double-error-detect, a 72,64 Hamming code
+ * with overall parity). The memory controller normally computes the
+ * check bits; because XFM's NMA writes DRAM behind the controller's
+ * back, the NMA must regenerate the side-band parity on every
+ * write-back so later CPU reads still verify (Sec. 4.1).
+ *
+ * EccStore wraps a PhysMem region with parity maintenance and
+ * fault-injection hooks for testing the correction paths.
+ */
+
+#ifndef XFM_DRAM_ECC_HH
+#define XFM_DRAM_ECC_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "dram/phys_mem.hh"
+
+namespace xfm
+{
+namespace dram
+{
+namespace ecc
+{
+
+/** Outcome of checking one 64-bit word. */
+enum class CheckResult
+{
+    Ok,            ///< syndrome clean
+    Corrected,     ///< single-bit error fixed
+    Uncorrectable, ///< double-bit error detected
+};
+
+/**
+ * Compute the 8 SECDED check bits for a 64-bit word
+ * (Hamming(71,64) + overall parity).
+ */
+std::uint8_t encode(std::uint64_t word);
+
+/**
+ * Verify and possibly correct a word in place.
+ *
+ * @param word data word (may be corrected).
+ * @param check stored check bits (may be corrected).
+ */
+CheckResult checkAndCorrect(std::uint64_t &word, std::uint8_t &check);
+
+} // namespace ecc
+
+/** Statistics of an ECC-protected region. */
+struct EccStats
+{
+    std::uint64_t wordsWritten = 0;
+    std::uint64_t wordsRead = 0;
+    std::uint64_t correctedErrors = 0;
+    std::uint64_t uncorrectableErrors = 0;
+    std::uint64_t parityBytesWritten = 0;
+};
+
+/**
+ * A side-band-ECC view over physical memory.
+ *
+ * Data lives at its normal addresses; check bytes live in a
+ * dedicated parity region (the "ECC chips"), one byte per 64-bit
+ * word. All accesses must be 8-byte aligned multiples.
+ */
+class EccStore
+{
+  public:
+    /**
+     * @param mem backing memory.
+     * @param parity_base base of the parity region; must hold
+     *        (protected bytes / 8) bytes.
+     * @param protected_bytes size of the protected address space.
+     */
+    EccStore(PhysMem &mem, std::uint64_t parity_base,
+             std::uint64_t protected_bytes);
+
+    /** Write data and regenerate its parity (what the NMA does). */
+    void write(std::uint64_t addr, ByteSpan data);
+
+    /**
+     * Read with verification; single-bit errors are corrected in
+     * the returned data *and* scrubbed in memory.
+     *
+     * @throws FatalError on an uncorrectable (double-bit) error.
+     */
+    Bytes read(std::uint64_t addr, std::size_t size);
+
+    /** Flip one bit of stored data (fault injection for tests). */
+    void injectDataError(std::uint64_t addr, unsigned bit);
+
+    /** Flip one stored parity bit (fault injection). */
+    void injectParityError(std::uint64_t word_addr, unsigned bit);
+
+    const EccStats &stats() const { return stats_; }
+
+  private:
+    std::uint64_t parityAddr(std::uint64_t addr) const;
+
+    PhysMem &mem_;
+    std::uint64_t parity_base_;
+    std::uint64_t protected_bytes_;
+    EccStats stats_;
+};
+
+} // namespace dram
+} // namespace xfm
+
+#endif // XFM_DRAM_ECC_HH

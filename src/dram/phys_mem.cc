@@ -1,0 +1,65 @@
+#include "phys_mem.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace dram
+{
+
+Bytes
+PhysMem::read(std::uint64_t addr, std::size_t size) const
+{
+    XFM_ASSERT(addr + size <= capacity_, "read past capacity: addr=",
+               addr, " size=", size);
+    Bytes out(size, 0);
+    std::size_t done = 0;
+    while (done < size) {
+        const std::uint64_t cur = addr + done;
+        const std::uint64_t frame = cur / frameBytes;
+        const std::uint64_t off = cur % frameBytes;
+        const std::size_t chunk = std::min<std::size_t>(
+            size - done, static_cast<std::size_t>(frameBytes - off));
+        auto it = frames_.find(frame);
+        if (it != frames_.end())
+            std::memcpy(out.data() + done, it->second.data() + off,
+                        chunk);
+        done += chunk;
+    }
+    return out;
+}
+
+void
+PhysMem::write(std::uint64_t addr, ByteSpan data)
+{
+    XFM_ASSERT(addr + data.size() <= capacity_,
+               "write past capacity: addr=", addr, " size=",
+               data.size());
+    std::size_t done = 0;
+    while (done < data.size()) {
+        const std::uint64_t cur = addr + done;
+        const std::uint64_t frame = cur / frameBytes;
+        const std::uint64_t off = cur % frameBytes;
+        const std::size_t chunk = std::min<std::size_t>(
+            data.size() - done,
+            static_cast<std::size_t>(frameBytes - off));
+        auto &buf = frames_[frame];
+        if (buf.empty())
+            buf.assign(frameBytes, 0);
+        std::memcpy(buf.data() + off, data.data() + done, chunk);
+        done += chunk;
+    }
+}
+
+void
+PhysMem::fill(std::uint64_t addr, std::size_t size, std::uint8_t value)
+{
+    Bytes data(size, value);
+    write(addr, data);
+}
+
+} // namespace dram
+} // namespace xfm

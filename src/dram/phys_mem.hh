@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Sparse backing store for simulated physical memory.
+ *
+ * Frames are allocated on first write so multi-terabyte SFM address
+ * spaces stay cheap to simulate. Reads of untouched memory return
+ * zeros, matching freshly-initialised DRAM contents in practice.
+ */
+
+#ifndef XFM_DRAM_PHYS_MEM_HH
+#define XFM_DRAM_PHYS_MEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/units.hh"
+#include "compress/compressor.hh"
+
+namespace xfm
+{
+namespace dram
+{
+
+/** Sparse byte-addressable physical memory. */
+class PhysMem
+{
+  public:
+    explicit PhysMem(std::uint64_t capacity) : capacity_(capacity) {}
+
+    std::uint64_t capacityBytes() const { return capacity_; }
+
+    /** Read @p size bytes at @p addr (zero-filled if untouched). */
+    Bytes read(std::uint64_t addr, std::size_t size) const;
+
+    /** Write @p data at @p addr. */
+    void write(std::uint64_t addr, ByteSpan data);
+
+    /** Fill a range with a value (cheap page clear). */
+    void fill(std::uint64_t addr, std::size_t size, std::uint8_t value);
+
+    /** Number of frames actually materialised. */
+    std::size_t residentFrames() const { return frames_.size(); }
+
+  private:
+    static constexpr std::uint64_t frameBytes = pageBytes;
+
+    std::uint64_t capacity_;
+    std::unordered_map<std::uint64_t, Bytes> frames_;
+};
+
+} // namespace dram
+} // namespace xfm
+
+#endif // XFM_DRAM_PHYS_MEM_HH

@@ -1,0 +1,124 @@
+#include "refresh.hh"
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace dram
+{
+
+bool
+RefreshWindow::coversRow(std::uint32_t row,
+                         std::uint32_t rows_per_bank) const
+{
+    // The refreshed range may wrap at the end of the bank.
+    const std::uint32_t rel =
+        (row + rows_per_bank - firstRow) % rows_per_bank;
+    return rel < rowCount;
+}
+
+RefreshController::RefreshController(std::string name, EventQueue &eq,
+                                     const DeviceConfig &dev,
+                                     std::uint32_t num_ranks)
+    : SimObject(std::move(name), eq), dev_(dev), num_ranks_(num_ranks),
+      refresh_counter_(num_ranks, 0),
+      window_start_(num_ranks, maxTick)
+{
+    XFM_ASSERT(num_ranks_ > 0, "need at least one rank");
+    XFM_ASSERT(dev_.tRFC < dev_.tREFI(),
+               "tRFC must be shorter than tREFI");
+}
+
+void
+RefreshController::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    // Stagger REF commands across ranks within one tREFI.
+    for (std::uint32_t r = 0; r < num_ranks_; ++r) {
+        const Tick phase = dev_.tREFI()
+            * static_cast<std::uint64_t>(r) / num_ranks_;
+        eventq().schedule(curTick() + phase,
+                          [this, r] { issueRef(r); },
+                          EventQueue::refreshPriority);
+    }
+}
+
+void
+RefreshController::addListener(RefreshListener listener)
+{
+    listeners_.push_back(std::move(listener));
+}
+
+void
+RefreshController::issueRef(std::uint32_t rank)
+{
+    ++refs_issued_;
+    window_start_[rank] = curTick();
+
+    RefreshWindow window;
+    window.rank = rank;
+    window.start = curTick();
+    window.end = curTick() + dev_.tRFC;
+    window.firstRow = refresh_counter_[rank];
+    window.rowCount = dev_.rowsPerRefresh;
+    refresh_counter_[rank] =
+        (refresh_counter_[rank] + dev_.rowsPerRefresh)
+        % dev_.rowsPerBank;
+
+    for (const auto &listener : listeners_)
+        listener(window);
+
+    eventq().scheduleIn(dev_.tREFI(), [this, rank] { issueRef(rank); },
+                        EventQueue::refreshPriority);
+}
+
+namespace
+{
+
+/** Phase of the first REF for a rank under the stagger policy. */
+Tick
+rankPhase(const DeviceConfig &dev, std::uint32_t rank,
+          std::uint32_t num_ranks)
+{
+    return dev.tREFI() * static_cast<std::uint64_t>(rank) / num_ranks;
+}
+
+} // namespace
+
+bool
+RefreshController::rankLocked(std::uint32_t rank, Tick when) const
+{
+    XFM_ASSERT(rank < num_ranks_, "rank out of range");
+    if (!started_)
+        return false;
+    const Tick phase = rankPhase(dev_, rank, num_ranks_);
+    if (when < phase)
+        return false;
+    return (when - phase) % dev_.tREFI() < dev_.tRFC;
+}
+
+Tick
+RefreshController::lockEnd(std::uint32_t rank, Tick when) const
+{
+    if (!rankLocked(rank, when))
+        return when;
+    const Tick phase = rankPhase(dev_, rank, num_ranks_);
+    const Tick k = (when - phase) / dev_.tREFI();
+    return phase + k * dev_.tREFI() + dev_.tRFC;
+}
+
+Tick
+RefreshController::nextWindowStart(std::uint32_t rank, Tick when) const
+{
+    XFM_ASSERT(rank < num_ranks_, "rank out of range");
+    const Tick phase = rankPhase(dev_, rank, num_ranks_);
+    if (when <= phase)
+        return phase;
+    const Tick k = (when - phase + dev_.tREFI() - 1) / dev_.tREFI();
+    return phase + k * dev_.tREFI();
+}
+
+} // namespace dram
+} // namespace xfm

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-rank auto-refresh controller.
+ *
+ * Issues one REF command per tREFI to each rank. During the tRFC
+ * window that follows, the whole rank is locked to the CPU (all-bank
+ * refresh) and `rowsPerRefresh` consecutive rows in every bank are
+ * refreshed, advancing a per-rank refresh counter that wraps at the
+ * bank size — exactly the behaviour XFM piggybacks on.
+ *
+ * Listeners (the NMA refresh-window scheduler) are notified at each
+ * window start with the refreshed row range so they can schedule
+ * conditional accesses.
+ */
+
+#ifndef XFM_DRAM_REFRESH_HH
+#define XFM_DRAM_REFRESH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dram/ddr_config.hh"
+#include "sim/sim_object.hh"
+
+namespace xfm
+{
+namespace dram
+{
+
+/** Description of one all-bank refresh window on a rank. */
+struct RefreshWindow
+{
+    std::uint32_t rank;
+    Tick start;
+    Tick end;                 ///< start + tRFC
+    std::uint32_t firstRow;   ///< first row refreshed in every bank
+    std::uint32_t rowCount;   ///< rowsPerRefresh (may wrap the bank)
+
+    /** True if @p row is inside the refreshed range (with wrap). */
+    bool coversRow(std::uint32_t row, std::uint32_t rows_per_bank) const;
+};
+
+/** Observer of refresh-window starts (e.g. the XFM NMA). */
+using RefreshListener = std::function<void(const RefreshWindow &)>;
+
+/**
+ * Auto-refresh engine for all ranks of a memory system.
+ *
+ * REF commands to different ranks are staggered across tREFI so the
+ * power-delivery constraint the paper mentions (tSTAG) is honoured
+ * at rank granularity.
+ */
+class RefreshController : public SimObject
+{
+  public:
+    RefreshController(std::string name, EventQueue &eq,
+                      const DeviceConfig &dev, std::uint32_t num_ranks);
+
+    /** Begin issuing REF commands (idempotent). */
+    void start();
+
+    /** Register an observer of window starts. */
+    void addListener(RefreshListener listener);
+
+    /** True if the rank is inside a tRFC window at @p when. */
+    bool rankLocked(std::uint32_t rank, Tick when) const;
+
+    /** End of the lock covering @p when (or @p when if unlocked). */
+    Tick lockEnd(std::uint32_t rank, Tick when) const;
+
+    /** Next window start at or after @p when for @p rank. */
+    Tick nextWindowStart(std::uint32_t rank, Tick when) const;
+
+    /** Rows refreshed per REF command. */
+    std::uint32_t rowsPerRefresh() const { return dev_.rowsPerRefresh; }
+
+    /** Total REF commands issued so far (all ranks). */
+    std::uint64_t refsIssued() const { return refs_issued_.value(); }
+
+    /** Fraction of time each rank spends locked (tRFC / tREFI). */
+    double
+    lockedFraction() const
+    {
+        return static_cast<double>(dev_.tRFC)
+            / static_cast<double>(dev_.tREFI());
+    }
+
+    const DeviceConfig &device() const { return dev_; }
+
+  private:
+    void issueRef(std::uint32_t rank);
+
+    DeviceConfig dev_;
+    std::uint32_t num_ranks_;
+    bool started_ = false;
+
+    /** Next row to refresh, per rank. */
+    std::vector<std::uint32_t> refresh_counter_;
+    /** Start of the current/most recent window, per rank. */
+    std::vector<Tick> window_start_;
+    std::vector<RefreshListener> listeners_;
+
+    stats::Counter refs_issued_;
+};
+
+} // namespace dram
+} // namespace xfm
+
+#endif // XFM_DRAM_REFRESH_HH

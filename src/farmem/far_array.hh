@@ -1,0 +1,150 @@
+/**
+ * @file
+ * AIFM-style remoteable containers over the SFM stack.
+ *
+ * The paper integrates XFM into AIFM, whose programming model gives
+ * applications far-memory-backed containers instead of raw pages.
+ * FarArray<T> provides that flavour here: a fixed-size array of
+ * trivially-copyable elements laid out over virtual pages of a
+ * System; element access transparently faults Far pages back in
+ * (advancing simulated time) and optionally prefetches ahead for
+ * sequential scans.
+ */
+
+#ifndef XFM_FARMEM_FAR_ARRAY_HH
+#define XFM_FARMEM_FAR_ARRAY_HH
+
+#include <cstring>
+#include <type_traits>
+
+#include "system/system.hh"
+
+namespace xfm
+{
+namespace farmem
+{
+
+/** Statistics of one container. */
+struct FarArrayStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t faults = 0;       ///< accesses that found Far pages
+    Tick faultWaitTicks = 0;        ///< simulated time spent waiting
+};
+
+/**
+ * Fixed-size far-memory array.
+ *
+ * @tparam T trivially copyable element type.
+ */
+template <typename T>
+class FarArray
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "far memory elements must be trivially copyable");
+
+  public:
+    /**
+     * @param sys        the system owning the pages.
+     * @param base_page  first virtual page of the array.
+     * @param count      number of elements.
+     */
+    FarArray(system::System &sys, sfm::VirtPage base_page,
+             std::uint64_t count)
+        : sys_(sys), base_(base_page), count_(count)
+    {
+        XFM_ASSERT(count_ > 0, "empty far array");
+    }
+
+    std::uint64_t size() const { return count_; }
+
+    /** Pages the array spans. */
+    std::uint64_t
+    pages() const
+    {
+        return (count_ * sizeof(T) + pageBytes - 1) / pageBytes;
+    }
+
+    /** Read element @p i (faults its page in if needed). */
+    T
+    read(std::uint64_t i)
+    {
+        ++stats_.reads;
+        const auto [page, offset] = locate(i);
+        ensureLocal(page);
+        const Bytes raw = sys_.readPage(page);
+        T value;
+        std::memcpy(&value, raw.data() + offset, sizeof(T));
+        return value;
+    }
+
+    /** Write element @p i (read-modify-write of its page). */
+    void
+    write(std::uint64_t i, const T &value)
+    {
+        ++stats_.writes;
+        const auto [page, offset] = locate(i);
+        ensureLocal(page);
+        Bytes raw = sys_.readPage(page);
+        std::memcpy(raw.data() + offset, &value, sizeof(T));
+        sys_.writePage(page, raw);
+    }
+
+    /**
+     * Hint that a sequential scan is about to pass element @p i:
+     * touches the page so the controller's prefetcher promotes the
+     * following pages via the NMA.
+     */
+    void
+    prefetchHint(std::uint64_t i)
+    {
+        const auto [page, offset] = locate(i);
+        (void)offset;
+        sys_.access(page);
+    }
+
+    const FarArrayStats &stats() const { return stats_; }
+
+  private:
+    std::pair<sfm::VirtPage, std::size_t>
+    locate(std::uint64_t i) const
+    {
+        XFM_ASSERT(i < count_, "index ", i, " out of range");
+        const std::uint64_t byte = i * sizeof(T);
+        return {base_ + byte / pageBytes,
+                static_cast<std::size_t>(byte % pageBytes)};
+    }
+
+    /** Touch the page; if it faults, run time until it is Local. */
+    void
+    ensureLocal(sfm::VirtPage page)
+    {
+        if (sys_.access(page))
+            return;
+        ++stats_.faults;
+        const Tick start = sys_.curTick();
+        EventQueue &eq = sys_.eventq();
+        // Demand faults resolve on the CPU path within tens of us;
+        // bound the wait so a stuck fault fails loudly.
+        const Tick deadline = start + milliseconds(100.0);
+        while (sys_.backend().pageState(page)
+               != sfm::PageState::Local) {
+            if (eq.now() >= deadline)
+                fatal("far-array fault on page ", page,
+                      " did not resolve within 100 ms");
+            eq.run(eq.now() + microseconds(10.0));
+        }
+        stats_.faultWaitTicks += sys_.curTick() - start;
+    }
+
+    system::System &sys_;
+    sfm::VirtPage base_;
+    std::uint64_t count_;
+    FarArrayStats stats_;
+};
+
+} // namespace farmem
+} // namespace xfm
+
+#endif // XFM_FARMEM_FAR_ARRAY_HH

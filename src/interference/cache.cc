@@ -1,0 +1,75 @@
+#include "cache.hh"
+
+namespace xfm
+{
+namespace interference
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+SetAssocCache::SetAssocCache(std::uint64_t size_bytes,
+                             std::uint32_t ways,
+                             std::uint32_t line_bytes,
+                             std::uint32_t requesters)
+    : sets_(size_bytes / ways / line_bytes), ways_(ways),
+      line_bytes_(line_bytes), lines_(sets_ * ways_),
+      stats_(requesters)
+{
+    XFM_ASSERT(sets_ > 0, "cache too small for its geometry");
+    XFM_ASSERT(isPowerOfTwo(sets_), "set count must be a power of 2");
+    XFM_ASSERT(isPowerOfTwo(line_bytes_), "line size must be 2^k");
+}
+
+bool
+SetAssocCache::access(std::uint64_t addr, std::uint32_t requester)
+{
+    XFM_ASSERT(requester < stats_.size(), "unknown requester");
+    ++clock_;
+    auto &st = stats_[requester];
+    ++st.accesses;
+
+    const std::uint64_t block = addr / line_bytes_;
+    const std::uint64_t set = block & (sets_ - 1);
+    // The full block number doubles as the tag (always unique).
+    const std::uint64_t tag = block;
+    Line *base = &lines_[set * ways_];
+
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = clock_;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid
+                   && line.lruStamp < victim->lruStamp) {
+            victim = &line;
+        }
+    }
+    ++st.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lruStamp = clock_;
+    return false;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    for (auto &s : stats_)
+        s = CacheStats{};
+}
+
+} // namespace interference
+} // namespace xfm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Set-associative last-level cache simulator with LRU replacement.
+ *
+ * Used by the co-run interference model (Fig. 11) to measure how
+ * page-granular SFM antagonist streams pollute the shared LLC of
+ * co-running applications.
+ */
+
+#ifndef XFM_INTERFERENCE_CACHE_HH
+#define XFM_INTERFERENCE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace interference
+{
+
+/** Per-requester cache statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/**
+ * Shared set-associative cache with true-LRU replacement.
+ *
+ * Accesses are tagged with a requester id so per-stream hit rates
+ * under sharing can be extracted.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param size_bytes total capacity.
+     * @param ways associativity.
+     * @param line_bytes cache line size.
+     * @param requesters number of stat-tracked streams.
+     */
+    SetAssocCache(std::uint64_t size_bytes, std::uint32_t ways,
+                  std::uint32_t line_bytes, std::uint32_t requesters);
+
+    /**
+     * Access a byte address.
+     * @retval true hit.
+     */
+    bool access(std::uint64_t addr, std::uint32_t requester);
+
+    const CacheStats &stats(std::uint32_t requester) const
+    {
+        return stats_[requester];
+    }
+
+    std::uint64_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint64_t capacityBytes() const
+    {
+        return std::uint64_t(sets_) * ways_ * line_bytes_;
+    }
+
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = ~std::uint64_t(0);
+        std::uint64_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t sets_;
+    std::uint32_t ways_;
+    std::uint32_t line_bytes_;
+    std::uint64_t clock_ = 0;
+    std::vector<Line> lines_;  ///< sets_ x ways_
+    std::vector<CacheStats> stats_;
+};
+
+} // namespace interference
+} // namespace xfm
+
+#endif // XFM_INTERFERENCE_CACHE_HH

@@ -1,0 +1,219 @@
+#include "corun.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/units.hh"
+
+namespace xfm
+{
+namespace interference
+{
+
+std::string
+interfaceName(SfmInterface iface)
+{
+    switch (iface) {
+      case SfmInterface::BaselineCpu:
+        return "Baseline-CPU";
+      case SfmInterface::HostLockoutNma:
+        return "Host-Lockout-NMA";
+      case SfmInterface::Xfm:
+        return "XFM";
+    }
+    panic("unknown interface");
+}
+
+namespace
+{
+
+/**
+ * Simulate the shared LLC with the given app streams, optionally
+ * adding the SFM antagonist's page-granular stream, and return the
+ * per-app miss rates.
+ *
+ * Streams interleave proportionally to their access rates; each
+ * app's address space is disjoint.
+ */
+std::vector<double>
+simulateLlc(const std::vector<workload::AppProfile> &apps,
+            double antagonist_gbps, const CoRunConfig &cfg)
+{
+    const std::uint32_t requesters =
+        static_cast<std::uint32_t>(apps.size()) + 1;
+    SetAssocCache llc(cfg.llcBytes, cfg.llcWays, cfg.lineBytes,
+                      requesters);
+    Rng rng(cfg.seed);
+
+    // Access-rate weights: app LLC access rate ~ apki x ipc; the
+    // antagonist's rate follows its byte throughput.
+    std::vector<double> weights;
+    double total_weight = 0.0;
+    for (const auto &app : apps) {
+        weights.push_back(app.llcApki * app.ipcAlone);
+        total_weight += weights.back();
+    }
+    // Convert the antagonist's GB/s into an equivalent access
+    // weight: cache-line-granular touches relative to the apps'
+    // aggregate (apps move bandwidthGBps of data too).
+    double app_gbps = 0.0;
+    for (const auto &app : apps)
+        app_gbps += app.bandwidthGBps;
+    const double antagonist_weight = app_gbps > 0
+        ? total_weight * (antagonist_gbps / app_gbps)
+        : 0.0;
+    weights.push_back(antagonist_weight);
+    total_weight += antagonist_weight;
+
+    // Cumulative distribution for stream selection.
+    std::vector<double> cdf;
+    double acc = 0.0;
+    for (double w : weights) {
+        acc += w / total_weight;
+        cdf.push_back(acc);
+    }
+
+    // Warm-up + measurement.
+    const std::uint64_t total_accesses =
+        cfg.accessesPerApp * apps.size();
+    std::vector<std::uint64_t> antagonist_cursor(1, 0);
+    std::uint64_t ant_pos = 0;
+
+    const std::uint64_t antagonist_region = 4ull << 30;
+
+    auto do_access = [&](std::uint32_t stream) {
+        if (stream < apps.size()) {
+            const auto &app = apps[stream];
+            const std::uint64_t ws_lines =
+                static_cast<std::uint64_t>(app.workingSetMiB
+                                           * 1024 * 1024)
+                / cfg.lineBytes;
+            const std::uint64_t line = rng.zipf(ws_lines,
+                                                app.reuseTheta);
+            const std::uint64_t base =
+                (std::uint64_t(stream) + 1) << 40;  // disjoint spaces
+            llc.access(base + line * cfg.lineBytes, stream);
+        } else {
+            // Page-granular sequential sweep: the antagonist reads
+            // whole cold pages and writes compressed blocks; almost
+            // no reuse, maximal pollution.
+            llc.access((2ull << 50) + (ant_pos % antagonist_region),
+                       stream);
+            ant_pos += cfg.lineBytes;
+        }
+    };
+
+    for (std::uint64_t i = 0; i < total_accesses * 2; ++i) {
+        if (i == total_accesses)
+            llc.resetStats();  // discard warm-up
+        const double u = rng.uniformReal();
+        std::uint32_t stream = 0;
+        while (stream + 1 < cdf.size() && u > cdf[stream])
+            ++stream;
+        do_access(stream);
+    }
+    (void)antagonist_cursor;
+
+    std::vector<double> miss_rates;
+    for (std::uint32_t s = 0; s < apps.size(); ++s)
+        miss_rates.push_back(llc.stats(s).missRate());
+    return miss_rates;
+}
+
+} // namespace
+
+CoRunOutcome
+runCoRun(const std::vector<workload::AppProfile> &apps,
+         SfmInterface iface, const CoRunConfig &cfg)
+{
+    XFM_ASSERT(!apps.empty(), "need at least one application");
+    CoRunOutcome out;
+    out.interface_ = iface;
+
+    // EQ1: swap traffic of the antagonist.
+    const double swap_gbps =
+        cfg.sfmCapacityGB * cfg.promotionRate / 60.0;
+    // Cache-polluting traffic exists only when the CPU does the
+    // work: page reads + compressed writes in both directions.
+    const double cache_gbps = iface == SfmInterface::BaselineCpu
+        ? 2.0 * swap_gbps * (1.0 + 1.0 / cfg.compressionRatio)
+        : 0.0;
+    // DRAM channel traffic (footnote 1: ~4x the swap rate).
+    const double sfm_mem_gbps =
+        iface == SfmInterface::BaselineCpu ? 4.0 * swap_gbps : 0.0;
+
+    // LLC pollution.
+    const auto alone = simulateLlc(apps, 0.0, cfg);
+    const auto shared = simulateLlc(apps, cache_gbps, cfg);
+
+    // Bandwidth queueing: demand over capacity inflates memory
+    // latency (open-loop M/M/1 approximation).
+    double app_gbps = 0.0;
+    for (const auto &app : apps)
+        app_gbps += app.bandwidthGBps;
+    const double demand = app_gbps + sfm_mem_gbps;
+    const double rho =
+        std::min(demand / cfg.memBandwidthGBps, 0.95);
+    const double rho_alone =
+        std::min(app_gbps / cfg.memBandwidthGBps, 0.95);
+    const double queue_factor = (1.0 / (1.0 - rho))
+        / (1.0 / (1.0 - rho_alone));
+    out.bandwidthUtilisation = rho;
+
+    // Host-Lockout: each offload locks its rank for the transfer
+    // plus the on-DIMM compute (the engine is the bottleneck).
+    double lockout_factor = 1.0;
+    if (iface == SfmInterface::HostLockoutNma) {
+        const double nma_bytes_gbps =
+            2.0 * swap_gbps * (1.0 + 1.0 / cfg.compressionRatio);
+        const double locked_fraction = std::min(
+            nma_bytes_gbps / (cfg.lockoutEngineGBps * cfg.numRanks),
+            0.9);
+        out.rankLockedFraction = locked_fraction;
+        // A memory request finding its rank locked waits half the
+        // residual lock period on average; to first order latency
+        // inflates by the locked fraction.
+        lockout_factor = 1.0 / (1.0 - locked_fraction);
+    }
+
+    // Compose per-app slowdowns.
+    double sum = 0.0;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const auto &app = apps[a];
+        const double miss_inflation = alone[a] > 0
+            ? std::max(1.0, shared[a] / alone[a])
+            : 1.0;
+        const double mem_factor =
+            miss_inflation * queue_factor * lockout_factor;
+        const double runtime = (1.0 - app.memStallFraction)
+            + app.memStallFraction * mem_factor;
+        AppOutcome r;
+        r.name = app.name;
+        r.slowdownPercent = (runtime - 1.0) * 100.0;
+        r.missRateAlone = alone[a];
+        r.missRateCoRun = shared[a];
+        out.apps.push_back(r);
+        sum += r.slowdownPercent;
+        out.maxSlowdownPercent =
+            std::max(out.maxSlowdownPercent, r.slowdownPercent);
+    }
+    out.avgSlowdownPercent = sum / static_cast<double>(apps.size());
+
+    // SFM throughput: only the CPU implementation contends for the
+    // channels and LLC it shares with the applications.
+    if (iface == SfmInterface::BaselineCpu) {
+        const double ant_runtime =
+            (1.0 - cfg.antagonistStallFraction)
+            + cfg.antagonistStallFraction * queue_factor
+                * (1.0 + (rho - rho_alone));
+        out.sfmThroughputFactor = 1.0 / ant_runtime;
+    } else {
+        out.sfmThroughputFactor = 1.0;
+    }
+    return out;
+}
+
+} // namespace interference
+} // namespace xfm

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Co-run interference model (Fig. 11).
+ *
+ * Reproduces the paper's co-location experiment: memory-intensive
+ * applications share the LLC and DRAM channels with SFM antagonist
+ * processes under three interfaces:
+ *
+ *  - Baseline-CPU: the CPU compresses/decompresses, streaming page
+ *    data through the shared LLC and over the DRAM channels;
+ *  - Host-Lockout-NMA: the NMA does the work on-DIMM (no cache or
+ *    channel traffic) but locks the rank against host accesses for
+ *    the duration of each offload (Boroumand et al. style);
+ *  - XFM: NMA accesses hide inside refresh windows — no cache
+ *    traffic, no channel traffic, no extra lockout.
+ *
+ * The model combines a real LLC simulation (pollution by the
+ * page-granular antagonist stream) with a bandwidth-queueing term
+ * and a rank-lockout term, applied to each app's memory-stall
+ * fraction.
+ */
+
+#ifndef XFM_INTERFERENCE_CORUN_HH
+#define XFM_INTERFERENCE_CORUN_HH
+
+#include <string>
+#include <vector>
+
+#include "interference/cache.hh"
+#include "workload/spec_model.hh"
+
+namespace xfm
+{
+namespace interference
+{
+
+/** The NMA/CPU interface variants compared in Fig. 11. */
+enum class SfmInterface
+{
+    BaselineCpu,
+    HostLockoutNma,
+    Xfm,
+};
+
+std::string interfaceName(SfmInterface iface);
+
+/** Platform and experiment parameters. */
+struct CoRunConfig
+{
+    // LLC of the Xeon Gold 6242 class machine (power-of-two sized).
+    std::uint64_t llcBytes = 16ull << 20;
+    std::uint32_t llcWays = 16;
+    std::uint32_t lineBytes = 64;
+
+    /** Achievable DRAM bandwidth under mixed random/stream access
+     *  (6 x DDR4-3200 channels sustain well below the 137 GB/s pin
+     *  bandwidth for page-granular + random traffic). */
+    double memBandwidthGBps = 70.0;
+    std::uint32_t numRanks = 6;
+
+    // SFM antagonist: 512 GB at a moderate 14% promotion rate.
+    double sfmCapacityGB = 512.0;
+    double promotionRate = 0.14;
+    /** Average compression ratio of the swapped pages. */
+    double compressionRatio = 3.0;
+
+    /** Host-Lockout engine throughput (GB/s); the rank stays locked
+     *  while the offload computes, which is what makes the
+     *  interface expensive. */
+    double lockoutEngineGBps = 2.5;
+
+    /** Antagonist memory-stall fraction (it is a streaming job). */
+    double antagonistStallFraction = 0.5;
+
+    /** LLC-simulation accesses per application stream. */
+    std::uint64_t accessesPerApp = 150000;
+    std::uint64_t seed = 42;
+};
+
+/** Per-application outcome. */
+struct AppOutcome
+{
+    std::string name;
+    double slowdownPercent;   ///< runtime increase vs no antagonist
+    double missRateAlone;     ///< LLC miss rate without antagonist
+    double missRateCoRun;     ///< with antagonist sharing the LLC
+};
+
+/** Full co-run result. */
+struct CoRunOutcome
+{
+    SfmInterface interface_;
+    std::vector<AppOutcome> apps;
+    double avgSlowdownPercent = 0.0;
+    double maxSlowdownPercent = 0.0;
+    /** SFM (antagonist) throughput relative to running alone. */
+    double sfmThroughputFactor = 1.0;
+    double bandwidthUtilisation = 0.0;
+    double rankLockedFraction = 0.0;   ///< extra, beyond refresh
+};
+
+/**
+ * Run the co-run experiment for one interface.
+ */
+CoRunOutcome runCoRun(const std::vector<workload::AppProfile> &apps,
+                      SfmInterface iface, const CoRunConfig &cfg);
+
+} // namespace interference
+} // namespace xfm
+
+#endif // XFM_INTERFERENCE_CORUN_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Host-Lockout NMA baseline (Boroumand et al. style, the
+ * comparison point of Fig. 11).
+ *
+ * Unlike XFM, this device does not wait for refresh windows: an
+ * offload claims the rank *immediately* and holds it — against all
+ * host accesses, via MemCtrl::lockRank() — for the whole transfer
+ * plus on-DIMM compute. SFM never stalls, but co-running host
+ * traffic to the rank does, which is exactly the trade-off the
+ * paper quantifies.
+ */
+
+#ifndef XFM_NMA_LOCKOUT_DEVICE_HH
+#define XFM_NMA_LOCKOUT_DEVICE_HH
+
+#include "dram/mem_ctrl.hh"
+#include "dram/phys_mem.hh"
+#include "nma/engine.hh"
+#include "nma/offload.hh"
+#include "sim/sim_object.hh"
+
+namespace xfm
+{
+namespace nma
+{
+
+/** Configuration of the lockout baseline. */
+struct LockoutDeviceConfig
+{
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    compress::Algorithm algorithm = compress::Algorithm::ZstdLike;
+    EngineProfile engine{};
+    /** On-DIMM transfer rate between DRAM and the NMA. */
+    double transferGBps = 19.2;
+};
+
+/** Lockout-device statistics. */
+struct LockoutDeviceStats
+{
+    std::uint64_t offloads = 0;
+    Tick rankLockedTicks = 0;
+    std::uint64_t bytesMoved = 0;
+};
+
+/**
+ * Immediate-service NMA that locks the host out of its rank.
+ */
+class HostLockoutDevice : public SimObject
+{
+  public:
+    HostLockoutDevice(std::string name, EventQueue &eq,
+                      const LockoutDeviceConfig &cfg,
+                      dram::PhysMem &mem, dram::MemCtrl &ctrl);
+
+    /**
+     * Run an offload now. The rank is locked for the transfer and
+     * compute duration; @p done fires when the output is in DRAM.
+     *
+     * For Compress, the output lands at @p req.dstAddr, which must
+     * be pre-assigned (the lockout design has no SPM staging).
+     */
+    void offload(const OffloadRequest &req, CompletionCallback done);
+
+    const LockoutDeviceStats &stats() const { return stats_; }
+
+  private:
+    Tick transferTime(std::size_t bytes) const;
+
+    LockoutDeviceConfig cfg_;
+    dram::PhysMem &mem_;
+    dram::MemCtrl &ctrl_;
+    CompressionEngine engine_;
+    OffloadId next_id_ = 1;
+    Tick busy_until_ = 0;
+
+    LockoutDeviceStats stats_;
+};
+
+} // namespace nma
+} // namespace xfm
+
+#endif // XFM_NMA_LOCKOUT_DEVICE_HH

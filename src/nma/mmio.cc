@@ -1,0 +1,44 @@
+#include "mmio.hh"
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace nma
+{
+
+RegisterFile::Slot &
+RegisterFile::slot(Reg reg)
+{
+    const auto idx = static_cast<std::size_t>(reg);
+    XFM_ASSERT(idx < slots_.size(), "bad register index ", idx);
+    return slots_[idx];
+}
+
+void
+RegisterFile::bindReadOnly(Reg reg, ReadHook hook)
+{
+    slot(reg).hook = std::move(hook);
+}
+
+std::uint64_t
+RegisterFile::read(Reg reg)
+{
+    ++reads_;
+    Slot &s = slot(reg);
+    return s.hook ? s.hook() : s.value;
+}
+
+void
+RegisterFile::write(Reg reg, std::uint64_t value)
+{
+    ++writes_;
+    Slot &s = slot(reg);
+    if (s.hook)
+        fatal("MMIO write to read-only register ",
+              static_cast<std::uint32_t>(reg));
+    s.value = value;
+}
+
+} // namespace nma
+} // namespace xfm

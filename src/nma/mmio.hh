@@ -1,0 +1,130 @@
+/**
+ * @file
+ * MMIO register file and Compress_Request_Queue of an XFM DIMM.
+ *
+ * The driver talks to the DIMM exclusively through these registers;
+ * every access is counted so tests can verify the backend's lazy
+ * occupancy accounting really avoids synchronisation in the common
+ * case (paper Sec. 6).
+ */
+
+#ifndef XFM_NMA_MMIO_HH
+#define XFM_NMA_MMIO_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/stats.hh"
+#include "nma/offload.hh"
+
+namespace xfm
+{
+namespace nma
+{
+
+/** Architectural register indices. */
+enum class Reg : std::uint32_t
+{
+    SpCapacity,      ///< free SPM bytes (read-only)
+    SfmRegionBase,   ///< physical base of the SFM region
+    SfmRegionSize,   ///< SFM region size in bytes
+    QueueDepth,      ///< occupied Compress_Request_Queue slots (RO)
+    Control,         ///< enable bit etc.
+};
+
+/**
+ * Register file with access accounting.
+ *
+ * Read-only registers are backed by callbacks into device state so
+ * an MMIO read always observes the live value.
+ */
+class RegisterFile
+{
+  public:
+    using ReadHook = std::function<std::uint64_t()>;
+
+    /** Install the live-value provider for a read-only register. */
+    void bindReadOnly(Reg reg, ReadHook hook);
+
+    /** MMIO read (counted). */
+    std::uint64_t read(Reg reg);
+
+    /** MMIO write (counted); read-only registers reject writes. */
+    void write(Reg reg, std::uint64_t value);
+
+    std::uint64_t reads() const { return reads_.value(); }
+    std::uint64_t writes() const { return writes_.value(); }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t value = 0;
+        ReadHook hook;  ///< non-null => read-only
+    };
+
+    Slot &slot(Reg reg);
+
+    std::array<Slot, 5> slots_;
+    stats::Counter reads_;
+    stats::Counter writes_;
+};
+
+/**
+ * Bounded descriptor queue fed by MMIO doorbell writes.
+ */
+class CompressRequestQueue
+{
+  public:
+    explicit CompressRequestQueue(std::size_t depth) : depth_(depth) {}
+
+    std::size_t depth() const { return depth_; }
+    std::size_t size() const { return q_.size(); }
+    bool full() const { return q_.size() >= depth_; }
+    bool empty() const { return q_.empty(); }
+
+    /** Push a descriptor; returns false when the queue is full. */
+    bool
+    push(const OffloadRequest &req)
+    {
+        if (full())
+            return false;
+        q_.push_back(req);
+        return true;
+    }
+
+    /** Oldest descriptor; queue must not be empty. */
+    const OffloadRequest &front() const { return q_.front(); }
+
+    /** Remove a queued descriptor by id; false if not present. */
+    bool
+    removeById(std::uint64_t id)
+    {
+        for (auto it = q_.begin(); it != q_.end(); ++it) {
+            if (it->id == id) {
+                q_.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Pop the oldest descriptor; queue must not be empty. */
+    OffloadRequest
+    pop()
+    {
+        OffloadRequest r = q_.front();
+        q_.pop_front();
+        return r;
+    }
+
+  private:
+    std::size_t depth_;
+    std::deque<OffloadRequest> q_;
+};
+
+} // namespace nma
+} // namespace xfm
+
+#endif // XFM_NMA_MMIO_HH

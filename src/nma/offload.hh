@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Offload request/response types shared by the NMA device, the XFM
+ * driver, and the XFM backend.
+ */
+
+#ifndef XFM_NMA_OFFLOAD_HH
+#define XFM_NMA_OFFLOAD_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hh"
+#include "compress/compressor.hh"
+
+namespace xfm
+{
+namespace nma
+{
+
+/** Kind of (de)compression offload. */
+enum class OffloadKind
+{
+    Compress,
+    Decompress,
+};
+
+/** How an NMA DRAM access was scheduled within a refresh window. */
+enum class AccessClass
+{
+    Conditional,  ///< row was being refreshed; piggybacked
+    Random,       ///< SALP parallel access to another subarray
+};
+
+/** Unique offload identifier assigned by the device. */
+using OffloadId = std::uint64_t;
+
+constexpr OffloadId invalidOffloadId = 0;
+
+/**
+ * A descriptor pushed into the Compress_Request_Queue.
+ *
+ * For Compress, @p srcAddr names an uncompressed page shard in this
+ * device's rank and @p size its length; the write-back destination
+ * is supplied later via commitWriteback() once the backend has
+ * allocated space for the now-known compressed size.
+ *
+ * For Decompress, @p srcAddr names the compressed entry, @p size its
+ * compressed length, and @p dstAddr the destination page frame
+ * (known up front).
+ */
+struct OffloadRequest
+{
+    /** Assigned by the device at submit(); 0 until then. */
+    std::uint64_t id = 0;
+
+    OffloadKind kind = OffloadKind::Compress;
+    std::uint64_t srcAddr = 0;
+    std::uint32_t size = 0;
+    std::uint64_t dstAddr = 0;     ///< decompress only
+    std::uint32_t rawSize = 0;     ///< decompress: expected output
+    Tick deadline = maxTick;       ///< fall back if not started by then
+};
+
+/** Completion record delivered to the driver. */
+struct OffloadCompletion
+{
+    OffloadId id = invalidOffloadId;
+    OffloadKind kind = OffloadKind::Compress;
+    std::uint32_t outputSize = 0;   ///< compressed/decompressed bytes
+    Tick finished = 0;              ///< compute done (before writeback)
+};
+
+/** Callback invoked when engine work finishes (compress path). */
+using CompletionCallback = std::function<void(const OffloadCompletion &)>;
+
+/** Callback invoked when the write-back has been committed to DRAM. */
+using WritebackCallback = std::function<void(OffloadId, Tick)>;
+
+} // namespace nma
+} // namespace xfm
+
+#endif // XFM_NMA_OFFLOAD_HH

@@ -1,0 +1,107 @@
+#include "spm.hh"
+
+namespace xfm
+{
+namespace nma
+{
+
+bool
+ScratchPad::reserve(OffloadId id, OffloadKind kind, std::uint32_t bytes)
+{
+    XFM_ASSERT(id != invalidOffloadId, "invalid offload id");
+    XFM_ASSERT(entries_.find(id) == entries_.end(),
+               "duplicate SPM reservation for id ", id);
+    if (used_ + bytes > capacity_)
+        return false;
+    SpmEntry e;
+    e.id = id;
+    e.kind = kind;
+    e.tag = SpmTag::Pending;
+    e.reserved = bytes;
+    used_ += bytes;
+    entries_.emplace(id, std::move(e));
+    return true;
+}
+
+void
+ScratchPad::complete(OffloadId id, Bytes output, Tick when)
+{
+    auto it = entries_.find(id);
+    XFM_ASSERT(it != entries_.end(), "complete: unknown id ", id);
+    SpmEntry &e = it->second;
+    XFM_ASSERT(e.tag == SpmTag::Pending, "complete: entry not pending");
+    XFM_ASSERT(output.size() <= e.reserved,
+               "engine output exceeds reservation: ", output.size(),
+               " > ", e.reserved);
+    // Trim the pessimistic reservation to the actual output size.
+    used_ -= e.reserved - output.size();
+    e.reserved = static_cast<std::uint32_t>(output.size());
+    e.data = std::move(output);
+    e.tag = SpmTag::Completed;
+    e.stagedAt = when;
+}
+
+void
+ScratchPad::setDestination(OffloadId id, std::uint64_t dst_addr)
+{
+    auto it = entries_.find(id);
+    XFM_ASSERT(it != entries_.end(), "setDestination: unknown id ", id);
+    it->second.dstAddr = dst_addr;
+    it->second.writebackReady = true;
+}
+
+const SpmEntry &
+ScratchPad::entry(OffloadId id) const
+{
+    auto it = entries_.find(id);
+    XFM_ASSERT(it != entries_.end(), "entry: unknown id ", id);
+    return it->second;
+}
+
+bool
+ScratchPad::popWriteback(SpmEntry &out)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.tag == SpmTag::Completed
+            && it->second.writebackReady) {
+            out = std::move(it->second);
+            used_ -= out.reserved;
+            entries_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<OffloadId>
+ScratchPad::writebackIds() const
+{
+    std::vector<OffloadId> ids;
+    for (const auto &[id, e] : entries_)
+        if (e.tag == SpmTag::Completed && e.writebackReady)
+            ids.push_back(id);
+    return ids;
+}
+
+SpmEntry
+ScratchPad::take(OffloadId id)
+{
+    auto it = entries_.find(id);
+    XFM_ASSERT(it != entries_.end(), "take: unknown id ", id);
+    SpmEntry out = std::move(it->second);
+    used_ -= out.reserved;
+    entries_.erase(it);
+    return out;
+}
+
+void
+ScratchPad::release(OffloadId id)
+{
+    auto it = entries_.find(id);
+    XFM_ASSERT(it != entries_.end(), "release: unknown id ", id);
+    used_ -= it->second.reserved;
+    entries_.erase(it);
+}
+
+} // namespace nma
+} // namespace xfm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ScratchPad Memory (SPM): the NMA-local staging buffer.
+ *
+ * Output of the (de)compression engine is parked here with a
+ * PENDING tag while compute is underway and a COMPLETED tag once it
+ * is ready for write-back to DRAM in a later refresh window
+ * (paper Fig. 10). Capacity pressure in the SPM is what back-
+ * propagates into CPU fallbacks (Fig. 12).
+ */
+
+#ifndef XFM_NMA_SPM_HH
+#define XFM_NMA_SPM_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/units.hh"
+
+#include "common/logging.hh"
+#include "compress/compressor.hh"
+#include "nma/offload.hh"
+
+namespace xfm
+{
+namespace nma
+{
+
+/** SPM entry lifecycle tag. */
+enum class SpmTag
+{
+    Pending,    ///< engine still producing output
+    Completed,  ///< ready for write-back
+};
+
+/** One staged buffer inside the SPM. */
+struct SpmEntry
+{
+    OffloadId id = invalidOffloadId;
+    SpmTag tag = SpmTag::Pending;
+    OffloadKind kind = OffloadKind::Compress;
+    Bytes data;               ///< engine output (valid when Completed)
+    std::uint32_t reserved;   ///< bytes of SPM this entry holds
+    std::uint64_t dstAddr = 0;
+    bool writebackReady = false;  ///< destination committed
+    Tick stagedAt = 0;            ///< when the entry turned Completed
+};
+
+/**
+ * Byte-accounted scratchpad.
+ *
+ * Reservations are made pessimistically (worst-case output size)
+ * when an offload is accepted and trimmed to the actual output size
+ * when the engine completes, mirroring how the backend's lazy
+ * occupancy bound over-approximates usage.
+ */
+class ScratchPad
+{
+  public:
+    explicit ScratchPad(std::size_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+        XFM_ASSERT(capacity_ > 0, "SPM capacity must be positive");
+    }
+
+    std::size_t capacityBytes() const { return capacity_; }
+    std::size_t usedBytes() const { return used_; }
+    std::size_t freeBytes() const { return capacity_ - used_; }
+    std::size_t entryCount() const { return entries_.size(); }
+
+    /**
+     * Reserve @p bytes for a new offload.
+     *
+     * @retval true reservation succeeded and an entry was created.
+     * @retval false SPM is full; caller must fall back to the CPU.
+     */
+    bool reserve(OffloadId id, OffloadKind kind, std::uint32_t bytes);
+
+    /** Store engine output and mark COMPLETED (trims reservation).
+     *  @param when current tick, recorded as the staging time. */
+    void complete(OffloadId id, Bytes output, Tick when = 0);
+
+    /** Attach the write-back destination (compress path). */
+    void setDestination(OffloadId id, std::uint64_t dst_addr);
+
+    /** Entry lookup; panics if missing. */
+    const SpmEntry &entry(OffloadId id) const;
+
+    /** True if the id currently holds an SPM entry. */
+    bool contains(OffloadId id) const
+    {
+        return entries_.find(id) != entries_.end();
+    }
+
+    /**
+     * Pop one COMPLETED, destination-committed entry (FIFO order).
+     *
+     * @retval true an entry was popped into @p out.
+     */
+    bool popWriteback(SpmEntry &out);
+
+    /** Ids of COMPLETED, destination-committed entries (FIFO). */
+    std::vector<OffloadId> writebackIds() const;
+
+    /** Remove and return a specific entry (for write-back). */
+    SpmEntry take(OffloadId id);
+
+    /** Drop an entry (e.g. aborted offload), releasing its bytes. */
+    void release(OffloadId id);
+
+  private:
+    std::size_t capacity_;
+    std::size_t used_ = 0;
+    std::map<OffloadId, SpmEntry> entries_;  ///< ordered => FIFO pops
+};
+
+} // namespace nma
+} // namespace xfm
+
+#endif // XFM_NMA_SPM_HH

@@ -1,0 +1,400 @@
+#include "xfm_device.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "dram/ecc.hh"
+
+namespace xfm
+{
+namespace nma
+{
+
+XfmDevice::XfmDevice(std::string name, EventQueue &eq,
+                     const XfmDeviceConfig &cfg,
+                     const dram::AddressMap &map, dram::PhysMem &mem,
+                     dram::RefreshController &refresh)
+    : SimObject(std::move(name), eq), cfg_(cfg), map_(map), mem_(mem),
+      spm_(cfg.spmBytes), queue_(cfg.queueDepth),
+      engine_(cfg.algorithm, cfg.engine),
+      bank_(refresh.device()), rng_(cfg.seed)
+{
+    if (cfg_.maxAccessesPerWindow == 0) {
+        // Derive the budget from the device timing (paper Sec. 5).
+        cfg_.maxAccessesPerWindow =
+            dram::maxAccessesPerTrfc(refresh.device());
+    }
+    XFM_ASSERT(cfg_.maxAccessesPerWindow >= 1,
+               "need at least one access per window");
+    XFM_ASSERT(cfg_.maxRandomPerWindow <= cfg_.maxAccessesPerWindow,
+               "random budget cannot exceed the window budget");
+
+    regs_.bindReadOnly(Reg::SpCapacity,
+                       [this] { return spm_.freeBytes(); });
+    regs_.bindReadOnly(Reg::QueueDepth,
+                       [this] { return queue_.size(); });
+
+    dev_trefi_ = refresh.device().tREFI();
+    dev_cfg_ = refresh.device();
+    refresh.addListener([this](const dram::RefreshWindow &w) {
+        onWindow(w);
+    });
+}
+
+std::uint32_t
+XfmDevice::rowOf(std::uint64_t addr) const
+{
+    // Addresses are DIMM-local: the device's AddressMap describes
+    // only its own DRAM. cfg_.rank merely selects which refresh
+    // windows of a (possibly shared) RefreshController apply.
+    return map_.decode(addr).row;
+}
+
+void
+XfmDevice::registerRegion(std::uint64_t base, std::uint64_t bytes)
+{
+    XFM_ASSERT(bytes > 0, "empty region");
+    regions_.emplace_back(base, base + bytes);
+}
+
+bool
+XfmDevice::regionRegistered(std::uint64_t addr,
+                            std::uint64_t size) const
+{
+    if (regions_.empty())
+        return true;  // bring-up mode: no restrictions configured
+    for (const auto &[lo, hi] : regions_)
+        if (addr >= lo && addr + size <= hi)
+            return true;
+    return false;
+}
+
+OffloadId
+XfmDevice::submit(const OffloadRequest &req)
+{
+    XFM_ASSERT(req.size > 0, "offload with zero size");
+    if (!regionRegistered(req.srcAddr, req.size)
+        || (req.kind == OffloadKind::Decompress
+            && !regionRegistered(req.dstAddr, req.rawSize))) {
+        ++stats_.unregisteredRejects;
+        return invalidOffloadId;
+    }
+    OffloadRequest r = req;
+    r.id = next_id_++;
+    if (queue_.push(r))
+        return r.id;
+    --next_id_;
+    ++stats_.queueRejects;
+    return invalidOffloadId;
+}
+
+void
+XfmDevice::drainQueue()
+{
+    // Batch every doorbell'd descriptor received during the last
+    // tREFI into the pending-read pool (SPM is reserved later, when
+    // the read actually executes).
+    while (!queue_.empty()) {
+        OffloadRequest req = queue_.pop();
+        reads_.push_back({req.id, req, curTick()});
+    }
+}
+
+void
+XfmDevice::dropExpired(Tick now)
+{
+    for (auto it = reads_.begin(); it != reads_.end();) {
+        if (it->req.deadline < now) {
+            ++stats_.deadlineDrops;
+            if (on_drop_)
+                on_drop_(it->id);
+            it = reads_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+XfmDevice::chargeAccess(std::size_t bytes, AccessClass cls)
+{
+    const double io = cfg_.ioPicojoulePerByte
+        * static_cast<double>(bytes) / 1000.0;  // pJ -> nJ
+    if (cls == AccessClass::Conditional) {
+        // The row is open for its refresh already: activation free.
+        stats_.accessEnergyNanojoules += io;
+        stats_.energySavedNanojoules += cfg_.rowActivateNanojoule;
+        ++stats_.conditionalAccesses;
+    } else {
+        stats_.accessEnergyNanojoules +=
+            io + cfg_.rowActivateNanojoule;
+        ++stats_.randomAccesses;
+    }
+}
+
+bool
+XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
+{
+    // Reserve SPM space for the engine output now; if the SPM is
+    // full the access is deferred to a later window.
+    const std::uint32_t reservation =
+        op.req.kind == OffloadKind::Compress
+        ? CompressionEngine::worstCaseCompressedSize(op.req.size)
+        : op.req.rawSize;
+    if (!spm_.reserve(op.id, op.req.kind, reservation)) {
+        ++stats_.deferredExecutions;
+        return false;
+    }
+    if (op.req.kind == OffloadKind::Decompress)
+        spm_.setDestination(op.id, op.req.dstAddr);
+
+    chargeAccess(op.req.size, cls);
+    stats_.bytesReadFromDram += op.req.size;
+    // Fig. 6b: the k-th access of this window finishes bursting at
+    // tRCD + tCL + (k+1) x 32 x tBURST past the window start.
+    const Tick transfer =
+        dram::accessCompletionOffset(dev_cfg_, window_access_index_);
+    ++window_access_index_;
+
+    Bytes data = mem_.read(op.req.srcAddr, op.req.size);
+    const OffloadId id = op.id;
+    const OffloadKind kind = op.req.kind;
+
+    Bytes output;
+    Tick latency;
+    if (kind == OffloadKind::Compress) {
+        ++stats_.compressOffloads;
+        std::tie(output, latency) = engine_.compress(data);
+    } else {
+        ++stats_.decompressOffloads;
+        std::tie(output, latency) =
+            engine_.decompress(data, op.req.rawSize);
+    }
+
+    eventq().scheduleIn(transfer + latency,
+                        [this, id, kind,
+                         out = std::move(output)]() mutable {
+        if (aborted_.erase(id))
+            return;  // offload abandoned mid-compute
+        const auto out_size = static_cast<std::uint32_t>(out.size());
+        spm_.complete(id, std::move(out), curTick());
+        if (on_complete_)
+            on_complete_({id, kind, out_size, curTick()});
+    });
+    return true;
+}
+
+void
+XfmDevice::executeWriteback(SpmEntry entry, AccessClass cls)
+{
+    chargeAccess(entry.data.size(), cls);
+    stats_.bytesWrittenToDram += entry.data.size();
+    const Tick transfer =
+        dram::accessCompletionOffset(dev_cfg_, window_access_index_);
+    ++window_access_index_;
+    mem_.write(entry.dstAddr, entry.data);
+
+    // Sec. 4.1: regenerate the side-band SECDED parity for every
+    // 64-bit word the write-back touched, so the memory controller
+    // can still verify CPU reads of this data.
+    if (cfg_.eccParityBase != 0) {
+        const std::uint64_t start = entry.dstAddr & ~std::uint64_t(7);
+        const std::uint64_t end =
+            (entry.dstAddr + entry.data.size() + 7)
+            & ~std::uint64_t(7);
+        const Bytes words = mem_.read(start, end - start);
+        Bytes parity((end - start) / 8);
+        for (std::size_t w = 0; w < parity.size(); ++w) {
+            std::uint64_t word;
+            std::memcpy(&word, words.data() + w * 8, 8);
+            parity[w] = dram::ecc::encode(word);
+        }
+        mem_.write(cfg_.eccParityBase + start / 8, parity);
+        stats_.eccParityBytesWritten += parity.size();
+    }
+
+    if (on_writeback_) {
+        eventq().scheduleIn(transfer,
+                            [this, id = entry.id] {
+            on_writeback_(id, curTick());
+        });
+    }
+}
+
+void
+XfmDevice::commitWriteback(OffloadId id, std::uint64_t dst_addr)
+{
+    const auto &e = spm_.entry(id);
+    if (!regionRegistered(dst_addr,
+                          std::max<std::uint64_t>(e.data.size(), 1)))
+        fatal("commitWriteback: destination ", dst_addr,
+              " is not in a registered region");
+    spm_.setDestination(id, dst_addr);
+}
+
+void
+XfmDevice::abort(OffloadId id)
+{
+    if (queue_.removeById(id))
+        return;  // still a queued descriptor: no SPM held
+    for (auto it = reads_.begin(); it != reads_.end(); ++it) {
+        if (it->id == id) {
+            reads_.erase(it);  // not yet executed: no SPM held
+            return;
+        }
+    }
+    // Engine running (Pending) or finished (Completed): drop the SPM
+    // entry; a still-running engine event checks aborted_ and skips.
+    const bool pending = spm_.entry(id).tag == SpmTag::Pending;
+    spm_.release(id);
+    if (pending)
+        aborted_.insert(id);
+}
+
+stats::Group
+XfmDevice::statsGroup() const
+{
+    stats::Group g(name());
+    g.add("windows", stats_.windows, "refresh windows observed");
+    g.add("conditional_accesses", stats_.conditionalAccesses);
+    g.add("random_accesses", stats_.randomAccesses);
+    g.add("compress_offloads", stats_.compressOffloads);
+    g.add("decompress_offloads", stats_.decompressOffloads);
+    g.add("queue_rejects", stats_.queueRejects);
+    g.add("deadline_drops", stats_.deadlineDrops);
+    g.add("deferred_executions", stats_.deferredExecutions,
+          "SPM full at read time");
+    g.add("subarray_conflict_retries",
+          stats_.subarrayConflictRetries);
+    g.add("trr_slots_used", stats_.trrSlotsUsed);
+    g.add("dram_bytes_read", stats_.bytesReadFromDram);
+    g.add("dram_bytes_written", stats_.bytesWrittenToDram);
+    g.add("ecc_parity_bytes", stats_.eccParityBytesWritten);
+    g.add("energy_saved_fraction", stats_.energySavedFraction(),
+          "activation energy avoided by conditional accesses");
+    g.add("spm_used_bytes",
+          static_cast<std::uint64_t>(spm_.usedBytes()));
+    return g;
+}
+
+void
+XfmDevice::onWindow(const dram::RefreshWindow &window)
+{
+    if (window.rank != cfg_.rank)
+        return;
+    ++stats_.windows;
+    window_access_index_ = 0;
+    bank_.beginRefresh(window.firstRow, window.rowCount);
+
+    drainQueue();
+    dropExpired(window.start);
+
+    std::uint32_t slots = cfg_.maxAccessesPerWindow;
+    std::uint32_t random_budget = cfg_.maxRandomPerWindow;
+    const std::uint32_t rows_per_bank = map_.rowsPerBank();
+
+    // TRR slack: each reserved victim-row refresh cycle that goes
+    // unused this window becomes one extra random access slot.
+    std::uint32_t trr_bonus = 0;
+    for (std::uint32_t k = 0; k < cfg_.trrRandomSlots; ++k)
+        if (rng_.chance(cfg_.trrUnusedProbability))
+            ++trr_bonus;
+    slots += trr_bonus;
+    random_budget += trr_bonus;
+
+    // Pass 1: conditional write-backs (rows being refreshed now).
+    for (OffloadId id : spm_.writebackIds()) {
+        if (slots == 0)
+            break;
+        const SpmEntry &e = spm_.entry(id);
+        if (e.data.empty())
+            continue;
+        if (window.coversRow(rowOf(e.dstAddr), rows_per_bank)) {
+            executeWriteback(spm_.take(id), AccessClass::Conditional);
+            --slots;
+        }
+    }
+
+    // Pass 2: conditional reads.
+    for (auto it = reads_.begin(); it != reads_.end() && slots > 0;) {
+        if (window.coversRow(rowOf(it->req.srcAddr), rows_per_bank)) {
+            if (!executeRead(*it, AccessClass::Conditional)) {
+                ++it;  // SPM full: deferred
+                continue;
+            }
+            it = reads_.erase(it);
+            --slots;
+        } else {
+            ++it;
+        }
+    }
+
+    // Pass 3: random accesses, most urgent first. Write-backs of
+    // decompressed pages compete with reads on deadline order. A
+    // candidate whose subarray is refreshing this window is skipped
+    // in favour of the next one (Sec. 5: the pending accesses are
+    // reordered to avoid subarray conflicts).
+    auto subarray_free = [this](std::uint32_t row) {
+        const auto res = bank_.accessRandom(row);
+        if (res == dram::BankAccessResult::Ok) {
+            bank_.releaseRandom();
+            return true;
+        }
+        ++stats_.subarrayConflictRetries;
+        return false;
+    };
+    while (slots > 0 && random_budget > 0) {
+        // Earliest-deadline pending read in a conflict-free
+        // subarray.
+        auto best_read = reads_.end();
+        for (auto it = reads_.begin(); it != reads_.end(); ++it) {
+            if (best_read != reads_.end()
+                && it->req.deadline >= best_read->req.deadline)
+                continue;
+            if (!subarray_free(rowOf(it->req.srcAddr)))
+                continue;
+            best_read = it;
+        }
+
+        auto wb_ids = spm_.writebackIds();
+        // Conflict-free write-back candidates only.
+        std::erase_if(wb_ids, [&](OffloadId id) {
+            return !subarray_free(rowOf(spm_.entry(id).dstAddr));
+        });
+
+        // Write-backs normally wait for their destination row's
+        // refresh turn; only SPM pressure (or stranding) justifies
+        // burning the random slot on one.
+        const bool spm_pressure =
+            spm_.usedBytes() * 2 > spm_.capacityBytes();
+        if (spm_pressure && !wb_ids.empty()) {
+            executeWriteback(spm_.take(wb_ids.front()),
+                             AccessClass::Random);
+        } else if (best_read != reads_.end()) {
+            if (!executeRead(*best_read, AccessClass::Random))
+                break;  // SPM full: nothing can execute this window
+            reads_.erase(best_read);
+        } else if (!wb_ids.empty()
+                   && curTick() > spm_.entry(wb_ids.front()).stagedAt
+                          + 2 * (window.end - window.start
+                                 + dev_trefi_)) {
+            // A write-back has been stranded (its destination row's
+            // refresh turn is far away): use the random slot.
+            executeWriteback(spm_.take(wb_ids.front()),
+                             AccessClass::Random);
+        } else {
+            break;
+        }
+        --slots;
+        --random_budget;
+        // The last trr_bonus random uses of this window ride in
+        // unused TRR cycles rather than the base SALP slot.
+        if (random_budget < trr_bonus)
+            ++stats_.trrSlotsUsed;
+    }
+    bank_.endRefresh();
+}
+
+} // namespace nma
+} // namespace xfm

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * XfmDevice: the near-memory accelerator on one DRAM rank.
+ *
+ * Implements the paper's core mechanism: all NMA accesses to DRAM
+ * are batched during each tREFI interval and executed inside the
+ * tRFC all-bank refresh window, invisible to the CPU memory
+ * controller. Accesses whose target row is being refreshed in the
+ * window ride along as *conditional* accesses (the row is already
+ * activated); a bounded number of *random* accesses reach other
+ * rows through SALP-style parallel subarray access.
+ *
+ * Capacity pressure propagates exactly as in Fig. 10/12: engine
+ * output staged in the SPM -> SPM full -> Compress_Request_Queue
+ * backs up -> submit() fails -> the driver falls back to the CPU.
+ */
+
+#ifndef XFM_NMA_XFM_DEVICE_HH
+#define XFM_NMA_XFM_DEVICE_HH
+
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "dram/address_map.hh"
+#include "dram/bank.hh"
+#include "dram/phys_mem.hh"
+#include "dram/refresh.hh"
+#include "nma/engine.hh"
+#include "nma/mmio.hh"
+#include "nma/offload.hh"
+#include "nma/spm.hh"
+#include "sim/sim_object.hh"
+
+namespace xfm
+{
+namespace nma
+{
+
+/** Static configuration of one XFM DIMM device. */
+struct XfmDeviceConfig
+{
+    std::uint32_t channel = 0;  ///< channel this DIMM sits on
+    std::uint32_t rank = 0;     ///< rank within the channel
+
+    std::size_t spmBytes = mib(2);          ///< prototype SPM size
+    std::size_t queueDepth = 64;            ///< request queue slots
+    /**
+     * Total accesses per tRFC window. 0 = derive from the device's
+     * timing (dram::maxAccessesPerTrfc: 2/3/4 for 8/16/32 Gb).
+     */
+    std::uint32_t maxAccessesPerWindow = 0;
+    std::uint32_t maxRandomPerWindow = 1;   ///< SALP random accesses
+
+    /**
+     * Extra random slots borrowed from Target-Row-Refresh cycles
+     * (Sec. 5): commodity DIMMs reserve refresh bandwidth for
+     * Rowhammer victim rows, but TRR rarely triggers in practice
+     * [TRRespass], so XFM can opportunistically reuse the slack.
+     */
+    std::uint32_t trrRandomSlots = 0;
+    /** Probability a TRR cycle is unused in a given window. */
+    double trrUnusedProbability = 0.95;
+    /** RNG seed for the TRR-availability draw. */
+    std::uint64_t seed = 1;
+
+    compress::Algorithm algorithm = compress::Algorithm::ZstdLike;
+    EngineProfile engine{};
+
+    /**
+     * Side-band ECC (paper Sec. 4.1): when non-zero, the NMA
+     * regenerates the SECDED parity for every write-back and stores
+     * it in the ECC chips at this parity-region base address, so
+     * CPU reads of NMA-written data still verify.
+     */
+    std::uint64_t eccParityBase = 0;
+
+    /** Energy model: row activation saved by conditional accesses. */
+    double rowActivateNanojoule = 7.5;
+    /** On-DIMM IO energy per byte moved (25 Gb/s links, Sec. 4.1). */
+    double ioPicojoulePerByte = 9.5;
+};
+
+/** Device-level statistics. */
+struct XfmDeviceStats
+{
+    std::uint64_t conditionalAccesses = 0;
+    std::uint64_t randomAccesses = 0;
+    std::uint64_t compressOffloads = 0;
+    std::uint64_t decompressOffloads = 0;
+    std::uint64_t queueRejects = 0;   ///< submit() failures
+    std::uint64_t unregisteredRejects = 0;  ///< address not registered
+    std::uint64_t deadlineDrops = 0;  ///< ops abandoned to the CPU
+    std::uint64_t deferredExecutions = 0;  ///< SPM full at read time
+    std::uint64_t subarrayConflictRetries = 0;  ///< reordered randoms
+    std::uint64_t trrSlotsUsed = 0;   ///< random accesses in TRR slack
+    std::uint64_t windows = 0;        ///< refresh windows seen
+    std::uint64_t bytesReadFromDram = 0;
+    std::uint64_t bytesWrittenToDram = 0;
+    std::uint64_t eccParityBytesWritten = 0;
+    double accessEnergyNanojoules = 0.0;
+    double energySavedNanojoules = 0.0;
+
+    std::uint64_t
+    totalAccesses() const
+    {
+        return conditionalAccesses + randomAccesses;
+    }
+
+    /** Fraction of access energy avoided via conditional accesses. */
+    double
+    energySavedFraction() const
+    {
+        const double total =
+            accessEnergyNanojoules + energySavedNanojoules;
+        return total > 0 ? energySavedNanojoules / total : 0.0;
+    }
+};
+
+/**
+ * One XFM-enabled DIMM (NMA in the buffer device).
+ *
+ * Resource model: the Compress_Request_Queue bounds how many
+ * descriptors may be outstanding (submit() fails when it is full);
+ * SPM space is reserved when the DRAM read actually executes inside
+ * a refresh window, so queued descriptors cost no SPM. Admission
+ * control against SPM exhaustion is the driver's job (lazy
+ * occupancy bound, paper Sec. 6) — a read that finds the SPM full
+ * is simply deferred to a later window.
+ */
+class XfmDevice : public SimObject
+{
+  public:
+    XfmDevice(std::string name, EventQueue &eq,
+              const XfmDeviceConfig &cfg, const dram::AddressMap &map,
+              dram::PhysMem &mem, dram::RefreshController &refresh);
+
+    /**
+     * Submit an offload descriptor (driver path).
+     *
+     * @return assigned id, or invalidOffloadId when both the SPM and
+     *         the request queue are exhausted (CPU fallback).
+     */
+    OffloadId submit(const OffloadRequest &req);
+
+    /**
+     * Provide the write-back destination for a completed compress
+     * offload (the backend allocates space once the size is known).
+     */
+    void commitWriteback(OffloadId id, std::uint64_t dst_addr);
+
+    /**
+     * Register a DIMM-local address region for NMA access (the
+     * driver's page-registration path, Sec. 6). Once any region is
+     * registered, offloads touching unregistered addresses are
+     * rejected; with no registrations the device is permissive
+     * (bring-up mode).
+     */
+    void registerRegion(std::uint64_t base, std::uint64_t bytes);
+
+    /** True if [addr, addr+size) is NMA-accessible. */
+    bool regionRegistered(std::uint64_t addr,
+                          std::uint64_t size) const;
+
+    /**
+     * Abandon an offload in any pre-writeback state (queued, waiting
+     * for a window, computing, or completed-without-destination).
+     * SPM space is released; no further callbacks fire for the id.
+     */
+    void abort(OffloadId id);
+
+    /** Engine finished producing output for an offload. */
+    void setCompletionCallback(CompletionCallback cb)
+    {
+        on_complete_ = std::move(cb);
+    }
+
+    /** Output landed in DRAM. */
+    void setWritebackCallback(WritebackCallback cb)
+    {
+        on_writeback_ = std::move(cb);
+    }
+
+    /** Offload dropped (deadline passed); CPU must redo it. */
+    void setDropCallback(std::function<void(OffloadId)> cb)
+    {
+        on_drop_ = std::move(cb);
+    }
+
+    RegisterFile &regs() { return regs_; }
+    const ScratchPad &spm() const { return spm_; }
+    const XfmDeviceStats &stats() const { return stats_; }
+    const XfmDeviceConfig &config() const { return cfg_; }
+    CompressionEngine &engine() { return engine_; }
+
+    /** Render the device's statistics as a named table. */
+    stats::Group statsGroup() const;
+
+    /** Descriptors waiting in the request queue. */
+    std::size_t queuedRequests() const { return queue_.size(); }
+    /** Accepted reads not yet executed in a window. */
+    std::size_t pendingReads() const { return reads_.size(); }
+
+  private:
+    /** An accepted offload waiting for its DRAM read slot. */
+    struct ReadOp
+    {
+        OffloadId id;
+        OffloadRequest req;
+        Tick accepted;
+    };
+
+    void onWindow(const dram::RefreshWindow &window);
+    void drainQueue();
+    void dropExpired(Tick now);
+    /** @retval false SPM had no room for the output (deferred). */
+    bool executeRead(const ReadOp &op, AccessClass cls);
+    void executeWriteback(SpmEntry entry, AccessClass cls);
+    void chargeAccess(std::size_t bytes, AccessClass cls);
+    std::uint32_t rowOf(std::uint64_t addr) const;
+
+    XfmDeviceConfig cfg_;
+    const dram::AddressMap &map_;
+    dram::PhysMem &mem_;
+
+    ScratchPad spm_;
+    CompressRequestQueue queue_;
+    RegisterFile regs_;
+    CompressionEngine engine_;
+
+    Tick dev_trefi_ = 0;  ///< tREFI of the attached refresh domain
+    dram::DeviceConfig dev_cfg_;  ///< timing of the attached DRAM
+    std::uint32_t window_access_index_ = 0;  ///< accesses this window
+    /**
+     * Representative bank for structural-hazard checking: all-bank
+     * refresh touches the same row indices in every bank, so one
+     * bank's subarray state decides legality for the whole rank.
+     */
+    dram::Bank bank_;
+    Rng rng_;
+    std::deque<ReadOp> reads_;
+    /** Registered NMA-accessible regions (base -> end). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> regions_;
+    /** Offloads aborted while the engine was running. */
+    std::set<OffloadId> aborted_;
+    OffloadId next_id_ = 1;
+
+    CompletionCallback on_complete_;
+    WritebackCallback on_writeback_;
+    std::function<void(OffloadId)> on_drop_;
+
+    XfmDeviceStats stats_;
+};
+
+} // namespace nma
+} // namespace xfm
+
+#endif // XFM_NMA_XFM_DEVICE_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * SFM backend interface shared by the baseline CPU implementation
+ * and the XFM-accelerated implementation.
+ *
+ * The backend owns SFM region management and the initiation of
+ * (de)compression operations (paper Sec. 6). The SFM_Controller
+ * above it selects pages; the backend moves them between the local
+ * region and the compressed pool.
+ *
+ * The modelled virtual address space is flat: virtual page @c v
+ * resides in local physical frame @c localBase + v * 4096 while
+ * Local. While Far, its compressed image lives in the SFM region.
+ */
+
+#ifndef XFM_SFM_BACKEND_HH
+#define XFM_SFM_BACKEND_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hh"
+
+namespace xfm
+{
+namespace sfm
+{
+
+/** Virtual page number in the modelled application address space. */
+using VirtPage = std::uint64_t;
+
+/** Where a virtual page currently resides. */
+enum class PageState
+{
+    Local,  ///< uncompressed, in the local region
+    Far,    ///< compressed, in the SFM region
+};
+
+/** Result of a swap-in or swap-out. */
+struct SwapOutcome
+{
+    VirtPage page = 0;
+    bool success = false;
+    bool usedCpu = false;          ///< CPU performed the operation
+    Tick completed = 0;
+    std::uint32_t compressedSize = 0;
+};
+
+using SwapCallback = std::function<void(const SwapOutcome &)>;
+
+/** Backend-level statistics. */
+struct BackendStats
+{
+    std::uint64_t swapOuts = 0;
+    std::uint64_t swapIns = 0;
+    std::uint64_t cpuSwapOuts = 0;    ///< done by the CPU (fallback
+    std::uint64_t cpuSwapIns = 0;     ///  or baseline)
+    std::uint64_t rejectedSwapOuts = 0;  ///< SFM region full
+    std::uint64_t bytesCompressed = 0;
+    std::uint64_t bytesDecompressed = 0;
+    std::uint64_t cpuCycles = 0;      ///< compression cycles burned
+    std::uint64_t compactions = 0;
+    std::uint64_t sameFilledPages = 0;  ///< stored as fill markers
+
+    double
+    cpuFraction() const
+    {
+        const auto total = swapOuts + swapIns;
+        return total
+            ? static_cast<double>(cpuSwapOuts + cpuSwapIns) / total
+            : 0.0;
+    }
+};
+
+/**
+ * Abstract SFM backend.
+ */
+class SfmBackend
+{
+  public:
+    virtual ~SfmBackend() = default;
+
+    /**
+     * Compress a Local page into the SFM region.
+     *
+     * @param page virtual page to demote; must be Local.
+     * @param done invoked when the operation (including any
+     *             write-back) completes or fails.
+     */
+    virtual void swapOut(VirtPage page, SwapCallback done) = 0;
+
+    /**
+     * Decompress a Far page back into its local frame.
+     *
+     * @param page virtual page to promote; must be Far.
+     * @param allow_offload permit NMA offload (prefetch path); when
+     *        false the CPU decompresses, as latency-sensitive
+     *        demand faults require (paper Sec. 6).
+     */
+    virtual void swapIn(VirtPage page, bool allow_offload,
+                        SwapCallback done) = 0;
+
+    /** Current residence of a page. */
+    virtual PageState pageState(VirtPage page) const = 0;
+
+    /** Manually compact the SFM region (xfm_compact()). */
+    virtual void compact() = 0;
+
+    /** Pages currently held compressed. */
+    virtual std::uint64_t farPageCount() const = 0;
+
+    /** Compressed bytes currently stored. */
+    virtual std::uint64_t storedCompressedBytes() const = 0;
+
+    virtual const BackendStats &stats() const = 0;
+};
+
+} // namespace sfm
+} // namespace xfm
+
+#endif // XFM_SFM_BACKEND_HH

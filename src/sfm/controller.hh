@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SFM_Controller: the far-memory control plane.
+ *
+ * Implements the cold-page identification policy the paper's cost
+ * model assumes (k-stale scanning a la Google's kstaled: a page is
+ * cold after @c coldThreshold without an access), demand swap-ins
+ * on faults (CPU decompression by default, per Sec. 6), and a
+ * sequential prefetcher that promotes upcoming pages with
+ * do_offload asserted so the NMA can serve them from refresh
+ * windows.
+ */
+
+#ifndef XFM_SFM_CONTROLLER_HH
+#define XFM_SFM_CONTROLLER_HH
+
+#include <set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sfm/backend.hh"
+#include "sim/sim_object.hh"
+
+namespace xfm
+{
+namespace sfm
+{
+
+/** Control-plane policy knobs. */
+struct ControllerConfig
+{
+    /** Pages untouched this long are cold (Google: 120 s). */
+    Tick coldThreshold = seconds(120.0);
+    /** Cold-page scan period. */
+    Tick scanInterval = seconds(1.0);
+    /** Swap-out batch bound per scan. */
+    std::size_t maxSwapOutsPerScan = 64;
+    /** Pages promoted ahead of a fault (along the detected stride). */
+    std::size_t prefetchDepth = 2;
+    /** Prefetch promotions may be offloaded to the NMA. */
+    bool offloadPrefetch = true;
+    /**
+     * Detect non-unit strides from the fault history instead of
+     * always prefetching the next sequential pages (the paper's
+     * closing point: XFM's benefit grows with the controller's
+     * proficiency at predicting access patterns).
+     */
+    bool stridePrefetch = true;
+};
+
+/** Controller statistics. */
+struct ControllerStats
+{
+    std::uint64_t scans = 0;
+    std::uint64_t coldPagesFound = 0;
+    std::uint64_t swapOutsInitiated = 0;
+    std::uint64_t demandFaults = 0;
+    std::uint64_t prefetchesInitiated = 0;
+    std::uint64_t prefetchHits = 0;  ///< fault avoided by prefetch
+    std::uint64_t strideDetections = 0;  ///< non-unit stride locked
+    stats::Average faultServiceNs;   ///< demand swap-in latency
+};
+
+/**
+ * Far-memory control plane over one backend.
+ */
+class SfmController : public SimObject
+{
+  public:
+    SfmController(std::string name, EventQueue &eq,
+                  const ControllerConfig &cfg, SfmBackend &backend,
+                  std::uint64_t num_pages);
+
+    /** Begin periodic cold-page scanning. */
+    void start();
+
+    /**
+     * The application touched @p page.
+     *
+     * Local pages just refresh their access stamp. Far pages incur
+     * a demand fault (CPU swap-in) and trigger sequential prefetch
+     * of the following pages.
+     *
+     * @retval true the access hit local memory.
+     * @retval false a demand fault was taken.
+     */
+    bool recordAccess(VirtPage page);
+
+    /** Pages tracked by the controller. */
+    std::uint64_t numPages() const { return num_pages_; }
+
+    const ControllerStats &stats() const { return stats_; }
+
+  private:
+    void scan();
+    void prefetchAround(VirtPage page);
+
+    ControllerConfig cfg_;
+    SfmBackend &backend_;
+    std::uint64_t num_pages_;
+    bool started_ = false;
+
+    std::vector<Tick> last_access_;
+    std::set<VirtPage> inflight_;
+    std::set<VirtPage> prefetched_;  ///< promoted but not yet touched
+
+    /** Fault-stream stride detector state. */
+    VirtPage last_fault_ = ~VirtPage(0);
+    std::int64_t last_stride_ = 0;
+    std::int64_t confirmed_stride_ = 1;
+
+    ControllerStats stats_;
+};
+
+} // namespace sfm
+} // namespace xfm
+
+#endif // XFM_SFM_CONTROLLER_HH

@@ -1,0 +1,258 @@
+#include "cpu_backend.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace sfm
+{
+
+CpuSfmBackend::CpuSfmBackend(std::string name, EventQueue &eq,
+                             const CpuBackendConfig &cfg,
+                             dram::PhysMem &mem,
+                             dram::MemCtrl *mem_ctrl)
+    : SimObject(std::move(name), eq), cfg_(cfg), mem_(mem),
+      mem_ctrl_(mem_ctrl),
+      pool_(mem, cfg.sfmBase, cfg.sfmBytes),
+      codec_(compress::makeCompressor(cfg.algorithm))
+{
+    XFM_ASSERT(cfg_.localPages > 0, "local region must be non-empty");
+    XFM_ASSERT(cfg_.localBase + cfg_.localPages * pageBytes
+                   <= cfg_.sfmBase
+               || cfg_.sfmBase + cfg_.sfmBytes <= cfg_.localBase,
+               "local and SFM regions overlap");
+}
+
+namespace
+{
+
+/** Detect zswap's same-filled pages (every word one value). */
+bool
+sameFilled(const Bytes &raw, std::uint64_t &fill)
+{
+    std::uint64_t first;
+    std::memcpy(&first, raw.data(), 8);
+    for (std::size_t off = 8; off < raw.size(); off += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, raw.data() + off, 8);
+        if (w != first)
+            return false;
+    }
+    fill = first;
+    return true;
+}
+
+} // namespace
+
+void
+CpuSfmBackend::cpuSwapOut(VirtPage page, SwapCallback done)
+{
+    XFM_ASSERT(page < cfg_.localPages, "page out of range");
+    if (entries_.count(page) || same_filled_.count(page))
+        fatal("swapOut: page ", page, " already in far memory");
+
+    const std::uint64_t src = frameAddr(page);
+    const Bytes raw = mem_.read(src, pageBytes);
+
+    // zswap same-filled shortcut: no compression, no pool space.
+    std::uint64_t fill;
+    if (cfg_.sameFilledOptimisation && sameFilled(raw, fill)) {
+        same_filled_.emplace(page, fill);
+        ++stats_.swapOuts;
+        ++stats_.cpuSwapOuts;
+        ++stats_.sameFilledPages;
+        SwapOutcome outcome;
+        outcome.page = page;
+        outcome.usedCpu = true;
+        outcome.success = true;
+        outcome.compressedSize = 8;  // just the marker
+        eventq().scheduleIn(1, [outcome, done, this]() mutable {
+            outcome.completed = curTick();
+            if (done)
+                done(outcome);
+        });
+        return;
+    }
+    const Bytes block = codec_->compress(raw);
+
+    // Incompressible pages gain nothing in far memory; reject them
+    // (zswap likewise refuses pages that do not shrink).
+    if (block.size() >= pageBytes) {
+        ++stats_.rejectedSwapOuts;
+        SwapOutcome outcome;
+        outcome.page = page;
+        outcome.usedCpu = true;
+        outcome.success = false;
+        outcome.completed = curTick();
+        if (done)
+            done(outcome);
+        return;
+    }
+
+    ZHandle h = pool_.insert(block);
+    if (h == invalidZHandle && cfg_.autoCompact) {
+        compact();
+        h = pool_.insert(block);
+    }
+
+    SwapOutcome outcome;
+    outcome.page = page;
+    outcome.usedCpu = true;
+    if (h == invalidZHandle) {
+        ++stats_.rejectedSwapOuts;
+        outcome.success = false;
+        outcome.completed = curTick();
+        if (done)
+            done(outcome);
+        return;
+    }
+
+    entries_.emplace(page, h);
+    ++stats_.swapOuts;
+    ++stats_.cpuSwapOuts;
+    stats_.bytesCompressed += raw.size();
+    const auto cost = compress::cpuCost(cfg_.algorithm);
+    const double cycles =
+        cost.compressCyclesPerByte * static_cast<double>(raw.size());
+    stats_.cpuCycles += static_cast<std::uint64_t>(cycles);
+
+    outcome.success = true;
+    outcome.compressedSize = static_cast<std::uint32_t>(block.size());
+
+    const Tick latency = cyclesToTicks(cycles);
+    // CPU-side SFM traffic: read the cold page, write the block.
+    if (mem_ctrl_) {
+        mem_ctrl_->submit({src, static_cast<std::uint32_t>(pageBytes),
+                           false, nullptr});
+        mem_ctrl_->submit({pool_.addressOf(h),
+                           static_cast<std::uint32_t>(block.size()),
+                           true, nullptr});
+    }
+    eventq().scheduleIn(latency, [outcome, done, this]() mutable {
+        outcome.completed = curTick();
+        if (done)
+            done(outcome);
+    });
+}
+
+void
+CpuSfmBackend::cpuSwapIn(VirtPage page, SwapCallback done)
+{
+    // Same-filled pages rematerialise with a fill, no decompression.
+    auto sf = same_filled_.find(page);
+    if (sf != same_filled_.end()) {
+        Bytes raw(pageBytes);
+        for (std::size_t off = 0; off < raw.size(); off += 8)
+            std::memcpy(raw.data() + off, &sf->second, 8);
+        mem_.write(frameAddr(page), raw);
+        same_filled_.erase(sf);
+        ++stats_.swapIns;
+        ++stats_.cpuSwapIns;
+        SwapOutcome outcome;
+        outcome.page = page;
+        outcome.success = true;
+        outcome.usedCpu = true;
+        outcome.compressedSize = 8;
+        eventq().scheduleIn(1, [outcome, done, this]() mutable {
+            outcome.completed = curTick();
+            if (done)
+                done(outcome);
+        });
+        return;
+    }
+
+    auto it = entries_.find(page);
+    if (it == entries_.end())
+        fatal("swapIn: page ", page, " is not in far memory");
+
+    const ZHandle h = it->second;
+    const std::uint64_t block_addr = pool_.addressOf(h);
+    const Bytes block = pool_.fetch(h);
+    const Bytes raw = codec_->decompress(block);
+    XFM_ASSERT(raw.size() == pageBytes,
+               "decompressed page has wrong size");
+    mem_.write(frameAddr(page), raw);
+    pool_.erase(h);
+    entries_.erase(it);
+
+    ++stats_.swapIns;
+    ++stats_.cpuSwapIns;
+    stats_.bytesDecompressed += raw.size();
+    const auto cost = compress::cpuCost(cfg_.algorithm);
+    const double cycles =
+        cost.decompressCyclesPerByte * static_cast<double>(raw.size());
+    stats_.cpuCycles += static_cast<std::uint64_t>(cycles);
+
+    if (mem_ctrl_) {
+        mem_ctrl_->submit({block_addr,
+                           static_cast<std::uint32_t>(block.size()),
+                           false, nullptr});
+        mem_ctrl_->submit({frameAddr(page),
+                           static_cast<std::uint32_t>(pageBytes), true,
+                           nullptr});
+    }
+
+    SwapOutcome outcome;
+    outcome.page = page;
+    outcome.success = true;
+    outcome.usedCpu = true;
+    outcome.compressedSize = static_cast<std::uint32_t>(block.size());
+    eventq().scheduleIn(cyclesToTicks(cycles),
+                        [outcome, done, this]() mutable {
+        outcome.completed = curTick();
+        if (done)
+            done(outcome);
+    });
+}
+
+void
+CpuSfmBackend::swapOut(VirtPage page, SwapCallback done)
+{
+    cpuSwapOut(page, std::move(done));
+}
+
+void
+CpuSfmBackend::swapIn(VirtPage page, bool allow_offload,
+                      SwapCallback done)
+{
+    (void)allow_offload;  // the CPU baseline has nothing to offload
+    cpuSwapIn(page, std::move(done));
+}
+
+PageState
+CpuSfmBackend::pageState(VirtPage page) const
+{
+    return entries_.count(page) || same_filled_.count(page)
+        ? PageState::Far
+        : PageState::Local;
+}
+
+void
+CpuSfmBackend::compact()
+{
+    pool_.compact();
+    ++stats_.compactions;
+}
+
+stats::Group
+CpuSfmBackend::statsGroup() const
+{
+    stats::Group g(name());
+    g.add("swap_outs", stats_.swapOuts);
+    g.add("swap_ins", stats_.swapIns);
+    g.add("rejected_swap_outs", stats_.rejectedSwapOuts);
+    g.add("same_filled_pages", stats_.sameFilledPages);
+    g.add("bytes_compressed", stats_.bytesCompressed);
+    g.add("bytes_decompressed", stats_.bytesDecompressed);
+    g.add("cpu_cycles", stats_.cpuCycles);
+    g.add("pages_far", farPageCount());
+    g.add("pool_used_bytes", pool_.usedBytes());
+    g.add("pool_fragmented_bytes", pool_.fragmentedBytes());
+    g.add("compactions", stats_.compactions);
+    return g;
+}
+
+} // namespace sfm
+} // namespace xfm

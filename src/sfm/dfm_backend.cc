@@ -1,0 +1,105 @@
+#include "dfm_backend.hh"
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace sfm
+{
+
+DfmBackend::DfmBackend(std::string name, EventQueue &eq,
+                       const DfmBackendConfig &cfg,
+                       dram::PhysMem &mem)
+    : SimObject(std::move(name), eq), cfg_(cfg), mem_(mem)
+{
+    XFM_ASSERT(cfg_.localPages > 0, "local region must be non-empty");
+    XFM_ASSERT(cfg_.poolBytes >= pageBytes,
+               "pool must hold at least one page");
+    XFM_ASSERT(cfg_.linkGBps > 0, "link bandwidth must be positive");
+    // Static provisioning: pre-build the slot free list.
+    free_slots_.reserve(poolSlots());
+    for (std::uint64_t s = poolSlots(); s-- > 0;)
+        free_slots_.push_back(s);
+}
+
+Tick
+DfmBackend::pageTransferTime() const
+{
+    const double ns =
+        static_cast<double>(pageBytes) / cfg_.linkGBps;
+    return cfg_.linkLatency + nanoseconds(ns);
+}
+
+void
+DfmBackend::swapOut(VirtPage page, SwapCallback done)
+{
+    XFM_ASSERT(page < cfg_.localPages, "page out of range");
+    if (entries_.count(page))
+        fatal("swapOut: page ", page, " already in far memory");
+
+    SwapOutcome outcome;
+    outcome.page = page;
+    if (free_slots_.empty()) {
+        // Statically provisioned pool is full: nothing reclaims it.
+        ++stats_.rejectedSwapOuts;
+        outcome.success = false;
+        outcome.completed = curTick();
+        if (done)
+            done(outcome);
+        return;
+    }
+    const std::uint64_t slot = free_slots_.back();
+    free_slots_.pop_back();
+
+    const Bytes raw = mem_.read(frameAddr(page), pageBytes);
+    mem_.write(cfg_.poolBase + slot * pageBytes, raw);
+    entries_.emplace(page, slot);
+    ++stats_.swapOuts;
+    outcome.success = true;
+    outcome.compressedSize = pageBytes;  // uncompressed slot
+
+    eventq().scheduleIn(pageTransferTime(),
+                        [outcome, done, this]() mutable {
+        outcome.completed = curTick();
+        if (done)
+            done(outcome);
+    });
+}
+
+void
+DfmBackend::swapIn(VirtPage page, bool allow_offload,
+                   SwapCallback done)
+{
+    (void)allow_offload;  // no accelerator on the DFM path
+    auto it = entries_.find(page);
+    if (it == entries_.end())
+        fatal("swapIn: page ", page, " is not in far memory");
+
+    const std::uint64_t slot = it->second;
+    const Bytes raw =
+        mem_.read(cfg_.poolBase + slot * pageBytes, pageBytes);
+    mem_.write(frameAddr(page), raw);
+    free_slots_.push_back(slot);
+    entries_.erase(it);
+    ++stats_.swapIns;
+
+    SwapOutcome outcome;
+    outcome.page = page;
+    outcome.success = true;
+    outcome.compressedSize = pageBytes;
+    eventq().scheduleIn(pageTransferTime(),
+                        [outcome, done, this]() mutable {
+        outcome.completed = curTick();
+        if (done)
+            done(outcome);
+    });
+}
+
+PageState
+DfmBackend::pageState(VirtPage page) const
+{
+    return entries_.count(page) ? PageState::Far : PageState::Local;
+}
+
+} // namespace sfm
+} // namespace xfm

@@ -1,0 +1,99 @@
+#include "senpai.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace sfm
+{
+
+SenpaiController::SenpaiController(std::string name, EventQueue &eq,
+                                   const SenpaiConfig &cfg,
+                                   SfmBackend &backend,
+                                   std::uint64_t num_pages)
+    : SimObject(std::move(name), eq), cfg_(cfg), backend_(backend),
+      num_pages_(num_pages), reclaim_(cfg.initialReclaim),
+      inflight_(num_pages, false)
+{
+    XFM_ASSERT(num_pages_ > 0, "need at least one page");
+    XFM_ASSERT(cfg_.minReclaim <= cfg_.maxReclaim,
+               "reclaim bounds inverted");
+}
+
+void
+SenpaiController::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    eventq().scheduleIn(cfg_.interval, [this] { tick(); });
+}
+
+void
+SenpaiController::tick()
+{
+    ++stats_.intervals;
+
+    // Pressure feedback: fault rate over the last interval.
+    const double faults_per_sec =
+        static_cast<double>(faults_this_interval_)
+        / ticksToSec(cfg_.interval);
+    faults_this_interval_ = 0;
+
+    if (faults_per_sec > cfg_.targetFaultsPerSec) {
+        // Over target: back off reclaim multiplicatively.
+        reclaim_ = std::max<std::size_t>(
+            cfg_.minReclaim,
+            static_cast<std::size_t>(
+                static_cast<double>(reclaim_) * cfg_.backoffFactor));
+        ++stats_.backoffs;
+    } else {
+        // Under target: probe more aggressively (additive).
+        reclaim_ = std::min<std::size_t>(cfg_.maxReclaim,
+                                         reclaim_ + cfg_.probeStep);
+        ++stats_.probes;
+    }
+    stats_.reclaimRate.sample(static_cast<double>(reclaim_));
+
+    // Reclaim a batch of Local pages, clock-hand order.
+    std::size_t done = 0;
+    for (std::uint64_t scanned = 0;
+         scanned < num_pages_ && done < reclaim_; ++scanned) {
+        const VirtPage p = clock_hand_;
+        clock_hand_ = (clock_hand_ + 1) % num_pages_;
+        if (backend_.pageState(p) != PageState::Local
+            || inflight_[p])
+            continue;
+        inflight_[p] = true;
+        ++done;
+        backend_.swapOut(p, [this, p](const SwapOutcome &) {
+            inflight_[p] = false;
+        });
+    }
+    stats_.reclaimed += done;
+
+    eventq().scheduleIn(cfg_.interval, [this] { tick(); });
+}
+
+bool
+SenpaiController::recordAccess(VirtPage page)
+{
+    XFM_ASSERT(page < num_pages_, "access beyond address space");
+    if (backend_.pageState(page) == PageState::Local)
+        return true;
+
+    ++stats_.demandFaults;
+    ++faults_this_interval_;
+    if (!inflight_[page]) {
+        inflight_[page] = true;
+        backend_.swapIn(page, false, [this, page](const SwapOutcome &) {
+            inflight_[page] = false;
+        });
+    }
+    return false;
+}
+
+} // namespace sfm
+} // namespace xfm

@@ -1,0 +1,143 @@
+#include "zpool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace sfm
+{
+
+ZPool::ZPool(dram::PhysMem &mem, std::uint64_t base, std::uint64_t size)
+    : mem_(mem), base_(base), size_(size),
+      pages_(static_cast<std::size_t>(size / pageBytes))
+{
+    XFM_ASSERT(size_ > 0 && size_ % pageBytes == 0,
+               "SFM region must be a positive multiple of the page "
+               "size");
+    XFM_ASSERT(base_ + size_ <= mem_.capacityBytes(),
+               "SFM region beyond physical memory");
+}
+
+std::uint64_t
+ZPool::pageAddr(std::uint32_t page) const
+{
+    return base_ + std::uint64_t(page) * pageBytes;
+}
+
+ZHandle
+ZPool::insert(ByteSpan data)
+{
+    XFM_ASSERT(!data.empty() && data.size() <= pageBytes,
+               "object size must be in (0, pageBytes]");
+    // First-fit over page tails. Holes are not reused until
+    // compaction (zsmalloc semantics approximation).
+    for (std::uint32_t p = 0; p < pages_.size(); ++p) {
+        HostPage &hp = pages_[p];
+        if (hp.tail + data.size() > pageBytes)
+            continue;
+        const ZHandle handle = next_handle_++;
+        Object obj{p, hp.tail, static_cast<std::uint32_t>(data.size())};
+        mem_.write(pageAddr(p) + obj.offset, data);
+        hp.objects.push_back(handle);
+        hp.tail += obj.size;
+        objects_.emplace(handle, obj);
+        used_ += obj.size;
+        ++stats_.allocs;
+        return handle;
+    }
+    ++stats_.failedAllocs;
+    return invalidZHandle;
+}
+
+Bytes
+ZPool::fetch(ZHandle handle) const
+{
+    const auto it = objects_.find(handle);
+    XFM_ASSERT(it != objects_.end(), "fetch: unknown handle ", handle);
+    const Object &obj = it->second;
+    return mem_.read(pageAddr(obj.page) + obj.offset, obj.size);
+}
+
+void
+ZPool::erase(ZHandle handle)
+{
+    auto it = objects_.find(handle);
+    XFM_ASSERT(it != objects_.end(), "erase: unknown handle ", handle);
+    const Object obj = it->second;
+    objects_.erase(it);
+
+    HostPage &hp = pages_[obj.page];
+    auto &list = hp.objects;
+    list.erase(std::find(list.begin(), list.end(), handle));
+    used_ -= obj.size;
+    ++stats_.frees;
+
+    if (list.empty()) {
+        // Whole page free again: no hole remains.
+        fragmented_ -= hp.holeBytes;
+        hp.holeBytes = 0;
+        hp.tail = 0;
+    } else if (obj.offset + obj.size == hp.tail) {
+        // Tail object: shrink the tail directly.
+        hp.tail = obj.offset;
+    } else {
+        hp.holeBytes += obj.size;
+        fragmented_ += obj.size;
+    }
+}
+
+std::uint64_t
+ZPool::addressOf(ZHandle handle) const
+{
+    const auto it = objects_.find(handle);
+    XFM_ASSERT(it != objects_.end(), "addressOf: unknown handle ",
+               handle);
+    return pageAddr(it->second.page) + it->second.offset;
+}
+
+std::uint32_t
+ZPool::sizeOf(ZHandle handle) const
+{
+    const auto it = objects_.find(handle);
+    XFM_ASSERT(it != objects_.end(), "sizeOf: unknown handle ", handle);
+    return it->second.size;
+}
+
+void
+ZPool::compactPage(std::uint32_t page)
+{
+    HostPage &hp = pages_[page];
+    if (hp.holeBytes == 0)
+        return;
+    ++stats_.compactions;
+
+    std::uint32_t write = 0;
+    for (ZHandle h : hp.objects) {
+        Object &obj = objects_.at(h);
+        if (obj.offset != write) {
+            const Bytes data =
+                mem_.read(pageAddr(page) + obj.offset, obj.size);
+            mem_.write(pageAddr(page) + write, data);
+            stats_.compactionMemcpyBytes += obj.size;
+            obj.offset = write;
+        }
+        write += obj.size;
+    }
+    fragmented_ -= hp.holeBytes;
+    hp.holeBytes = 0;
+    hp.tail = write;
+}
+
+std::uint64_t
+ZPool::compact()
+{
+    const std::uint64_t before = fragmented_;
+    for (std::uint32_t p = 0; p < pages_.size(); ++p)
+        compactPage(p);
+    return before - fragmented_;
+}
+
+} // namespace sfm
+} // namespace xfm

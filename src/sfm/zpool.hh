@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ZPool: a zsmalloc-style allocator for the compressed SFM region.
+ *
+ * Compressed objects are packed front-to-back into 4 KiB host pages
+ * inside the SFM region of physical memory. Frees leave holes that
+ * only compaction reclaims — compaction shifts live objects to one
+ * end of the encapsulating OS page with memcpys, exactly the
+ * behaviour zswap/zsmalloc exhibits and that the paper's
+ * xfm_compact() interface exposes.
+ */
+
+#ifndef XFM_SFM_ZPOOL_HH
+#define XFM_SFM_ZPOOL_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dram/phys_mem.hh"
+
+namespace xfm
+{
+namespace sfm
+{
+
+/** Opaque handle to a stored compressed object. */
+using ZHandle = std::uint64_t;
+
+constexpr ZHandle invalidZHandle = 0;
+
+/** Allocator statistics. */
+struct ZPoolStats
+{
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t compactionMemcpyBytes = 0;
+    std::uint64_t failedAllocs = 0;
+};
+
+/**
+ * Packed allocator over a physical-memory region.
+ *
+ * Objects keep stable handles across compaction; their physical
+ * address may change (use addressOf() after any compaction).
+ */
+class ZPool
+{
+  public:
+    /**
+     * @param mem   backing physical memory.
+     * @param base  first byte of the SFM region.
+     * @param size  region size; must be a multiple of the page size.
+     */
+    ZPool(dram::PhysMem &mem, std::uint64_t base, std::uint64_t size);
+
+    /**
+     * Store @p data; fails (invalidZHandle) when no page has room.
+     * A failed alloc is the signal for the backend to compact or
+     * reject the swap-out.
+     */
+    ZHandle insert(ByteSpan data);
+
+    /** Fetch a stored object's bytes. */
+    Bytes fetch(ZHandle handle) const;
+
+    /** Remove an object, leaving a hole until compaction. */
+    void erase(ZHandle handle);
+
+    /** Current physical address of an object. */
+    std::uint64_t addressOf(ZHandle handle) const;
+
+    /** Stored (compressed) size of an object. */
+    std::uint32_t sizeOf(ZHandle handle) const;
+
+    /**
+     * Compact every fragmented host page (memcpy cost is recorded
+     * in the stats); returns bytes reclaimed into page tails.
+     */
+    std::uint64_t compact();
+
+    /** Bytes of live objects. */
+    std::uint64_t usedBytes() const { return used_; }
+    /** Bytes lost to holes (freed but not compacted). */
+    std::uint64_t fragmentedBytes() const { return fragmented_; }
+    /** Region capacity. */
+    std::uint64_t capacityBytes() const { return size_; }
+    /** Free bytes assuming full compaction. */
+    std::uint64_t
+    freeBytes() const
+    {
+        return size_ - used_ - fragmented_;
+    }
+    std::uint64_t objectCount() const { return objects_.size(); }
+
+    const ZPoolStats &stats() const { return stats_; }
+
+  private:
+    struct Object
+    {
+        std::uint32_t page;    ///< host page index within the region
+        std::uint32_t offset;  ///< byte offset within the page
+        std::uint32_t size;
+    };
+
+    struct HostPage
+    {
+        std::vector<ZHandle> objects;  ///< in offset order
+        std::uint32_t tail = 0;        ///< first unallocated byte
+        std::uint32_t holeBytes = 0;
+    };
+
+    std::uint64_t pageAddr(std::uint32_t page) const;
+    void compactPage(std::uint32_t page);
+
+    dram::PhysMem &mem_;
+    std::uint64_t base_;
+    std::uint64_t size_;
+    std::uint64_t used_ = 0;
+    std::uint64_t fragmented_ = 0;
+    ZHandle next_handle_ = 1;
+
+    std::vector<HostPage> pages_;
+    std::map<ZHandle, Object> objects_;
+    ZPoolStats stats_;
+};
+
+} // namespace sfm
+} // namespace xfm
+
+#endif // XFM_SFM_ZPOOL_HH

@@ -1,0 +1,74 @@
+#include "event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    XFM_ASSERT(when >= now_, "scheduling event in the past: when=", when,
+               " now=", now_);
+    const EventId id = next_id_++;
+    auto [it, inserted] =
+        storage_.emplace(id, Entry{when, priority, id, std::move(cb)});
+    XFM_ASSERT(inserted, "duplicate event id");
+    events_.push(&it->second);
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    auto it = storage_.find(id);
+    if (it == storage_.end() || it->second.cancelled)
+        return false;
+    it->second.cancelled = true;
+    ++cancelled_;
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    while (!events_.empty()) {
+        Entry *e = events_.top();
+        events_.pop();
+        if (e->cancelled) {
+            --cancelled_;
+            storage_.erase(e->id);
+            continue;
+        }
+        XFM_ASSERT(e->when >= now_, "event queue time went backwards");
+        now_ = e->when;
+        Callback cb = std::move(e->cb);
+        storage_.erase(e->id);
+        cb();
+        ++executed_;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!events_.empty()) {
+        Entry *e = events_.top();
+        if (e->cancelled) {
+            events_.pop();
+            --cancelled_;
+            storage_.erase(e->id);
+            continue;
+        }
+        if (e->when > limit)
+            break;
+        if (step())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace xfm

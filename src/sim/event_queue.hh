@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue orders callbacks by (tick, priority, sequence
+ * number) so same-tick events run in a deterministic order. Events
+ * are cancellable via the returned EventId.
+ */
+
+#ifndef XFM_SIM_EVENT_QUEUE_HH
+#define XFM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace xfm
+{
+
+/** Handle to a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Invalid event handle. */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Lower priority values run first among events scheduled for the
+ * same tick; ties break on scheduling order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Priorities for same-tick ordering (lower runs first). */
+    enum Priority : int
+    {
+        refreshPriority = 0,   ///< refresh state transitions
+        deviceMin = 10,        ///< device/bank state machines
+        controllerMin = 20,    ///< memory controller decisions
+        defaultPriority = 50,  ///< everything else
+        statsPriority = 90,    ///< end-of-interval accounting
+    };
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when absolute time; must be >= now().
+     * @return handle usable with deschedule().
+     */
+    EventId schedule(Tick when, Callback cb,
+                     int priority = defaultPriority);
+
+    /** Schedule a callback @p delta ticks in the future. */
+    EventId
+    scheduleIn(Tick delta, Callback cb, int priority = defaultPriority)
+    {
+        return schedule(now_ + delta, std::move(cb), priority);
+    }
+
+    /**
+     * Cancel a pending event.
+     *
+     * @retval true the event was pending and is now cancelled.
+     * @retval false the event already ran or was cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** True if no events remain. */
+    bool empty() const { return events_.size() == cancelled_; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return events_.size() - cancelled_; }
+
+    /**
+     * Run events until the queue empties or @p limit is reached.
+     *
+     * @param limit stop once now() would exceed this tick; events at
+     *              exactly @p limit still execute.
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /** Run a single event; returns false if none pending. */
+    bool step();
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        EventId id;
+        Callback cb;
+        bool cancelled = false;
+    };
+
+    struct Order
+    {
+        bool
+        operator()(const Entry *a, const Entry *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->id > b->id;
+        }
+    };
+
+    Tick now_ = 0;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+    std::size_t cancelled_ = 0;
+    std::priority_queue<Entry *, std::vector<Entry *>, Order> events_;
+    std::map<EventId, Entry> storage_;
+};
+
+} // namespace xfm
+
+#endif // XFM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,163 @@
+#include "system.hh"
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace system
+{
+
+System::System(std::string name, EventQueue &eq,
+               const SystemConfig &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    XFM_ASSERT(cfg_.pages > 0, "system needs at least one page");
+
+    host_phys_ = std::make_unique<dram::PhysMem>(
+        cfg_.hostMem.totalCapacityBytes());
+    host_refresh_ = std::make_unique<dram::RefreshController>(
+        this->name() + ".hostRefresh", eq, cfg_.hostMem.rank.device,
+        cfg_.hostMem.dimmsPerChannel * cfg_.hostMem.ranksPerDimm);
+    host_ctrl_ = std::make_unique<dram::MemCtrl>(
+        this->name() + ".hostCtrl", eq, cfg_.hostMem,
+        host_refresh_.get());
+
+    if (cfg_.backend == BackendKind::BaselineCpu) {
+        sfm::CpuBackendConfig bcfg;
+        bcfg.localBase = 0;
+        bcfg.localPages = cfg_.pages;
+        bcfg.sfmBase = cfg_.pages * pageBytes;
+        bcfg.sfmBytes = cfg_.sfmBytes;
+        bcfg.algorithm = cfg_.algorithm;
+        cpu_backend_ = std::make_unique<sfm::CpuSfmBackend>(
+            this->name() + ".backend", eq, bcfg, *host_phys_,
+            host_ctrl_.get());
+        backend_ = cpu_backend_.get();
+    } else {
+        xfmsys::XfmSystemConfig xcfg;
+        xcfg.numDimms = cfg_.xfmDimms;
+        xcfg.dimmMem.rank.device = dram::ddr5Device32Gb();
+        xcfg.dimmMem.channels = 1;
+        xcfg.dimmMem.dimmsPerChannel = 1;
+        xcfg.dimmMem.ranksPerDimm = 1;
+        xcfg.localPages = cfg_.pages;
+        xcfg.sfmBase = gib(1);
+        xcfg.sfmBytes = cfg_.sfmBytes;
+        xcfg.algorithm = cfg_.algorithm;
+        xcfg.device = cfg_.xfmDevice;
+        xfm_backend_ = std::make_unique<xfmsys::XfmBackend>(
+            this->name() + ".backend", eq, xcfg, host_ctrl_.get());
+        backend_ = xfm_backend_.get();
+    }
+
+    controller_ = std::make_unique<sfm::SfmController>(
+        this->name() + ".controller", eq, cfg_.controller, *backend_,
+        cfg_.pages);
+    // Normalise the promotion rate against the provisioned SFM
+    // capacity scaled by a typical 3x compression ratio (capacity
+    // in *uncompressed* page terms, as the paper's metric uses).
+    const std::uint64_t far_capacity = 3
+        * (cfg_.backend == BackendKind::Xfm
+               ? cfg_.sfmBytes * cfg_.xfmDimms
+               : cfg_.sfmBytes);
+    promotions_ = std::make_unique<workload::PromotionTracker>(
+        far_capacity);
+}
+
+double
+System::promotionRate()
+{
+    // Swap-ins since the last sample, attributed to "now": fine at
+    // the minute-granularity the metric is defined over.
+    const std::uint64_t swap_ins = backend_->stats().swapIns;
+    if (swap_ins > last_swap_ins_) {
+        promotions_->recordPromotion(
+            curTick(), (swap_ins - last_swap_ins_) * pageBytes);
+        last_swap_ins_ = swap_ins;
+    }
+    return promotions_->rate(curTick());
+}
+
+void
+System::start()
+{
+    host_refresh_->start();
+    if (xfm_backend_)
+        xfm_backend_->start();
+    controller_->start();
+}
+
+void
+System::writePage(sfm::VirtPage page, ByteSpan data)
+{
+    if (xfm_backend_) {
+        xfm_backend_->writePage(page, data);
+    } else {
+        XFM_ASSERT(data.size() == pageBytes, "need a full page");
+        host_phys_->write(cpu_backend_->frameAddr(page), data);
+    }
+}
+
+Bytes
+System::readPage(sfm::VirtPage page) const
+{
+    if (xfm_backend_)
+        return xfm_backend_->readPage(page);
+    return host_phys_->read(cpu_backend_->frameAddr(page), pageBytes);
+}
+
+bool
+System::access(sfm::VirtPage page)
+{
+    // Application DRAM traffic through the host channels.
+    const std::uint64_t addr = (page * pageBytes)
+        % cfg_.hostMem.totalCapacityBytes();
+    host_ctrl_->submit({addr, cfg_.accessBytes, false, nullptr});
+    app_bytes_ += cfg_.accessBytes;
+    return controller_->recordAccess(page);
+}
+
+std::uint64_t
+System::sfmHostBytes() const
+{
+    const auto &ms = host_ctrl_->stats();
+    const std::uint64_t total = ms.bytesRead + ms.bytesWritten;
+    return total >= app_bytes_ ? total - app_bytes_ : 0;
+}
+
+stats::Group
+System::statsGroup() const
+{
+    stats::Group g(name());
+    const auto &bs = backend_->stats();
+    const auto &cs = controller_->stats();
+    const auto &ms = host_ctrl_->stats();
+    g.add("pages_far", backend_->farPageCount());
+    g.add("stored_compressed_bytes",
+          backend_->storedCompressedBytes());
+    g.add("swap_outs", bs.swapOuts);
+    g.add("swap_ins", bs.swapIns);
+    g.add("cpu_swap_fraction", bs.cpuFraction());
+    g.add("cpu_mcycles", bs.cpuCycles / 1000000);
+    g.add("demand_faults", cs.demandFaults);
+    g.add("prefetch_hits", cs.prefetchHits);
+    g.add("host_bytes_total", ms.bytesRead + ms.bytesWritten);
+    g.add("host_bytes_app", app_bytes_);
+    g.add("host_bytes_sfm", sfmHostBytes(),
+          "channel traffic caused by SFM operations");
+    g.add("host_row_hit_rate", ms.rowHitRate());
+    g.add("promotion_rate",
+          const_cast<System *>(this)->promotionRate(),
+          "fraction of far capacity promoted per minute");
+    if (xfm_backend_) {
+        const auto &xs = xfm_backend_->xfmStats();
+        g.add("offloaded_swap_outs", xs.offloadedSwapOuts);
+        g.add("offloaded_swap_ins", xs.offloadedSwapIns);
+        g.add("fallbacks", xs.fallbackCapacity + xs.fallbackDeadline
+                               + xs.fallbackAlloc);
+    }
+    return g;
+}
+
+} // namespace system
+} // namespace xfm

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Full-system composition: host memory controller + SFM stack.
+ *
+ * Mirrors the paper's Sec. 7 emulation methodology: an application
+ * issues page accesses; the SFM controller demotes cold pages and
+ * promotes faulting ones through either the zswap-style CPU backend
+ * or the XFM backend; all CPU-visible DRAM traffic (application
+ * accesses, CPU (de)compression, fallbacks) flows through a single
+ * host MemCtrl so channel utilisation can be compared end to end.
+ */
+
+#ifndef XFM_SYSTEM_SYSTEM_HH
+#define XFM_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+
+#include "common/stats.hh"
+#include "dram/mem_ctrl.hh"
+#include "dram/phys_mem.hh"
+#include "dram/refresh.hh"
+#include "sfm/controller.hh"
+#include "sfm/cpu_backend.hh"
+#include "workload/promotion_tracker.hh"
+#include "sim/sim_object.hh"
+#include "xfm/xfm_backend.hh"
+
+namespace xfm
+{
+namespace system
+{
+
+/** Which SFM implementation the system runs. */
+enum class BackendKind
+{
+    BaselineCpu,  ///< zswap-style, CPU does everything
+    Xfm,          ///< near-memory offload with CPU fallback
+};
+
+/** Full-system configuration. */
+struct SystemConfig
+{
+    BackendKind backend = BackendKind::Xfm;
+
+    /** Host-visible memory system (channels the CPU contends on). */
+    dram::MemSystemConfig hostMem = dram::defaultMemSystem();
+
+    /** Virtual pages of the modelled application. */
+    std::uint64_t pages = 1024;
+    /** SFM region size (per DIMM for XFM; total for baseline). */
+    std::uint64_t sfmBytes = mib(16);
+    compress::Algorithm algorithm = compress::Algorithm::ZstdLike;
+
+    /** XFM DIMM parameters (used when backend == Xfm). */
+    std::size_t xfmDimms = 4;
+    nma::XfmDeviceConfig xfmDevice{};
+
+    sfm::ControllerConfig controller{};
+
+    /** Bytes of host DRAM traffic per application page access. */
+    std::uint32_t accessBytes = 64;
+};
+
+/**
+ * One simulated machine running an SFM deployment.
+ */
+class System : public SimObject
+{
+  public:
+    System(std::string name, EventQueue &eq, const SystemConfig &cfg);
+
+    /** Begin refresh + control-plane activity. */
+    void start();
+
+    /** Store application data into a page. */
+    void writePage(sfm::VirtPage page, ByteSpan data);
+    /** Fetch application data from a page (must be Local). */
+    Bytes readPage(sfm::VirtPage page) const;
+
+    /**
+     * The application touches @p page: the access stamps the
+     * controller, faults if the page is Far, and issues
+     * `accessBytes` of host DRAM traffic.
+     *
+     * @retval true local hit.
+     */
+    bool access(sfm::VirtPage page);
+
+    sfm::SfmBackend &backend() { return *backend_; }
+    sfm::SfmController &controller() { return *controller_; }
+    dram::MemCtrl &memCtrl() { return *host_ctrl_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Host-channel bytes moved by SFM work (not the app). */
+    std::uint64_t sfmHostBytes() const;
+
+    /** Observed promotion rate (fraction of far capacity/minute). */
+    double promotionRate();
+
+    /** Render the headline statistics of the whole stack. */
+    stats::Group statsGroup() const;
+
+  private:
+    SystemConfig cfg_;
+    std::unique_ptr<dram::PhysMem> host_phys_;
+    std::unique_ptr<dram::RefreshController> host_refresh_;
+    std::unique_ptr<dram::MemCtrl> host_ctrl_;
+
+    std::unique_ptr<sfm::CpuSfmBackend> cpu_backend_;
+    std::unique_ptr<xfmsys::XfmBackend> xfm_backend_;
+    sfm::SfmBackend *backend_ = nullptr;
+    std::unique_ptr<sfm::SfmController> controller_;
+
+    /** App traffic accounting, to subtract from channel totals. */
+    std::uint64_t app_bytes_ = 0;
+    /** Swap-in (promotion) meter, Sec. 2.1's metric. */
+    std::unique_ptr<workload::PromotionTracker> promotions_;
+    std::uint64_t last_swap_ins_ = 0;
+};
+
+} // namespace system
+} // namespace xfm
+
+#endif // XFM_SYSTEM_SYSTEM_HH

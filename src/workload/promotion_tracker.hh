@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Promotion-rate measurement (paper Sec. 2.1).
+ *
+ * The promotion rate is "the percentage of far memory that is
+ * accessed per minute"; Google's fleet observes ~15% with a 120 s
+ * coldness threshold. This tracker turns a stream of promotion
+ * events into that metric over a sliding window, so controllers
+ * and experiments can report the rate they actually generate.
+ */
+
+#ifndef XFM_WORKLOAD_PROMOTION_TRACKER_HH
+#define XFM_WORKLOAD_PROMOTION_TRACKER_HH
+
+#include <deque>
+
+#include "common/units.hh"
+
+namespace xfm
+{
+namespace workload
+{
+
+/** Sliding-window promotion-rate meter. */
+class PromotionTracker
+{
+  public:
+    /**
+     * @param far_capacity_bytes far-memory capacity the rate is
+     *        normalised against.
+     * @param window measurement window (the paper's metric uses one
+     *        minute).
+     */
+    explicit PromotionTracker(std::uint64_t far_capacity_bytes,
+                              Tick window = seconds(60.0))
+        : capacity_(far_capacity_bytes), window_(window)
+    {}
+
+    /** Record a promotion of @p bytes at time @p when. */
+    void
+    recordPromotion(Tick when, std::uint64_t bytes)
+    {
+        events_.push_back({when, bytes});
+        total_ += bytes;
+        trim(when);
+    }
+
+    /**
+     * Promotion rate at @p now: fraction of far capacity promoted
+     * per minute (0.15 == the paper's 15%).
+     */
+    double
+    rate(Tick now)
+    {
+        trim(now);
+        if (capacity_ == 0)
+            return 0.0;
+        std::uint64_t windowed = 0;
+        for (const auto &e : events_)
+            windowed += e.bytes;
+        const double window_minutes =
+            ticksToSec(window_) / 60.0;
+        return static_cast<double>(windowed)
+            / static_cast<double>(capacity_) / window_minutes;
+    }
+
+    /** Promotions recorded over the tracker's lifetime, in bytes. */
+    std::uint64_t lifetimeBytes() const { return total_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t bytes;
+    };
+
+    void
+    trim(Tick now)
+    {
+        while (!events_.empty()
+               && events_.front().when + window_ < now)
+            events_.pop_front();
+    }
+
+    std::uint64_t capacity_;
+    Tick window_;
+    std::uint64_t total_ = 0;
+    std::deque<Event> events_;
+};
+
+} // namespace workload
+} // namespace xfm
+
+#endif // XFM_WORKLOAD_PROMOTION_TRACKER_HH

@@ -1,0 +1,29 @@
+#include "spec_model.hh"
+
+namespace xfm
+{
+namespace workload
+{
+
+std::vector<AppProfile>
+specMemoryIntensiveMix()
+{
+    // Values follow the usual characterisation of these workloads:
+    // mcf/lbm are bandwidth monsters with streaming behaviour;
+    // omnetpp/xalancbmk are latency-bound pointer chasers with
+    // LLC-sized working sets; gcc sits in between.
+    return {
+        // name       ipc   apki  ws    bw   stall  theta
+        {"mcf",       0.45, 32.0, 48.0, 5.0, 0.55, 0.60},
+        {"lbm",       0.60, 28.0, 64.0, 6.5, 0.50, 0.30},
+        {"omnetpp",   0.55, 18.0, 24.0, 2.0, 0.45, 0.85},
+        {"gcc",       0.90, 10.0, 12.0, 1.5, 0.25, 0.80},
+        {"xalancbmk", 0.70, 14.0, 20.0, 1.8, 0.35, 0.90},
+        {"cactuBSSN", 0.80, 12.0, 28.0, 3.0, 0.30, 0.50},
+        {"fotonik3d", 0.65, 22.0, 40.0, 4.5, 0.45, 0.35},
+        {"roms",      0.75, 16.0, 32.0, 3.5, 0.40, 0.45},
+    };
+}
+
+} // namespace workload
+} // namespace xfm

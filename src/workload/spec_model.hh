@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SPEC-CPU-like application profiles.
+ *
+ * We cannot ship SPEC 2017, so the co-run experiments (Fig. 11)
+ * drive the interference model with synthetic profiles whose cache
+ * and bandwidth characteristics follow published characterisations
+ * of the memory-intensive SPEC workloads the paper co-runs.
+ */
+
+#ifndef XFM_WORKLOAD_SPEC_MODEL_HH
+#define XFM_WORKLOAD_SPEC_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xfm
+{
+namespace workload
+{
+
+/** Cache/memory behaviour of one application. */
+struct AppProfile
+{
+    std::string name;
+    double ipcAlone = 1.0;        ///< IPC with the LLC to itself
+    double llcApki = 10.0;        ///< LLC accesses / kilo-instruction
+    double workingSetMiB = 16.0;  ///< hot cache footprint
+    double bandwidthGBps = 2.0;   ///< DRAM demand running alone
+    /** Fraction of runtime stalled on memory when running alone. */
+    double memStallFraction = 0.4;
+    /** Zipf skew of its reuse pattern (higher = more cacheable). */
+    double reuseTheta = 0.8;
+};
+
+/**
+ * The eight LLC/memory-sensitive profiles used for the Fig. 11
+ * reproduction (named after the SPEC workloads they imitate).
+ */
+std::vector<AppProfile> specMemoryIntensiveMix();
+
+} // namespace workload
+} // namespace xfm
+
+#endif // XFM_WORKLOAD_SPEC_MODEL_HH

@@ -1,0 +1,94 @@
+#include "trace_gen.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace workload
+{
+
+SwapTraceGenerator::SwapTraceGenerator(const SwapTraceConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      far_pages_(static_cast<std::uint64_t>(
+          cfg.farCapacityGB * 1e9 / static_cast<double>(pageBytes)))
+{
+    XFM_ASSERT(cfg_.farCapacityGB > 0, "capacity must be positive");
+    XFM_ASSERT(cfg_.promotionRate > 0 && cfg_.promotionRate <= 1.0,
+               "promotion rate must be a fraction per minute");
+    // EQ1: bytes promoted per minute; each promotion is one page
+    // and (in steady state) pairs with one demotion.
+    const double pages_per_sec =
+        cfg_.farCapacityGB * cfg_.promotionRate * 1e9
+        / static_cast<double>(pageBytes) / 60.0;
+    mean_gap_ = static_cast<Tick>(1e12 / pages_per_sec);
+}
+
+double
+SwapTraceGenerator::eventsPerSecond() const
+{
+    return 2.0 * 1e12 / static_cast<double>(mean_gap_);
+}
+
+SwapEvent
+SwapTraceGenerator::next()
+{
+    if (pending_out_) {
+        // The matching demotion immediately follows its promotion:
+        // the far region is full, so space must be made.
+        pending_out_ = false;
+        SwapEvent e;
+        e.when = next_tick_;
+        e.kind = SwapKind::SwapOut;
+        e.page = pending_page_;
+        e.prefetchable = true;  // demotions are never latency bound
+        return e;
+    }
+
+    // Exponential inter-arrival with the configured mean.
+    const double u = rng_.uniformReal();
+    const auto gap = static_cast<Tick>(
+        -std::log1p(-u) * static_cast<double>(mean_gap_));
+    next_tick_ += gap;
+
+    SwapEvent e;
+    e.when = next_tick_;
+    e.kind = SwapKind::SwapIn;
+    e.page = rng_.zipf(far_pages_, cfg_.zipfTheta);
+    e.prefetchable = rng_.chance(cfg_.predictability);
+
+    pending_out_ = true;
+    // The page demoted to make room is an arbitrary cold page.
+    pending_page_ = rng_.uniformInt(far_pages_);
+    return e;
+}
+
+WebFrontendGenerator::WebFrontendGenerator(const WebFrontendConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      gap_(static_cast<Tick>(1e12 / cfg.requestsPerSecond))
+{
+    XFM_ASSERT(cfg_.objects > 0, "need at least one object");
+    XFM_ASSERT(cfg_.requestsPerSecond > 0, "request rate positive");
+}
+
+ObjectAccess
+WebFrontendGenerator::next()
+{
+    next_tick_ += gap_;
+    const std::uint64_t epoch =
+        next_tick_ / std::max<Tick>(cfg_.epoch, 1);
+    if (epoch != epoch_index_) {
+        epoch_index_ = epoch;
+        // Popularity drift: rotate the rank->object mapping.
+        rotation_ = (rotation_ + cfg_.objects / 7 + 1) % cfg_.objects;
+    }
+    const std::uint64_t rank = rng_.zipf(cfg_.objects, cfg_.zipfTheta);
+    ObjectAccess a;
+    a.when = next_tick_;
+    a.object = (rank + rotation_) % cfg_.objects;
+    return a;
+}
+
+} // namespace workload
+} // namespace xfm

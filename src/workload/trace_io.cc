@@ -1,0 +1,91 @@
+#include "trace_io.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace workload
+{
+
+void
+writeTrace(std::ostream &os, const std::vector<SwapEvent> &events)
+{
+    os << "# xfm swap trace v1: <tick> IN|OUT <page> "
+          "<prefetchable>\n";
+    for (const auto &e : events) {
+        os << e.when << ' '
+           << (e.kind == SwapKind::SwapIn ? "IN" : "OUT") << ' '
+           << e.page << ' ' << (e.prefetchable ? 1 : 0) << '\n';
+    }
+}
+
+std::vector<SwapEvent>
+readTrace(std::istream &is)
+{
+    std::vector<SwapEvent> events;
+    std::string line;
+    std::size_t lineno = 0;
+    Tick prev = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        SwapEvent e;
+        std::string kind;
+        int prefetchable = 0;
+        if (!(ls >> e.when >> kind >> e.page >> prefetchable))
+            fatal("trace line ", lineno, ": malformed record");
+        if (kind == "IN")
+            e.kind = SwapKind::SwapIn;
+        else if (kind == "OUT")
+            e.kind = SwapKind::SwapOut;
+        else
+            fatal("trace line ", lineno, ": unknown kind '", kind,
+                  "'");
+        e.prefetchable = prefetchable != 0;
+        if (e.when < prev)
+            fatal("trace line ", lineno, ": timestamps not "
+                  "monotonic");
+        prev = e.when;
+        events.push_back(e);
+    }
+    return events;
+}
+
+std::vector<SwapEvent>
+captureTrace(SwapTraceGenerator &gen, std::size_t n)
+{
+    std::vector<SwapEvent> events;
+    events.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        events.push_back(gen.next());
+    return events;
+}
+
+TraceSummary
+summarise(const std::vector<SwapEvent> &events)
+{
+    TraceSummary s;
+    s.events = events.size();
+    for (const auto &e : events) {
+        if (e.kind == SwapKind::SwapIn) {
+            ++s.swapIns;
+            if (e.prefetchable)
+                ++s.prefetchable;
+        } else {
+            ++s.swapOuts;
+        }
+    }
+    if (!events.empty())
+        s.duration = events.back().when - events.front().when;
+    return s;
+}
+
+} // namespace workload
+} // namespace xfm

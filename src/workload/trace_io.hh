@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Swap-trace recording and replay.
+ *
+ * The paper's emulator consumes swap-in/out traces captured from
+ * AIFM runs. This module provides the equivalent plumbing: traces
+ * can be serialised to a line-oriented text format, loaded back,
+ * and replayed against any SfmBackend with original timing.
+ *
+ * Format (one event per line, '#' comments allowed):
+ *   <tick> IN|OUT <page> <prefetchable 0|1>
+ */
+
+#ifndef XFM_WORKLOAD_TRACE_IO_HH
+#define XFM_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "workload/trace_gen.hh"
+
+namespace xfm
+{
+namespace workload
+{
+
+/** Serialise events to the text format. */
+void writeTrace(std::ostream &os,
+                const std::vector<SwapEvent> &events);
+
+/**
+ * Parse a trace.
+ *
+ * @throws FatalError on malformed lines or out-of-order timestamps.
+ */
+std::vector<SwapEvent> readTrace(std::istream &is);
+
+/** Capture the next @p n events of a generator into a vector. */
+std::vector<SwapEvent> captureTrace(SwapTraceGenerator &gen,
+                                    std::size_t n);
+
+/** Summary statistics of a trace. */
+struct TraceSummary
+{
+    std::size_t events = 0;
+    std::size_t swapIns = 0;
+    std::size_t swapOuts = 0;
+    std::size_t prefetchable = 0;
+    Tick duration = 0;
+
+    /** Average promotion traffic implied by the trace, GB/min. */
+    double
+    gbPromotedPerMin() const
+    {
+        if (duration == 0)
+            return 0.0;
+        const double gb = static_cast<double>(swapIns) * pageBytes
+            / 1e9;
+        return gb / (ticksToSec(duration) / 60.0);
+    }
+};
+
+TraceSummary summarise(const std::vector<SwapEvent> &events);
+
+} // namespace workload
+} // namespace xfm
+
+#endif // XFM_WORKLOAD_TRACE_IO_HH

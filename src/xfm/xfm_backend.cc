@@ -1,0 +1,626 @@
+#include "xfm_backend.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace xfmsys
+{
+
+using sfm::PageState;
+using sfm::SwapCallback;
+using sfm::SwapOutcome;
+using sfm::VirtPage;
+
+XfmBackend::XfmBackend(std::string name, EventQueue &eq,
+                       const XfmSystemConfig &cfg,
+                       dram::MemCtrl *host_ctrl)
+    : SimObject(std::move(name), eq), cfg_(cfg),
+      host_ctrl_(host_ctrl),
+      codec_(compress::makeCompressor(cfg.algorithm)),
+      alloc_(cfg.sfmBytes), routes_(cfg.numDimms)
+{
+    XFM_ASSERT(cfg_.numDimms >= 1, "need at least one DIMM");
+    XFM_ASSERT(cfg_.dimmMem.channels == 1
+                   && cfg_.dimmMem.dimmsPerChannel == 1
+                   && cfg_.dimmMem.ranksPerDimm == 1,
+               "per-DIMM geometry must be single-channel/rank");
+    XFM_ASSERT(pageBytes % cfg_.numDimms == 0,
+               "page must split evenly across DIMMs");
+    XFM_ASSERT((pageBytes / cfg_.interleave) % cfg_.numDimms == 0,
+               "interleave chunks must split evenly across DIMMs");
+    XFM_ASSERT(cfg_.localPages > 0, "no virtual pages configured");
+
+    const std::uint64_t local_end =
+        cfg_.localBase + cfg_.localPages * cfg_.shardBytes();
+    XFM_ASSERT(local_end <= cfg_.sfmBase
+                   || cfg_.sfmBase + cfg_.sfmBytes <= cfg_.localBase,
+               "local and SFM regions overlap");
+    XFM_ASSERT(cfg_.sfmBase + cfg_.sfmBytes
+                   <= cfg_.dimmMem.totalCapacityBytes(),
+               "SFM region beyond DIMM capacity");
+
+    refresh_ = std::make_unique<dram::RefreshController>(
+        this->name() + ".refresh", eq, cfg_.dimmMem.rank.device,
+        static_cast<std::uint32_t>(cfg_.numDimms));
+
+    dimms_.reserve(cfg_.numDimms);
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        Dimm dimm;
+        dimm.map = std::make_unique<dram::AddressMap>(cfg_.dimmMem);
+        dimm.mem = std::make_unique<dram::PhysMem>(
+            cfg_.dimmMem.totalCapacityBytes());
+
+        nma::XfmDeviceConfig dcfg = cfg_.device;
+        dcfg.rank = static_cast<std::uint32_t>(d);
+        dcfg.algorithm = cfg_.algorithm;
+        dimm.device = std::make_unique<nma::XfmDevice>(
+            this->name() + ".dimm" + std::to_string(d), eq, dcfg,
+            *dimm.map, *dimm.mem, *refresh_);
+        dimm.driver = std::make_unique<XfmDriver>(*dimm.device);
+        dimm.driver->xfmParamset(cfg_.sfmBase, cfg_.sfmBytes);
+        // Page registration (Sec. 6): the NMA may only touch the
+        // local shard frames and the SFM region.
+        dimm.driver->xfmRegisterRegion(
+            cfg_.localBase, cfg_.localPages * cfg_.shardBytes());
+        dimm.driver->xfmRegisterRegion(cfg_.sfmBase, cfg_.sfmBytes);
+
+        dimm.driver->onComplete(
+            [this, d](const nma::OffloadCompletion &c) {
+            onComplete(d, c);
+        });
+        dimm.driver->onWriteback([this, d](nma::OffloadId id, Tick t) {
+            onWriteback(d, id, t);
+        });
+        dimm.driver->onDrop([this, d](nma::OffloadId id) {
+            onDrop(d, id);
+        });
+        dimms_.push_back(std::move(dimm));
+    }
+}
+
+void
+XfmBackend::start()
+{
+    refresh_->start();
+}
+
+std::uint64_t
+XfmBackend::shardFrameAddr(VirtPage page) const
+{
+    return cfg_.localBase + page * cfg_.shardBytes();
+}
+
+std::uint64_t
+XfmBackend::slotAddr(std::uint64_t offset) const
+{
+    return cfg_.sfmBase + offset;
+}
+
+Tick
+XfmBackend::decompressDeadline() const
+{
+    const Tick slack = cfg_.decompressSlack
+        ? cfg_.decompressSlack
+        : 10 * cfg_.dimmMem.rank.device.tREFI();
+    return curTick() + slack;
+}
+
+void
+XfmBackend::writePage(VirtPage page, ByteSpan data)
+{
+    XFM_ASSERT(page < cfg_.localPages, "page out of range");
+    XFM_ASSERT(data.size() == pageBytes, "writePage needs a full page");
+    const auto shards = splitPage(data, cfg_.numDimms, cfg_.interleave);
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d)
+        dimms_[d].mem->write(shardFrameAddr(page), shards[d]);
+}
+
+Bytes
+XfmBackend::readPage(VirtPage page) const
+{
+    XFM_ASSERT(page < cfg_.localPages, "page out of range");
+    std::vector<Bytes> shards;
+    shards.reserve(cfg_.numDimms);
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d)
+        shards.push_back(dimms_[d].mem->read(shardFrameAddr(page),
+                                             cfg_.shardBytes()));
+    return gatherPage(shards, cfg_.interleave);
+}
+
+PageState
+XfmBackend::pageState(VirtPage page) const
+{
+    return entries_.count(page) ? PageState::Far : PageState::Local;
+}
+
+std::uint64_t
+XfmBackend::storedCompressedBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[page, entry] : entries_)
+        for (auto s : entry.shardSizes)
+            total += s;
+    return total;
+}
+
+std::uint64_t
+XfmBackend::fragmentationBytes() const
+{
+    std::uint64_t frag = 0;
+    for (const auto &[page, entry] : entries_) {
+        const std::uint64_t slot =
+            std::uint64_t(alloc_.slotSize(entry.offset)) * cfg_.numDimms;
+        std::uint64_t stored = 0;
+        for (auto s : entry.shardSizes)
+            stored += s;
+        frag += slot - stored;
+    }
+    return frag;
+}
+
+void
+XfmBackend::chargeCpu(std::uint64_t bytes, bool compress_op,
+                      Tick &latency_out)
+{
+    const auto cost = compress::cpuCost(cfg_.algorithm);
+    const double per_byte = compress_op ? cost.compressCyclesPerByte
+                                        : cost.decompressCyclesPerByte;
+    const double cycles = per_byte * static_cast<double>(bytes);
+    stats_.cpuCycles += static_cast<std::uint64_t>(cycles);
+    latency_out =
+        static_cast<Tick>(cycles / cfg_.cpuFreqGHz * 1000.0);
+}
+
+// --------------------------------------------------------- CPU fallback
+
+void
+XfmBackend::cpuSwapOut(VirtPage page, SwapCallback done)
+{
+    std::vector<Bytes> blocks;
+    blocks.reserve(cfg_.numDimms);
+    std::uint32_t max_size = 0;
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        const Bytes shard = dimms_[d].mem->read(shardFrameAddr(page),
+                                                cfg_.shardBytes());
+        blocks.push_back(codec_->compress(shard));
+        max_size = std::max<std::uint32_t>(
+            max_size, static_cast<std::uint32_t>(blocks.back().size()));
+    }
+
+    std::uint64_t offset = alloc_.allocate(max_size);
+    if (offset == SameOffsetAllocator::invalidOffset) {
+        compact();
+        offset = alloc_.allocate(max_size);
+    }
+
+    SwapOutcome outcome;
+    outcome.page = page;
+    outcome.usedCpu = true;
+    if (offset == SameOffsetAllocator::invalidOffset) {
+        ++stats_.rejectedSwapOuts;
+        ++xfm_stats_.fallbackAlloc;
+        outcome.success = false;
+        outcome.completed = curTick();
+        if (done)
+            done(outcome);
+        return;
+    }
+
+    PageEntry entry;
+    entry.offset = offset;
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        dimms_[d].mem->write(slotAddr(offset), blocks[d]);
+        entry.shardSizes.push_back(
+            static_cast<std::uint32_t>(blocks[d].size()));
+        outcome.compressedSize +=
+            static_cast<std::uint32_t>(blocks[d].size());
+    }
+    entries_.emplace(page, std::move(entry));
+
+    ++stats_.swapOuts;
+    ++stats_.cpuSwapOuts;
+    stats_.bytesCompressed += pageBytes;
+    // CPU fallback burns host channel bandwidth: page read plus
+    // compressed write (the traffic XFM offloads avoid entirely).
+    if (host_ctrl_) {
+        host_ctrl_->submit({page * pageBytes,
+                            static_cast<std::uint32_t>(pageBytes),
+                            false, nullptr});
+        host_ctrl_->submit({page * pageBytes, outcome.compressedSize,
+                            true, nullptr});
+    }
+    Tick latency;
+    chargeCpu(pageBytes, true, latency);
+    outcome.success = true;
+    eventq().scheduleIn(latency, [outcome, done, this]() mutable {
+        outcome.completed = curTick();
+        if (done)
+            done(outcome);
+    });
+}
+
+void
+XfmBackend::cpuSwapIn(VirtPage page, SwapCallback done)
+{
+    auto it = entries_.find(page);
+    XFM_ASSERT(it != entries_.end(), "cpuSwapIn: page not far");
+    const PageEntry entry = it->second;
+
+    SwapOutcome outcome;
+    outcome.page = page;
+    outcome.usedCpu = true;
+    outcome.success = true;
+    // The specialised CPU_Fallback decompression handles both
+    // decompression and gathering without extra copies (Fig. 9b):
+    // each shard decompresses straight into its DIMM-local frame.
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        const Bytes block = dimms_[d].mem->read(slotAddr(entry.offset),
+                                                entry.shardSizes[d]);
+        const Bytes shard = codec_->decompress(block);
+        XFM_ASSERT(shard.size() == cfg_.shardBytes(),
+                   "shard decompressed to wrong size");
+        dimms_[d].mem->write(shardFrameAddr(page), shard);
+        outcome.compressedSize += entry.shardSizes[d];
+    }
+    alloc_.release(entry.offset);
+    entries_.erase(it);
+
+    ++stats_.swapIns;
+    ++stats_.cpuSwapIns;
+    stats_.bytesDecompressed += pageBytes;
+    if (host_ctrl_) {
+        host_ctrl_->submit({page * pageBytes, outcome.compressedSize,
+                            false, nullptr});
+        host_ctrl_->submit({page * pageBytes,
+                            static_cast<std::uint32_t>(pageBytes),
+                            true, nullptr});
+    }
+    Tick latency;
+    chargeCpu(pageBytes, false, latency);
+    eventq().scheduleIn(latency, [outcome, done, this]() mutable {
+        outcome.completed = curTick();
+        if (done)
+            done(outcome);
+    });
+}
+
+// ------------------------------------------------------------- offloads
+
+void
+XfmBackend::swapOut(VirtPage page, SwapCallback done)
+{
+    XFM_ASSERT(page < cfg_.localPages, "page out of range");
+    if (entries_.count(page))
+        fatal("swapOut: page ", page, " already in far memory");
+    if (busy_.count(page)) {
+        SwapOutcome o;
+        o.page = page;
+        o.success = false;
+        o.completed = curTick();
+        if (done)
+            done(o);
+        return;
+    }
+
+    // Lazy capacity check on every DIMM before submitting anywhere,
+    // so a partial submit (and abort storm) stays rare.
+    const auto worst = nma::CompressionEngine::worstCaseCompressedSize(
+        static_cast<std::uint32_t>(cfg_.shardBytes()));
+    for (auto &dimm : dimms_) {
+        if (!dimm.driver->canAccept(worst)) {
+            ++xfm_stats_.fallbackCapacity;
+            cpuSwapOut(page, std::move(done));
+            return;
+        }
+    }
+
+    auto op = std::make_shared<PendingOp>();
+    op->page = page;
+    op->isCompress = true;
+    op->ids.resize(cfg_.numDimms, nma::invalidOffloadId);
+    op->sizes.resize(cfg_.numDimms, 0);
+    op->done = std::move(done);
+
+    const Tick deadline =
+        curTick() + cfg_.dimmMem.rank.device.retention;
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        const nma::OffloadId id = dimms_[d].driver->xfmCompress(
+            shardFrameAddr(page),
+            static_cast<std::uint32_t>(cfg_.shardBytes()), deadline);
+        if (id == nma::invalidOffloadId) {
+            // Roll back what was already submitted.
+            for (std::size_t k = 0; k < d; ++k) {
+                routes_[k].erase(op->ids[k]);
+                dimms_[k].driver->abort(op->ids[k]);
+            }
+            ++xfm_stats_.fallbackCapacity;
+            cpuSwapOut(page, std::move(op->done));
+            return;
+        }
+        op->ids[d] = id;
+        routes_[d].emplace(id, op);
+    }
+    busy_.emplace(page, op);
+}
+
+void
+XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
+{
+    auto it = entries_.find(page);
+    if (it == entries_.end())
+        fatal("swapIn: page ", page, " is not in far memory");
+    if (busy_.count(page)) {
+        SwapOutcome o;
+        o.page = page;
+        o.success = false;
+        o.completed = curTick();
+        if (done)
+            done(o);
+        return;
+    }
+
+    // Latency-critical demand faults default to the CPU (Sec. 6).
+    if (!allow_offload) {
+        cpuSwapIn(page, std::move(done));
+        return;
+    }
+
+    const PageEntry &entry = it->second;
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        if (!dimms_[d].driver->canAccept(entry.shardSizes[d])) {
+            ++xfm_stats_.fallbackCapacity;
+            cpuSwapIn(page, std::move(done));
+            return;
+        }
+    }
+
+    auto op = std::make_shared<PendingOp>();
+    op->page = page;
+    op->isCompress = false;
+    op->ids.resize(cfg_.numDimms, nma::invalidOffloadId);
+    op->sizes = entry.shardSizes;
+    op->offset = entry.offset;
+    op->done = std::move(done);
+
+    const Tick deadline = decompressDeadline();
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        const nma::OffloadId id = dimms_[d].driver->xfmDecompress(
+            slotAddr(entry.offset), entry.shardSizes[d],
+            shardFrameAddr(page),
+            static_cast<std::uint32_t>(cfg_.shardBytes()), deadline);
+        if (id == nma::invalidOffloadId) {
+            for (std::size_t k = 0; k < d; ++k) {
+                routes_[k].erase(op->ids[k]);
+                dimms_[k].driver->abort(op->ids[k]);
+            }
+            ++xfm_stats_.fallbackCapacity;
+            cpuSwapIn(page, std::move(op->done));
+            return;
+        }
+        op->ids[d] = id;
+        routes_[d].emplace(id, op);
+    }
+    busy_.emplace(page, op);
+}
+
+void
+XfmBackend::onComplete(std::size_t dimm, const nma::OffloadCompletion &c)
+{
+    auto it = routes_[dimm].find(c.id);
+    if (it == routes_[dimm].end())
+        return;
+    auto op = it->second;
+    if (op->dead)
+        return;
+
+    op->sizes[dimm] = c.outputSize;
+    if (++op->completions < cfg_.numDimms)
+        return;
+    if (!op->isCompress)
+        return;  // decompress write-backs are already armed
+
+    // All shards compressed: size the same-offset slot by the
+    // largest shard and commit write-backs.
+    const std::uint32_t max_size =
+        *std::max_element(op->sizes.begin(), op->sizes.end());
+    std::uint64_t offset = alloc_.allocate(max_size);
+    if (offset == SameOffsetAllocator::invalidOffset) {
+        compact();
+        offset = alloc_.allocate(max_size);
+    }
+    if (offset == SameOffsetAllocator::invalidOffset) {
+        ++stats_.rejectedSwapOuts;
+        ++xfm_stats_.fallbackAlloc;
+        op->dead = true;
+        for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+            routes_[d].erase(op->ids[d]);
+            dimms_[d].driver->abort(op->ids[d]);
+        }
+        busy_.erase(op->page);
+        SwapOutcome o;
+        o.page = op->page;
+        o.success = false;
+        o.completed = curTick();
+        if (op->done)
+            op->done(o);
+        return;
+    }
+    op->offset = offset;
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d)
+        dimms_[d].driver->commitWriteback(op->ids[d],
+                                          slotAddr(offset));
+}
+
+void
+XfmBackend::onWriteback(std::size_t dimm, nma::OffloadId id, Tick t)
+{
+    auto it = routes_[dimm].find(id);
+    if (it == routes_[dimm].end())
+        return;
+    auto op = it->second;
+    routes_[dimm].erase(it);
+    if (op->dead)
+        return;
+    if (++op->writebacks < cfg_.numDimms)
+        return;
+    finishOp(op, t, false);
+}
+
+void
+XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
+                     bool used_cpu)
+{
+    busy_.erase(op->page);
+
+    SwapOutcome outcome;
+    outcome.page = op->page;
+    outcome.success = true;
+    outcome.usedCpu = used_cpu;
+    outcome.completed = now;
+    for (auto s : op->sizes)
+        outcome.compressedSize += s;
+
+    if (op->isCompress) {
+        PageEntry entry;
+        entry.offset = op->offset;
+        entry.shardSizes = op->sizes;
+        entries_.emplace(op->page, std::move(entry));
+        ++stats_.swapOuts;
+        ++xfm_stats_.offloadedSwapOuts;
+        stats_.bytesCompressed += pageBytes;
+    } else {
+        alloc_.release(op->offset);
+        entries_.erase(op->page);
+        ++stats_.swapIns;
+        ++xfm_stats_.offloadedSwapIns;
+        stats_.bytesDecompressed += pageBytes;
+    }
+    if (op->done)
+        op->done(outcome);
+}
+
+void
+XfmBackend::onDrop(std::size_t dimm, nma::OffloadId id)
+{
+    auto it = routes_[dimm].find(id);
+    if (it == routes_[dimm].end())
+        return;
+    auto op = it->second;
+    routes_[dimm].erase(it);
+    if (op->dead)
+        return;
+    ++xfm_stats_.fallbackDeadline;
+    failToCpu(op);
+}
+
+void
+XfmBackend::failToCpu(const std::shared_ptr<PendingOp> &op)
+{
+    op->dead = true;
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        auto rit = routes_[d].find(op->ids[d]);
+        if (rit != routes_[d].end()) {
+            routes_[d].erase(rit);
+            dimms_[d].driver->abort(op->ids[d]);
+        }
+    }
+    busy_.erase(op->page);
+    if (op->isCompress)
+        cpuSwapOut(op->page, op->done);
+    else
+        cpuSwapIn(op->page, op->done);
+}
+
+stats::Group
+XfmBackend::statsGroup() const
+{
+    stats::Group g(name());
+    g.add("swap_outs", stats_.swapOuts);
+    g.add("swap_ins", stats_.swapIns);
+    g.add("offloaded_swap_outs", xfm_stats_.offloadedSwapOuts);
+    g.add("offloaded_swap_ins", xfm_stats_.offloadedSwapIns);
+    g.add("cpu_swap_outs", stats_.cpuSwapOuts);
+    g.add("cpu_swap_ins", stats_.cpuSwapIns);
+    g.add("fallback_capacity", xfm_stats_.fallbackCapacity);
+    g.add("fallback_deadline", xfm_stats_.fallbackDeadline);
+    g.add("fallback_alloc", xfm_stats_.fallbackAlloc);
+    g.add("pages_far", farPageCount());
+    g.add("stored_compressed_bytes", storedCompressedBytes());
+    g.add("fragmentation_bytes", fragmentationBytes());
+    g.add("sfm_region_bytes", cfg_.sfmBytes, "per DIMM");
+    g.add("cpu_cycles", stats_.cpuCycles);
+    std::uint64_t cond = 0;
+    std::uint64_t rand = 0;
+    for (const auto &dimm : dimms_) {
+        cond += dimm.device->stats().conditionalAccesses;
+        rand += dimm.device->stats().randomAccesses;
+    }
+    g.add("nma_conditional_accesses", cond);
+    g.add("nma_random_accesses", rand);
+    return g;
+}
+
+bool
+XfmBackend::resizeSfmRegion(std::uint64_t new_bytes)
+{
+    XFM_ASSERT(cfg_.sfmBase + new_bytes
+                   <= cfg_.dimmMem.totalCapacityBytes(),
+               "resized SFM region beyond DIMM capacity");
+    if (new_bytes < alloc_.highWaterMark()) {
+        compact();
+        if (new_bytes < alloc_.highWaterMark())
+            return false;
+    }
+    if (!alloc_.resize(new_bytes))
+        return false;
+    cfg_.sfmBytes = new_bytes;
+    // Re-run xfm_paramset and re-register the resized region so the
+    // DIMM-side registers and the NMA access window see the new
+    // provisioning (Sec. 6, Initialization).
+    for (auto &dimm : dimms_) {
+        dimm.driver->xfmParamset(cfg_.sfmBase, cfg_.sfmBytes);
+        dimm.driver->xfmRegisterRegion(cfg_.sfmBase, cfg_.sfmBytes);
+    }
+    return true;
+}
+
+void
+XfmBackend::compact()
+{
+    ++stats_.compactions;
+
+    // Reverse map: slot offset -> page entry.
+    std::map<std::uint64_t, VirtPage> by_offset;
+    for (const auto &[page, entry] : entries_)
+        by_offset.emplace(entry.offset, page);
+
+    // Slots referenced by in-flight offloads (committed write-back
+    // destinations or pending decompress sources) must not move.
+    std::set<std::uint64_t> pinned;
+    for (const auto &[page, op] : busy_)
+        if (op->offset != SameOffsetAllocator::invalidOffset)
+            pinned.insert(op->offset);
+
+    alloc_.repack(
+        [this, &by_offset](std::uint64_t old_off, std::uint64_t new_off,
+                           std::uint32_t size) {
+        // memcpy the slot on every DIMM (xfm_compact semantics).
+        for (auto &dimm : dimms_) {
+            const Bytes data = dimm.mem->read(slotAddr(old_off), size);
+            dimm.mem->write(slotAddr(new_off), data);
+        }
+        auto it = by_offset.find(old_off);
+        if (it != by_offset.end()) {
+            entries_.at(it->second).offset = new_off;
+            by_offset.emplace(new_off, it->second);
+            by_offset.erase(it);
+        }
+    },
+        [&pinned](std::uint64_t off) { return pinned.count(off) > 0; });
+}
+
+} // namespace xfmsys
+} // namespace xfm

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * XfmBackend: the XFM-accelerated SFM backend (paper Sec. 6).
+ *
+ * The modelled system is a set of XFM DIMMs. A 4 KiB virtual page
+ * is physically interleaved across the DIMMs (multi-channel mode),
+ * so each DIMM's NMA compresses its own shard of the page during
+ * refresh windows; compressed shards are placed at the same offset
+ * of every DIMM's SFM region (same-offset placement). When device
+ * resources are exhausted — SPM full, request queue full, or a
+ * deadline passes — the backend transparently falls back to CPU
+ * (de)compression, exactly as CPU_Fallback does in the paper.
+ */
+
+#ifndef XFM_XFM_XFM_BACKEND_HH
+#define XFM_XFM_XFM_BACKEND_HH
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "compress/compressor.hh"
+#include "dram/mem_ctrl.hh"
+#include "dram/phys_mem.hh"
+#include "dram/refresh.hh"
+#include "nma/xfm_device.hh"
+#include "sfm/backend.hh"
+#include "sim/sim_object.hh"
+#include "xfm/multichannel.hh"
+#include "xfm/xfm_driver.hh"
+
+namespace xfm
+{
+namespace xfmsys
+{
+
+/** Configuration of the whole XFM memory system. */
+struct XfmSystemConfig
+{
+    /** DIMMs a page interleaves over (1, 2, or 4 in the paper). */
+    std::size_t numDimms = 4;
+    /** Geometry of one DIMM (must be single-channel, single-rank). */
+    dram::MemSystemConfig dimmMem;
+
+    std::uint64_t localBase = 0;   ///< per-DIMM local shard region
+    std::uint64_t localPages = 0;  ///< virtual pages tracked
+    std::uint64_t sfmBase = 0;     ///< per-DIMM SFM region base
+    std::uint64_t sfmBytes = 0;    ///< per-DIMM SFM region size
+
+    compress::Algorithm algorithm = compress::Algorithm::ZstdLike;
+    nma::XfmDeviceConfig device;   ///< per-DIMM NMA knobs
+    double cpuFreqGHz = 2.6;
+
+    /** Deadline slack for offloaded (prefetch) decompressions. */
+    Tick decompressSlack = 0;  ///< 0 => 10 x tREFI
+    std::size_t interleave = defaultInterleave;
+
+    /** Shard of a page stored on each DIMM. */
+    std::uint64_t
+    shardBytes() const
+    {
+        return pageBytes / numDimms;
+    }
+};
+
+/** Extra statistics specific to the XFM backend. */
+struct XfmBackendStats
+{
+    std::uint64_t offloadedSwapOuts = 0;
+    std::uint64_t offloadedSwapIns = 0;
+    std::uint64_t fallbackCapacity = 0;  ///< SPM/queue exhausted
+    std::uint64_t fallbackDeadline = 0;  ///< window service too late
+    std::uint64_t fallbackAlloc = 0;     ///< SFM region full
+};
+
+/**
+ * The XFM-accelerated backend.
+ */
+class XfmBackend : public SimObject, public sfm::SfmBackend
+{
+  public:
+    /**
+     * @param host_ctrl optional host-side memory controller: CPU
+     *        fallback (de)compressions then issue their DRAM
+     *        traffic through it, so end-to-end experiments can
+     *        compare channel utilisation against the CPU baseline.
+     *        Offloaded operations never touch it — that is the
+     *        point of XFM.
+     */
+    XfmBackend(std::string name, EventQueue &eq,
+               const XfmSystemConfig &cfg,
+               dram::MemCtrl *host_ctrl = nullptr);
+
+    // SfmBackend interface -------------------------------------------
+    void swapOut(sfm::VirtPage page, sfm::SwapCallback done) override;
+    void swapIn(sfm::VirtPage page, bool allow_offload,
+                sfm::SwapCallback done) override;
+    sfm::PageState pageState(sfm::VirtPage page) const override;
+    void compact() override;
+    std::uint64_t farPageCount() const override
+    {
+        return entries_.size();
+    }
+    std::uint64_t storedCompressedBytes() const override;
+    const sfm::BackendStats &stats() const override { return stats_; }
+
+    // XFM-system access ----------------------------------------------
+    /** Write page content into the distributed local frames. */
+    void writePage(sfm::VirtPage page, ByteSpan data);
+    /** Gather page content from the distributed local frames. */
+    Bytes readPage(sfm::VirtPage page) const;
+
+    /** Begin refresh activity (required before offloads progress). */
+    void start();
+
+    const XfmBackendStats &xfmStats() const { return xfm_stats_; }
+    XfmDriver &driver(std::size_t dimm) { return *dimms_[dimm].driver; }
+    dram::RefreshController &refresh() { return *refresh_; }
+    const XfmSystemConfig &config() const { return cfg_; }
+    const SameOffsetAllocator &allocator() const { return alloc_; }
+
+    /** Bytes lost to same-offset padding across all DIMMs. */
+    std::uint64_t fragmentationBytes() const;
+
+    /** Render backend + per-DIMM device statistics. */
+    stats::Group statsGroup() const;
+
+    /**
+     * Re-provision the per-DIMM SFM region size (the elasticity
+     * that distinguishes SFM from DFM, paper Sec. 1/4.2). Growth is
+     * immediate; a shrink first compacts and fails if the live
+     * compressed data still does not fit.
+     *
+     * @retval false shrink rejected; capacity unchanged.
+     */
+    bool resizeSfmRegion(std::uint64_t new_bytes);
+
+  private:
+    struct Dimm
+    {
+        std::unique_ptr<dram::AddressMap> map;
+        std::unique_ptr<dram::PhysMem> mem;
+        std::unique_ptr<nma::XfmDevice> device;
+        std::unique_ptr<XfmDriver> driver;
+    };
+
+    /** Stored location of a Far page. */
+    struct PageEntry
+    {
+        std::uint64_t offset;  ///< same-offset slot (region-relative)
+        std::vector<std::uint32_t> shardSizes;
+    };
+
+    /** Coordination record for a multi-DIMM offload in flight. */
+    struct PendingOp
+    {
+        sfm::VirtPage page;
+        bool isCompress;
+        std::vector<nma::OffloadId> ids;
+        std::vector<std::uint32_t> sizes;  ///< compressed shard sizes
+        std::size_t completions = 0;
+        std::size_t writebacks = 0;
+        std::uint64_t offset = SameOffsetAllocator::invalidOffset;
+        sfm::SwapCallback done;
+        bool dead = false;  ///< fell back / aborted
+    };
+
+    std::uint64_t shardFrameAddr(sfm::VirtPage page) const;
+    std::uint64_t slotAddr(std::uint64_t offset) const;
+    Tick decompressDeadline() const;
+
+    void cpuSwapOut(sfm::VirtPage page, sfm::SwapCallback done);
+    void cpuSwapIn(sfm::VirtPage page, sfm::SwapCallback done);
+    void chargeCpu(std::uint64_t bytes, bool compress_op,
+                   Tick &latency_out);
+
+    void onComplete(std::size_t dimm, const nma::OffloadCompletion &c);
+    void onWriteback(std::size_t dimm, nma::OffloadId id, Tick t);
+    void onDrop(std::size_t dimm, nma::OffloadId id);
+    void failToCpu(const std::shared_ptr<PendingOp> &op);
+    void finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
+                  bool used_cpu);
+
+    XfmSystemConfig cfg_;
+    dram::MemCtrl *host_ctrl_;
+    std::unique_ptr<compress::Compressor> codec_;
+    std::unique_ptr<dram::RefreshController> refresh_;
+    std::vector<Dimm> dimms_;
+    SameOffsetAllocator alloc_;
+
+    std::map<sfm::VirtPage, PageEntry> entries_;  ///< rb-tree lookup
+    /** Per-DIMM offload id -> in-flight op. */
+    std::vector<std::unordered_map<nma::OffloadId,
+                                   std::shared_ptr<PendingOp>>> routes_;
+    /** Pages with an operation in flight (reject re-entry). */
+    std::map<sfm::VirtPage, std::shared_ptr<PendingOp>> busy_;
+
+    sfm::BackendStats stats_;
+    XfmBackendStats xfm_stats_;
+};
+
+} // namespace xfmsys
+} // namespace xfm
+
+#endif // XFM_XFM_XFM_BACKEND_HH

@@ -1,0 +1,146 @@
+#include "xfm_driver.hh"
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace xfmsys
+{
+
+XfmDriver::XfmDriver(nma::XfmDevice &dev) : dev_(dev)
+{
+    dev_.setCompletionCallback(
+        [this](const nma::OffloadCompletion &c) {
+        // Adjust the estimate to the real staged output size.
+        auto it = tracked_.find(c.id);
+        if (it != tracked_.end()) {
+            bound_ += c.outputSize;
+            bound_ -= it->second;
+            it->second = c.outputSize;
+        }
+        if (on_complete_)
+            on_complete_(c);
+    });
+    dev_.setWritebackCallback([this](nma::OffloadId id, Tick t) {
+        auto it = tracked_.find(id);
+        if (it != tracked_.end()) {
+            bound_ -= it->second;
+            tracked_.erase(it);
+        }
+        if (on_writeback_)
+            on_writeback_(id, t);
+    });
+    dev_.setDropCallback([this](nma::OffloadId id) {
+        auto it = tracked_.find(id);
+        if (it != tracked_.end()) {
+            bound_ -= it->second;
+            tracked_.erase(it);
+        }
+        if (on_drop_)
+            on_drop_(id);
+    });
+}
+
+void
+XfmDriver::xfmParamset(std::uint64_t sfm_base, std::uint64_t sfm_bytes)
+{
+    dev_.regs().write(nma::Reg::SfmRegionBase, sfm_base);
+    dev_.regs().write(nma::Reg::SfmRegionSize, sfm_bytes);
+}
+
+void
+XfmDriver::xfmRegisterRegion(std::uint64_t base, std::uint64_t bytes)
+{
+    dev_.registerRegion(base, bytes);
+}
+
+bool
+XfmDriver::canAccept(std::uint32_t worst_case)
+{
+    const std::uint64_t capacity = dev_.spm().capacityBytes();
+    if (!always_sync_ && bound_ + worst_case <= capacity)
+        return true;
+    // 100% occupancy inferred: synchronise with the hardware via an
+    // MMIO read of SP_Capacity_Register (paper Sec. 6).
+    ++stats_.capacityRegisterReads;
+    const std::uint64_t free = dev_.regs().read(nma::Reg::SpCapacity);
+    if (free < worst_case)
+        return false;  // truly no room: CPU_Fallback
+    bound_ = capacity - free;
+    return true;
+}
+
+nma::OffloadId
+XfmDriver::submitTracked(const nma::OffloadRequest &req,
+                         std::uint32_t worst_case)
+{
+    const nma::OffloadId id = dev_.submit(req);
+    if (id == nma::invalidOffloadId) {
+        ++stats_.fallbacks;
+        return id;
+    }
+    ++stats_.offloadsSubmitted;
+    bound_ += worst_case;
+    tracked_.emplace(id, worst_case);
+    return id;
+}
+
+nma::OffloadId
+XfmDriver::xfmCompress(std::uint64_t src, std::uint32_t size,
+                       Tick deadline)
+{
+    const std::uint32_t worst =
+        nma::CompressionEngine::worstCaseCompressedSize(size);
+    if (!canAccept(worst)) {
+        ++stats_.fallbacks;
+        return nma::invalidOffloadId;
+    }
+    nma::OffloadRequest req;
+    req.kind = nma::OffloadKind::Compress;
+    req.srcAddr = src;
+    req.size = size;
+    req.deadline = deadline;
+    return submitTracked(req, worst);
+}
+
+nma::OffloadId
+XfmDriver::xfmDecompress(std::uint64_t src, std::uint32_t size,
+                         std::uint64_t dst, std::uint32_t raw_size,
+                         Tick deadline)
+{
+    // The staged footprint of a decompression averages near its
+    // compressed size: the 4 KiB output exists in the SPM only
+    // between engine completion and the (already-armed) write-back.
+    if (!canAccept(size)) {
+        ++stats_.fallbacks;
+        return nma::invalidOffloadId;
+    }
+    nma::OffloadRequest req;
+    req.kind = nma::OffloadKind::Decompress;
+    req.srcAddr = src;
+    req.size = size;
+    req.dstAddr = dst;
+    req.rawSize = raw_size;
+    req.deadline = deadline;
+    return submitTracked(req, size);
+}
+
+void
+XfmDriver::commitWriteback(nma::OffloadId id, std::uint64_t dst)
+{
+    dev_.commitWriteback(id, dst);
+}
+
+void
+XfmDriver::abort(nma::OffloadId id)
+{
+    auto it = tracked_.find(id);
+    if (it != tracked_.end()) {
+        bound_ -= it->second;
+        tracked_.erase(it);
+    }
+    dev_.abort(id);
+}
+
+} // namespace xfmsys
+} // namespace xfm

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * XFM_Driver: the kernel-driver layer between the XFM backend and
+ * one XFM DIMM (paper Sec. 6).
+ *
+ * Exposes ioctl-style primitives (xfmParamset, xfmCompress,
+ * xfmDecompress) that translate to MMIO register accesses, and
+ * implements the *lazy occupancy accounting*: the driver tracks an
+ * upper bound on SPM usage locally and only issues an MMIO read of
+ * SP_Capacity_Register when the bound says the SPM is full. Tests
+ * assert the resulting MMIO read count stays low.
+ */
+
+#ifndef XFM_XFM_XFM_DRIVER_HH
+#define XFM_XFM_XFM_DRIVER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "nma/xfm_device.hh"
+
+namespace xfm
+{
+namespace xfmsys
+{
+
+/** Driver-level statistics. */
+struct DriverStats
+{
+    std::uint64_t offloadsSubmitted = 0;
+    std::uint64_t capacityRegisterReads = 0;  ///< lazy-sync MMIO reads
+    std::uint64_t fallbacks = 0;              ///< resources exhausted
+};
+
+/**
+ * Driver bound to one XfmDevice.
+ *
+ * The completion/writeback/drop callbacks of the device are owned
+ * by the driver, which re-exposes them; a backend must register its
+ * handlers here, not on the device.
+ */
+class XfmDriver
+{
+  public:
+    explicit XfmDriver(nma::XfmDevice &dev);
+
+    /** Configure the DIMM's SFM region (ioctl -> MMIO writes). */
+    void xfmParamset(std::uint64_t sfm_base, std::uint64_t sfm_bytes);
+
+    /** Register an NMA-accessible region (page registration). */
+    void xfmRegisterRegion(std::uint64_t base, std::uint64_t bytes);
+
+    /**
+     * True if the lazy bound says the SPM can host another offload
+     * of worst-case size @p worst_case. May sync via one MMIO read
+     * when the local bound is pessimistic.
+     */
+    bool canAccept(std::uint32_t worst_case);
+
+    /**
+     * Submit a compression offload.
+     * @return offload id or nma::invalidOffloadId (CPU fallback).
+     */
+    nma::OffloadId xfmCompress(std::uint64_t src, std::uint32_t size,
+                               Tick deadline);
+
+    /** Submit a decompression offload (destination known). */
+    nma::OffloadId xfmDecompress(std::uint64_t src, std::uint32_t size,
+                                 std::uint64_t dst,
+                                 std::uint32_t raw_size, Tick deadline);
+
+    /** Commit the write-back target of a completed compression. */
+    void commitWriteback(nma::OffloadId id, std::uint64_t dst);
+
+    /** Abandon an offload (releases local accounting too). */
+    void abort(nma::OffloadId id);
+
+    void
+    onComplete(nma::CompletionCallback cb)
+    {
+        on_complete_ = std::move(cb);
+    }
+    void
+    onWriteback(nma::WritebackCallback cb)
+    {
+        on_writeback_ = std::move(cb);
+    }
+    void
+    onDrop(std::function<void(nma::OffloadId)> cb)
+    {
+        on_drop_ = std::move(cb);
+    }
+
+    const DriverStats &stats() const { return stats_; }
+    nma::XfmDevice &device() { return dev_; }
+
+    /** Current local upper bound on SPM bytes in use. */
+    std::uint64_t occupancyBound() const { return bound_; }
+
+    /**
+     * Disable the lazy bound: read SP_Capacity_Register on every
+     * admission decision (ablation baseline; real drivers pay one
+     * MMIO round trip per offload in this mode).
+     */
+    void setAlwaysSync(bool enable) { always_sync_ = enable; }
+
+  private:
+    nma::OffloadId submitTracked(const nma::OffloadRequest &req,
+                                 std::uint32_t worst_case);
+
+    nma::XfmDevice &dev_;
+    bool always_sync_ = false;
+    std::uint64_t bound_ = 0;  ///< local SPM usage upper bound
+    /** Per-offload bytes counted in the bound. */
+    std::unordered_map<nma::OffloadId, std::uint32_t> tracked_;
+
+    nma::CompletionCallback on_complete_;
+    nma::WritebackCallback on_writeback_;
+    std::function<void(nma::OffloadId)> on_drop_;
+
+    DriverStats stats_;
+};
+
+} // namespace xfmsys
+} // namespace xfm
+
+#endif // XFM_XFM_XFM_DRIVER_HH

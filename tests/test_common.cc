@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Unit tests for the common library: logging, units, RNG, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace xfm
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config value ", 42), FatalError);
+}
+
+TEST(Logging, FatalMessageContainsArguments)
+{
+    try {
+        fatal("limit=", 17, " exceeded");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("limit=17"),
+                  std::string::npos);
+    }
+}
+
+TEST(Units, TimeConversionsExact)
+{
+    EXPECT_EQ(nanoseconds(1.0), 1000u);
+    EXPECT_EQ(microseconds(1.0), 1000000u);
+    EXPECT_EQ(milliseconds(32.0), 32000000000ull);
+    EXPECT_EQ(seconds(1.0), 1000000000000ull);
+    EXPECT_DOUBLE_EQ(ticksToNs(nanoseconds(410.0)), 410.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(milliseconds(32.0)), 32.0);
+}
+
+TEST(Units, ByteHelpers)
+{
+    EXPECT_EQ(kib(4), 4096u);
+    EXPECT_EQ(mib(2), 2097152u);
+    EXPECT_EQ(gib(1), 1073741824u);
+    EXPECT_EQ(tib(1), gib(1024));
+    EXPECT_EQ(pageBytes, kib(4));
+}
+
+TEST(Units, BandwidthConversion)
+{
+    // 25 bytes in 1 ns = 25 GB/s.
+    EXPECT_DOUBLE_EQ(bytesPerTickToGBps(25.0, nanoseconds(1.0)), 25.0);
+    EXPECT_DOUBLE_EQ(bytesPerTickToGBps(100.0, 0), 0.0);
+}
+
+TEST(Units, Formatters)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(kib(4)), "4.00 KiB");
+    EXPECT_EQ(formatBytes(mib(8)), "8.00 MiB");
+    EXPECT_EQ(formatTicks(nanoseconds(410.0)), "410.00 ns");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.chance(0.25))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng rng(17);
+    const std::uint64_t n = 1000;
+    std::uint64_t low = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        if (rng.zipf(n, 0.99) < n / 10)
+            ++low;
+    // With theta ~1, far more than 10% of mass is in the lowest 10%.
+    EXPECT_GT(static_cast<double>(low) / draws, 0.5);
+}
+
+TEST(Rng, ZipfZeroThetaIsUniform)
+{
+    Rng rng(19);
+    const std::uint64_t n = 10;
+    std::vector<int> hist(n, 0);
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        ++hist[rng.zipf(n, 0.0)];
+    for (auto h : hist)
+        EXPECT_NEAR(static_cast<double>(h) / draws, 0.1, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(23);
+    const double p = 0.2;
+    double sum = 0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // Mean of geometric (failures before success) is (1-p)/p = 4.
+    EXPECT_NEAR(sum / draws, 4.0, 0.15);
+}
+
+TEST(Stats, CounterBasics)
+{
+    stats::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageTracksMoments)
+{
+    stats::Average a;
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(9.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Stats, AverageEmptyIsZero)
+{
+    stats::Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Stats, HistogramBucketsAndTails)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    h.sample(-1.0);
+    h.sample(0.5);
+    h.sample(9.5);
+    h.sample(15.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Stats, HistogramPercentile)
+{
+    stats::Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
+}
+
+TEST(Stats, GroupRendersRows)
+{
+    stats::Group g("mygroup");
+    g.add("reads", std::uint64_t(10), "number of reads");
+    g.add("ratio", 2.5);
+    const std::string out = g.render();
+    EXPECT_NE(out.find("mygroup"), std::string::npos);
+    EXPECT_NE(out.find("reads"), std::string::npos);
+    EXPECT_NE(out.find("10"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+    EXPECT_NE(out.find("number of reads"), std::string::npos);
+}
+
+} // namespace
+} // namespace xfm
+
+#include "common/config.hh"
+
+namespace xfm
+{
+namespace
+{
+
+TEST(Config, ParsesKeysAndTypes)
+{
+    const auto cfg = Config::parseString(
+        "backend = xfm\n"
+        "pages=1024   # trailing comment\n"
+        "rate = 0.25\n"
+        "verbose = true\n");
+    EXPECT_EQ(cfg.getString("backend"), "xfm");
+    EXPECT_EQ(cfg.getU64("pages"), 1024u);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("rate"), 0.25);
+    EXPECT_TRUE(cfg.getBool("verbose"));
+}
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    const auto cfg = Config::parseString("");
+    EXPECT_EQ(cfg.getString("x", "d"), "d");
+    EXPECT_EQ(cfg.getU64("y", 7), 7u);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("z", 1.5), 1.5);
+    EXPECT_FALSE(cfg.getBool("w", false));
+    EXPECT_FALSE(cfg.has("x"));
+}
+
+TEST(Config, MalformedLineFatal)
+{
+    EXPECT_THROW(Config::parseString("just a line\n"), FatalError);
+    EXPECT_THROW(Config::parseString("= value\n"), FatalError);
+}
+
+TEST(Config, BadTypesFatal)
+{
+    const auto cfg = Config::parseString("n = abc\nb = maybe\n");
+    EXPECT_THROW(cfg.getU64("n"), FatalError);
+    EXPECT_THROW(cfg.getDouble("n"), FatalError);
+    EXPECT_THROW(cfg.getBool("b"), FatalError);
+}
+
+TEST(Config, LastValueWinsAndOrderKept)
+{
+    const auto cfg = Config::parseString("a = 1\nb = 2\na = 3\n");
+    EXPECT_EQ(cfg.getU64("a"), 3u);
+    const auto keys = cfg.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "a");
+    EXPECT_EQ(keys[1], "b");
+}
+
+TEST(Config, TracksUnconsumedKeys)
+{
+    const auto cfg = Config::parseString("used = 1\ntypo = 2\n");
+    cfg.getU64("used");
+    const auto unused = cfg.unconsumedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Config, BooleanSpellings)
+{
+    const auto cfg = Config::parseString(
+        "a = TRUE\nb = off\nc = 1\nd = No\n");
+    EXPECT_TRUE(cfg.getBool("a"));
+    EXPECT_FALSE(cfg.getBool("b"));
+    EXPECT_TRUE(cfg.getBool("c"));
+    EXPECT_FALSE(cfg.getBool("d"));
+}
+
+} // namespace
+} // namespace xfm

@@ -1,0 +1,659 @@
+/**
+ * @file
+ * Unit and property tests for the compression library: bitstream,
+ * Huffman, LZ77, and the three codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "compress/bitstream.hh"
+#include "compress/compressor.hh"
+#include "compress/corpus.hh"
+#include "compress/deflate.hh"
+#include "compress/huffman.hh"
+#include "compress/lz77.hh"
+#include "compress/lzfast.hh"
+#include "compress/zstdlike.hh"
+
+namespace xfm
+{
+namespace compress
+{
+namespace
+{
+
+Bytes
+toBytes(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------- bitstream
+
+TEST(Bitstream, RoundTripMixedWidths)
+{
+    Bytes buf;
+    BitWriter bw(buf);
+    bw.put(0b101, 3);
+    bw.put(0xABCD, 16);
+    bw.put(1, 1);
+    bw.put(0x7FFFFFFF, 31);
+    bw.flush();
+
+    BitReader br(buf);
+    EXPECT_EQ(br.get(3), 0b101u);
+    EXPECT_EQ(br.get(16), 0xABCDu);
+    EXPECT_EQ(br.get(1), 1u);
+    EXPECT_EQ(br.get(31), 0x7FFFFFFFu);
+}
+
+TEST(Bitstream, TruncationIsFatal)
+{
+    Bytes buf;
+    BitWriter bw(buf);
+    bw.put(0xF, 4);
+    bw.flush();
+    BitReader br(buf);
+    br.get(8);
+    EXPECT_THROW(br.get(8), FatalError);
+}
+
+TEST(Bitstream, PeekDoesNotConsume)
+{
+    Bytes buf;
+    BitWriter bw(buf);
+    bw.put(0x5A, 8);
+    bw.flush();
+    BitReader br(buf);
+    EXPECT_EQ(br.peek(4), 0xAu);
+    EXPECT_EQ(br.peek(4), 0xAu);
+    br.skip(4);
+    EXPECT_EQ(br.get(4), 0x5u);
+}
+
+TEST(Bitstream, AlignedByteOffsetIgnoresPeekBuffering)
+{
+    Bytes buf;
+    BitWriter bw(buf);
+    bw.put(0x3, 2);
+    bw.flush();
+    buf.push_back(0x77);  // trailing data beyond the flushed section
+    BitReader br(buf);
+    br.peek(15);  // buffers both bytes
+    br.skip(2);
+    EXPECT_EQ(br.alignedByteOffset(), 1u);
+}
+
+TEST(Bitstream, RandomRoundTrip)
+{
+    Rng rng(99);
+    std::vector<std::pair<std::uint32_t, unsigned>> items;
+    Bytes buf;
+    BitWriter bw(buf);
+    for (int i = 0; i < 1000; ++i) {
+        const unsigned nbits = 1 + rng.uniformInt(24);
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(rng.next())
+            & ((1u << nbits) - 1);
+        items.emplace_back(v, nbits);
+        bw.put(v, nbits);
+    }
+    bw.flush();
+    BitReader br(buf);
+    for (auto [v, nbits] : items)
+        EXPECT_EQ(br.get(nbits), v);
+}
+
+// ----------------------------------------------------------------- huffman
+
+TEST(Huffman, LengthsSatisfyKraft)
+{
+    std::vector<std::uint64_t> counts(256, 0);
+    Rng rng(5);
+    for (auto &c : counts)
+        c = rng.uniformInt(1000);
+    const auto lengths = huffmanCodeLengths(counts);
+    double kraft = 0;
+    for (std::size_t i = 0; i < lengths.size(); ++i) {
+        if (counts[i] > 0) {
+            EXPECT_GT(lengths[i], 0u);
+            EXPECT_LE(lengths[i], maxCodeLength);
+            kraft += std::pow(2.0, -double(lengths[i]));
+        } else {
+            EXPECT_EQ(lengths[i], 0u);
+        }
+    }
+    EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, SingleSymbolGetsLengthOne)
+{
+    std::vector<std::uint64_t> counts(10, 0);
+    counts[7] = 42;
+    const auto lengths = huffmanCodeLengths(counts);
+    EXPECT_EQ(lengths[7], 1u);
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        if (i != 7)
+            EXPECT_EQ(lengths[i], 0u);
+}
+
+TEST(Huffman, EmptyAlphabetAllZero)
+{
+    std::vector<std::uint64_t> counts(16, 0);
+    const auto lengths = huffmanCodeLengths(counts);
+    EXPECT_TRUE(std::all_of(lengths.begin(), lengths.end(),
+                            [](auto l) { return l == 0; }));
+}
+
+TEST(Huffman, SkewedDistributionShorterCodesForFrequent)
+{
+    std::vector<std::uint64_t> counts = {1000, 100, 10, 1};
+    const auto lengths = huffmanCodeLengths(counts);
+    EXPECT_LE(lengths[0], lengths[1]);
+    EXPECT_LE(lengths[1], lengths[2]);
+    EXPECT_LE(lengths[2], lengths[3]);
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip)
+{
+    Rng rng(21);
+    std::vector<std::uint64_t> counts(64, 0);
+    std::vector<std::uint32_t> symbols;
+    for (int i = 0; i < 5000; ++i) {
+        const auto s = static_cast<std::uint32_t>(rng.zipf(64, 0.8));
+        symbols.push_back(s);
+        ++counts[s];
+    }
+    const auto lengths = huffmanCodeLengths(counts);
+    HuffmanEncoder enc(lengths);
+    HuffmanDecoder dec(lengths);
+    Bytes buf;
+    BitWriter bw(buf);
+    for (auto s : symbols)
+        enc.encode(bw, s);
+    bw.flush();
+    BitReader br(buf);
+    for (auto s : symbols)
+        EXPECT_EQ(dec.decode(br), s);
+}
+
+TEST(Huffman, ManySymbolsLengthLimited)
+{
+    // Exponential counts would produce > 15-bit codes without the
+    // length-limit repair.
+    std::vector<std::uint64_t> counts(40);
+    std::uint64_t v = 1;
+    for (auto &c : counts) {
+        c = v;
+        v = std::min<std::uint64_t>(v * 2, std::uint64_t(1) << 60);
+    }
+    const auto lengths = huffmanCodeLengths(counts);
+    for (auto l : lengths)
+        EXPECT_LE(l, maxCodeLength);
+    // Still decodable end to end.
+    HuffmanEncoder enc(lengths);
+    HuffmanDecoder dec(lengths);
+    Bytes buf;
+    BitWriter bw(buf);
+    for (std::uint32_t s = 0; s < counts.size(); ++s)
+        enc.encode(bw, s);
+    bw.flush();
+    BitReader br(buf);
+    for (std::uint32_t s = 0; s < counts.size(); ++s)
+        EXPECT_EQ(dec.decode(br), s);
+}
+
+TEST(Huffman, CodeLengthRleRoundTrip)
+{
+    std::vector<std::uint8_t> lengths = {
+        0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // long zero run
+        5, 5, 5, 5, 5,                        // repeat run
+        7, 3, 0, 0, 9,                        // singletons + short zeros
+    };
+    lengths.resize(300, 0);  // long zero tail (needs code 18 chains)
+    Bytes buf;
+    BitWriter bw(buf);
+    writeCodeLengthsRle(bw, lengths);
+    bw.flush();
+    BitReader br(buf);
+    EXPECT_EQ(readCodeLengthsRle(br, lengths.size()), lengths);
+}
+
+// -------------------------------------------------------------------- lz77
+
+TEST(Lz77, LiteralOnlyForShortInput)
+{
+    const Bytes in = toBytes("ab");
+    const auto tokens = lz77Tokenize(in, Lz77Params{});
+    ASSERT_EQ(tokens.size(), 2u);
+    EXPECT_FALSE(tokens[0].isMatch);
+    EXPECT_FALSE(tokens[1].isMatch);
+    EXPECT_EQ(lz77Reconstruct(tokens), in);
+}
+
+TEST(Lz77, FindsRepeats)
+{
+    const Bytes in = toBytes("abcdefabcdefabcdef");
+    const auto tokens = lz77Tokenize(in, Lz77Params{});
+    const auto matches = std::count_if(
+        tokens.begin(), tokens.end(),
+        [](const auto &t) { return t.isMatch; });
+    EXPECT_GE(matches, 1);
+    EXPECT_EQ(lz77Reconstruct(tokens), in);
+}
+
+TEST(Lz77, OverlappingMatchRle)
+{
+    // 'aaaa...' forces distance-1 overlapping matches.
+    const Bytes in(500, 'a');
+    const auto tokens = lz77Tokenize(in, Lz77Params{});
+    EXPECT_LT(tokens.size(), 20u);
+    EXPECT_EQ(lz77Reconstruct(tokens), in);
+}
+
+TEST(Lz77, WindowLimitsDistance)
+{
+    Lz77Params params;
+    params.windowBytes = 64;
+    Rng rng(3);
+    Bytes in;
+    for (int i = 0; i < 2000; ++i)
+        in.push_back(static_cast<std::uint8_t>(rng.uniformInt(4)));
+    const auto tokens = lz77Tokenize(in, params);
+    for (const auto &t : tokens) {
+        if (t.isMatch)
+            EXPECT_LE(t.distance, 64u);
+    }
+    EXPECT_EQ(lz77Reconstruct(tokens), in);
+}
+
+TEST(Lz77, MaxMatchRespected)
+{
+    Lz77Params params;
+    params.maxMatch = 16;
+    const Bytes in(1000, 'x');
+    const auto tokens = lz77Tokenize(in, params);
+    for (const auto &t : tokens) {
+        if (t.isMatch)
+            EXPECT_LE(t.length, 16u);
+    }
+    EXPECT_EQ(lz77Reconstruct(tokens), in);
+}
+
+TEST(Lz77, EmptyInput)
+{
+    const auto tokens = lz77Tokenize({}, Lz77Params{});
+    EXPECT_TRUE(tokens.empty());
+    EXPECT_TRUE(lz77Reconstruct(tokens).empty());
+}
+
+TEST(Lz77, ReconstructRejectsBadDistance)
+{
+    std::vector<Lz77Token> tokens = {
+        {false, 'a', 0, 0},
+        {true, 0, 5, 10},  // distance beyond output
+    };
+    EXPECT_THROW(lz77Reconstruct(tokens), FatalError);
+}
+
+// ------------------------------------------------------------------ codecs
+
+class CodecTest : public ::testing::TestWithParam<Algorithm>
+{
+  protected:
+    std::unique_ptr<Compressor> codec_ = makeCompressor(GetParam());
+
+    void
+    roundTrip(const Bytes &in)
+    {
+        const Bytes block = codec_->compress(in);
+        const Bytes out = codec_->decompress(block);
+        ASSERT_EQ(out, in) << "round-trip failed for "
+                           << algorithmName(GetParam());
+    }
+};
+
+TEST_P(CodecTest, RoundTripEmpty)
+{
+    roundTrip({});
+}
+
+TEST_P(CodecTest, RoundTripSingleByte)
+{
+    roundTrip({0x42});
+}
+
+TEST_P(CodecTest, RoundTripAllSameByte)
+{
+    roundTrip(Bytes(4096, 0xAA));
+    roundTrip(Bytes(4096, 0x00));
+}
+
+TEST_P(CodecTest, RoundTripShortStrings)
+{
+    for (std::size_t n = 0; n < 64; ++n) {
+        Bytes in;
+        for (std::size_t i = 0; i < n; ++i)
+            in.push_back(static_cast<std::uint8_t>('a' + i % 3));
+        roundTrip(in);
+    }
+}
+
+TEST_P(CodecTest, RoundTripRandomIncompressible)
+{
+    Rng rng(31);
+    Bytes in;
+    for (int i = 0; i < 4096; ++i)
+        in.push_back(static_cast<std::uint8_t>(rng.next()));
+    roundTrip(in);
+    // Incompressible data must not blow up beyond header overhead.
+    const Bytes block = codec_->compress(in);
+    EXPECT_LE(block.size(), in.size() + 16);
+}
+
+TEST_P(CodecTest, RoundTripAllByteValues)
+{
+    Bytes in;
+    for (int rep = 0; rep < 16; ++rep)
+        for (int b = 0; b < 256; ++b)
+            in.push_back(static_cast<std::uint8_t>(b));
+    roundTrip(in);
+}
+
+TEST_P(CodecTest, CompressesRepetitiveData)
+{
+    Bytes in;
+    const std::string unit = "the quick brown fox jumps over the dog. ";
+    while (in.size() < 4096)
+        in.insert(in.end(), unit.begin(), unit.end());
+    in.resize(4096);
+    const Bytes block = codec_->compress(in);
+    EXPECT_LT(block.size(), in.size() / 4);
+    roundTrip(in);
+}
+
+TEST_P(CodecTest, RoundTripAllCorpora)
+{
+    for (auto kind : allCorpusKinds()) {
+        const Bytes corpus = generateCorpus(kind, 1234, 16 * 1024);
+        roundTrip(corpus);
+    }
+}
+
+TEST_P(CodecTest, RoundTripPageSlices)
+{
+    const Bytes corpus =
+        generateCorpus(CorpusKind::Json, 77, 64 * 1024);
+    for (const auto &page : paginate(corpus))
+        roundTrip(page);
+}
+
+TEST_P(CodecTest, DecompressRejectsGarbage)
+{
+    Rng rng(41);
+    Bytes garbage;
+    garbage.push_back(0x7F);  // invalid mode byte for every codec
+    for (int i = 0; i < 64; ++i)
+        garbage.push_back(static_cast<std::uint8_t>(rng.next()));
+    EXPECT_THROW(codec_->decompress(garbage), FatalError);
+    EXPECT_THROW(codec_->decompress({}), FatalError);
+}
+
+TEST_P(CodecTest, DecompressRejectsTruncatedBlock)
+{
+    const Bytes corpus =
+        generateCorpus(CorpusKind::EnglishText, 5, 4096);
+    Bytes block = codec_->compress(corpus);
+    block.resize(block.size() / 2);
+    EXPECT_THROW(codec_->decompress(block), FatalError);
+}
+
+TEST_P(CodecTest, Deterministic)
+{
+    const Bytes corpus = generateCorpus(CorpusKind::Html, 9, 8192);
+    EXPECT_EQ(codec_->compress(corpus), codec_->compress(corpus));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecTest,
+    ::testing::Values(Algorithm::LzFast, Algorithm::Deflate,
+                      Algorithm::ZstdLike),
+    [](const auto &info) { return algorithmName(info.param); });
+
+// ------------------------------------------------------- codec comparisons
+
+TEST(CodecComparison, ZstdLikeBeatsLzFastOnText)
+{
+    const Bytes corpus =
+        generateCorpus(CorpusKind::EnglishText, 55, 64 * 1024);
+    LzFastCodec fast;
+    ZstdLikeCodec zstd;
+    EXPECT_LT(zstd.compress(corpus).size(),
+              fast.compress(corpus).size());
+}
+
+TEST(CodecComparison, WindowTruncationHurtsRatio)
+{
+    const Bytes corpus =
+        generateCorpus(CorpusKind::EnglishText, 66, 32 * 1024);
+    DeflateCodec wide(32 * 1024);
+    DeflateCodec narrow(1024);
+    EXPECT_LE(wide.compress(corpus).size(),
+              narrow.compress(corpus).size() + 16);
+}
+
+TEST(CodecComparison, CpuCostCalibration)
+{
+    // EQ3.4: average of zstd/lzo compress+decompress cycles per byte
+    // is 7.65 (7.65e9 cycles per GB).
+    const auto z = cpuCost(Algorithm::ZstdLike);
+    const auto l = cpuCost(Algorithm::LzFast);
+    const double avg = (z.compressCyclesPerByte + z.decompressCyclesPerByte
+                        + l.compressCyclesPerByte
+                        + l.decompressCyclesPerByte) / 4.0;
+    EXPECT_NEAR(avg, 7.65, 1e-9);
+}
+
+TEST(CodecComparison, FactoryReturnsRightAlgorithm)
+{
+    for (auto a : {Algorithm::LzFast, Algorithm::Deflate,
+                   Algorithm::ZstdLike}) {
+        EXPECT_EQ(makeCompressor(a)->algorithm(), a);
+    }
+}
+
+TEST(CodecComparison, RatioHelper)
+{
+    EXPECT_DOUBLE_EQ(ratio(4096, 1024), 4.0);
+    EXPECT_DOUBLE_EQ(ratio(4096, 0), 0.0);
+}
+
+} // namespace
+} // namespace compress
+} // namespace xfm
+
+#include "compress/incremental.hh"
+
+namespace xfm
+{
+namespace compress
+{
+namespace
+{
+
+TEST(Incremental, ChunkedRoundTrip)
+{
+    const Bytes corpus =
+        generateCorpus(CorpusKind::EnglishText, 12, 64 * 1024);
+    IncrementalCompressor comp;
+    IncrementalDecompressor dec;
+    for (std::size_t off = 0; off < corpus.size(); off += 4096) {
+        const std::size_t len =
+            std::min<std::size_t>(4096, corpus.size() - off);
+        const Bytes seg = comp.addChunk(
+            ByteSpan(corpus.data() + off, len));
+        const Bytes chunk = dec.addSegment(seg);
+        ASSERT_EQ(chunk,
+                  Bytes(corpus.begin() + off,
+                        corpus.begin() + off + len));
+    }
+    EXPECT_EQ(comp.historyBytes(), corpus.size());
+    EXPECT_EQ(dec.historyBytes(), corpus.size());
+}
+
+TEST(Incremental, SharedHistoryBeatsIndependentChunks)
+{
+    // Identical chunks: with shared history every later chunk is a
+    // single long back-reference; independent compression pays the
+    // full cost each time.
+    const Bytes chunk =
+        generateCorpus(CorpusKind::LogLines, 3, 4096);
+    IncrementalCompressor shared;
+    std::size_t shared_bytes = 0;
+    std::size_t independent_bytes = 0;
+    LzFastCodec independent;
+    for (int i = 0; i < 8; ++i) {
+        shared_bytes += shared.addChunk(chunk).size();
+        independent_bytes += independent.compress(chunk).size();
+    }
+    EXPECT_LT(shared_bytes, independent_bytes / 2);
+}
+
+TEST(Incremental, CrossChunkMatchesReachFullHistory)
+{
+    // First chunk unique, second chunk repeats it exactly: the
+    // second segment must be tiny (one giant match).
+    Rng rng(8);
+    Bytes chunk(8192);
+    for (auto &b : chunk)
+        b = static_cast<std::uint8_t>(rng.uniformInt(250));
+    IncrementalCompressor comp;
+    const Bytes first = comp.addChunk(chunk);
+    const Bytes second = comp.addChunk(chunk);
+    EXPECT_LT(second.size(), 64u);
+    EXPECT_GT(first.size(), 1000u);
+
+    IncrementalDecompressor dec;
+    EXPECT_EQ(dec.addSegment(first), chunk);
+    EXPECT_EQ(dec.addSegment(second), chunk);
+}
+
+TEST(Incremental, EmptyChunkAllowed)
+{
+    IncrementalCompressor comp;
+    IncrementalDecompressor dec;
+    const Bytes seg = comp.addChunk({});
+    EXPECT_TRUE(dec.addSegment(seg).empty());
+}
+
+TEST(Incremental, OutOfOrderSegmentFails)
+{
+    const Bytes chunk = generateCorpus(CorpusKind::Json, 5, 4096);
+    IncrementalCompressor comp;
+    comp.addChunk(chunk);                     // establishes history
+    const Bytes second = comp.addChunk(chunk);
+    IncrementalDecompressor dec;
+    // Feeding segment 2 without segment 1's history: distances
+    // reach beyond what the decoder has.
+    EXPECT_THROW(dec.addSegment(second), FatalError);
+}
+
+TEST(Lz77Suffix, PrefixProducesNoTokens)
+{
+    const Bytes data = generateCorpus(CorpusKind::Html, 2, 8192);
+    const auto all = lz77Tokenize(data, Lz77Params{});
+    const auto tail =
+        lz77TokenizeSuffix(data, Lz77Params{}, 4096);
+    // The suffix token stream covers exactly the last 4096 bytes.
+    std::size_t covered = 0;
+    for (const auto &t : tail)
+        covered += t.isMatch ? t.length : 1;
+    EXPECT_EQ(covered, 4096u);
+    EXPECT_LT(tail.size(), all.size());
+}
+
+} // namespace
+} // namespace compress
+} // namespace xfm
+
+namespace xfm
+{
+namespace compress
+{
+namespace
+{
+
+/** Corrupt-input robustness: decompression of damaged or foreign
+ *  blocks must either throw FatalError or return data — never
+ *  crash, hang, or read out of bounds. */
+class CodecRobustness : public ::testing::TestWithParam<Algorithm>
+{
+  protected:
+    std::unique_ptr<Compressor> codec_ = makeCompressor(GetParam());
+};
+
+TEST_P(CodecRobustness, SingleByteCorruptionNeverCrashes)
+{
+    const Bytes page =
+        generateCorpus(CorpusKind::EnglishText, 31, 4096);
+    const Bytes block = codec_->compress(page);
+    Rng rng(37);
+    for (int trial = 0; trial < 200; ++trial) {
+        Bytes damaged = block;
+        const auto pos = rng.uniformInt(damaged.size());
+        damaged[pos] ^= static_cast<std::uint8_t>(
+            1 + rng.uniformInt(255));
+        try {
+            const Bytes out = codec_->decompress(damaged);
+            (void)out;  // silently-wrong output is acceptable here
+        } catch (const FatalError &) {
+            // clean rejection is the expected common case
+        }
+    }
+}
+
+TEST_P(CodecRobustness, RandomGarbageNeverCrashes)
+{
+    Rng rng(41);
+    for (int trial = 0; trial < 200; ++trial) {
+        Bytes garbage(1 + rng.uniformInt(512));
+        for (auto &b : garbage)
+            b = static_cast<std::uint8_t>(rng.next());
+        try {
+            codec_->decompress(garbage);
+        } catch (const FatalError &) {
+        }
+    }
+}
+
+TEST_P(CodecRobustness, ForeignBlocksRejectedOrHarmless)
+{
+    // Feed every codec blocks produced by the other two.
+    const Bytes page = generateCorpus(CorpusKind::Json, 43, 4096);
+    for (auto other : {Algorithm::LzFast, Algorithm::Deflate,
+                       Algorithm::ZstdLike}) {
+        if (other == GetParam())
+            continue;
+        const Bytes foreign = makeCompressor(other)->compress(page);
+        try {
+            codec_->decompress(foreign);
+        } catch (const FatalError &) {
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecRobustness,
+    ::testing::Values(Algorithm::LzFast, Algorithm::Deflate,
+                      Algorithm::ZstdLike),
+    [](const auto &info) { return algorithmName(info.param); });
+
+} // namespace
+} // namespace compress
+} // namespace xfm

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the Sec. 3.1 cost/emission model (EQ1-EQ5, Fig. 3) and
+ * the Table 2/3 overhead estimates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.hh"
+
+namespace xfm
+{
+namespace costmodel
+{
+namespace
+{
+
+CostParams
+at(double promotion_rate)
+{
+    CostParams p;
+    p.promotionRate = promotion_rate;
+    return p;
+}
+
+TEST(CostModel, Eq1GbSwappedPerMin)
+{
+    FarMemoryCostModel m(at(0.2));
+    // 512 GB x 20% = 102.4 GB/min (paper Sec. 2.1 example).
+    EXPECT_NEAR(m.gbSwappedPerMin(), 102.4, 1e-9);
+}
+
+TEST(CostModel, CpuFractionScalesWithRate)
+{
+    FarMemoryCostModel half(at(0.5));
+    FarMemoryCostModel full(at(1.0));
+    EXPECT_NEAR(full.cpuFractionNeeded(),
+                2.0 * half.cpuFractionNeeded(), 1e-12);
+    // 512 GB/min at 7.65e9 cycles/GB needs more than one 16-core
+    // CPU's worth of cycles.
+    EXPECT_GT(full.cpuFractionNeeded(), 1.0);
+}
+
+TEST(CostModel, SfmBandwidthMatchesPaperHeadline)
+{
+    // Intro: "memory bandwidth utilization ... can reach up to
+    // 34 GBps" for a 512 GB SFM.
+    FarMemoryCostModel m(at(1.0));
+    EXPECT_NEAR(m.sfmMemoryBandwidthGBps(), 34.1, 0.5);
+}
+
+TEST(CostModel, CostBreakEvenNearEightAndAHalfYears)
+{
+    // Fig. 3: at a 100% promotion rate SFM stays cheaper than
+    // DFM-DRAM for ~8.5 years.
+    FarMemoryCostModel m(at(1.0));
+    const double be = m.costBreakEvenYears(DfmTech::Dram);
+    EXPECT_GT(be, 7.5);
+    EXPECT_LT(be, 9.5);
+}
+
+TEST(CostModel, SfmCheaperThanDfmWithinServerLifetime)
+{
+    FarMemoryCostModel m(at(1.0));
+    for (double years : {1.0, 3.0, 5.0}) {
+        EXPECT_LT(m.sfm(years).totalUSD(),
+                  m.dfm(DfmTech::Dram, years).totalUSD())
+            << "year " << years;
+    }
+}
+
+TEST(CostModel, LowPromotionRateNeverBreaksEven)
+{
+    // At 20% (realistic per Google's fleet) SFM remains cheaper
+    // than both DFM flavours over any horizon we care about.
+    FarMemoryCostModel m(at(0.2));
+    EXPECT_LT(m.costBreakEvenYears(DfmTech::Dram, 30.0), 0.0);
+    EXPECT_LT(m.costBreakEvenYears(DfmTech::Pmem, 30.0), 0.0);
+}
+
+TEST(CostModel, EmissionNeverBreaksEvenWithinLifetime)
+{
+    // Fig. 3: DRAM-based DFM and SFM never break even in emissions
+    // during the 5-year server lifetime.
+    for (double rate : {0.2, 1.0}) {
+        FarMemoryCostModel m(at(rate));
+        const double be = m.emissionBreakEvenYears(DfmTech::Dram);
+        EXPECT_TRUE(be < 0.0 || be > 5.0) << "rate " << rate;
+    }
+}
+
+TEST(CostModel, PmemEmissionBreakEvenTakesYears)
+{
+    // "Even with PMem, it can take several years for SFM with a 20%
+    // promotion rate to break even in emissions."
+    FarMemoryCostModel m(at(0.2));
+    const double be = m.emissionBreakEvenYears(DfmTech::Pmem);
+    EXPECT_TRUE(be < 0.0 || be > 2.0);
+}
+
+TEST(CostModel, AcceleratorBreakEvenSingleDigitPercent)
+{
+    // Sec. 3.2: an integrated accelerator pays off above a ~6%
+    // promotion rate for a 512 GB SFM.
+    FarMemoryCostModel m(at(1.0));
+    const double rate = m.acceleratorBreakEvenPromotionRate();
+    EXPECT_GT(rate, 0.02);
+    EXPECT_LT(rate, 0.10);
+}
+
+TEST(CostModel, DfmCapitalDominatedByModules)
+{
+    FarMemoryCostModel m(at(1.0));
+    const auto b = m.dfm(DfmTech::Dram, 1.0);
+    EXPECT_GT(b.capitalUSD, b.operationalUSD);
+    EXPECT_NEAR(b.capitalUSD, 512.0 * m.params().dramCostPerGB, 1e-6);
+}
+
+TEST(CostModel, PmemCheaperCapitalThanDram)
+{
+    FarMemoryCostModel m(at(1.0));
+    EXPECT_LT(m.dfm(DfmTech::Pmem, 0.0).totalUSD(),
+              m.dfm(DfmTech::Dram, 0.0).totalUSD());
+    EXPECT_LT(m.dfm(DfmTech::Pmem, 0.0).totalKgCO2(),
+              m.dfm(DfmTech::Dram, 0.0).totalKgCO2());
+}
+
+TEST(CostModel, CostsMonotoneInTime)
+{
+    FarMemoryCostModel m(at(0.5));
+    double prev_sfm = -1.0;
+    double prev_dfm = -1.0;
+    for (double y = 0.0; y <= 10.0; y += 1.0) {
+        const double s = m.sfm(y).totalUSD();
+        const double d = m.dfm(DfmTech::Dram, y).totalUSD();
+        EXPECT_GT(s, prev_sfm);
+        EXPECT_GT(d, prev_dfm);
+        prev_sfm = s;
+        prev_dfm = d;
+    }
+}
+
+TEST(CostModel, Fig3SweepNormalisedToDfmDram)
+{
+    const auto rows = fig3Sweep(CostParams{}, {1.0, 5.0, 8.5},
+                                {0.2, 1.0});
+    ASSERT_EQ(rows.size(), 6u);
+    for (const auto &r : rows) {
+        EXPECT_DOUBLE_EQ(r.dfmDramCost, 1.0);
+        EXPECT_DOUBLE_EQ(r.dfmDramEmission, 1.0);
+        EXPECT_GT(r.sfmCost, 0.0);
+        EXPECT_LT(r.dfmPmemCost, 1.0);  // PMem cheaper than DRAM
+    }
+    // At 20% and 5 years SFM is far cheaper than the DFM baseline.
+    for (const auto &r : rows) {
+        if (r.promotionRate == 0.2 && r.years == 5.0)
+            EXPECT_LT(r.sfmCost, 0.5);
+    }
+}
+
+TEST(OverheadModel, Table2FpgaUtilization)
+{
+    const auto u = estimateFpgaUtilization();
+    // Table 2: 435467 LUTs (83.3%), 94135 FFs (9.0%), 51 BRAM.
+    EXPECT_NEAR(static_cast<double>(u.luts), 435467.0, 10000.0);
+    EXPECT_NEAR(u.lutPercent(), 83.3, 2.0);
+    EXPECT_NEAR(static_cast<double>(u.ffs), 94135.0, 4000.0);
+    EXPECT_NEAR(u.ffPercent(), 9.0, 0.5);
+    EXPECT_NEAR(static_cast<double>(u.bram), 51.0, 4.0);
+}
+
+TEST(OverheadModel, Table3Power)
+{
+    const auto p = estimateFpgaPower();
+    // Table 3: 5.718 W dynamic (81%), 1.306 W static (19%).
+    EXPECT_NEAR(p.dynamicWatts, 5.718, 0.01);
+    EXPECT_NEAR(p.staticWatts, 1.306, 0.01);
+    EXPECT_NEAR(p.totalWatts(), 7.024, 0.02);
+    EXPECT_NEAR(p.dynamicPercent(), 81.0, 1.0);
+}
+
+TEST(OverheadModel, DramOverheadTiny)
+{
+    const auto o = estimateDramOverhead();
+    // Sec. 8: ~0.15% area, ~0.002% power.
+    EXPECT_LE(o.areaPercent, 0.15 + 1e-9);
+    EXPECT_GT(o.areaPercent, 0.0);
+    EXPECT_NEAR(o.powerPercent, 0.002, 1e-6);
+}
+
+TEST(OverheadModel, UtilizationScalesWithThroughput)
+{
+    const auto small = estimateFpgaUtilization(0.7, 0.85);
+    const auto big = estimateFpgaUtilization(2.8, 3.4);
+    EXPECT_LT(small.luts, big.luts);
+    EXPECT_LT(small.ffs, big.ffs);
+}
+
+} // namespace
+} // namespace costmodel
+} // namespace xfm
+
+namespace xfm
+{
+namespace costmodel
+{
+namespace
+{
+
+TEST(DataMovementEnergy, SixtyNinePercentSavings)
+{
+    // Sec. 4.3: on-DIMM movement cuts data-movement energy by 69%.
+    DataMovementEnergy e;
+    EXPECT_NEAR(e.savingsFraction(), 0.69, 0.01);
+    EXPECT_LT(e.nmaPathJoules(1e9), e.cpuPathJoules(1e9));
+}
+
+TEST(DataMovementEnergy, ScalesLinearly)
+{
+    DataMovementEnergy e;
+    EXPECT_DOUBLE_EQ(e.cpuPathJoules(2e9), 2.0 * e.cpuPathJoules(1e9));
+    EXPECT_DOUBLE_EQ(e.nmaPathJoules(2e9), 2.0 * e.nmaPathJoules(1e9));
+}
+
+} // namespace
+} // namespace costmodel
+} // namespace xfm

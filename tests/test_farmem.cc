@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the AIFM-style FarArray container: transparent faulting,
+ * data integrity across demote/promote cycles, and prefetch-driven
+ * scans.
+ */
+
+#include <gtest/gtest.h>
+
+#include "farmem/far_array.hh"
+
+namespace xfm
+{
+namespace farmem
+{
+namespace
+{
+
+system::SystemConfig
+arrayConfig()
+{
+    system::SystemConfig cfg;
+    cfg.backend = system::BackendKind::Xfm;
+    cfg.pages = 64;
+    cfg.sfmBytes = mib(8);
+    cfg.controller.coldThreshold = milliseconds(5.0);
+    cfg.controller.scanInterval = milliseconds(1.0);
+    cfg.controller.prefetchDepth = 2;
+    return cfg;
+}
+
+class FarArrayTest : public ::testing::Test
+{
+  protected:
+    FarArrayTest() : sys_("sys", eq_, arrayConfig())
+    {
+        sys_.start();
+    }
+
+    EventQueue eq_;
+    system::System sys_;
+};
+
+TEST_F(FarArrayTest, WriteReadRoundTrip)
+{
+    FarArray<std::int64_t> arr(sys_, 0, 10000);
+    for (std::uint64_t i = 0; i < 10000; i += 97)
+        arr.write(i, static_cast<std::int64_t>(i * 3));
+    for (std::uint64_t i = 0; i < 10000; i += 97)
+        EXPECT_EQ(arr.read(i), static_cast<std::int64_t>(i * 3));
+    EXPECT_EQ(arr.stats().faults, 0u);  // everything stayed local
+}
+
+TEST_F(FarArrayTest, SpansExpectedPages)
+{
+    FarArray<std::int64_t> arr(sys_, 0, 10000);
+    // 10000 x 8 B = 80000 B -> 20 pages.
+    EXPECT_EQ(arr.pages(), 20u);
+}
+
+TEST_F(FarArrayTest, SurvivesDemotionTransparently)
+{
+    FarArray<std::int64_t> arr(sys_, 0, 8192);
+    for (std::uint64_t i = 0; i < 8192; ++i)
+        arr.write(i, static_cast<std::int64_t>(i ^ 0x5A5A));
+
+    // Let the cold scanner demote the whole array.
+    eq_.run(eq_.now() + milliseconds(60.0));
+    ASSERT_GT(sys_.backend().farPageCount(), 0u);
+
+    // Reads transparently fault pages back and see the same data.
+    for (std::uint64_t i = 0; i < 8192; i += 513)
+        EXPECT_EQ(arr.read(i),
+                  static_cast<std::int64_t>(i ^ 0x5A5A));
+    EXPECT_GT(arr.stats().faults, 0u);
+    EXPECT_GT(arr.stats().faultWaitTicks, 0u);
+}
+
+TEST_F(FarArrayTest, SequentialScanBenefitsFromPrefetch)
+{
+    FarArray<std::int64_t> arr(sys_, 0, 16384);  // 32 pages
+    for (std::uint64_t i = 0; i < 16384; ++i)
+        arr.write(i, 1);
+    eq_.run(eq_.now() + milliseconds(60.0));
+    ASSERT_GT(sys_.backend().farPageCount(), 20u);
+
+    // Scan with prefetch hints: faults happen on far fewer pages
+    // than the scan touches, because neighbours arrive via NMA.
+    std::int64_t sum = 0;
+    constexpr std::uint64_t perPage = pageBytes / sizeof(std::int64_t);
+    for (std::uint64_t i = 0; i < 16384; ++i) {
+        if (i % perPage == 0) {
+            arr.prefetchHint(i);
+            eq_.run(eq_.now() + milliseconds(1.0));
+        }
+        sum += arr.read(i);
+    }
+    EXPECT_EQ(sum, 16384);
+    EXPECT_LT(arr.stats().faults, arr.pages() / 2);
+}
+
+TEST_F(FarArrayTest, OutOfRangePanics)
+{
+    FarArray<std::int64_t> arr(sys_, 0, 100);
+    EXPECT_DEATH(arr.read(100), "out of range");
+}
+
+TEST_F(FarArrayTest, WorksOnBaselineBackendToo)
+{
+    EventQueue eq;
+    auto cfg = arrayConfig();
+    cfg.backend = system::BackendKind::BaselineCpu;
+    system::System sys("sys", eq, cfg);
+    sys.start();
+    FarArray<std::uint32_t> arr(sys, 0, 4096);
+    for (std::uint64_t i = 0; i < 4096; i += 31)
+        arr.write(i, static_cast<std::uint32_t>(i + 7));
+    eq.run(eq.now() + milliseconds(60.0));
+    for (std::uint64_t i = 0; i < 4096; i += 31)
+        EXPECT_EQ(arr.read(i), static_cast<std::uint32_t>(i + 7));
+}
+
+} // namespace
+} // namespace farmem
+} // namespace xfm

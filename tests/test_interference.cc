@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the LLC simulator and the Fig. 11 co-run interference
+ * model: the three interfaces must order exactly as the paper
+ * reports (XFM < Baseline-CPU < Host-Lockout for app slowdown; only
+ * Baseline-CPU degrades SFM throughput).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "interference/cache.hh"
+#include "interference/corun.hh"
+#include "workload/spec_model.hh"
+
+namespace xfm
+{
+namespace interference
+{
+namespace
+{
+
+// ------------------------------------------------------------------ cache
+
+TEST(Cache, HitAfterMiss)
+{
+    SetAssocCache c(64 * 1024, 8, 64, 1);
+    EXPECT_FALSE(c.access(0x1000, 0));
+    EXPECT_TRUE(c.access(0x1000, 0));
+    EXPECT_TRUE(c.access(0x1008, 0));  // same line
+    EXPECT_FALSE(c.access(0x1040, 0)); // next line
+    EXPECT_EQ(c.stats(0).accesses, 4u);
+    EXPECT_EQ(c.stats(0).misses, 2u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // Direct-mapped-ish tiny cache: 2 sets x 2 ways x 64 B.
+    SetAssocCache c(256, 2, 64, 1);
+    ASSERT_EQ(c.sets(), 2u);
+    // Three blocks mapping to set 0: 0, 128... wait, with 2 sets the
+    // set index alternates per line; use stride 2 lines.
+    c.access(0 * 64, 0);    // set 0, way A
+    c.access(2 * 64, 0);    // set 0, way B
+    c.access(0 * 64, 0);    // touch A (B becomes LRU)
+    c.access(4 * 64, 0);    // evicts B
+    EXPECT_TRUE(c.access(0 * 64, 0));
+    EXPECT_FALSE(c.access(2 * 64, 0));  // was evicted
+}
+
+TEST(Cache, WorkingSetFitsNoCapacityMisses)
+{
+    SetAssocCache c(1 << 20, 16, 64, 1);
+    Rng rng(3);
+    // 256 KiB working set inside a 1 MiB cache: after warm-up the
+    // miss rate collapses.
+    for (int i = 0; i < 50000; ++i)
+        c.access(rng.uniformInt(256 * 1024), 0);
+    c.resetStats();
+    for (int i = 0; i < 50000; ++i)
+        c.access(rng.uniformInt(256 * 1024), 0);
+    EXPECT_LT(c.stats(0).missRate(), 0.01);
+}
+
+TEST(Cache, StreamingThrashes)
+{
+    SetAssocCache c(1 << 20, 16, 64, 1);
+    // Sequential sweep far larger than the cache: ~every line new.
+    std::uint64_t addr = 0;
+    for (int i = 0; i < 100000; ++i, addr += 64)
+        c.access(addr, 0);
+    EXPECT_GT(c.stats(0).missRate(), 0.95);
+}
+
+TEST(Cache, SharingPollutesVictim)
+{
+    // A cache-fitting app loses hits when a streaming antagonist
+    // shares the cache.
+    const std::uint64_t ws = 700 * 1024;
+    auto run = [&](bool with_antagonist) {
+        SetAssocCache c(1 << 20, 16, 64, 2);
+        Rng rng(5);
+        std::uint64_t stream_addr = 1ull << 40;
+        for (int i = 0; i < 400000; ++i) {
+            c.access(rng.uniformInt(ws), 0);
+            if (with_antagonist) {
+                c.access(stream_addr, 1);
+                stream_addr += 64;
+            }
+        }
+        return c.stats(0).missRate();
+    };
+    EXPECT_GT(run(true), run(false) + 0.02);
+}
+
+TEST(Cache, PerRequesterStatsIndependent)
+{
+    SetAssocCache c(64 * 1024, 8, 64, 2);
+    c.access(0, 0);
+    c.access(64, 1);
+    c.access(64, 1);
+    EXPECT_EQ(c.stats(0).accesses, 1u);
+    EXPECT_EQ(c.stats(1).accesses, 2u);
+    EXPECT_EQ(c.stats(1).misses, 1u);
+}
+
+// ------------------------------------------------------------------ corun
+
+class CoRunTest : public ::testing::Test
+{
+  protected:
+    CoRunTest() : apps_(workload::specMemoryIntensiveMix()) {}
+
+    CoRunOutcome
+    run(SfmInterface iface)
+    {
+        return runCoRun(apps_, iface, cfg_);
+    }
+
+    std::vector<workload::AppProfile> apps_;
+    CoRunConfig cfg_;
+};
+
+TEST_F(CoRunTest, XfmEliminatesInterference)
+{
+    const auto r = run(SfmInterface::Xfm);
+    EXPECT_NEAR(r.avgSlowdownPercent, 0.0, 0.01);
+    EXPECT_NEAR(r.sfmThroughputFactor, 1.0, 1e-9);
+    EXPECT_NEAR(r.rankLockedFraction, 0.0, 1e-12);
+}
+
+TEST_F(CoRunTest, BaselineCpuSlowdownUpToEightPercent)
+{
+    // Fig. 11: SPEC sees up to ~8% degradation under Baseline-CPU.
+    const auto r = run(SfmInterface::BaselineCpu);
+    EXPECT_GT(r.maxSlowdownPercent, 3.0);
+    EXPECT_LT(r.maxSlowdownPercent, 10.0);
+    EXPECT_GT(r.avgSlowdownPercent, 1.0);
+}
+
+TEST_F(CoRunTest, HostLockoutWorstForApps)
+{
+    // Fig. 11: up to ~15% under Host-Lockout-NMA; worse than the
+    // CPU baseline because the rank lock is disproportionate to
+    // SFM's tiny per-rank bandwidth need.
+    const auto lockout = run(SfmInterface::HostLockoutNma);
+    const auto baseline = run(SfmInterface::BaselineCpu);
+    EXPECT_GT(lockout.maxSlowdownPercent,
+              baseline.maxSlowdownPercent);
+    EXPECT_GT(lockout.maxSlowdownPercent, 10.0);
+    EXPECT_LT(lockout.maxSlowdownPercent, 18.0);
+    EXPECT_GT(lockout.rankLockedFraction, 0.0);
+}
+
+TEST_F(CoRunTest, OnlyBaselineDegradesSfmThroughput)
+{
+    // Fig. 11: SFM throughput drops 5-20% under Baseline-CPU and is
+    // unharmed under Host-Lockout and XFM.
+    const auto baseline = run(SfmInterface::BaselineCpu);
+    EXPECT_LT(baseline.sfmThroughputFactor, 0.95);
+    EXPECT_GT(baseline.sfmThroughputFactor, 0.80);
+    EXPECT_DOUBLE_EQ(run(SfmInterface::HostLockoutNma)
+                         .sfmThroughputFactor, 1.0);
+    EXPECT_DOUBLE_EQ(run(SfmInterface::Xfm).sfmThroughputFactor, 1.0);
+}
+
+TEST_F(CoRunTest, InterfaceOrderingHolds)
+{
+    const auto xfm = run(SfmInterface::Xfm);
+    const auto cpu = run(SfmInterface::BaselineCpu);
+    const auto lock = run(SfmInterface::HostLockoutNma);
+    EXPECT_LT(xfm.avgSlowdownPercent, cpu.avgSlowdownPercent);
+    EXPECT_LT(cpu.avgSlowdownPercent, lock.avgSlowdownPercent);
+}
+
+TEST_F(CoRunTest, BaselinePollutesLlc)
+{
+    const auto r = run(SfmInterface::BaselineCpu);
+    int polluted = 0;
+    for (const auto &app : r.apps)
+        if (app.missRateCoRun > app.missRateAlone)
+            ++polluted;
+    EXPECT_GE(polluted, 4);  // most apps lose cache share
+}
+
+TEST_F(CoRunTest, HigherPromotionRateHurtsMore)
+{
+    CoRunConfig heavy = cfg_;
+    heavy.promotionRate = 0.5;
+    const auto light = runCoRun(apps_, SfmInterface::BaselineCpu,
+                                cfg_);
+    const auto loaded = runCoRun(apps_, SfmInterface::BaselineCpu,
+                                 heavy);
+    EXPECT_GT(loaded.avgSlowdownPercent, light.avgSlowdownPercent);
+    EXPECT_LT(loaded.sfmThroughputFactor, light.sfmThroughputFactor);
+}
+
+TEST_F(CoRunTest, PerAppResultsComplete)
+{
+    const auto r = run(SfmInterface::BaselineCpu);
+    ASSERT_EQ(r.apps.size(), apps_.size());
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+        EXPECT_EQ(r.apps[i].name, apps_[i].name);
+        EXPECT_GE(r.apps[i].slowdownPercent, 0.0);
+    }
+}
+
+TEST(CoRunNames, InterfaceNames)
+{
+    EXPECT_EQ(interfaceName(SfmInterface::BaselineCpu),
+              "Baseline-CPU");
+    EXPECT_EQ(interfaceName(SfmInterface::HostLockoutNma),
+              "Host-Lockout-NMA");
+    EXPECT_EQ(interfaceName(SfmInterface::Xfm), "XFM");
+}
+
+} // namespace
+} // namespace interference
+} // namespace xfm

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+
+namespace xfm
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickOrdersByPriorityThenFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); },
+                EventQueue::defaultPriority);
+    eq.schedule(5, [&] { order.push_back(1); },
+                EventQueue::refreshPriority);
+    eq.schedule(5, [&] { order.push_back(3); },
+                EventQueue::defaultPriority);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&eq, &seen] {
+        eq.scheduleIn(50, [&eq, &seen] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, DescheduleCancelsPending)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.deschedule(id));  // double cancel fails
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    eq.run(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 4u);
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, EmptyAndPendingAccounting)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EventId a = eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    eq.deschedule(a);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ZeroDelaySelfScheduleAdvances)
+{
+    EventQueue eq;
+    int runs = 0;
+    std::function<void()> f = [&] {
+        if (++runs < 3)
+            eq.scheduleIn(0, f);
+    };
+    eq.schedule(7, f);
+    eq.run();
+    EXPECT_EQ(runs, 3);
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(SimObject, ExposesNameAndTime)
+{
+    EventQueue eq;
+    SimObject obj("system.dram", eq);
+    EXPECT_EQ(obj.name(), "system.dram");
+    eq.schedule(42, [] {});
+    eq.run();
+    EXPECT_EQ(obj.curTick(), 42u);
+}
+
+} // namespace
+} // namespace xfm

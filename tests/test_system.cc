@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Integration tests for the full-system composition: the same
+ * workload on the CPU baseline and on XFM must keep page data
+ * intact, and SFM-caused host channel traffic must vanish (up to
+ * rare fallbacks) under XFM — the paper's headline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "compress/corpus.hh"
+#include "system/system.hh"
+
+namespace xfm
+{
+namespace system
+{
+namespace
+{
+
+SystemConfig
+testConfig(BackendKind kind)
+{
+    SystemConfig cfg;
+    cfg.backend = kind;
+    cfg.pages = 128;
+    cfg.sfmBytes = mib(8);
+    cfg.controller.coldThreshold = milliseconds(5.0);
+    cfg.controller.scanInterval = milliseconds(1.0);
+    cfg.controller.maxSwapOutsPerScan = 16;
+    return cfg;
+}
+
+Bytes
+pageContent(sfm::VirtPage p)
+{
+    return compress::generateCorpus(compress::CorpusKind::CsvTable,
+                                    p + 7, pageBytes);
+}
+
+class SystemTest : public ::testing::TestWithParam<BackendKind>
+{
+  protected:
+    SystemTest() : sys_("sys", eq_, testConfig(GetParam()))
+    {
+        for (sfm::VirtPage p = 0; p < 128; ++p)
+            sys_.writePage(p, pageContent(p));
+        sys_.start();
+    }
+
+    EventQueue eq_;
+    System sys_;
+};
+
+TEST_P(SystemTest, ColdPagesDemotedAndDataSurvives)
+{
+    eq_.run(milliseconds(80.0));
+    EXPECT_GT(sys_.backend().farPageCount(), 0u);
+
+    // Fault a few pages back in and verify contents.
+    for (sfm::VirtPage p : {3ull, 40ull, 99ull}) {
+        sys_.access(p);
+        eq_.run(eq_.now() + milliseconds(2.0));
+        EXPECT_EQ(sys_.readPage(p), pageContent(p)) << "page " << p;
+    }
+}
+
+TEST_P(SystemTest, StatsGroupRenders)
+{
+    eq_.run(milliseconds(40.0));
+    const std::string out = sys_.statsGroup().render();
+    EXPECT_NE(out.find("pages_far"), std::string::npos);
+    EXPECT_NE(out.find("host_bytes_sfm"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, SystemTest,
+    ::testing::Values(BackendKind::BaselineCpu, BackendKind::Xfm),
+    [](const auto &info) {
+        return info.param == BackendKind::BaselineCpu ? "baseline"
+                                                      : "xfm";
+    });
+
+TEST(SystemComparison, XfmEliminatesSfmHostTraffic)
+{
+    auto run = [](BackendKind kind) {
+        EventQueue eq;
+        System sys("sys", eq, testConfig(kind));
+        for (sfm::VirtPage p = 0; p < 128; ++p)
+            sys.writePage(p, pageContent(p));
+        sys.start();
+        // Let the scanner demote everything, then touch pages to
+        // promote some back.
+        eq.run(milliseconds(60.0));
+        for (sfm::VirtPage p = 0; p < 16; ++p) {
+            sys.access(p);
+            eq.run(eq.now() + milliseconds(1.0));
+        }
+        return sys.sfmHostBytes();
+    };
+    const std::uint64_t baseline = run(BackendKind::BaselineCpu);
+    const std::uint64_t xfm = run(BackendKind::Xfm);
+    // The baseline moves every page + compressed block over the
+    // host channels; XFM moves only fallback traffic.
+    EXPECT_GT(baseline, 100u * pageBytes / 2);
+    EXPECT_LT(xfm, baseline / 4);
+}
+
+TEST(SystemComparison, BothBackendsReachSimilarFarOccupancy)
+{
+    auto far_pages = [](BackendKind kind) {
+        EventQueue eq;
+        System sys("sys", eq, testConfig(kind));
+        for (sfm::VirtPage p = 0; p < 128; ++p)
+            sys.writePage(p, pageContent(p));
+        sys.start();
+        eq.run(milliseconds(80.0));
+        return sys.backend().farPageCount();
+    };
+    const auto baseline = far_pages(BackendKind::BaselineCpu);
+    const auto xfm = far_pages(BackendKind::Xfm);
+    EXPECT_GT(baseline, 100u);
+    EXPECT_GT(xfm, 100u);
+}
+
+} // namespace
+} // namespace system
+} // namespace xfm
+
+namespace xfm
+{
+namespace system
+{
+namespace
+{
+
+TEST(BackendStatsGroups, RenderNonEmpty)
+{
+    EventQueue eq;
+    System sys("sys", eq, testConfig(BackendKind::Xfm));
+    for (sfm::VirtPage p = 0; p < 128; ++p)
+        sys.writePage(p, pageContent(p));
+    sys.start();
+    eq.run(milliseconds(40.0));
+    auto &xfm_backend =
+        dynamic_cast<xfmsys::XfmBackend &>(sys.backend());
+    const std::string out = xfm_backend.statsGroup().render();
+    EXPECT_NE(out.find("offloaded_swap_outs"), std::string::npos);
+    EXPECT_NE(out.find("nma_conditional_accesses"),
+              std::string::npos);
+
+    EventQueue eq2;
+    System sys2("sys2", eq2, testConfig(BackendKind::BaselineCpu));
+    for (sfm::VirtPage p = 0; p < 128; ++p)
+        sys2.writePage(p, pageContent(p));
+    sys2.start();
+    eq2.run(milliseconds(40.0));
+    auto &cpu_backend =
+        dynamic_cast<sfm::CpuSfmBackend &>(sys2.backend());
+    const std::string out2 = cpu_backend.statsGroup().render();
+    EXPECT_NE(out2.find("pool_used_bytes"), std::string::npos);
+}
+
+} // namespace
+} // namespace system
+} // namespace xfm
