@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_access_policy.dir/ablation_access_policy.cc.o"
+  "CMakeFiles/ablation_access_policy.dir/ablation_access_policy.cc.o.d"
+  "ablation_access_policy"
+  "ablation_access_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_access_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

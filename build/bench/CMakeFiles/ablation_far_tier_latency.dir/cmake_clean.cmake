@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_far_tier_latency.dir/ablation_far_tier_latency.cc.o"
+  "CMakeFiles/ablation_far_tier_latency.dir/ablation_far_tier_latency.cc.o.d"
+  "ablation_far_tier_latency"
+  "ablation_far_tier_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_far_tier_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

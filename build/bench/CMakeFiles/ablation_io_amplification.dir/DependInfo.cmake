@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_io_amplification.cc" "bench/CMakeFiles/ablation_io_amplification.dir/ablation_io_amplification.cc.o" "gcc" "bench/CMakeFiles/ablation_io_amplification.dir/ablation_io_amplification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interference/CMakeFiles/xfm_interference.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xfm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

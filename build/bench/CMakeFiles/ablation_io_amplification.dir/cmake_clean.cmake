@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_io_amplification.dir/ablation_io_amplification.cc.o"
+  "CMakeFiles/ablation_io_amplification.dir/ablation_io_amplification.cc.o.d"
+  "ablation_io_amplification"
+  "ablation_io_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_io_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

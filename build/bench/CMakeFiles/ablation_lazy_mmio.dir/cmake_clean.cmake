@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazy_mmio.dir/ablation_lazy_mmio.cc.o"
+  "CMakeFiles/ablation_lazy_mmio.dir/ablation_lazy_mmio.cc.o.d"
+  "ablation_lazy_mmio"
+  "ablation_lazy_mmio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy_mmio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_dictionary.dir/ablation_shared_dictionary.cc.o"
+  "CMakeFiles/ablation_shared_dictionary.dir/ablation_shared_dictionary.cc.o.d"
+  "ablation_shared_dictionary"
+  "ablation_shared_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endtoend_bandwidth.dir/endtoend_bandwidth.cc.o"
+  "CMakeFiles/endtoend_bandwidth.dir/endtoend_bandwidth.cc.o.d"
+  "endtoend_bandwidth"
+  "endtoend_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endtoend_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

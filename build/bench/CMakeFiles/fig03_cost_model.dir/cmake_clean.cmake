@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_cost_model.dir/fig03_cost_model.cc.o"
+  "CMakeFiles/fig03_cost_model.dir/fig03_cost_model.cc.o.d"
+  "fig03_cost_model"
+  "fig03_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

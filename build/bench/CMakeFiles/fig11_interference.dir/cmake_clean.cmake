@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_interference.dir/fig11_interference.cc.o"
+  "CMakeFiles/fig11_interference.dir/fig11_interference.cc.o.d"
+  "fig11_interference"
+  "fig11_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cpu_fallbacks.dir/fig12_cpu_fallbacks.cc.o"
+  "CMakeFiles/fig12_cpu_fallbacks.dir/fig12_cpu_fallbacks.cc.o.d"
+  "fig12_cpu_fallbacks"
+  "fig12_cpu_fallbacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cpu_fallbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

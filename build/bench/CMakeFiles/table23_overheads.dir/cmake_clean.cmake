@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table23_overheads.dir/table23_overheads.cc.o"
+  "CMakeFiles/table23_overheads.dir/table23_overheads.cc.o.d"
+  "table23_overheads"
+  "table23_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table23_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

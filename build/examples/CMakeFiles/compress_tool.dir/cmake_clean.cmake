@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_tool.dir/compress_tool.cpp.o"
+  "CMakeFiles/compress_tool.dir/compress_tool.cpp.o.d"
+  "compress_tool"
+  "compress_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataframe_analytics.dir/dataframe_analytics.cpp.o"
+  "CMakeFiles/dataframe_analytics.dir/dataframe_analytics.cpp.o.d"
+  "dataframe_analytics"
+  "dataframe_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataframe_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

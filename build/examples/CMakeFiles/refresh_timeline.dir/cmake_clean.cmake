@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refresh_timeline.dir/refresh_timeline.cpp.o"
+  "CMakeFiles/refresh_timeline.dir/refresh_timeline.cpp.o.d"
+  "refresh_timeline"
+  "refresh_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refresh_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_frontend.dir/web_frontend.cpp.o"
+  "CMakeFiles/web_frontend.dir/web_frontend.cpp.o.d"
+  "web_frontend"
+  "web_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

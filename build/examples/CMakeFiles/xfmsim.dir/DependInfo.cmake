@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/xfmsim.cpp" "examples/CMakeFiles/xfmsim.dir/xfmsim.cpp.o" "gcc" "examples/CMakeFiles/xfmsim.dir/xfmsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/xfm_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/xfm/CMakeFiles/xfm_xfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nma/CMakeFiles/xfm_nma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sfm/CMakeFiles/xfm_sfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/xfm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/xfm_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

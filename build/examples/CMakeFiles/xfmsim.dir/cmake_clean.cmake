@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfmsim.dir/xfmsim.cpp.o"
+  "CMakeFiles/xfmsim.dir/xfmsim.cpp.o.d"
+  "xfmsim"
+  "xfmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_common.dir/config.cc.o"
+  "CMakeFiles/xfm_common.dir/config.cc.o.d"
+  "CMakeFiles/xfm_common.dir/logging.cc.o"
+  "CMakeFiles/xfm_common.dir/logging.cc.o.d"
+  "CMakeFiles/xfm_common.dir/random.cc.o"
+  "CMakeFiles/xfm_common.dir/random.cc.o.d"
+  "CMakeFiles/xfm_common.dir/stats.cc.o"
+  "CMakeFiles/xfm_common.dir/stats.cc.o.d"
+  "CMakeFiles/xfm_common.dir/units.cc.o"
+  "CMakeFiles/xfm_common.dir/units.cc.o.d"
+  "libxfm_common.a"
+  "libxfm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/compressor.cc" "src/compress/CMakeFiles/xfm_compress.dir/compressor.cc.o" "gcc" "src/compress/CMakeFiles/xfm_compress.dir/compressor.cc.o.d"
+  "/root/repo/src/compress/corpus.cc" "src/compress/CMakeFiles/xfm_compress.dir/corpus.cc.o" "gcc" "src/compress/CMakeFiles/xfm_compress.dir/corpus.cc.o.d"
+  "/root/repo/src/compress/deflate.cc" "src/compress/CMakeFiles/xfm_compress.dir/deflate.cc.o" "gcc" "src/compress/CMakeFiles/xfm_compress.dir/deflate.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/xfm_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/xfm_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/incremental.cc" "src/compress/CMakeFiles/xfm_compress.dir/incremental.cc.o" "gcc" "src/compress/CMakeFiles/xfm_compress.dir/incremental.cc.o.d"
+  "/root/repo/src/compress/lz77.cc" "src/compress/CMakeFiles/xfm_compress.dir/lz77.cc.o" "gcc" "src/compress/CMakeFiles/xfm_compress.dir/lz77.cc.o.d"
+  "/root/repo/src/compress/lzfast.cc" "src/compress/CMakeFiles/xfm_compress.dir/lzfast.cc.o" "gcc" "src/compress/CMakeFiles/xfm_compress.dir/lzfast.cc.o.d"
+  "/root/repo/src/compress/zstdlike.cc" "src/compress/CMakeFiles/xfm_compress.dir/zstdlike.cc.o" "gcc" "src/compress/CMakeFiles/xfm_compress.dir/zstdlike.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

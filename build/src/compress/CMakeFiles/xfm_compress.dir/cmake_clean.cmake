@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_compress.dir/compressor.cc.o"
+  "CMakeFiles/xfm_compress.dir/compressor.cc.o.d"
+  "CMakeFiles/xfm_compress.dir/corpus.cc.o"
+  "CMakeFiles/xfm_compress.dir/corpus.cc.o.d"
+  "CMakeFiles/xfm_compress.dir/deflate.cc.o"
+  "CMakeFiles/xfm_compress.dir/deflate.cc.o.d"
+  "CMakeFiles/xfm_compress.dir/huffman.cc.o"
+  "CMakeFiles/xfm_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/xfm_compress.dir/incremental.cc.o"
+  "CMakeFiles/xfm_compress.dir/incremental.cc.o.d"
+  "CMakeFiles/xfm_compress.dir/lz77.cc.o"
+  "CMakeFiles/xfm_compress.dir/lz77.cc.o.d"
+  "CMakeFiles/xfm_compress.dir/lzfast.cc.o"
+  "CMakeFiles/xfm_compress.dir/lzfast.cc.o.d"
+  "CMakeFiles/xfm_compress.dir/zstdlike.cc.o"
+  "CMakeFiles/xfm_compress.dir/zstdlike.cc.o.d"
+  "libxfm_compress.a"
+  "libxfm_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

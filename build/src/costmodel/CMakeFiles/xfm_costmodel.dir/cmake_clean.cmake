@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_costmodel.dir/cost_model.cc.o"
+  "CMakeFiles/xfm_costmodel.dir/cost_model.cc.o.d"
+  "libxfm_costmodel.a"
+  "libxfm_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_map.cc" "src/dram/CMakeFiles/xfm_dram.dir/address_map.cc.o" "gcc" "src/dram/CMakeFiles/xfm_dram.dir/address_map.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/dram/CMakeFiles/xfm_dram.dir/bank.cc.o" "gcc" "src/dram/CMakeFiles/xfm_dram.dir/bank.cc.o.d"
+  "/root/repo/src/dram/ddr_config.cc" "src/dram/CMakeFiles/xfm_dram.dir/ddr_config.cc.o" "gcc" "src/dram/CMakeFiles/xfm_dram.dir/ddr_config.cc.o.d"
+  "/root/repo/src/dram/ecc.cc" "src/dram/CMakeFiles/xfm_dram.dir/ecc.cc.o" "gcc" "src/dram/CMakeFiles/xfm_dram.dir/ecc.cc.o.d"
+  "/root/repo/src/dram/mem_ctrl.cc" "src/dram/CMakeFiles/xfm_dram.dir/mem_ctrl.cc.o" "gcc" "src/dram/CMakeFiles/xfm_dram.dir/mem_ctrl.cc.o.d"
+  "/root/repo/src/dram/phys_mem.cc" "src/dram/CMakeFiles/xfm_dram.dir/phys_mem.cc.o" "gcc" "src/dram/CMakeFiles/xfm_dram.dir/phys_mem.cc.o.d"
+  "/root/repo/src/dram/refresh.cc" "src/dram/CMakeFiles/xfm_dram.dir/refresh.cc.o" "gcc" "src/dram/CMakeFiles/xfm_dram.dir/refresh.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/xfm_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_dram.dir/address_map.cc.o"
+  "CMakeFiles/xfm_dram.dir/address_map.cc.o.d"
+  "CMakeFiles/xfm_dram.dir/bank.cc.o"
+  "CMakeFiles/xfm_dram.dir/bank.cc.o.d"
+  "CMakeFiles/xfm_dram.dir/ddr_config.cc.o"
+  "CMakeFiles/xfm_dram.dir/ddr_config.cc.o.d"
+  "CMakeFiles/xfm_dram.dir/ecc.cc.o"
+  "CMakeFiles/xfm_dram.dir/ecc.cc.o.d"
+  "CMakeFiles/xfm_dram.dir/mem_ctrl.cc.o"
+  "CMakeFiles/xfm_dram.dir/mem_ctrl.cc.o.d"
+  "CMakeFiles/xfm_dram.dir/phys_mem.cc.o"
+  "CMakeFiles/xfm_dram.dir/phys_mem.cc.o.d"
+  "CMakeFiles/xfm_dram.dir/refresh.cc.o"
+  "CMakeFiles/xfm_dram.dir/refresh.cc.o.d"
+  "libxfm_dram.a"
+  "libxfm_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxfm_dram.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_interference.dir/cache.cc.o"
+  "CMakeFiles/xfm_interference.dir/cache.cc.o.d"
+  "CMakeFiles/xfm_interference.dir/corun.cc.o"
+  "CMakeFiles/xfm_interference.dir/corun.cc.o.d"
+  "libxfm_interference.a"
+  "libxfm_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

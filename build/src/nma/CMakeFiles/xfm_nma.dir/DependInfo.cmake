@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nma/engine.cc" "src/nma/CMakeFiles/xfm_nma.dir/engine.cc.o" "gcc" "src/nma/CMakeFiles/xfm_nma.dir/engine.cc.o.d"
+  "/root/repo/src/nma/lockout_device.cc" "src/nma/CMakeFiles/xfm_nma.dir/lockout_device.cc.o" "gcc" "src/nma/CMakeFiles/xfm_nma.dir/lockout_device.cc.o.d"
+  "/root/repo/src/nma/mmio.cc" "src/nma/CMakeFiles/xfm_nma.dir/mmio.cc.o" "gcc" "src/nma/CMakeFiles/xfm_nma.dir/mmio.cc.o.d"
+  "/root/repo/src/nma/spm.cc" "src/nma/CMakeFiles/xfm_nma.dir/spm.cc.o" "gcc" "src/nma/CMakeFiles/xfm_nma.dir/spm.cc.o.d"
+  "/root/repo/src/nma/xfm_device.cc" "src/nma/CMakeFiles/xfm_nma.dir/xfm_device.cc.o" "gcc" "src/nma/CMakeFiles/xfm_nma.dir/xfm_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/xfm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/xfm_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_nma.dir/engine.cc.o"
+  "CMakeFiles/xfm_nma.dir/engine.cc.o.d"
+  "CMakeFiles/xfm_nma.dir/lockout_device.cc.o"
+  "CMakeFiles/xfm_nma.dir/lockout_device.cc.o.d"
+  "CMakeFiles/xfm_nma.dir/mmio.cc.o"
+  "CMakeFiles/xfm_nma.dir/mmio.cc.o.d"
+  "CMakeFiles/xfm_nma.dir/spm.cc.o"
+  "CMakeFiles/xfm_nma.dir/spm.cc.o.d"
+  "CMakeFiles/xfm_nma.dir/xfm_device.cc.o"
+  "CMakeFiles/xfm_nma.dir/xfm_device.cc.o.d"
+  "libxfm_nma.a"
+  "libxfm_nma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_nma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

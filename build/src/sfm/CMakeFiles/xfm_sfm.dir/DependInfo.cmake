@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sfm/controller.cc" "src/sfm/CMakeFiles/xfm_sfm.dir/controller.cc.o" "gcc" "src/sfm/CMakeFiles/xfm_sfm.dir/controller.cc.o.d"
+  "/root/repo/src/sfm/cpu_backend.cc" "src/sfm/CMakeFiles/xfm_sfm.dir/cpu_backend.cc.o" "gcc" "src/sfm/CMakeFiles/xfm_sfm.dir/cpu_backend.cc.o.d"
+  "/root/repo/src/sfm/dfm_backend.cc" "src/sfm/CMakeFiles/xfm_sfm.dir/dfm_backend.cc.o" "gcc" "src/sfm/CMakeFiles/xfm_sfm.dir/dfm_backend.cc.o.d"
+  "/root/repo/src/sfm/senpai.cc" "src/sfm/CMakeFiles/xfm_sfm.dir/senpai.cc.o" "gcc" "src/sfm/CMakeFiles/xfm_sfm.dir/senpai.cc.o.d"
+  "/root/repo/src/sfm/zpool.cc" "src/sfm/CMakeFiles/xfm_sfm.dir/zpool.cc.o" "gcc" "src/sfm/CMakeFiles/xfm_sfm.dir/zpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/xfm_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/xfm_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xfm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_sfm.dir/controller.cc.o"
+  "CMakeFiles/xfm_sfm.dir/controller.cc.o.d"
+  "CMakeFiles/xfm_sfm.dir/cpu_backend.cc.o"
+  "CMakeFiles/xfm_sfm.dir/cpu_backend.cc.o.d"
+  "CMakeFiles/xfm_sfm.dir/dfm_backend.cc.o"
+  "CMakeFiles/xfm_sfm.dir/dfm_backend.cc.o.d"
+  "CMakeFiles/xfm_sfm.dir/senpai.cc.o"
+  "CMakeFiles/xfm_sfm.dir/senpai.cc.o.d"
+  "CMakeFiles/xfm_sfm.dir/zpool.cc.o"
+  "CMakeFiles/xfm_sfm.dir/zpool.cc.o.d"
+  "libxfm_sfm.a"
+  "libxfm_sfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_sfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xfm_sfm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_sim.dir/event_queue.cc.o"
+  "CMakeFiles/xfm_sim.dir/event_queue.cc.o.d"
+  "libxfm_sim.a"
+  "libxfm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_system.dir/system.cc.o"
+  "CMakeFiles/xfm_system.dir/system.cc.o.d"
+  "libxfm_system.a"
+  "libxfm_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

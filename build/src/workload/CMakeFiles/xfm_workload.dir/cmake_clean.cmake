@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_workload.dir/spec_model.cc.o"
+  "CMakeFiles/xfm_workload.dir/spec_model.cc.o.d"
+  "CMakeFiles/xfm_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/xfm_workload.dir/trace_gen.cc.o.d"
+  "CMakeFiles/xfm_workload.dir/trace_io.cc.o"
+  "CMakeFiles/xfm_workload.dir/trace_io.cc.o.d"
+  "libxfm_workload.a"
+  "libxfm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfm_xfm.dir/multichannel.cc.o"
+  "CMakeFiles/xfm_xfm.dir/multichannel.cc.o.d"
+  "CMakeFiles/xfm_xfm.dir/xfm_backend.cc.o"
+  "CMakeFiles/xfm_xfm.dir/xfm_backend.cc.o.d"
+  "CMakeFiles/xfm_xfm.dir/xfm_driver.cc.o"
+  "CMakeFiles/xfm_xfm.dir/xfm_driver.cc.o.d"
+  "libxfm_xfm.a"
+  "libxfm_xfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfm_xfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_farmem.dir/test_farmem.cc.o"
+  "CMakeFiles/test_farmem.dir/test_farmem.cc.o.d"
+  "test_farmem"
+  "test_farmem.pdb"
+  "test_farmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_farmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lockout.dir/test_lockout.cc.o"
+  "CMakeFiles/test_lockout.dir/test_lockout.cc.o.d"
+  "test_lockout"
+  "test_lockout.pdb"
+  "test_lockout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lockout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

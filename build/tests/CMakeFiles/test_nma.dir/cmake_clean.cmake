@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nma.dir/test_nma.cc.o"
+  "CMakeFiles/test_nma.dir/test_nma.cc.o.d"
+  "test_nma"
+  "test_nma.pdb"
+  "test_nma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfm.dir/test_sfm.cc.o"
+  "CMakeFiles/test_sfm.dir/test_sfm.cc.o.d"
+  "test_sfm"
+  "test_sfm.pdb"
+  "test_sfm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

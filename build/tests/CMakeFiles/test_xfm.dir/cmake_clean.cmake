@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xfm.dir/test_xfm.cc.o"
+  "CMakeFiles/test_xfm.dir/test_xfm.cc.o.d"
+  "test_xfm"
+  "test_xfm.pdb"
+  "test_xfm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
