@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure with warnings-as-errors, build
+# everything, run the full test suite. This is the gate every change
+# must pass (see ROADMAP.md).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build-ci}"
+jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}" \
+    -DCMAKE_CXX_FLAGS="-Werror"
+cmake --build "${build_dir}" -j "${jobs}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"

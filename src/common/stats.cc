@@ -1,6 +1,7 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -40,8 +41,12 @@ Histogram::percentile(double p) const
     if (total_ == 0)
         return lo_;
     p = std::clamp(p, 0.0, 1.0);
-    const auto target =
-        static_cast<std::uint64_t>(p * static_cast<double>(total_));
+    // Rank of the percentile sample, at least 1: truncating to 0
+    // would report lo for any percentile of a small sample set
+    // (e.g. a single-sample histogram's p99).
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(total_))));
     std::uint64_t seen = underflow_;
     if (seen >= target)
         return lo_;

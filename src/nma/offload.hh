@@ -60,6 +60,8 @@ struct OffloadRequest
     std::uint64_t dstAddr = 0;     ///< decompress only
     std::uint32_t rawSize = 0;     ///< decompress: expected output
     Tick deadline = maxTick;       ///< fall back if not started by then
+    /** SPM partition charged for the staged output (0 = uncapped). */
+    std::uint32_t partition = 0;
 };
 
 /** Completion record delivered to the driver. */

@@ -6,21 +6,67 @@ namespace nma
 {
 
 bool
-ScratchPad::reserve(OffloadId id, OffloadKind kind, std::uint32_t bytes)
+ScratchPad::reserve(OffloadId id, OffloadKind kind, std::uint32_t bytes,
+                    std::uint32_t partition)
 {
     XFM_ASSERT(id != invalidOffloadId, "invalid offload id");
     XFM_ASSERT(entries_.find(id) == entries_.end(),
                "duplicate SPM reservation for id ", id);
     if (used_ + bytes > capacity_)
         return false;
+    if (partition != 0) {
+        const auto cap = partition_caps_.find(partition);
+        if (cap != partition_caps_.end()
+            && partition_used_[partition] + bytes > cap->second)
+            return false;
+    }
     SpmEntry e;
     e.id = id;
     e.kind = kind;
     e.tag = SpmTag::Pending;
     e.reserved = bytes;
+    e.partition = partition;
     used_ += bytes;
+    if (partition != 0)
+        partition_used_[partition] += bytes;
     entries_.emplace(id, std::move(e));
     return true;
+}
+
+void
+ScratchPad::setPartitionCap(std::uint32_t partition, std::size_t bytes)
+{
+    XFM_ASSERT(partition != 0, "partition 0 cannot be capped");
+    if (bytes == 0)
+        partition_caps_.erase(partition);
+    else
+        partition_caps_[partition] = bytes;
+}
+
+std::size_t
+ScratchPad::partitionUsed(std::uint32_t partition) const
+{
+    const auto it = partition_used_.find(partition);
+    return it != partition_used_.end() ? it->second : 0;
+}
+
+std::size_t
+ScratchPad::partitionCap(std::uint32_t partition) const
+{
+    const auto it = partition_caps_.find(partition);
+    return it != partition_caps_.end() ? it->second : 0;
+}
+
+void
+ScratchPad::uncharge(const SpmEntry &e, std::size_t bytes)
+{
+    used_ -= bytes;
+    if (e.partition != 0) {
+        auto it = partition_used_.find(e.partition);
+        XFM_ASSERT(it != partition_used_.end() && it->second >= bytes,
+                   "partition accounting underflow");
+        it->second -= bytes;
+    }
 }
 
 void
@@ -34,7 +80,7 @@ ScratchPad::complete(OffloadId id, Bytes output, Tick when)
                "engine output exceeds reservation: ", output.size(),
                " > ", e.reserved);
     // Trim the pessimistic reservation to the actual output size.
-    used_ -= e.reserved - output.size();
+    uncharge(e, e.reserved - output.size());
     e.reserved = static_cast<std::uint32_t>(output.size());
     e.data = std::move(output);
     e.tag = SpmTag::Completed;
@@ -65,7 +111,7 @@ ScratchPad::popWriteback(SpmEntry &out)
         if (it->second.tag == SpmTag::Completed
             && it->second.writebackReady) {
             out = std::move(it->second);
-            used_ -= out.reserved;
+            uncharge(out, out.reserved);
             entries_.erase(it);
             return true;
         }
@@ -89,7 +135,7 @@ ScratchPad::take(OffloadId id)
     auto it = entries_.find(id);
     XFM_ASSERT(it != entries_.end(), "take: unknown id ", id);
     SpmEntry out = std::move(it->second);
-    used_ -= out.reserved;
+    uncharge(out, out.reserved);
     entries_.erase(it);
     return out;
 }
@@ -99,7 +145,7 @@ ScratchPad::release(OffloadId id)
 {
     auto it = entries_.find(id);
     XFM_ASSERT(it != entries_.end(), "release: unknown id ", id);
-    used_ -= it->second.reserved;
+    uncharge(it->second, it->second.reserved);
     entries_.erase(it);
 }
 

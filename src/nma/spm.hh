@@ -44,6 +44,7 @@ struct SpmEntry
     std::uint64_t dstAddr = 0;
     bool writebackReady = false;  ///< destination committed
     Tick stagedAt = 0;            ///< when the entry turned Completed
+    std::uint32_t partition = 0;  ///< QoS partition charged (0 = none)
 };
 
 /**
@@ -71,10 +72,29 @@ class ScratchPad
     /**
      * Reserve @p bytes for a new offload.
      *
+     * @param partition QoS partition to charge. Partition 0 is the
+     *        default, uncapped partition; non-zero partitions may be
+     *        byte-capped via setPartitionCap() so one tenant class
+     *        cannot monopolise the SPM (multi-tenant arbitration).
      * @retval true reservation succeeded and an entry was created.
-     * @retval false SPM is full; caller must fall back to the CPU.
+     * @retval false SPM (or the partition) is full; caller must fall
+     *         back to the CPU.
      */
-    bool reserve(OffloadId id, OffloadKind kind, std::uint32_t bytes);
+    bool reserve(OffloadId id, OffloadKind kind, std::uint32_t bytes,
+                 std::uint32_t partition = 0);
+
+    /**
+     * Cap the bytes reservations tagged @p partition may hold
+     * concurrently. Partition 0 cannot be capped (it is the
+     * default/privileged partition). A cap of 0 removes the cap.
+     */
+    void setPartitionCap(std::uint32_t partition, std::size_t bytes);
+
+    /** Bytes currently reserved under @p partition. */
+    std::size_t partitionUsed(std::uint32_t partition) const;
+
+    /** Configured cap for @p partition (0 = uncapped). */
+    std::size_t partitionCap(std::uint32_t partition) const;
 
     /** Store engine output and mark COMPLETED (trims reservation).
      *  @param when current tick, recorded as the staging time. */
@@ -109,9 +129,13 @@ class ScratchPad
     void release(OffloadId id);
 
   private:
+    void uncharge(const SpmEntry &e, std::size_t bytes);
+
     std::size_t capacity_;
     std::size_t used_ = 0;
     std::map<OffloadId, SpmEntry> entries_;  ///< ordered => FIFO pops
+    std::map<std::uint32_t, std::size_t> partition_caps_;
+    std::map<std::uint32_t, std::size_t> partition_used_;
 };
 
 } // namespace nma

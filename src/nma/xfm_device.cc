@@ -142,7 +142,8 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
         op.req.kind == OffloadKind::Compress
         ? CompressionEngine::worstCaseCompressedSize(op.req.size)
         : op.req.rawSize;
-    if (!spm_.reserve(op.id, op.req.kind, reservation)) {
+    if (!spm_.reserve(op.id, op.req.kind, reservation,
+                      op.req.partition)) {
         ++stats_.deferredExecutions;
         return false;
     }

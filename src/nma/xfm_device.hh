@@ -189,6 +189,18 @@ class XfmDevice : public SimObject
         on_drop_ = std::move(cb);
     }
 
+    /**
+     * Cap the SPM bytes offloads tagged with @p partition may stage
+     * concurrently (multi-tenant QoS partitioning). Reads that find
+     * their partition full are deferred exactly like an SPM-full
+     * condition, so capacity pressure propagates per class.
+     */
+    void
+    setSpmPartitionCap(std::uint32_t partition, std::size_t bytes)
+    {
+        spm_.setPartitionCap(partition, bytes);
+    }
+
     RegisterFile &regs() { return regs_; }
     const ScratchPad &spm() const { return spm_; }
     const XfmDeviceStats &stats() const { return stats_; }

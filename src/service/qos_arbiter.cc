@@ -1,0 +1,201 @@
+#include "qos_arbiter.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace service
+{
+
+QosArbiter::QosArbiter(std::string name, EventQueue &eq,
+                       const QosArbiterConfig &cfg)
+    : SimObject(std::move(name), eq), cfg_(cfg)
+{
+    XFM_ASSERT(cfg_.window > 0, "dispatch window must be positive");
+    XFM_ASSERT(cfg_.slotsPerWindow > 0, "need at least one slot");
+    XFM_ASSERT(cfg_.minBatchSlots < cfg_.slotsPerWindow,
+               "batch floor must leave room for latency work");
+}
+
+void
+QosArbiter::addTenant(TenantId id, PriorityClass cls,
+                      std::uint32_t weight, std::uint32_t slot_quota)
+{
+    XFM_ASSERT(index_.find(id) == index_.end(),
+               "tenant ", id, " already has a lane");
+    XFM_ASSERT(weight > 0, "WRR weight must be positive");
+    XFM_ASSERT(slot_quota > 0, "slot quota must be positive");
+    Lane l;
+    l.id = id;
+    l.cls = cls;
+    l.weight = weight;
+    l.slotQuota = slot_quota;
+    index_.emplace(id, lanes_.size());
+    lanes_.push_back(std::move(l));
+}
+
+void
+QosArbiter::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    eventq().scheduleIn(cfg_.window, [this] { window(); });
+}
+
+void
+QosArbiter::enqueue(TenantId id, Job job)
+{
+    Lane &l = lane(id);
+    ++l.stats.enqueued;
+    l.q.push_back({std::move(job), curTick()});
+}
+
+std::size_t
+QosArbiter::queued() const
+{
+    std::size_t n = 0;
+    for (const auto &l : lanes_)
+        n += l.q.size();
+    return n;
+}
+
+std::size_t
+QosArbiter::queued(TenantId id) const
+{
+    return lane(id).q.size();
+}
+
+const ArbiterLaneStats &
+QosArbiter::laneStats(TenantId id) const
+{
+    return lane(id).stats;
+}
+
+QosArbiter::Lane &
+QosArbiter::lane(TenantId id)
+{
+    const auto it = index_.find(id);
+    XFM_ASSERT(it != index_.end(), "no lane for tenant ", id);
+    return lanes_[it->second];
+}
+
+const QosArbiter::Lane &
+QosArbiter::lane(TenantId id) const
+{
+    const auto it = index_.find(id);
+    XFM_ASSERT(it != index_.end(), "no lane for tenant ", id);
+    return lanes_[it->second];
+}
+
+bool
+QosArbiter::batchWaiting() const
+{
+    for (const auto &l : lanes_)
+        if (l.cls == PriorityClass::Batch && !l.q.empty())
+            return true;
+    return false;
+}
+
+void
+QosArbiter::dispatch(Lane &l)
+{
+    Pending p = std::move(l.q.front());
+    l.q.pop_front();
+    l.stats.waitNs.sample(ticksToNs(curTick() - p.enqueued));
+    ++l.stats.dispatched;
+    ++l.grantedThisWindow;
+    ++stats_.dispatched;
+    if (p.job)
+        p.job();
+}
+
+void
+QosArbiter::window()
+{
+    ++stats_.windows;
+    for (auto &l : lanes_)
+        l.grantedThisWindow = 0;
+
+    std::uint32_t slots = cfg_.slotsPerWindow;
+    const std::size_t n = lanes_.size();
+
+    // Latency-sensitive tenants preempt: they are served first, but
+    // while batch work is backlogged they may not consume the
+    // reserved batch floor (starvation freedom).
+    const bool batch_backlog = batchWaiting();
+    std::uint32_t latency_budget = slots;
+    if (batch_backlog && cfg_.minBatchSlots < slots)
+        latency_budget = slots - cfg_.minBatchSlots;
+    bool progress = true;
+    while (slots > 0 && latency_budget > 0 && progress) {
+        progress = false;
+        for (std::size_t k = 0;
+             k < n && slots > 0 && latency_budget > 0; ++k) {
+            Lane &l = lanes_[(latency_rr_ + k) % n];
+            if (l.cls != PriorityClass::LatencySensitive
+                || l.q.empty() || l.grantedThisWindow >= l.slotQuota)
+                continue;
+            dispatch(l);
+            --slots;
+            --latency_budget;
+            if (batch_backlog)
+                ++stats_.preemptions;
+            progress = true;
+        }
+    }
+
+    // Batch class: deficit-weighted round-robin over the leftovers.
+    // Credit refills proportionally to weight, so over time each
+    // backlogged batch tenant's share converges to its weight.
+    for (auto &l : lanes_) {
+        if (l.cls != PriorityClass::Batch || l.q.empty())
+            continue;
+        const double cap = static_cast<double>(l.weight + l.slotQuota);
+        l.deficit = std::min(l.deficit + l.weight, cap);
+    }
+    progress = true;
+    while (slots > 0 && progress) {
+        progress = false;
+        for (std::size_t k = 0; k < n && slots > 0; ++k) {
+            Lane &l = lanes_[(batch_rr_ + k) % n];
+            if (l.cls != PriorityClass::Batch || l.q.empty()
+                || l.grantedThisWindow >= l.slotQuota
+                || l.deficit < 1.0)
+                continue;
+            dispatch(l);
+            l.deficit -= 1.0;
+            --slots;
+            progress = true;
+        }
+        if (!progress && slots > 0) {
+            // Work-conserving top-up: everyone still backlogged is
+            // deficit-limited, so refill proportionally (ratios are
+            // preserved) rather than waste slots. Quota-limited
+            // lanes stay throttled.
+            for (auto &l : lanes_) {
+                if (l.cls == PriorityClass::Batch && !l.q.empty()
+                    && l.grantedThisWindow < l.slotQuota) {
+                    l.deficit += l.weight;
+                    progress = true;
+                }
+            }
+            if (!progress)
+                break;  // only quota-limited (or empty) lanes remain
+        }
+    }
+
+    if (slots > 0 && queued() > 0)
+        ++stats_.throttledWindows;
+
+    if (n > 0) {
+        latency_rr_ = (latency_rr_ + 1) % n;
+        batch_rr_ = (batch_rr_ + 1) % n;
+    }
+    eventq().scheduleIn(cfg_.window, [this] { window(); });
+}
+
+} // namespace service
+} // namespace xfm

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * QosArbiter: schedules the shared Compress_Request_Queue across
+ * tenants.
+ *
+ * Every tREFI the NMA serves a small, fixed budget of conditional
+ * accesses inside the refresh window (paper Sec. 5), so the slots a
+ * window can start are the contended resource. The arbiter paces
+ * tenant offload submissions to that cadence: each dispatch window
+ * it releases up to slotsPerWindow queued operations, serving the
+ * latency-sensitive class first (preempting batch tenants) and
+ * dividing the remainder over batch tenants with weighted
+ * round-robin (deficit counters). A reserved minimum of batch slots
+ * per window keeps batch tenants starvation-free no matter how much
+ * latency-class work is backlogged.
+ */
+
+#ifndef XFM_SERVICE_QOS_ARBITER_HH
+#define XFM_SERVICE_QOS_ARBITER_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "service/tenant.hh"
+#include "sim/sim_object.hh"
+
+namespace xfm
+{
+namespace service
+{
+
+/** Arbiter tuning. */
+struct QosArbiterConfig
+{
+    /** Dispatch period; align with the device's tREFI. */
+    Tick window = microseconds(3.9);
+    /** Offload submissions released per window (the shared
+     *  conditional-access budget). */
+    std::uint32_t slotsPerWindow = 4;
+    /**
+     * Slots per window reserved for the batch class while batch work
+     * is queued — the starvation-freedom guarantee. Must be below
+     * slotsPerWindow.
+     */
+    std::uint32_t minBatchSlots = 1;
+};
+
+/** Per-tenant arbiter statistics. */
+struct ArbiterLaneStats
+{
+    std::uint64_t enqueued = 0;
+    std::uint64_t dispatched = 0;
+    stats::Average waitNs;  ///< queueing delay before dispatch
+};
+
+/** Whole-arbiter statistics. */
+struct QosArbiterStats
+{
+    std::uint64_t windows = 0;
+    std::uint64_t dispatched = 0;
+    /** Slots granted to latency tenants while batch work waited. */
+    std::uint64_t preemptions = 0;
+    /** Windows that ended with unused slots and work still queued
+     *  (per-tenant slot quotas throttled everyone). */
+    std::uint64_t throttledWindows = 0;
+};
+
+/**
+ * Weighted, class-aware dispatcher over per-tenant job queues.
+ *
+ * Jobs are opaque closures; the service enqueues backend operations
+ * and the tests enqueue counters, so fairness is testable without a
+ * memory system behind it.
+ */
+class QosArbiter : public SimObject
+{
+  public:
+    using Job = std::function<void()>;
+
+    QosArbiter(std::string name, EventQueue &eq,
+               const QosArbiterConfig &cfg);
+
+    /** Register a tenant lane before any enqueue for it. */
+    void addTenant(TenantId id, PriorityClass cls,
+                   std::uint32_t weight, std::uint32_t slot_quota);
+
+    /** Begin the dispatch-window loop. */
+    void start();
+
+    /** Queue a job on the tenant's lane. */
+    void enqueue(TenantId id, Job job);
+
+    std::size_t queued() const;
+    std::size_t queued(TenantId id) const;
+
+    const ArbiterLaneStats &laneStats(TenantId id) const;
+    const QosArbiterStats &stats() const { return stats_; }
+    const QosArbiterConfig &config() const { return cfg_; }
+
+  private:
+    struct Pending
+    {
+        Job job;
+        Tick enqueued;
+    };
+
+    struct Lane
+    {
+        TenantId id;
+        PriorityClass cls;
+        std::uint32_t weight;
+        std::uint32_t slotQuota;
+        std::deque<Pending> q;
+        double deficit = 0.0;  ///< WRR credit (batch lanes)
+        std::uint32_t grantedThisWindow = 0;
+        ArbiterLaneStats stats;
+    };
+
+    void window();
+    void dispatch(Lane &lane);
+    bool batchWaiting() const;
+    Lane &lane(TenantId id);
+    const Lane &lane(TenantId id) const;
+
+    QosArbiterConfig cfg_;
+    std::vector<Lane> lanes_;
+    std::unordered_map<TenantId, std::size_t> index_;
+    std::size_t latency_rr_ = 0;  ///< rotation among latency lanes
+    std::size_t batch_rr_ = 0;    ///< rotation among batch lanes
+    bool started_ = false;
+
+    QosArbiterStats stats_;
+};
+
+} // namespace service
+} // namespace xfm
+
+#endif // XFM_SERVICE_QOS_ARBITER_HH

@@ -1,0 +1,154 @@
+#include "service.hh"
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace service
+{
+
+namespace
+{
+
+/** Fill in derived provisioning before the backend is built. */
+ServiceConfig
+provisioned(ServiceConfig cfg)
+{
+    if (cfg.system.localPages == 0)
+        cfg.system.localPages = cfg.registry.maxTenants
+                                * cfg.registry.pagesPerShard;
+    return cfg;
+}
+
+} // namespace
+
+FarMemoryService::FarMemoryService(std::string name, EventQueue &eq,
+                                   const ServiceConfig &cfg)
+    : SimObject(std::move(name), eq), cfg_(provisioned(cfg)),
+      registry_(cfg_.registry),
+      backend_(this->name() + ".backend", eq, cfg_.system),
+      arbiter_(this->name() + ".arbiter", eq, cfg_.arbiter)
+{
+    if (cfg_.batchSpmCapBytes > 0) {
+        // The cap is fleet-wide; each DIMM stages an equal shard of
+        // every offloaded page, so split it evenly.
+        const std::size_t per_dimm =
+            cfg_.batchSpmCapBytes / cfg_.system.numDimms;
+        for (std::size_t d = 0; d < cfg_.system.numDimms; ++d)
+            backend_.driver(d).device().setSpmPartitionCap(
+                batchSpmPartition, per_dimm);
+    }
+}
+
+TenantId
+FarMemoryService::addTenant(const TenantConfig &cfg)
+{
+    const TenantId id = registry_.add(cfg);
+    if (id == invalidTenant)
+        return id;
+
+    const std::uint32_t partition =
+        cfg.cls == PriorityClass::Batch ? batchSpmPartition
+                                        : latencySpmPartition;
+    Tenant t;
+    t.backend = std::make_unique<TenantBackend>(
+        id, registry_, backend_, &arbiter_, partition);
+    const std::string base = name() + "." + cfg.name;
+    if (cfg.policy == ControlPolicy::Kstaled) {
+        t.kstaled = std::make_unique<sfm::SfmController>(
+            base + ".kstaled", eventq(), cfg.kstaled, *t.backend,
+            cfg.pages);
+    } else {
+        t.senpai = std::make_unique<sfm::SenpaiController>(
+            base + ".senpai", eventq(), cfg.senpai, *t.backend,
+            cfg.pages);
+    }
+    arbiter_.addTenant(id, cfg.cls, cfg.weight,
+                       cfg.quota.offloadSlotsPerTrefi);
+    tenants_.push_back(std::move(t));
+    return id;
+}
+
+void
+FarMemoryService::start()
+{
+    backend_.start();
+    arbiter_.start();
+    for (auto &t : tenants_) {
+        if (t.kstaled)
+            t.kstaled->start();
+        if (t.senpai)
+            t.senpai->start();
+    }
+}
+
+bool
+FarMemoryService::access(TenantId id, sfm::VirtPage page)
+{
+    XFM_ASSERT(id < tenants_.size(), "unknown tenant id ", id);
+    TenantStats &ts = registry_.stats(id);
+    ++ts.accesses;
+    Tenant &t = tenants_[id];
+    const bool hit = t.kstaled ? t.kstaled->recordAccess(page)
+                               : t.senpai->recordAccess(page);
+    if (hit)
+        ++ts.localHits;
+    else
+        ++ts.demandFaults;
+    return hit;
+}
+
+void
+FarMemoryService::writePage(TenantId id, sfm::VirtPage page,
+                            ByteSpan data)
+{
+    tenantBackend(id).writePage(page, data);
+}
+
+Bytes
+FarMemoryService::readPage(TenantId id, sfm::VirtPage page) const
+{
+    XFM_ASSERT(id < tenants_.size(), "unknown tenant id ", id);
+    return tenants_[id].backend->readPage(page);
+}
+
+TenantBackend &
+FarMemoryService::tenantBackend(TenantId id)
+{
+    XFM_ASSERT(id < tenants_.size(), "unknown tenant id ", id);
+    return *tenants_[id].backend;
+}
+
+stats::Group
+FarMemoryService::tenantStatsGroup(TenantId id) const
+{
+    const TenantConfig &cfg = registry_.config(id);
+    const TenantStats &ts = registry_.stats(id);
+    const ArbiterLaneStats &lane = arbiter_.laneStats(id);
+
+    stats::Group g(std::string(priorityClassName(cfg.cls)) + "/"
+                   + cfg.name);
+    g.add("accesses", ts.accesses, "application page touches");
+    g.add("localHits", ts.localHits, "served from local memory");
+    g.add("demandFaults", ts.demandFaults, "blocked on swap-in");
+    g.add("swapOuts", ts.swapOuts, "pages demoted");
+    g.add("swapIns", ts.swapIns, "pages promoted");
+    g.add("nmaOps", ts.nmaOps, "swap ops served by the NMA");
+    g.add("cpuOps", ts.cpuOps, "swap ops on the CPU path");
+    g.add("nmaFraction", ts.nmaFraction(), "NMA share of swap ops");
+    g.add("quotaRejects", ts.quotaRejects, "far-page quota hits");
+    g.add("degradedToCpu", ts.degradedToCpu, "SPM quota degrades");
+    g.add("farPages", registry_.farPages(id), "pages held far");
+    g.add("storedBytes", registry_.storedBytes(id),
+          "compressed bytes stored");
+    g.add("faultP50Ns", ts.faultLatencyNs.percentile(0.50),
+          "median demand-fault latency");
+    g.add("faultP99Ns", ts.faultLatencyNs.percentile(0.99),
+          "tail demand-fault latency");
+    g.add("arbiterWaitNs", lane.waitNs.mean(),
+          "mean offload queueing delay");
+    return g;
+}
+
+} // namespace service
+} // namespace xfm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * FarMemoryService: the multi-tenant far-memory service layer.
+ *
+ * One service instance owns the shared XFM memory system (backend +
+ * NMA-equipped DIMMs) and serves N concurrent tenants, mirroring the
+ * datacenter deployments the paper targets (Sec. 2.1): every job on
+ * a host shares the machine's compressed pool and accelerator, but
+ * runs its own reclaim policy and gets its own QoS guarantees.
+ *
+ * Wiring per tenant:
+ *
+ *   controller (kstaled | senpai)
+ *        |            selects cold pages / reacts to pressure
+ *   TenantBackend
+ *        |            quota checks, shard translation, stats
+ *   QosArbiter       (offload-eligible ops only)
+ *        |            class-aware weighted dispatch per tREFI
+ *   xfmsys::XfmBackend  ->  NMA DIMMs (SPM partitioned by class)
+ */
+
+#ifndef XFM_SERVICE_SERVICE_HH
+#define XFM_SERVICE_SERVICE_HH
+
+#include <memory>
+#include <vector>
+
+#include "service/qos_arbiter.hh"
+#include "service/tenant_backend.hh"
+#include "service/tenant_registry.hh"
+#include "sfm/controller.hh"
+#include "sfm/senpai.hh"
+
+namespace xfm
+{
+namespace service
+{
+
+/** SPM partition tags per priority class. */
+constexpr std::uint32_t latencySpmPartition = 0;  ///< uncapped
+constexpr std::uint32_t batchSpmPartition = 1;    ///< capped
+
+/** Configuration of the whole service. */
+struct ServiceConfig
+{
+    RegistryConfig registry;
+    QosArbiterConfig arbiter;
+    /**
+     * The shared XFM memory system. localPages may be left 0; the
+     * service then provisions maxTenants * pagesPerShard pages.
+     */
+    xfmsys::XfmSystemConfig system;
+    /**
+     * Total SPM bytes (across DIMMs) the batch class may occupy;
+     * batch offloads beyond this fall back to CPU inside the device.
+     * 0 leaves the batch partition uncapped.
+     */
+    std::uint64_t batchSpmCapBytes = 0;
+};
+
+/**
+ * Multi-tenant far-memory service over one shared XFM backend.
+ */
+class FarMemoryService : public SimObject
+{
+  public:
+    FarMemoryService(std::string name, EventQueue &eq,
+                     const ServiceConfig &cfg);
+
+    /**
+     * Admit a tenant and wire its controller.
+     *
+     * @return tenant id, or invalidTenant if admission control
+     *         rejected it.
+     */
+    TenantId addTenant(const TenantConfig &cfg);
+
+    /** Start refresh, the arbiter, and every tenant controller. */
+    void start();
+
+    /**
+     * Tenant @p id touched shard-local @p page.
+     *
+     * @retval true local hit; false -> demand fault taken.
+     */
+    bool access(TenantId id, sfm::VirtPage page);
+
+    /** Data plane, shard-local page numbers. */
+    void writePage(TenantId id, sfm::VirtPage page, ByteSpan data);
+    Bytes readPage(TenantId id, sfm::VirtPage page) const;
+
+    TenantRegistry &registry() { return registry_; }
+    const TenantRegistry &registry() const { return registry_; }
+    QosArbiter &arbiter() { return arbiter_; }
+    xfmsys::XfmBackend &backend() { return backend_; }
+    TenantBackend &tenantBackend(TenantId id);
+
+    std::size_t numTenants() const { return tenants_.size(); }
+    const ServiceConfig &config() const { return cfg_; }
+
+    /** Per-tenant service statistics table. */
+    stats::Group tenantStatsGroup(TenantId id) const;
+
+  private:
+    struct Tenant
+    {
+        std::unique_ptr<TenantBackend> backend;
+        std::unique_ptr<sfm::SfmController> kstaled;
+        std::unique_ptr<sfm::SenpaiController> senpai;
+    };
+
+    ServiceConfig cfg_;
+    TenantRegistry registry_;
+    xfmsys::XfmBackend backend_;
+    QosArbiter arbiter_;
+    std::vector<Tenant> tenants_;
+};
+
+} // namespace service
+} // namespace xfm
+
+#endif // XFM_SERVICE_SERVICE_HH

@@ -1,0 +1,209 @@
+#include "tenant_backend.hh"
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace service
+{
+
+TenantBackend::TenantBackend(TenantId id, TenantRegistry &registry,
+                             xfmsys::XfmBackend &shared,
+                             QosArbiter *arbiter,
+                             std::uint32_t partition)
+    : id_(id), registry_(registry), shared_(shared),
+      arbiter_(arbiter), partition_(partition)
+{
+    const std::uint64_t end =
+        registry_.basePage(id_) + registry_.config(id_).pages;
+    XFM_ASSERT(end <= shared_.config().localPages,
+               "tenant shard exceeds the shared backend's page table");
+}
+
+sfm::VirtPage
+TenantBackend::global(sfm::VirtPage page) const
+{
+    XFM_ASSERT(page < registry_.config(id_).pages,
+               "page ", page, " outside tenant ", id_, "'s shard");
+    return registry_.basePage(id_) + page;
+}
+
+sfm::VirtPage
+TenantBackend::local(sfm::VirtPage page) const
+{
+    return page - registry_.basePage(id_);
+}
+
+void
+TenantBackend::submit(bool is_swap_out, sfm::VirtPage global_page,
+                      bool allow_offload, sfm::SwapCallback done)
+{
+    auto run = [this, is_swap_out, global_page, allow_offload,
+                done = std::move(done)]() mutable {
+        shared_.setOffloadPartition(partition_);
+        if (is_swap_out)
+            shared_.swapOut(global_page, allow_offload,
+                            std::move(done));
+        else
+            shared_.swapIn(global_page, allow_offload,
+                           std::move(done));
+    };
+    // Only offload-eligible work contends for NMA slots; CPU-path
+    // operations (demand faults, degraded ops) dispatch immediately.
+    if (allow_offload && arbiter_)
+        arbiter_->enqueue(id_, std::move(run));
+    else
+        run();
+}
+
+void
+TenantBackend::swapOut(sfm::VirtPage page, sfm::SwapCallback done)
+{
+    swapOut(page, true, std::move(done));
+}
+
+void
+TenantBackend::swapOut(sfm::VirtPage page, bool allow_offload,
+                       sfm::SwapCallback done)
+{
+    const sfm::VirtPage g = global(page);
+    TenantStats &ts = registry_.stats(id_);
+
+    if (!registry_.underFarQuota(id_)) {
+        ++ts.quotaRejects;
+        ++stats_.rejectedSwapOuts;
+        sfm::SwapOutcome out;
+        out.page = page;
+        out.completed = shared_.curTick();
+        if (done)
+            done(out);
+        return;
+    }
+
+    // SPM staging quota: an offloaded compression stages up to a
+    // whole page of output in the scratchpad. Over quota -> the CPU
+    // compresses instead (degrade, don't crowd the shared SPM).
+    bool charged = false;
+    if (allow_offload) {
+        charged = registry_.tryChargeSpm(id_, pageBytes);
+        if (!charged) {
+            allow_offload = false;
+            ++ts.degradedToCpu;
+        }
+    }
+
+    registry_.noteFarPages(id_, 1);  // counts in-flight swap-outs
+
+    auto cb = [this, charged, done = std::move(done)](
+                  const sfm::SwapOutcome &o) {
+        TenantStats &ts = registry_.stats(id_);
+        if (charged)
+            registry_.releaseSpm(id_, pageBytes);
+        sfm::SwapOutcome out = o;
+        out.page = local(o.page);
+        if (o.success) {
+            ++stats_.swapOuts;
+            ++ts.swapOuts;
+            if (o.usedCpu) {
+                ++stats_.cpuSwapOuts;
+                ++ts.cpuOps;
+            } else {
+                ++ts.nmaOps;
+            }
+            registry_.noteStoredBytes(id_, o.compressedSize);
+        } else {
+            registry_.noteFarPages(id_, -1);
+            ++stats_.rejectedSwapOuts;
+        }
+        if (done)
+            done(out);
+    };
+    submit(true, g, allow_offload, std::move(cb));
+}
+
+void
+TenantBackend::swapIn(sfm::VirtPage page, bool allow_offload,
+                      sfm::SwapCallback done)
+{
+    const sfm::VirtPage g = global(page);
+    TenantStats &ts = registry_.stats(id_);
+
+    // Offloaded decompression stages the raw page in the SPM.
+    bool charged = false;
+    if (allow_offload) {
+        charged = registry_.tryChargeSpm(id_, pageBytes);
+        if (!charged) {
+            allow_offload = false;
+            ++ts.degradedToCpu;
+        }
+    }
+
+    const Tick start = shared_.curTick();
+    const bool demand = !allow_offload;
+    auto cb = [this, charged, start, demand, done = std::move(done)](
+                  const sfm::SwapOutcome &o) {
+        TenantStats &ts = registry_.stats(id_);
+        if (charged)
+            registry_.releaseSpm(id_, pageBytes);
+        sfm::SwapOutcome out = o;
+        out.page = local(o.page);
+        if (o.success) {
+            ++stats_.swapIns;
+            ++ts.swapIns;
+            if (o.usedCpu) {
+                ++stats_.cpuSwapIns;
+                ++ts.cpuOps;
+            } else {
+                ++ts.nmaOps;
+            }
+            registry_.noteFarPages(id_, -1);
+            registry_.noteStoredBytes(
+                id_, -static_cast<std::int64_t>(o.compressedSize));
+            if (demand)
+                ts.faultLatencyNs.sample(
+                    ticksToNs(o.completed - start));
+        }
+        if (done)
+            done(out);
+    };
+    submit(false, g, allow_offload, std::move(cb));
+}
+
+sfm::PageState
+TenantBackend::pageState(sfm::VirtPage page) const
+{
+    return shared_.pageState(global(page));
+}
+
+void
+TenantBackend::compact()
+{
+    shared_.compact();
+}
+
+std::uint64_t
+TenantBackend::farPageCount() const
+{
+    return registry_.farPages(id_);
+}
+
+std::uint64_t
+TenantBackend::storedCompressedBytes() const
+{
+    return registry_.storedBytes(id_);
+}
+
+void
+TenantBackend::writePage(sfm::VirtPage page, ByteSpan data)
+{
+    shared_.writePage(global(page), data);
+}
+
+Bytes
+TenantBackend::readPage(sfm::VirtPage page) const
+{
+    return shared_.readPage(global(page));
+}
+
+} // namespace service
+} // namespace xfm

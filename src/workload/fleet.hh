@@ -1,0 +1,103 @@
+/**
+ * @file
+ * FleetWorkload: heterogeneous multi-tenant drivers for the
+ * far-memory service layer.
+ *
+ * Models the mixed fleet the paper's deployment sections describe:
+ * a host runs a handful of latency-sensitive serving jobs alongside
+ * batch analytics, all sharing one set of XFM DIMMs. Tenant shapes
+ * are derived from the SPEC-like application profiles (working-set
+ * skew from reuseTheta) and each tenant's pages carry a distinct
+ * corpus class so compression ratios differ realistically across
+ * tenants.
+ */
+
+#ifndef XFM_WORKLOAD_FLEET_HH
+#define XFM_WORKLOAD_FLEET_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "compress/corpus.hh"
+#include "service/service.hh"
+
+namespace xfm
+{
+namespace workload
+{
+
+/** Shape of the generated fleet. */
+struct FleetConfig
+{
+    std::size_t numTenants = 8;
+    /** Shard-local pages each tenant owns (<= pagesPerShard). */
+    std::uint64_t pagesPerTenant = 128;
+    /** Mean page-touch rate per tenant. */
+    double accessesPerSecond = 100000.0;
+    std::uint64_t seed = 1;
+};
+
+/** One generated tenant: service config plus its access shape. */
+struct FleetTenantSpec
+{
+    service::TenantConfig cfg;
+    double zipfTheta = 0.9;  ///< page-popularity skew of accesses
+    compress::CorpusKind corpus = compress::CorpusKind::EnglishText;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate a heterogeneous tenant mix: every fourth tenant is
+ * latency-sensitive (high-skew serving job under kstaled control);
+ * the rest are batch tenants with profile-derived skew, WRR weights
+ * 1..3, and alternating kstaled/senpai control policies. Controller
+ * periods are scaled to millisecond simulations.
+ */
+std::vector<FleetTenantSpec> heterogeneousFleet(const FleetConfig &cfg);
+
+/**
+ * Drives a FarMemoryService with the generated fleet: admits every
+ * tenant, seeds its pages with corpus data, and issues zipf-skewed
+ * page touches with exponential inter-arrival gaps.
+ */
+class FleetDriver : public SimObject
+{
+  public:
+    FleetDriver(std::string name, EventQueue &eq,
+                service::FarMemoryService &svc,
+                const FleetConfig &cfg);
+
+    /** Begin the per-tenant access streams (service must be
+     *  started separately). */
+    void start();
+
+    std::size_t numTenants() const { return streams_.size(); }
+    service::TenantId tenantId(std::size_t i) const;
+    const FleetTenantSpec &spec(std::size_t i) const;
+
+    /** Page touches issued so far across all tenants. */
+    std::uint64_t totalAccesses() const { return accesses_; }
+
+  private:
+    struct Stream
+    {
+        service::TenantId id;
+        FleetTenantSpec spec;
+        std::uint64_t pages;
+        Tick meanGap;
+        Rng rng;
+    };
+
+    void tick(std::size_t i);
+    Tick nextGap(Stream &s);
+
+    service::FarMemoryService &svc_;
+    FleetConfig cfg_;
+    std::vector<Stream> streams_;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace workload
+} // namespace xfm
+
+#endif // XFM_WORKLOAD_FLEET_HH

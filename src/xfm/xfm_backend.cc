@@ -292,6 +292,13 @@ XfmBackend::cpuSwapIn(VirtPage page, SwapCallback done)
 void
 XfmBackend::swapOut(VirtPage page, SwapCallback done)
 {
+    swapOut(page, true, std::move(done));
+}
+
+void
+XfmBackend::swapOut(VirtPage page, bool allow_offload,
+                    SwapCallback done)
+{
     XFM_ASSERT(page < cfg_.localPages, "page out of range");
     if (entries_.count(page))
         fatal("swapOut: page ", page, " already in far memory");
@@ -302,6 +309,13 @@ XfmBackend::swapOut(VirtPage page, SwapCallback done)
         o.completed = curTick();
         if (done)
             done(o);
+        return;
+    }
+
+    // The service layer degrades over-quota tenants to the CPU path
+    // without touching the NMA's queues.
+    if (!allow_offload) {
+        cpuSwapOut(page, std::move(done));
         return;
     }
 
@@ -329,7 +343,8 @@ XfmBackend::swapOut(VirtPage page, SwapCallback done)
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
         const nma::OffloadId id = dimms_[d].driver->xfmCompress(
             shardFrameAddr(page),
-            static_cast<std::uint32_t>(cfg_.shardBytes()), deadline);
+            static_cast<std::uint32_t>(cfg_.shardBytes()), deadline,
+            partition_);
         if (id == nma::invalidOffloadId) {
             // Roll back what was already submitted.
             for (std::size_t k = 0; k < d; ++k) {
@@ -390,7 +405,8 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
         const nma::OffloadId id = dimms_[d].driver->xfmDecompress(
             slotAddr(entry.offset), entry.shardSizes[d],
             shardFrameAddr(page),
-            static_cast<std::uint32_t>(cfg_.shardBytes()), deadline);
+            static_cast<std::uint32_t>(cfg_.shardBytes()), deadline,
+            partition_);
         if (id == nma::invalidOffloadId) {
             for (std::size_t k = 0; k < d; ++k) {
                 routes_[k].erase(op->ids[k]);
@@ -480,10 +496,11 @@ XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
     outcome.success = true;
     outcome.usedCpu = used_cpu;
     outcome.completed = now;
-    for (auto s : op->sizes)
-        outcome.compressedSize += s;
 
     if (op->isCompress) {
+        // op->sizes holds the compressed shard sizes.
+        for (auto s : op->sizes)
+            outcome.compressedSize += s;
         PageEntry entry;
         entry.offset = op->offset;
         entry.shardSizes = op->sizes;
@@ -492,6 +509,13 @@ XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
         ++xfm_stats_.offloadedSwapOuts;
         stats_.bytesCompressed += pageBytes;
     } else {
+        // For decompressions op->sizes holds raw output sizes;
+        // report the stored compressed footprint like the CPU path.
+        const auto it = entries_.find(op->page);
+        XFM_ASSERT(it != entries_.end(),
+                   "finishing swap-in of unknown page ", op->page);
+        for (auto s : it->second.shardSizes)
+            outcome.compressedSize += s;
         alloc_.release(op->offset);
         entries_.erase(op->page);
         ++stats_.swapIns;

@@ -95,6 +95,8 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
 
     // SfmBackend interface -------------------------------------------
     void swapOut(sfm::VirtPage page, sfm::SwapCallback done) override;
+    void swapOut(sfm::VirtPage page, bool allow_offload,
+                 sfm::SwapCallback done) override;
     void swapIn(sfm::VirtPage page, bool allow_offload,
                 sfm::SwapCallback done) override;
     sfm::PageState pageState(sfm::VirtPage page) const override;
@@ -114,6 +116,15 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
 
     /** Begin refresh activity (required before offloads progress). */
     void start();
+
+    /**
+     * Tag subsequent offload submissions with an SPM QoS partition
+     * (see nma::ScratchPad::setPartitionCap). The service layer sets
+     * this per priority class before dispatching each tenant's
+     * operation; 0 (the default) is uncapped.
+     */
+    void setOffloadPartition(std::uint32_t p) { partition_ = p; }
+    std::uint32_t offloadPartition() const { return partition_; }
 
     const XfmBackendStats &xfmStats() const { return xfm_stats_; }
     XfmDriver &driver(std::size_t dimm) { return *dimms_[dimm].driver; }
@@ -199,6 +210,7 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
 
     sfm::BackendStats stats_;
     XfmBackendStats xfm_stats_;
+    std::uint32_t partition_ = 0;  ///< SPM partition for submissions
 };
 
 } // namespace xfmsys

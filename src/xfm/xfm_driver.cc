@@ -87,7 +87,7 @@ XfmDriver::submitTracked(const nma::OffloadRequest &req,
 
 nma::OffloadId
 XfmDriver::xfmCompress(std::uint64_t src, std::uint32_t size,
-                       Tick deadline)
+                       Tick deadline, std::uint32_t partition)
 {
     const std::uint32_t worst =
         nma::CompressionEngine::worstCaseCompressedSize(size);
@@ -100,13 +100,14 @@ XfmDriver::xfmCompress(std::uint64_t src, std::uint32_t size,
     req.srcAddr = src;
     req.size = size;
     req.deadline = deadline;
+    req.partition = partition;
     return submitTracked(req, worst);
 }
 
 nma::OffloadId
 XfmDriver::xfmDecompress(std::uint64_t src, std::uint32_t size,
                          std::uint64_t dst, std::uint32_t raw_size,
-                         Tick deadline)
+                         Tick deadline, std::uint32_t partition)
 {
     // The staged footprint of a decompression averages near its
     // compressed size: the 4 KiB output exists in the SPM only
@@ -122,6 +123,7 @@ XfmDriver::xfmDecompress(std::uint64_t src, std::uint32_t size,
     req.dstAddr = dst;
     req.rawSize = raw_size;
     req.deadline = deadline;
+    req.partition = partition;
     return submitTracked(req, size);
 }
 

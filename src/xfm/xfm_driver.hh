@@ -59,15 +59,18 @@ class XfmDriver
 
     /**
      * Submit a compression offload.
+     * @param partition SPM QoS partition to charge (0 = uncapped).
      * @return offload id or nma::invalidOffloadId (CPU fallback).
      */
     nma::OffloadId xfmCompress(std::uint64_t src, std::uint32_t size,
-                               Tick deadline);
+                               Tick deadline,
+                               std::uint32_t partition = 0);
 
     /** Submit a decompression offload (destination known). */
     nma::OffloadId xfmDecompress(std::uint64_t src, std::uint32_t size,
                                  std::uint64_t dst,
-                                 std::uint32_t raw_size, Tick deadline);
+                                 std::uint32_t raw_size, Tick deadline,
+                                 std::uint32_t partition = 0);
 
     /** Commit the write-back target of a completed compression. */
     void commitWriteback(nma::OffloadId id, std::uint64_t dst);

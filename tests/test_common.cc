@@ -222,6 +222,63 @@ TEST(Stats, HistogramPercentile)
     EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
 }
 
+TEST(Stats, AverageResetRestoresEmptySemantics)
+{
+    stats::Average a;
+    a.sample(-7.0);
+    a.sample(3.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    // min/max must re-initialise, not remember pre-reset extremes.
+    a.sample(5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Stats, HistogramResetClearsEverything)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    h.sample(-1.0);
+    h.sample(5.0);
+    h.sample(20.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(h.bucketCount(i), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+    // Reusable after reset.
+    h.sample(5.0);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Stats, HistogramSingleSamplePercentile)
+{
+    // A lone sample must dominate every percentile; the truncated
+    // rank p * total == 0 used to report lo instead.
+    stats::Histogram h(0.0, 100.0, 100);
+    h.sample(42.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 43.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 43.0);
+}
+
+TEST(Stats, HistogramBucketEdgeValues)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    h.sample(0.0);   // lo is in range -> bucket 0
+    h.sample(3.0);   // interior bucket boundary -> bucket 3
+    h.sample(10.0);  // hi is out of range ([lo, hi))
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
 TEST(Stats, GroupRendersRows)
 {
     stats::Group g("mygroup");

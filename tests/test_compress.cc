@@ -138,9 +138,11 @@ TEST(Huffman, SingleSymbolGetsLengthOne)
     counts[7] = 42;
     const auto lengths = huffmanCodeLengths(counts);
     EXPECT_EQ(lengths[7], 1u);
-    for (std::size_t i = 0; i < counts.size(); ++i)
-        if (i != 7)
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i != 7) {
             EXPECT_EQ(lengths[i], 0u);
+        }
+    }
 }
 
 TEST(Huffman, EmptyAlphabetAllZero)
@@ -211,12 +213,17 @@ TEST(Huffman, ManySymbolsLengthLimited)
 
 TEST(Huffman, CodeLengthRleRoundTrip)
 {
-    std::vector<std::uint8_t> lengths = {
+    // 300 entries: head below, then a long zero tail (needs code 18
+    // chains). Built at full size up front — resizing a small
+    // init-list vector trips a GCC 12 -Warray-bounds false positive
+    // at -O2.
+    static constexpr std::uint8_t head[] = {
         0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,  // long zero run
         5, 5, 5, 5, 5,                        // repeat run
         7, 3, 0, 0, 9,                        // singletons + short zeros
     };
-    lengths.resize(300, 0);  // long zero tail (needs code 18 chains)
+    std::vector<std::uint8_t> lengths(300, 0);
+    std::copy(std::begin(head), std::end(head), lengths.begin());
     Bytes buf;
     BitWriter bw(buf);
     writeCodeLengthsRle(bw, lengths);
@@ -267,8 +274,9 @@ TEST(Lz77, WindowLimitsDistance)
         in.push_back(static_cast<std::uint8_t>(rng.uniformInt(4)));
     const auto tokens = lz77Tokenize(in, params);
     for (const auto &t : tokens) {
-        if (t.isMatch)
+        if (t.isMatch) {
             EXPECT_LE(t.distance, 64u);
+        }
     }
     EXPECT_EQ(lz77Reconstruct(tokens), in);
 }
@@ -280,8 +288,9 @@ TEST(Lz77, MaxMatchRespected)
     const Bytes in(1000, 'x');
     const auto tokens = lz77Tokenize(in, params);
     for (const auto &t : tokens) {
-        if (t.isMatch)
+        if (t.isMatch) {
             EXPECT_LE(t.length, 16u);
+        }
     }
     EXPECT_EQ(lz77Reconstruct(tokens), in);
 }

@@ -153,8 +153,9 @@ TEST(CostModel, Fig3SweepNormalisedToDfmDram)
     }
     // At 20% and 5 years SFM is far cheaper than the DFM baseline.
     for (const auto &r : rows) {
-        if (r.promotionRate == 0.2 && r.years == 5.0)
+        if (r.promotionRate == 0.2 && r.years == 5.0) {
             EXPECT_LT(r.sfmCost, 0.5);
+        }
     }
 }
 

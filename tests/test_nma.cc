@@ -100,6 +100,49 @@ TEST(ScratchPad, PopWritebackFifoOrder)
     EXPECT_FALSE(spm.popWriteback(e));
 }
 
+TEST(ScratchPad, PartitionCapRejectsOnlyThatPartition)
+{
+    ScratchPad spm(1000);
+    spm.setPartitionCap(1, 200);
+    // Partition 1 is capped at 200 bytes...
+    EXPECT_TRUE(spm.reserve(1, OffloadKind::Compress, 150, 1));
+    EXPECT_FALSE(spm.reserve(2, OffloadKind::Compress, 100, 1));
+    EXPECT_EQ(spm.partitionUsed(1), 150u);
+    // ...while partition 0 still sees the global capacity.
+    EXPECT_TRUE(spm.reserve(3, OffloadKind::Compress, 700));
+    EXPECT_EQ(spm.usedBytes(), 850u);
+}
+
+TEST(ScratchPad, PartitionChargeFollowsEntryLifecycle)
+{
+    ScratchPad spm(1000);
+    spm.setPartitionCap(1, 300);
+    ASSERT_TRUE(spm.reserve(1, OffloadKind::Compress, 300, 1));
+    EXPECT_FALSE(spm.reserve(2, OffloadKind::Compress, 1, 1));
+    // Completion trims the reservation to the real output size,
+    // returning headroom to the partition.
+    spm.complete(1, Bytes(80, 0xCD));
+    EXPECT_EQ(spm.partitionUsed(1), 80u);
+    EXPECT_TRUE(spm.reserve(2, OffloadKind::Compress, 200, 1));
+    // Release/take uncharge the partition entirely.
+    spm.release(2);
+    spm.setDestination(1, 0x100);
+    spm.take(1);
+    EXPECT_EQ(spm.partitionUsed(1), 0u);
+    EXPECT_EQ(spm.usedBytes(), 0u);
+}
+
+TEST(ScratchPad, PartitionCapRemovalAndDefaults)
+{
+    ScratchPad spm(1000);
+    EXPECT_EQ(spm.partitionCap(1), 0u);  // uncapped by default
+    spm.setPartitionCap(1, 100);
+    EXPECT_EQ(spm.partitionCap(1), 100u);
+    EXPECT_FALSE(spm.reserve(1, OffloadKind::Compress, 150, 1));
+    spm.setPartitionCap(1, 0);  // removing the cap re-opens it
+    EXPECT_TRUE(spm.reserve(1, OffloadKind::Compress, 150, 1));
+}
+
 // ----------------------------------------------------------------- MMIO
 
 TEST(Mmio, ReadOnlyRegisterReflectsLiveValue)

@@ -106,6 +106,52 @@ TEST_F(SenpaiTest, ReclaimBatchStaysWithinBounds)
     EXPECT_GE(ctrl_->reclaimBatch(), 2u);
 }
 
+TEST_F(SenpaiTest, ProbeClampsExactlyAtMaxReclaim)
+{
+    // A probe step far larger than the headroom must saturate at
+    // maxReclaim, not overshoot it.
+    SenpaiConfig cfg;
+    cfg.interval = milliseconds(5.0);
+    cfg.initialReclaim = 4;
+    cfg.probeStep = 64;
+    cfg.maxReclaim = 12;
+    makeController(cfg);
+    eq_.run(milliseconds(100.0));  // no faults: probes every tick
+    EXPECT_EQ(ctrl_->reclaimBatch(), 12u);
+    EXPECT_LE(ctrl_->stats().reclaimRate.max(), 12.0);
+    EXPECT_GT(ctrl_->stats().probes, 10u);
+}
+
+TEST_F(SenpaiTest, BackoffClampsExactlyAtMinReclaim)
+{
+    // An aggressive multiplicative backoff (x0.1 would round to 0)
+    // must floor at minReclaim while pressure persists.
+    SenpaiConfig cfg;
+    cfg.interval = milliseconds(5.0);
+    cfg.initialReclaim = 64;
+    cfg.backoffFactor = 0.1;
+    cfg.minReclaim = 3;
+    cfg.targetFaultsPerSec = 0.0;  // any fault is over target
+    makeController(cfg);
+
+    // Let the first tick demote pages, then keep one fault landing
+    // in every interval so the controller backs off continuously.
+    eq_.run(milliseconds(6.0));
+    for (int i = 0; i < 20; ++i) {
+        for (VirtPage p = 0; p < numPages; ++p) {
+            if (backend_->pageState(p) == PageState::Far) {
+                ctrl_->recordAccess(p);
+                break;
+            }
+        }
+        eq_.run(eq_.now() + milliseconds(5.0));
+        EXPECT_GE(ctrl_->reclaimBatch(), 3u);
+    }
+    EXPECT_EQ(ctrl_->reclaimBatch(), 3u);
+    EXPECT_GT(ctrl_->stats().backoffs, 10u);
+    EXPECT_GE(ctrl_->stats().reclaimRate.min(), 3.0);
+}
+
 TEST_F(SenpaiTest, FaultedPagesReturnLocal)
 {
     SenpaiConfig cfg;
