@@ -74,5 +74,33 @@ main()
     std::printf("  conditional accesses cut NMA access energy by "
                 "%.1f%% on average (paper: ~10.1%%)\n",
                 energy_saved_sum / energy_points);
+
+    // Fault-plan sweep: the paper's best configuration (8MB SPM,
+    // 3 acc/tRFC) under increasing doorbell-loss and engine-stall
+    // rates. Transient losses are absorbed by driver retries; the
+    // rest degrade to CPU fallbacks, Fig. 12's failure axis.
+    std::printf("\nFault sweep (8MB SPM, 3 acc/tRFC, 100%% "
+                "promotion rate):\n");
+    std::printf("%10s %10s %10s %10s %10s %8s\n", "fault p",
+                "injected", "doorbell", "retries", "stalls",
+                "fall%");
+    for (double p : {0.0, 0.05, 0.10, 0.20}) {
+        SwapSimConfig sc;
+        sc.promotionRate = 1.0;
+        sc.accessesPerTrfc = 3;
+        sc.spmBytes = mib(8);
+        sc.faults.seed = 7;
+        sc.faults.site(fault::FaultSite::MmioDoorbellLoss)
+            .probability = p;
+        sc.faults.site(fault::FaultSite::EngineStall)
+            .probability = p / 2;
+        const auto r = runSwapSim(sc);
+        std::printf("%10.2f %10llu %10llu %10llu %10llu %8.1f\n", p,
+                    (unsigned long long)r.faultInjections,
+                    (unsigned long long)r.doorbellLosses,
+                    (unsigned long long)r.driverRetries,
+                    (unsigned long long)r.engineStalls,
+                    r.fallbackPercent());
+    }
     return 0;
 }

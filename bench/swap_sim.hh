@@ -21,6 +21,7 @@
 #include "dram/address_map.hh"
 #include "dram/phys_mem.hh"
 #include "dram/refresh.hh"
+#include "fault/fault.hh"
 #include "nma/xfm_device.hh"
 #include "workload/trace_gen.hh"
 #include "xfm/xfm_driver.hh"
@@ -47,6 +48,10 @@ struct SwapSimConfig
     double rankShareGB = 32.0;  ///< this rank's slice of the SFM
     Tick simTime = milliseconds(100.0);
     Tick burstQuantum = milliseconds(1.0);
+    /** Fault scenario (disarmed by default = seed behaviour). */
+    fault::FaultPlan faults{};
+    /** Driver retry policy for transient injected faults. */
+    fault::RetryPolicy retry{};
 };
 
 /** Point outcome. */
@@ -61,6 +66,10 @@ struct SwapSimResult
     std::uint64_t mmioCapacityReads = 0;
     std::uint64_t offloadsSubmitted = 0;
     double energySavedFraction = 0.0;
+    std::uint64_t faultInjections = 0;
+    std::uint64_t doorbellLosses = 0;
+    std::uint64_t driverRetries = 0;
+    std::uint64_t engineStalls = 0;
 
     double
     fallbackPercent() const
@@ -104,6 +113,10 @@ runSwapSim(const SwapSimConfig &sc)
     nma::XfmDevice device("xfm", eq, dcfg, map, mem, refresh);
     xfmsys::XfmDriver driver(device);
     driver.setAlwaysSync(sc.driverAlwaysSync);
+    fault::FaultInjector injector(sc.faults);
+    device.setFaultInjector(&injector);
+    driver.setFaultInjector(&injector);
+    driver.setRetryPolicy(sc.retry);
 
     // Tuned-controller reservation calendar: window w serves at
     // most (accesses - randoms) conditional accesses; bursts spread
@@ -199,6 +212,10 @@ runSwapSim(const SwapSimConfig &sc)
     r.mmioCapacityReads = driver.stats().capacityRegisterReads;
     r.offloadsSubmitted = driver.stats().offloadsSubmitted;
     r.energySavedFraction = st.energySavedFraction();
+    r.faultInjections = injector.totalInjections();
+    r.doorbellLosses = driver.stats().doorbellLosses;
+    r.driverRetries = driver.stats().retries;
+    r.engineStalls = st.engineStalls;
     return r;
 }
 

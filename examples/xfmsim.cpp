@@ -23,6 +23,15 @@
  *   workload.rps       = 20000
  *   workload.zipf      = 0.9
  *   workload.seed      = 1
+ *
+ * Fault injection (see src/fault/fault.hh and configs/faults.cfg):
+ *   fault.seed               = 7
+ *   fault.<site>.p           = 0.1   # per-evaluation probability
+ *   fault.<site>.one_shot    = 12    # fire on the Nth evaluation
+ *   fault.<site>.max         = 3     # cap on injections
+ *   retry.max_attempts       = 3
+ *   retry.backoff_ns         = 200
+ *   retry.cap_ns             = 50000
  */
 
 #include <cstdio>
@@ -64,6 +73,8 @@ main(int argc, char **argv)
         milliseconds(cfg.getDouble("controller.scan_ms", 2.0));
     sys_cfg.controller.prefetchDepth =
         cfg.getU64("controller.prefetch_depth", 2);
+    sys_cfg.faultPlan = fault::FaultPlan::fromConfig(cfg);
+    sys_cfg.retry = fault::RetryPolicy::fromConfig(cfg);
 
     const double run_seconds =
         cfg.getDouble("workload.seconds", 0.3);
@@ -110,6 +121,15 @@ main(int argc, char **argv)
     eq.run(seconds(run_seconds) + milliseconds(50.0));
 
     std::printf("%s", sys.statsGroup().render().c_str());
+    if (sys_cfg.backend == BackendKind::Xfm
+        && sys_cfg.faultPlan.anyArmed()) {
+        const auto &xfm_backend =
+            static_cast<xfmsys::XfmBackend &>(sys.backend());
+        std::printf("\n%s", xfm_backend.faultInjector()
+                                .statsGroup("fault")
+                                .render()
+                                .c_str());
+    }
     std::printf("\napplication: %llu accesses, %.2f%% local hit "
                 "rate\n",
                 (unsigned long long)(hits + faults),

@@ -2,14 +2,29 @@
 # Tier-1 verification: configure with warnings-as-errors, build
 # everything, run the full test suite. This is the gate every change
 # must pass (see ROADMAP.md).
+#
+# SANITIZE=1 runs the same suite under ASan+UBSan (separate build
+# dir, RelWithDebInfo so stacks symbolise), with both sanitizers set
+# to fail hard on any report.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${BUILD_DIR:-${repo_root}/build-ci}"
 jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
+cxx_flags="-Werror"
+build_type="${BUILD_TYPE:-Release}"
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+    build_dir="${BUILD_DIR:-${repo_root}/build-asan}"
+    build_type="${BUILD_TYPE:-RelWithDebInfo}"
+    cxx_flags+=" -fsanitize=address,undefined -fno-sanitize-recover=all"
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:abort_on_error=1}"
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+else
+    build_dir="${BUILD_DIR:-${repo_root}/build-ci}"
+fi
+
 cmake -B "${build_dir}" -S "${repo_root}" \
-    -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}" \
-    -DCMAKE_CXX_FLAGS="-Werror"
+    -DCMAKE_BUILD_TYPE="${build_type}" \
+    -DCMAKE_CXX_FLAGS="${cxx_flags}"
 cmake --build "${build_dir}" -j "${jobs}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"

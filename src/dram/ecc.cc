@@ -177,6 +177,25 @@ EccStore::read(std::uint64_t addr, std::size_t size)
         std::uint64_t word;
         std::memcpy(&word, data.data() + w * 8, 8);
         std::uint8_t check = parity[w];
+
+        if (injector_ && injector_->armed()) {
+            // Model in-DRAM bit rot discovered at read time: flip
+            // stored data bits before the SECDED check sees them.
+            if (injector_->shouldInject(
+                    fault::FaultSite::EccCorrectable)) {
+                word ^= std::uint64_t(1)
+                    << injector_->pickUniform(64);
+            }
+            if (injector_->shouldInject(
+                    fault::FaultSite::EccUncorrectable)) {
+                const auto b1 = injector_->pickUniform(64);
+                const auto b2 = (b1 + 1 + injector_->pickUniform(63))
+                    % 64;
+                word ^= std::uint64_t(1) << b1;
+                word ^= std::uint64_t(1) << b2;
+            }
+        }
+
         const auto result = ecc::checkAndCorrect(word, check);
         ++stats_.wordsRead;
         switch (result) {
@@ -190,8 +209,15 @@ EccStore::read(std::uint64_t addr, std::size_t size)
             break;
           case ecc::CheckResult::Uncorrectable:
             ++stats_.uncorrectableErrors;
-            fatal("uncorrectable ECC error at address ",
-                  addr + w * 8);
+            if (!poison_handler_)
+                fatal("uncorrectable ECC error at address ",
+                      addr + w * 8);
+            // Machine-check path: record the poisoned word, tell
+            // the owner, hand back the (corrupt) data untouched.
+            std::memcpy(data.data() + w * 8, &word, 8);
+            poisoned_.insert(addr + w * 8);
+            poison_handler_(addr + w * 8);
+            break;
         }
     }
     if (scrub) {
@@ -200,6 +226,16 @@ EccStore::read(std::uint64_t addr, std::size_t size)
         mem_.write(parityAddr(addr), parity);
     }
     return data;
+}
+
+bool
+EccStore::isPoisoned(std::uint64_t addr, std::size_t size) const
+{
+    if (poisoned_.empty())
+        return false;
+    const std::uint64_t first = addr & ~std::uint64_t(7);
+    const auto it = poisoned_.lower_bound(first);
+    return it != poisoned_.end() && *it < addr + size;
 }
 
 void

@@ -17,9 +17,12 @@
 #define XFM_DRAM_ECC_HH
 
 #include <cstdint>
+#include <functional>
+#include <set>
 
 #include "common/stats.hh"
 #include "dram/phys_mem.hh"
+#include "fault/fault.hh"
 
 namespace xfm
 {
@@ -88,7 +91,12 @@ class EccStore
      * Read with verification; single-bit errors are corrected in
      * the returned data *and* scrubbed in memory.
      *
-     * @throws FatalError on an uncorrectable (double-bit) error.
+     * Uncorrectable (double-bit) errors are fatal unless a poison
+     * handler is installed; with one, the word is recorded as
+     * poisoned, the handler is notified, and the (corrupt) data is
+     * returned so the caller can quarantine the containing page.
+     *
+     * @throws FatalError on an uncorrectable error with no handler.
      */
     Bytes read(std::uint64_t addr, std::size_t size);
 
@@ -98,6 +106,40 @@ class EccStore
     /** Flip one stored parity bit (fault injection). */
     void injectParityError(std::uint64_t word_addr, unsigned bit);
 
+    /**
+     * Attach a fault injector (may be null to detach). Each word
+     * read then evaluates EccCorrectable (one stored data bit flips
+     * before the check — always recovered and scrubbed) and
+     * EccUncorrectable (two bits flip — detected, never corrected).
+     */
+    void setFaultInjector(fault::FaultInjector *inj)
+    {
+        injector_ = inj;
+    }
+
+    /**
+     * Install the machine-check-style handler for uncorrectable
+     * errors: read() reports the poisoned word address instead of
+     * terminating, mirroring how a kernel quarantines the
+     * containing page rather than panicking on user-memory UEs.
+     */
+    void setPoisonHandler(std::function<void(std::uint64_t)> handler)
+    {
+        poison_handler_ = std::move(handler);
+    }
+
+    /** True if any word of [addr, addr+size) is poisoned. */
+    bool isPoisoned(std::uint64_t addr, std::size_t size) const;
+
+    /** Number of currently poisoned words. */
+    std::size_t poisonedWords() const { return poisoned_.size(); }
+
+    /** Clear poison for a word (page retired / slot rewritten). */
+    void clearPoison(std::uint64_t word_addr)
+    {
+        poisoned_.erase(word_addr & ~std::uint64_t(7));
+    }
+
     const EccStats &stats() const { return stats_; }
 
   private:
@@ -106,6 +148,9 @@ class EccStore
     PhysMem &mem_;
     std::uint64_t parity_base_;
     std::uint64_t protected_bytes_;
+    fault::FaultInjector *injector_ = nullptr;
+    std::function<void(std::uint64_t)> poison_handler_;
+    std::set<std::uint64_t> poisoned_;  ///< poisoned word addresses
     EccStats stats_;
 };
 

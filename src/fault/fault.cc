@@ -1,0 +1,150 @@
+#include "fault.hh"
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace fault
+{
+
+namespace
+{
+
+constexpr std::array<const char *, faultSiteCount> siteNames = {
+    "ecc_correctable", "ecc_uncorrectable", "spm_reserve",
+    "spm_watermark",   "engine_stall",      "mmio_doorbell",
+    "dfm_delay",       "dfm_drop",
+};
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    const auto idx = static_cast<std::size_t>(site);
+    XFM_ASSERT(idx < faultSiteCount, "invalid fault site ", idx);
+    return siteNames[idx];
+}
+
+bool
+FaultPlan::anyArmed() const
+{
+    for (const auto &t : sites)
+        if (t.armed())
+            return true;
+    return false;
+}
+
+FaultPlan
+FaultPlan::fromConfig(const Config &cfg)
+{
+    FaultPlan plan;
+    plan.seed = cfg.getU64("fault.seed", plan.seed);
+    plan.spmHighWatermark =
+        cfg.getDouble("fault.spm_watermark", plan.spmHighWatermark);
+    if (cfg.has("fault.dfm_delay_ns"))
+        plan.dfmDelayPenalty = nanoseconds(
+            cfg.getDouble("fault.dfm_delay_ns"));
+    XFM_ASSERT(plan.spmHighWatermark > 0.0
+                   && plan.spmHighWatermark <= 1.0,
+               "fault.spm_watermark must be in (0, 1]");
+
+    for (std::size_t s = 0; s < faultSiteCount; ++s) {
+        const std::string base =
+            std::string("fault.") + siteNames[s] + ".";
+        SiteTrigger &t = plan.sites[s];
+        t.probability = cfg.getDouble(base + "p", t.probability);
+        t.oneShotAt = cfg.getU64(base + "one_shot", t.oneShotAt);
+        t.maxTriggers = cfg.getU64(base + "max", t.maxTriggers);
+        if (t.probability < 0.0 || t.probability > 1.0)
+            fatal(base, "p must be a probability in [0, 1]");
+    }
+
+    // Typos in fault.* keys would silently disarm a scenario the
+    // test author believes is active; reject them.
+    for (const auto &key : cfg.keys()) {
+        if (key.rfind("fault.", 0) != 0)
+            continue;
+        if (key == "fault.seed" || key == "fault.spm_watermark"
+            || key == "fault.dfm_delay_ns")
+            continue;
+        bool known = false;
+        for (std::size_t s = 0; s < faultSiteCount && !known; ++s) {
+            const std::string base =
+                std::string("fault.") + siteNames[s] + ".";
+            known = key == base + "p" || key == base + "one_shot"
+                || key == base + "max";
+        }
+        if (!known)
+            fatal("unknown fault-plan key '", key, "'");
+    }
+    return plan;
+}
+
+RetryPolicy
+RetryPolicy::fromConfig(const Config &cfg)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = static_cast<std::uint32_t>(
+        cfg.getU64("retry.max_attempts", policy.maxAttempts));
+    if (cfg.has("retry.backoff_ns"))
+        policy.backoffBase =
+            nanoseconds(cfg.getDouble("retry.backoff_ns"));
+    if (cfg.has("retry.cap_ns"))
+        policy.backoffCap = nanoseconds(cfg.getDouble("retry.cap_ns"));
+    XFM_ASSERT(policy.maxAttempts >= 1,
+               "retry.max_attempts must be at least 1");
+    return policy;
+}
+
+bool
+FaultInjector::shouldInject(FaultSite site)
+{
+    if (!armed_)
+        return false;
+    const auto idx = static_cast<std::size_t>(site);
+    const SiteTrigger &t = plan_.sites[idx];
+    if (!t.armed())
+        return false;
+
+    SiteStats &st = stats_[idx];
+    ++st.evaluations;
+    if (t.maxTriggers != 0 && st.injections >= t.maxTriggers)
+        return false;
+
+    bool fire = false;
+    if (t.oneShotAt != 0 && st.evaluations == t.oneShotAt)
+        fire = true;
+    else if (t.probability > 0.0 && rng_.chance(t.probability))
+        fire = true;
+    if (fire)
+        ++st.injections;
+    return fire;
+}
+
+std::uint64_t
+FaultInjector::totalInjections() const
+{
+    std::uint64_t total = 0;
+    for (const auto &st : stats_)
+        total += st.injections;
+    return total;
+}
+
+stats::Group
+FaultInjector::statsGroup(const std::string &name) const
+{
+    stats::Group g(name);
+    for (std::size_t s = 0; s < faultSiteCount; ++s) {
+        if (!plan_.sites[s].armed() && stats_[s].evaluations == 0)
+            continue;
+        const std::string site = siteNames[s];
+        g.add(site + "_evaluations", stats_[s].evaluations);
+        g.add(site + "_injections", stats_[s].injections);
+    }
+    g.add("total_injections", totalInjections());
+    return g;
+}
+
+} // namespace fault
+} // namespace xfm

@@ -27,9 +27,8 @@ std::uint32_t
 CompressionEngine::modeledSize(std::size_t input_size)
 {
     // Deterministic +/-20% jitter around input/ratio (splitmix64 of
-    // an internal counter), bounded by the stored-block worst case.
-    static std::uint64_t counter = 0;
-    std::uint64_t z = ++counter + 0x9E3779B97F4A7C15ull;
+    // a per-engine counter), bounded by the stored-block worst case.
+    std::uint64_t z = ++model_counter_ + 0x9E3779B97F4A7C15ull;
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     const double u =

@@ -97,6 +97,13 @@ class CompressionEngine
 
     std::unique_ptr<compress::Compressor> codec_;
     EngineProfile profile_;
+    /**
+     * Jitter counter for size-model mode. Per-engine state (not a
+     * process-wide static): two engines — or two back-to-back runs
+     * in one process — must produce identical modeled sizes from
+     * identical inputs, or same-seed runs diverge.
+     */
+    std::uint64_t model_counter_ = 0;
     stats::Counter bytes_compressed_;
     stats::Counter bytes_decompressed_;
 };

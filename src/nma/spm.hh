@@ -19,6 +19,7 @@
 
 #include "common/logging.hh"
 #include "compress/compressor.hh"
+#include "fault/fault.hh"
 #include "nma/offload.hh"
 
 namespace xfm
@@ -128,9 +129,30 @@ class ScratchPad
     /** Drop an entry (e.g. aborted offload), releasing its bytes. */
     void release(OffloadId id);
 
+    /**
+     * Attach a fault injector (may be null to detach). reserve()
+     * then evaluates SpmReserveFail on every call and
+     * SpmHighWatermark whenever occupancy already exceeds the
+     * plan's watermark fraction; either injection fails the
+     * reservation, which the device treats exactly like a full SPM
+     * (deferred execution -> eventual deadline drop -> CPU).
+     */
+    void setFaultInjector(fault::FaultInjector *inj)
+    {
+        injector_ = inj;
+    }
+
+    /** Reservations refused by an injected fault. */
+    std::uint64_t injectedReserveFailures() const
+    {
+        return injected_failures_;
+    }
+
   private:
     void uncharge(const SpmEntry &e, std::size_t bytes);
 
+    fault::FaultInjector *injector_ = nullptr;
+    std::uint64_t injected_failures_ = 0;
     std::size_t capacity_;
     std::size_t used_ = 0;
     std::map<OffloadId, SpmEntry> entries_;  ///< ordered => FIFO pops

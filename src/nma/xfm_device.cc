@@ -162,6 +162,24 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
     const OffloadId id = op.id;
     const OffloadKind kind = op.req.kind;
 
+    if (injector_
+        && injector_->shouldInject(fault::FaultSite::EngineStall)) {
+        // Injected engine stall/timeout: the access slot and DRAM
+        // read were spent but the engine never produces output.
+        // Release the staging space and report the offload dropped
+        // so the driver/backend redo the work on the CPU.
+        ++stats_.engineStalls;
+        spm_.release(id);
+        stalled_.insert(id);
+        eventq().scheduleIn(transfer, [this, id] {
+            if (!stalled_.erase(id))
+                return;  // aborted before the timeout was noticed
+            if (on_drop_)
+                on_drop_(id);
+        });
+        return true;
+    }
+
     Bytes output;
     Tick latency;
     if (kind == OffloadKind::Compress) {
@@ -237,6 +255,8 @@ XfmDevice::commitWriteback(OffloadId id, std::uint64_t dst_addr)
 void
 XfmDevice::abort(OffloadId id)
 {
+    if (stalled_.erase(id))
+        return;  // stall already released SPM; drop will not fire
     if (queue_.removeById(id))
         return;  // still a queued descriptor: no SPM held
     for (auto it = reads_.begin(); it != reads_.end(); ++it) {
@@ -266,6 +286,8 @@ XfmDevice::statsGroup() const
     g.add("deadline_drops", stats_.deadlineDrops);
     g.add("deferred_executions", stats_.deferredExecutions,
           "SPM full at read time");
+    g.add("engine_stalls", stats_.engineStalls,
+          "injected engine stalls/timeouts");
     g.add("subarray_conflict_retries",
           stats_.subarrayConflictRetries);
     g.add("trr_slots_used", stats_.trrSlotsUsed);

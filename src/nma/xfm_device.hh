@@ -94,6 +94,7 @@ struct XfmDeviceStats
     std::uint64_t unregisteredRejects = 0;  ///< address not registered
     std::uint64_t deadlineDrops = 0;  ///< ops abandoned to the CPU
     std::uint64_t deferredExecutions = 0;  ///< SPM full at read time
+    std::uint64_t engineStalls = 0;   ///< injected stalls/timeouts
     std::uint64_t subarrayConflictRetries = 0;  ///< reordered randoms
     std::uint64_t trrSlotsUsed = 0;   ///< random accesses in TRR slack
     std::uint64_t windows = 0;        ///< refresh windows seen
@@ -201,6 +202,20 @@ class XfmDevice : public SimObject
         spm_.setPartitionCap(partition, bytes);
     }
 
+    /**
+     * Attach a fault injector (may be null to detach). Forwarded to
+     * the SPM (allocation-failure sites); the device itself
+     * evaluates EngineStall whenever the engine starts an offload —
+     * an injected stall abandons the offload (SPM released, drop
+     * callback fired) as if the engine timed out mid-window.
+     */
+    void
+    setFaultInjector(fault::FaultInjector *inj)
+    {
+        injector_ = inj;
+        spm_.setFaultInjector(inj);
+    }
+
     RegisterFile &regs() { return regs_; }
     const ScratchPad &spm() const { return spm_; }
     const XfmDeviceStats &stats() const { return stats_; }
@@ -252,11 +267,14 @@ class XfmDevice : public SimObject
      */
     dram::Bank bank_;
     Rng rng_;
+    fault::FaultInjector *injector_ = nullptr;
     std::deque<ReadOp> reads_;
     /** Registered NMA-accessible regions (base -> end). */
     std::vector<std::pair<std::uint64_t, std::uint64_t>> regions_;
     /** Offloads aborted while the engine was running. */
     std::set<OffloadId> aborted_;
+    /** Injected engine stalls awaiting their drop notification. */
+    std::set<OffloadId> stalled_;
     OffloadId next_id_ = 1;
 
     CompletionCallback on_complete_;

@@ -138,6 +138,11 @@ FarMemoryService::tenantStatsGroup(TenantId id) const
     g.add("nmaFraction", ts.nmaFraction(), "NMA share of swap ops");
     g.add("quotaRejects", ts.quotaRejects, "far-page quota hits");
     g.add("degradedToCpu", ts.degradedToCpu, "SPM quota degrades");
+    g.add("nmaFallbacks", ts.nmaFallbacks,
+          "offload-eligible ops that fell back to the CPU");
+    g.add("offloadRetries", ts.offloadRetries,
+          "driver re-submissions consumed");
+    g.add("faultedOps", ts.faultedOps, "swap ops that failed");
     g.add("farPages", registry_.farPages(id), "pages held far");
     g.add("storedBytes", registry_.storedBytes(id),
           "compressed bytes stored");

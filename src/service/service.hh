@@ -101,6 +101,19 @@ class FarMemoryService : public SimObject
     /** Per-tenant service statistics table. */
     stats::Group tenantStatsGroup(TenantId id) const;
 
+    /** The shared backend's fault injector (configured via
+     *  cfg.system.faults; disarmed by default). */
+    const fault::FaultInjector &faultInjector() const
+    {
+        return backend_.faultInjector();
+    }
+
+    /** Fault-injection site statistics for the shared backend. */
+    stats::Group faultStatsGroup() const
+    {
+        return backend_.faultInjector().statsGroup(name() + ".fault");
+    }
+
   private:
     struct Tenant
     {

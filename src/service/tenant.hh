@@ -99,6 +99,14 @@ struct TenantStats
     std::uint64_t cpuOps = 0;          ///< CPU path (incl. fallback)
     std::uint64_t quotaRejects = 0;    ///< far-page quota exceeded
     std::uint64_t degradedToCpu = 0;   ///< SPM quota exceeded
+    /** Offload-eligible operations that ended on the CPU because the
+     *  backend fell back (capacity, deadline, or injected fault). */
+    std::uint64_t nmaFallbacks = 0;
+    /** Driver/link re-submissions this tenant's operations consumed
+     *  (non-zero only under fault injection). */
+    std::uint64_t offloadRetries = 0;
+    /** Operations that failed outright (e.g. quarantined page). */
+    std::uint64_t faultedOps = 0;
     /** Demand swap-in service latency in nanoseconds. */
     stats::Histogram faultLatencyNs{0.0, 100000.0, 400};
     /** Queueing delay in the QoS arbiter. */

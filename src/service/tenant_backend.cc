@@ -94,11 +94,12 @@ TenantBackend::swapOut(sfm::VirtPage page, bool allow_offload,
 
     registry_.noteFarPages(id_, 1);  // counts in-flight swap-outs
 
-    auto cb = [this, charged, done = std::move(done)](
+    auto cb = [this, charged, allow_offload, done = std::move(done)](
                   const sfm::SwapOutcome &o) {
         TenantStats &ts = registry_.stats(id_);
         if (charged)
             registry_.releaseSpm(id_, pageBytes);
+        ts.offloadRetries += o.retries;
         sfm::SwapOutcome out = o;
         out.page = local(o.page);
         if (o.success) {
@@ -107,6 +108,8 @@ TenantBackend::swapOut(sfm::VirtPage page, bool allow_offload,
             if (o.usedCpu) {
                 ++stats_.cpuSwapOuts;
                 ++ts.cpuOps;
+                if (allow_offload)
+                    ++ts.nmaFallbacks;
             } else {
                 ++ts.nmaOps;
             }
@@ -114,6 +117,7 @@ TenantBackend::swapOut(sfm::VirtPage page, bool allow_offload,
         } else {
             registry_.noteFarPages(id_, -1);
             ++stats_.rejectedSwapOuts;
+            ++ts.faultedOps;
         }
         if (done)
             done(out);
@@ -140,11 +144,12 @@ TenantBackend::swapIn(sfm::VirtPage page, bool allow_offload,
 
     const Tick start = shared_.curTick();
     const bool demand = !allow_offload;
-    auto cb = [this, charged, start, demand, done = std::move(done)](
-                  const sfm::SwapOutcome &o) {
+    auto cb = [this, charged, start, demand, allow_offload,
+               done = std::move(done)](const sfm::SwapOutcome &o) {
         TenantStats &ts = registry_.stats(id_);
         if (charged)
             registry_.releaseSpm(id_, pageBytes);
+        ts.offloadRetries += o.retries;
         sfm::SwapOutcome out = o;
         out.page = local(o.page);
         if (o.success) {
@@ -153,6 +158,8 @@ TenantBackend::swapIn(sfm::VirtPage page, bool allow_offload,
             if (o.usedCpu) {
                 ++stats_.cpuSwapIns;
                 ++ts.cpuOps;
+                if (allow_offload)
+                    ++ts.nmaFallbacks;
             } else {
                 ++ts.nmaOps;
             }
@@ -162,6 +169,8 @@ TenantBackend::swapIn(sfm::VirtPage page, bool allow_offload,
             if (demand)
                 ts.faultLatencyNs.sample(
                     ticksToNs(o.completed - start));
+        } else {
+            ++ts.faultedOps;
         }
         if (done)
             done(out);

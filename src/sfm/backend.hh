@@ -44,6 +44,9 @@ struct SwapOutcome
     bool usedCpu = false;          ///< CPU performed the operation
     Tick completed = 0;
     std::uint32_t compressedSize = 0;
+    /** Driver/link re-submissions this operation consumed before
+     *  succeeding or falling back (fault-injection runs). */
+    std::uint32_t retries = 0;
 };
 
 using SwapCallback = std::function<void(const SwapOutcome &)>;

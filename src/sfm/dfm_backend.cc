@@ -10,7 +10,8 @@ namespace sfm
 DfmBackend::DfmBackend(std::string name, EventQueue &eq,
                        const DfmBackendConfig &cfg,
                        dram::PhysMem &mem)
-    : SimObject(std::move(name), eq), cfg_(cfg), mem_(mem)
+    : SimObject(std::move(name), eq), cfg_(cfg), mem_(mem),
+      injector_(cfg.faults)
 {
     XFM_ASSERT(cfg_.localPages > 0, "local region must be non-empty");
     XFM_ASSERT(cfg_.poolBytes >= pageBytes,
@@ -28,6 +29,32 @@ DfmBackend::pageTransferTime() const
     const double ns =
         static_cast<double>(pageBytes) / cfg_.linkGBps;
     return cfg_.linkLatency + nanoseconds(ns);
+}
+
+bool
+DfmBackend::transferPage(Tick &total, std::uint32_t &retries)
+{
+    total = pageTransferTime();
+    retries = 0;
+    if (!injector_.armed())
+        return true;
+    for (std::uint32_t attempt = 1;; ++attempt) {
+        if (injector_.shouldInject(fault::FaultSite::DfmLinkDelay)) {
+            ++fault_stats_.linkDelays;
+            total += injector_.plan().dfmDelayPenalty;
+        }
+        if (!injector_.shouldInject(fault::FaultSite::DfmLinkDrop))
+            return true;
+        ++fault_stats_.linkDrops;
+        if (attempt >= cfg_.retry.maxAttempts) {
+            ++fault_stats_.deliveryFailures;
+            return false;
+        }
+        ++fault_stats_.linkRetries;
+        ++retries;
+        total += cfg_.retry.backoffFor(attempt - 1)
+            + pageTransferTime();
+    }
 }
 
 void
@@ -48,6 +75,22 @@ DfmBackend::swapOut(VirtPage page, SwapCallback done)
             done(outcome);
         return;
     }
+    Tick total;
+    std::uint32_t retries;
+    const bool delivered = transferPage(total, retries);
+    outcome.retries = retries;
+    if (!delivered) {
+        // Retries exhausted: the page stays Local and the slot stays
+        // free; the caller sees the failure after the wasted link
+        // time and can degrade.
+        outcome.success = false;
+        eventq().scheduleIn(total, [outcome, done, this]() mutable {
+            outcome.completed = curTick();
+            if (done)
+                done(outcome);
+        });
+        return;
+    }
     const std::uint64_t slot = free_slots_.back();
     free_slots_.pop_back();
 
@@ -58,8 +101,7 @@ DfmBackend::swapOut(VirtPage page, SwapCallback done)
     outcome.success = true;
     outcome.compressedSize = pageBytes;  // uncompressed slot
 
-    eventq().scheduleIn(pageTransferTime(),
-                        [outcome, done, this]() mutable {
+    eventq().scheduleIn(total, [outcome, done, this]() mutable {
         outcome.completed = curTick();
         if (done)
             done(outcome);
@@ -75,6 +117,24 @@ DfmBackend::swapIn(VirtPage page, bool allow_offload,
     if (it == entries_.end())
         fatal("swapIn: page ", page, " is not in far memory");
 
+    SwapOutcome outcome;
+    outcome.page = page;
+
+    Tick total;
+    std::uint32_t retries;
+    const bool delivered = transferPage(total, retries);
+    outcome.retries = retries;
+    if (!delivered) {
+        // The pool copy is intact; the page stays Far so a later
+        // swap-in can still recover it once the link heals.
+        outcome.success = false;
+        eventq().scheduleIn(total, [outcome, done, this]() mutable {
+            outcome.completed = curTick();
+            if (done)
+                done(outcome);
+        });
+        return;
+    }
     const std::uint64_t slot = it->second;
     const Bytes raw =
         mem_.read(cfg_.poolBase + slot * pageBytes, pageBytes);
@@ -82,13 +142,9 @@ DfmBackend::swapIn(VirtPage page, bool allow_offload,
     free_slots_.push_back(slot);
     entries_.erase(it);
     ++stats_.swapIns;
-
-    SwapOutcome outcome;
-    outcome.page = page;
     outcome.success = true;
     outcome.compressedSize = pageBytes;
-    eventq().scheduleIn(pageTransferTime(),
-                        [outcome, done, this]() mutable {
+    eventq().scheduleIn(total, [outcome, done, this]() mutable {
         outcome.completed = curTick();
         if (done)
             done(outcome);

@@ -17,6 +17,7 @@
 #include <map>
 
 #include "dram/phys_mem.hh"
+#include "fault/fault.hh"
 #include "sfm/backend.hh"
 #include "sim/sim_object.hh"
 
@@ -37,6 +38,21 @@ struct DfmBackendConfig
     Tick linkLatency = nanoseconds(300.0);
     /** Link bandwidth in GB/s (x8 CXL/PCIe5 class). */
     double linkGBps = 12.0;
+
+    /** Link fault scenario (DfmLinkDelay / DfmLinkDrop sites). The
+     *  default plan is disarmed and adds no overhead. */
+    fault::FaultPlan faults{};
+    /** Bounded retry for dropped link transfers. */
+    fault::RetryPolicy retry{};
+};
+
+/** Link-level fault statistics (zero unless a plan is armed). */
+struct DfmFaultStats
+{
+    std::uint64_t linkDelays = 0;    ///< latency spikes injected
+    std::uint64_t linkDrops = 0;     ///< transfers dropped
+    std::uint64_t linkRetries = 0;   ///< re-transfers attempted
+    std::uint64_t deliveryFailures = 0;  ///< retries exhausted
 };
 
 /**
@@ -85,9 +101,28 @@ class DfmBackend : public SimObject, public SfmBackend
     /** Time to move one page across the link. */
     Tick pageTransferTime() const;
 
+    const DfmFaultStats &faultStats() const { return fault_stats_; }
+    const fault::FaultInjector &faultInjector() const
+    {
+        return injector_;
+    }
+
   private:
+    /**
+     * Model one page transfer across the faulty link: evaluates
+     * delay spikes and drops, retrying dropped transfers with
+     * exponential backoff up to the retry budget.
+     *
+     * @param[out] total    modelled wall time of all attempts.
+     * @param[out] retries  re-transfers consumed.
+     * @return true when the page was eventually delivered.
+     */
+    bool transferPage(Tick &total, std::uint32_t &retries);
+
     DfmBackendConfig cfg_;
     dram::PhysMem &mem_;
+    fault::FaultInjector injector_;
+    DfmFaultStats fault_stats_;
     /** Virtual page -> pool slot index. */
     std::map<VirtPage, std::uint64_t> entries_;
     std::vector<std::uint64_t> free_slots_;

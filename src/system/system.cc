@@ -45,6 +45,8 @@ System::System(std::string name, EventQueue &eq,
         xcfg.sfmBytes = cfg_.sfmBytes;
         xcfg.algorithm = cfg_.algorithm;
         xcfg.device = cfg_.xfmDevice;
+        xcfg.faults = cfg_.faultPlan;
+        xcfg.retry = cfg_.retry;
         xfm_backend_ = std::make_unique<xfmsys::XfmBackend>(
             this->name() + ".backend", eq, xcfg, host_ctrl_.get());
         backend_ = xfm_backend_.get();
@@ -155,6 +157,10 @@ System::statsGroup() const
         g.add("offloaded_swap_ins", xs.offloadedSwapIns);
         g.add("fallbacks", xs.fallbackCapacity + xs.fallbackDeadline
                                + xs.fallbackAlloc);
+        g.add("offload_retries", xs.offloadRetries);
+        g.add("ecc_quarantines", xs.eccQuarantines);
+        g.add("fault_injections",
+              xfm_backend_->faultInjector().totalInjections());
     }
     return g;
 }

@@ -60,6 +60,11 @@ struct SystemConfig
 
     /** Bytes of host DRAM traffic per application page access. */
     std::uint32_t accessBytes = 64;
+
+    /** Fault scenario for the XFM backend (disarmed by default). */
+    fault::FaultPlan faultPlan{};
+    /** Driver retry policy for transient injected faults. */
+    fault::RetryPolicy retry{};
 };
 
 /**

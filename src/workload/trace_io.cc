@@ -33,7 +33,12 @@ readTrace(std::istream &is)
     Tick prev = 0;
     while (std::getline(is, line)) {
         ++lineno;
-        if (line.empty() || line[0] == '#')
+        // Tolerate CRLF traces and whitespace-only lines: both used
+        // to trip the malformed-record check below.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.find_first_not_of(" \t") == std::string::npos
+            || line[0] == '#')
             continue;
         std::istringstream ls(line);
         SwapEvent e;

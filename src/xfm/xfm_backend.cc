@@ -14,11 +14,32 @@ using sfm::SwapCallback;
 using sfm::SwapOutcome;
 using sfm::VirtPage;
 
+namespace
+{
+
+/**
+ * Attribute driver re-submissions consumed before a CPU fallback to
+ * the outcome the fallback path will eventually report.
+ */
+SwapCallback
+carryRetries(std::uint32_t retries, SwapCallback done)
+{
+    if (!retries || !done)
+        return done;
+    return [retries, done](const SwapOutcome &o) {
+        SwapOutcome r = o;
+        r.retries += retries;
+        done(r);
+    };
+}
+
+} // namespace
+
 XfmBackend::XfmBackend(std::string name, EventQueue &eq,
                        const XfmSystemConfig &cfg,
                        dram::MemCtrl *host_ctrl)
     : SimObject(std::move(name), eq), cfg_(cfg),
-      host_ctrl_(host_ctrl),
+      host_ctrl_(host_ctrl), injector_(cfg.faults),
       codec_(compress::makeCompressor(cfg.algorithm)),
       alloc_(cfg.sfmBytes), routes_(cfg.numDimms)
 {
@@ -77,6 +98,12 @@ XfmBackend::XfmBackend(std::string name, EventQueue &eq,
         dimm.driver->onDrop([this, d](nma::OffloadId id) {
             onDrop(d, id);
         });
+        // One injector for the whole backend: all sites share the
+        // plan's RNG stream and statistics, and the event queue
+        // orders evaluations deterministically across DIMMs.
+        dimm.device->setFaultInjector(&injector_);
+        dimm.driver->setFaultInjector(&injector_);
+        dimm.driver->setRetryPolicy(cfg_.retry);
         dimms_.push_back(std::move(dimm));
     }
 }
@@ -345,6 +372,9 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
             shardFrameAddr(page),
             static_cast<std::uint32_t>(cfg_.shardBytes()), deadline,
             partition_);
+        op->retries += dimms_[d].driver->lastSubmitRetries();
+        xfm_stats_.offloadRetries +=
+            dimms_[d].driver->lastSubmitRetries();
         if (id == nma::invalidOffloadId) {
             // Roll back what was already submitted.
             for (std::size_t k = 0; k < d; ++k) {
@@ -352,7 +382,8 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
                 dimms_[k].driver->abort(op->ids[k]);
             }
             ++xfm_stats_.fallbackCapacity;
-            cpuSwapOut(page, std::move(op->done));
+            cpuSwapOut(page,
+                       carryRetries(op->retries, std::move(op->done)));
             return;
         }
         op->ids[d] = id;
@@ -367,6 +398,34 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
     auto it = entries_.find(page);
     if (it == entries_.end())
         fatal("swapIn: page ", page, " is not in far memory");
+    // Quarantined pages fail fast: their compressed image took an
+    // uncorrectable ECC error, so decompressing it would hand
+    // corrupt data to the application.
+    if (quarantined_.count(page)) {
+        SwapOutcome o;
+        o.page = page;
+        o.success = false;
+        o.completed = curTick();
+        if (done)
+            done(o);
+        return;
+    }
+    if (injector_.armed()) {
+        if (injector_.shouldInject(fault::FaultSite::EccCorrectable))
+            ++xfm_stats_.eccCorrected;  // scrubbed transparently
+        if (injector_.shouldInject(
+                fault::FaultSite::EccUncorrectable)) {
+            quarantined_.insert(page);
+            ++xfm_stats_.eccQuarantines;
+            SwapOutcome o;
+            o.page = page;
+            o.success = false;
+            o.completed = curTick();
+            if (done)
+                done(o);
+            return;
+        }
+    }
     if (busy_.count(page)) {
         SwapOutcome o;
         o.page = page;
@@ -407,13 +466,17 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
             shardFrameAddr(page),
             static_cast<std::uint32_t>(cfg_.shardBytes()), deadline,
             partition_);
+        op->retries += dimms_[d].driver->lastSubmitRetries();
+        xfm_stats_.offloadRetries +=
+            dimms_[d].driver->lastSubmitRetries();
         if (id == nma::invalidOffloadId) {
             for (std::size_t k = 0; k < d; ++k) {
                 routes_[k].erase(op->ids[k]);
                 dimms_[k].driver->abort(op->ids[k]);
             }
             ++xfm_stats_.fallbackCapacity;
-            cpuSwapIn(page, std::move(op->done));
+            cpuSwapIn(page,
+                      carryRetries(op->retries, std::move(op->done)));
             return;
         }
         op->ids[d] = id;
@@ -496,6 +559,7 @@ XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
     outcome.success = true;
     outcome.usedCpu = used_cpu;
     outcome.completed = now;
+    outcome.retries = op->retries;
 
     if (op->isCompress) {
         // op->sizes holds the compressed shard sizes.
@@ -553,9 +617,9 @@ XfmBackend::failToCpu(const std::shared_ptr<PendingOp> &op)
     }
     busy_.erase(op->page);
     if (op->isCompress)
-        cpuSwapOut(op->page, op->done);
+        cpuSwapOut(op->page, carryRetries(op->retries, op->done));
     else
-        cpuSwapIn(op->page, op->done);
+        cpuSwapIn(op->page, carryRetries(op->retries, op->done));
 }
 
 stats::Group
@@ -584,6 +648,25 @@ XfmBackend::statsGroup() const
     }
     g.add("nma_conditional_accesses", cond);
     g.add("nma_random_accesses", rand);
+    g.add("offload_retries", xfm_stats_.offloadRetries);
+    g.add("ecc_corrected", xfm_stats_.eccCorrected);
+    g.add("ecc_quarantines", xfm_stats_.eccQuarantines);
+    g.add("quarantined_pages", quarantinedPageCount());
+    std::uint64_t doorbell = 0;
+    std::uint64_t drv_retries = 0;
+    std::uint64_t stalls = 0;
+    Tick backoff = 0;
+    for (const auto &dimm : dimms_) {
+        doorbell += dimm.driver->stats().doorbellLosses;
+        drv_retries += dimm.driver->stats().retries;
+        backoff += dimm.driver->stats().backoffTicksAccrued;
+        stalls += dimm.device->stats().engineStalls;
+    }
+    g.add("doorbell_losses", doorbell);
+    g.add("driver_retries", drv_retries);
+    g.add("backoff_ticks", backoff);
+    g.add("engine_stalls", stalls);
+    g.add("fault_injections", injector_.totalInjections());
     return g;
 }
 

@@ -17,10 +17,12 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
+#include "fault/fault.hh"
 #include "compress/compressor.hh"
 #include "dram/mem_ctrl.hh"
 #include "dram/phys_mem.hh"
@@ -57,6 +59,13 @@ struct XfmSystemConfig
     Tick decompressSlack = 0;  ///< 0 => 10 x tREFI
     std::size_t interleave = defaultInterleave;
 
+    /** Fault scenario injected into every layer of this backend
+     *  (devices, SPMs, drivers, the backend itself). The default
+     *  plan is disarmed and adds no overhead. */
+    fault::FaultPlan faults{};
+    /** Driver retry policy for transient submission faults. */
+    fault::RetryPolicy retry{};
+
     /** Shard of a page stored on each DIMM. */
     std::uint64_t
     shardBytes() const
@@ -73,6 +82,9 @@ struct XfmBackendStats
     std::uint64_t fallbackCapacity = 0;  ///< SPM/queue exhausted
     std::uint64_t fallbackDeadline = 0;  ///< window service too late
     std::uint64_t fallbackAlloc = 0;     ///< SFM region full
+    std::uint64_t offloadRetries = 0;    ///< driver re-submissions
+    std::uint64_t eccCorrected = 0;      ///< injected UEs scrubbed
+    std::uint64_t eccQuarantines = 0;    ///< pages poisoned by UEs
 };
 
 /**
@@ -127,6 +139,28 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     std::uint32_t offloadPartition() const { return partition_; }
 
     const XfmBackendStats &xfmStats() const { return xfm_stats_; }
+
+    /** The backend-wide fault injector (configured via cfg.faults). */
+    const fault::FaultInjector &faultInjector() const
+    {
+        return injector_;
+    }
+
+    /**
+     * Pages quarantined after an uncorrectable ECC error in their
+     * compressed image. A quarantined page stays Far, its slot is
+     * retired, and every later swap-in fails fast instead of
+     * handing corrupt data to the application.
+     */
+    bool isQuarantined(sfm::VirtPage page) const
+    {
+        return quarantined_.count(page) > 0;
+    }
+    std::uint64_t quarantinedPageCount() const
+    {
+        return quarantined_.size();
+    }
+
     XfmDriver &driver(std::size_t dimm) { return *dimms_[dimm].driver; }
     dram::RefreshController &refresh() { return *refresh_; }
     const XfmSystemConfig &config() const { return cfg_; }
@@ -171,6 +205,7 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
         bool isCompress;
         std::vector<nma::OffloadId> ids;
         std::vector<std::uint32_t> sizes;  ///< compressed shard sizes
+        std::uint32_t retries = 0;  ///< driver re-submissions used
         std::size_t completions = 0;
         std::size_t writebacks = 0;
         std::uint64_t offset = SameOffsetAllocator::invalidOffset;
@@ -196,6 +231,7 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
 
     XfmSystemConfig cfg_;
     dram::MemCtrl *host_ctrl_;
+    fault::FaultInjector injector_;
     std::unique_ptr<compress::Compressor> codec_;
     std::unique_ptr<dram::RefreshController> refresh_;
     std::vector<Dimm> dimms_;
@@ -207,6 +243,8 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
                                    std::shared_ptr<PendingOp>>> routes_;
     /** Pages with an operation in flight (reject re-entry). */
     std::map<sfm::VirtPage, std::shared_ptr<PendingOp>> busy_;
+    /** Pages poisoned by an uncorrectable ECC error. */
+    std::set<sfm::VirtPage> quarantined_;
 
     sfm::BackendStats stats_;
     XfmBackendStats xfm_stats_;

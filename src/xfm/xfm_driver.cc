@@ -74,15 +74,36 @@ nma::OffloadId
 XfmDriver::submitTracked(const nma::OffloadRequest &req,
                          std::uint32_t worst_case)
 {
-    const nma::OffloadId id = dev_.submit(req);
-    if (id == nma::invalidOffloadId) {
-        ++stats_.fallbacks;
+    last_submit_retries_ = 0;
+    for (std::uint32_t attempt = 1;; ++attempt) {
+        // Doorbell-loss fault: the MMIO write never reaches the
+        // device, so the descriptor silently vanishes. This is the
+        // transient class of failure that retry-with-backoff is
+        // for; persistent exhaustion (queue full) is not retried.
+        if (injector_
+            && injector_->shouldInject(
+                   fault::FaultSite::MmioDoorbellLoss)) {
+            ++stats_.doorbellLosses;
+            if (attempt >= retry_.maxAttempts) {
+                ++stats_.fallbacks;
+                return nma::invalidOffloadId;
+            }
+            ++stats_.retries;
+            ++last_submit_retries_;
+            stats_.backoffTicksAccrued +=
+                retry_.backoffFor(attempt - 1);
+            continue;
+        }
+        const nma::OffloadId id = dev_.submit(req);
+        if (id == nma::invalidOffloadId) {
+            ++stats_.fallbacks;
+            return id;
+        }
+        ++stats_.offloadsSubmitted;
+        bound_ += worst_case;
+        tracked_.emplace(id, worst_case);
         return id;
     }
-    ++stats_.offloadsSubmitted;
-    bound_ += worst_case;
-    tracked_.emplace(id, worst_case);
-    return id;
 }
 
 nma::OffloadId

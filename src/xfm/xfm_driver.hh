@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "fault/fault.hh"
 #include "nma/xfm_device.hh"
 
 namespace xfm
@@ -30,6 +31,12 @@ struct DriverStats
     std::uint64_t offloadsSubmitted = 0;
     std::uint64_t capacityRegisterReads = 0;  ///< lazy-sync MMIO reads
     std::uint64_t fallbacks = 0;              ///< resources exhausted
+    std::uint64_t doorbellLosses = 0;  ///< injected lost submissions
+    std::uint64_t retries = 0;         ///< re-submissions attempted
+    /** Modelled driver spin time: the sum of exponential backoffs
+     *  taken before re-submissions (the ioctl path is synchronous,
+     *  so the wait is accounted here rather than simulated). */
+    Tick backoffTicksAccrued = 0;
 };
 
 /**
@@ -107,11 +114,42 @@ class XfmDriver
      */
     void setAlwaysSync(bool enable) { always_sync_ = enable; }
 
+    /**
+     * Attach a fault injector (may be null to detach). Each
+     * doorbell write (submission) then evaluates MmioDoorbellLoss;
+     * a lost doorbell is retried under the retry policy before the
+     * driver gives up and reports CPU fallback.
+     */
+    void setFaultInjector(fault::FaultInjector *inj)
+    {
+        injector_ = inj;
+    }
+
+    /**
+     * Bounded retry-with-exponential-backoff for transient
+     * submission faults (lost doorbells). Deterministic same-tick
+     * conditions — SPM exhaustion, queue full — are not retried:
+     * nothing can change before the driver re-reads the registers,
+     * so they fall back to the CPU immediately, exactly as the
+     * paper's CPU_Fallback does.
+     */
+    void setRetryPolicy(const fault::RetryPolicy &p) { retry_ = p; }
+    const fault::RetryPolicy &retryPolicy() const { return retry_; }
+
+    /** Retries consumed by the most recent submission call. */
+    std::uint32_t lastSubmitRetries() const
+    {
+        return last_submit_retries_;
+    }
+
   private:
     nma::OffloadId submitTracked(const nma::OffloadRequest &req,
                                  std::uint32_t worst_case);
 
     nma::XfmDevice &dev_;
+    fault::FaultInjector *injector_ = nullptr;
+    fault::RetryPolicy retry_{};
+    std::uint32_t last_submit_retries_ = 0;
     bool always_sync_ = false;
     std::uint64_t bound_ = 0;  ///< local SPM usage upper bound
     /** Per-offload bytes counted in the bound. */

@@ -14,6 +14,7 @@
 #include "compress/corpus.hh"
 #include "dram/ddr_config.hh"
 #include "service/service.hh"
+#include "test_util.hh"
 #include "workload/fleet.hh"
 
 namespace xfm
@@ -212,19 +213,7 @@ class ServiceTest : public ::testing::Test
     ServiceConfig
     makeConfig()
     {
-        ServiceConfig cfg;
-        cfg.registry.maxTenants = 4;
-        cfg.registry.pagesPerShard = 64;
-        cfg.system.numDimms = 4;
-        cfg.system.dimmMem.rank.device = dram::ddr5Device32Gb();
-        cfg.system.dimmMem.channels = 1;
-        cfg.system.dimmMem.dimmsPerChannel = 1;
-        cfg.system.dimmMem.ranksPerDimm = 1;
-        cfg.system.sfmBase = gib(1);
-        cfg.system.sfmBytes = mib(8);
-        cfg.system.device.spmBytes = mib(1);
-        cfg.system.device.queueDepth = 64;
-        return cfg;
+        return testutil::testServiceConfig();
     }
 
     void
@@ -243,8 +232,8 @@ class ServiceTest : public ::testing::Test
     Bytes
     pageContent(TenantId id, VirtPage p) const
     {
-        return compress::generateCorpus(compress::CorpusKind::Json,
-                                        id * 1000 + p + 7, pageBytes);
+        return testutil::corpusPage(compress::CorpusKind::Json,
+                                    id * 1000 + p + 7);
     }
 
     void
@@ -390,6 +379,49 @@ TEST_F(ServiceTest, AccessCountsHitsAndFaults)
     EXPECT_EQ(ts.demandFaults, 1u);
     EXPECT_GT(ts.faultLatencyNs.total(), 0u);
     EXPECT_GT(ts.faultLatencyNs.percentile(0.99), 0.0);
+}
+
+TEST_F(ServiceTest, FaultPlanSurfacesInPerTenantStats)
+{
+    // Transient doorbell losses are retried by the driver; engine
+    // stalls degrade the op to the CPU path. Both must be visible
+    // per tenant, and no fault may cost a page its contents.
+    auto cfg = makeConfig();
+    cfg.system.faults.seed = 21;
+    cfg.system.faults.site(fault::FaultSite::MmioDoorbellLoss)
+        .probability = 0.35;
+    cfg.system.faults.site(fault::FaultSite::EngineStall)
+        .probability = 0.30;
+    makeService(cfg);
+    const TenantId id = addTenant(TenantConfig{});
+    ASSERT_NE(id, invalidTenant);
+    seedPages(id);
+    svc_->start();
+
+    swapOutPages(id, tenantPages);
+    for (VirtPage p = 0; p < tenantPages; ++p)
+        svc_->tenantBackend(id).swapIn(p, true, SwapCallback{});
+    eq_.run(eq_.now() + milliseconds(5.0));
+
+    const TenantStats &ts = svc_->registry().stats(id);
+    EXPECT_EQ(ts.swapOuts, tenantPages);
+    EXPECT_EQ(ts.swapIns, tenantPages);
+    EXPECT_EQ(ts.faultedOps, 0u);  // degraded, never failed
+    EXPECT_GT(ts.offloadRetries, 0u);
+    EXPECT_GT(ts.nmaFallbacks, 0u);
+    for (VirtPage p = 0; p < tenantPages; ++p)
+        EXPECT_EQ(svc_->readPage(id, p), pageContent(id, p));
+
+    // The counters reach the rendered per-tenant table and the
+    // injector's own per-site table.
+    const std::string tenants = svc_->tenantStatsGroup(id).render();
+    EXPECT_NE(tenants.find("offloadRetries"), std::string::npos);
+    EXPECT_NE(tenants.find("nmaFallbacks"), std::string::npos);
+    EXPECT_NE(tenants.find("faultedOps"), std::string::npos);
+    const std::string faults = svc_->faultStatsGroup().render();
+    EXPECT_NE(faults.find("mmio_doorbell_injections"),
+              std::string::npos);
+    EXPECT_GT(svc_->faultInjector().totalInjections(), 0u);
 }
 
 // --------------------------------------------------------------- fleet

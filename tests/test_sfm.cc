@@ -18,6 +18,7 @@
 #include "sfm/cpu_backend.hh"
 #include "sfm/zpool.hh"
 #include "sim/event_queue.hh"
+#include "test_util.hh"
 
 namespace xfm
 {
@@ -165,8 +166,8 @@ class CpuBackendTest : public ::testing::Test
     Bytes
     pageContent(VirtPage p)
     {
-        return compress::generateCorpus(
-            compress::CorpusKind::EnglishText, p + 1, pageBytes);
+        return testutil::corpusPage(compress::CorpusKind::EnglishText,
+                                    p + 1);
     }
 
     void

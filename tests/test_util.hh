@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the test suite: deterministic corpus-backed
+ * page content and the canonical small system / service
+ * configurations that several test binaries build on.
+ *
+ * Everything here is inline and header-only, so a test that uses
+ * only the page helpers does not need to link the service or XFM
+ * libraries.
+ */
+
+#ifndef XFM_TESTS_TEST_UTIL_HH
+#define XFM_TESTS_TEST_UTIL_HH
+
+#include "compress/corpus.hh"
+#include "dram/ddr_config.hh"
+#include "service/service.hh"
+#include "xfm/xfm_backend.hh"
+
+namespace xfm
+{
+namespace testutil
+{
+
+/** One page of deterministic corpus content. */
+inline Bytes
+corpusPage(compress::CorpusKind kind, std::uint64_t seed)
+{
+    return compress::generateCorpus(kind, seed, pageBytes);
+}
+
+/**
+ * The canonical small XFM memory system used across the suite:
+ * 256 virtual pages interleaved over @p dimms DDR5 DIMMs, a 16 MiB
+ * per-DIMM SFM region at 1 GiB, and a 2 MiB SPM.
+ */
+inline xfmsys::XfmSystemConfig
+testXfmConfig(std::size_t dimms = 4)
+{
+    xfmsys::XfmSystemConfig cfg;
+    cfg.numDimms = dimms;
+    cfg.dimmMem.rank.device = dram::ddr5Device32Gb();
+    cfg.dimmMem.channels = 1;
+    cfg.dimmMem.dimmsPerChannel = 1;
+    cfg.dimmMem.ranksPerDimm = 1;
+    cfg.localBase = 0;
+    cfg.localPages = 256;
+    cfg.sfmBase = gib(1);
+    cfg.sfmBytes = mib(16);
+    cfg.device.spmBytes = mib(2);
+    cfg.device.queueDepth = 64;
+    return cfg;
+}
+
+/**
+ * The canonical 4-tenant service configuration: 64-page shards over
+ * a 4-DIMM XFM system with an 8 MiB SFM region and a 1 MiB SPM.
+ */
+inline service::ServiceConfig
+testServiceConfig()
+{
+    service::ServiceConfig cfg;
+    cfg.registry.maxTenants = 4;
+    cfg.registry.pagesPerShard = 64;
+    cfg.system.numDimms = 4;
+    cfg.system.dimmMem.rank.device = dram::ddr5Device32Gb();
+    cfg.system.dimmMem.channels = 1;
+    cfg.system.dimmMem.dimmsPerChannel = 1;
+    cfg.system.dimmMem.ranksPerDimm = 1;
+    cfg.system.sfmBase = gib(1);
+    cfg.system.sfmBytes = mib(8);
+    cfg.system.device.spmBytes = mib(1);
+    cfg.system.device.queueDepth = 64;
+    return cfg;
+}
+
+} // namespace testutil
+} // namespace xfm
+
+#endif // XFM_TESTS_TEST_UTIL_HH

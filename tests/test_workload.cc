@@ -193,6 +193,7 @@ TEST(WebFrontend, ObjectsInRange)
 } // namespace workload
 } // namespace xfm
 
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -244,6 +245,62 @@ TEST(TraceIo, SkipsCommentsAndBlankLines)
     ASSERT_EQ(events.size(), 2u);
     EXPECT_EQ(events[0].page, 5u);
     EXPECT_TRUE(events[0].prefetchable);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    std::stringstream ss;
+    writeTrace(ss, {});
+    const auto loaded = readTrace(ss);
+    EXPECT_TRUE(loaded.empty());
+    const auto s = summarise(loaded);
+    EXPECT_EQ(s.events, 0u);
+    EXPECT_EQ(s.duration, 0u);
+}
+
+TEST(TraceIo, MaxWidthRecordsRoundTrip)
+{
+    // Records at the extremes of the field types must survive a
+    // round trip without truncation.
+    std::vector<SwapEvent> events(2);
+    events[0].when = 0;
+    events[0].kind = SwapKind::SwapOut;
+    events[0].page = 0;
+    events[0].prefetchable = false;
+    events[1].when = std::numeric_limits<Tick>::max();
+    events[1].kind = SwapKind::SwapIn;
+    events[1].page = std::numeric_limits<std::uint64_t>::max();
+    events[1].prefetchable = true;
+
+    std::stringstream ss;
+    writeTrace(ss, events);
+    const auto loaded = readTrace(ss);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[1].when, std::numeric_limits<Tick>::max());
+    EXPECT_EQ(loaded[1].page,
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_TRUE(loaded[1].prefetchable);
+}
+
+TEST(TraceIo, ToleratesCrlfAndWhitespaceLines)
+{
+    // Traces edited on Windows or hand-padded used to abort on the
+    // trailing '\r' (parsed into the prefetchable field) and on
+    // whitespace-only lines.
+    std::stringstream ss("# header\r\n10 IN 5 1\r\n   \t\n20 OUT 6 0\r\n");
+    const auto events = readTrace(ss);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].page, 5u);
+    EXPECT_TRUE(events[0].prefetchable);
+    EXPECT_EQ(events[1].page, 6u);
+}
+
+TEST(TraceIo, RejectsTruncatedFinalRecord)
+{
+    // A record cut off mid-line (e.g. a partial flush before a
+    // crash) must be reported, not silently dropped or misparsed.
+    std::stringstream ss("10 IN 5 1\n20 OUT");
+    EXPECT_THROW(readTrace(ss), FatalError);
 }
 
 TEST(TraceIo, SummaryMatchesConfiguredRate)

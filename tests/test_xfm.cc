@@ -12,6 +12,7 @@
 #include "common/random.hh"
 #include "compress/corpus.hh"
 #include "compress/deflate.hh"
+#include "test_util.hh"
 #include "xfm/multichannel.hh"
 #include "xfm/xfm_backend.hh"
 #include "xfm/xfm_driver.hh"
@@ -154,19 +155,7 @@ TEST(SameOffsetAllocator, RepackHonoursPins)
 XfmSystemConfig
 testSystemConfig(std::size_t dimms = 4)
 {
-    XfmSystemConfig cfg;
-    cfg.numDimms = dimms;
-    cfg.dimmMem.rank.device = dram::ddr5Device32Gb();
-    cfg.dimmMem.channels = 1;
-    cfg.dimmMem.dimmsPerChannel = 1;
-    cfg.dimmMem.ranksPerDimm = 1;
-    cfg.localBase = 0;
-    cfg.localPages = 256;
-    cfg.sfmBase = gib(1);
-    cfg.sfmBytes = mib(16);
-    cfg.device.spmBytes = mib(2);
-    cfg.device.queueDepth = 64;
-    return cfg;
+    return testutil::testXfmConfig(dimms);
 }
 
 class XfmBackendTest : public ::testing::Test
@@ -183,8 +172,8 @@ class XfmBackendTest : public ::testing::Test
     Bytes
     pageContent(VirtPage p) const
     {
-        return compress::generateCorpus(compress::CorpusKind::LogLines,
-                                        p + 100, pageBytes);
+        return testutil::corpusPage(compress::CorpusKind::LogLines,
+                                    p + 100);
     }
 
     EventQueue eq_;
