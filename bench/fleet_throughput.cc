@@ -13,8 +13,10 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "dram/ddr_config.hh"
+#include "obs/registry.hh"
 #include "service/service.hh"
 #include "workload/fleet.hh"
 
@@ -24,6 +26,13 @@ namespace
 {
 
 constexpr double simMs = 40.0;
+
+/** Registry namespace of one tenant's metrics. */
+std::string
+tenantPrefix(service::TenantId id)
+{
+    return "svc.tenant" + std::to_string(id) + ".";
+}
 
 service::ServiceConfig
 makeServiceConfig(std::size_t max_tenants)
@@ -82,23 +91,28 @@ main()
                 "preempt", "latP99Ns");
 
     RunResult last;
+    obs::Snapshot last_snap;
     for (std::size_t n : {1u, 2u, 4u, 8u, 16u}) {
         RunResult r = runFleet(n);
+        // All reported numbers come from the registry snapshot, the
+        // same artifact xfmsim/fleet_sim export as stats.json.
+        const obs::Snapshot snap = r.svc->metrics().snapshot();
         std::uint64_t accesses = 0, faults = 0, swap_ops = 0;
         std::uint64_t nma = 0, cpu = 0;
         double lat_p99 = 0.0;
         std::size_t lat_tenants = 0;
         for (std::size_t i = 0; i < r.fleet->numTenants(); ++i) {
             const auto id = r.fleet->tenantId(i);
-            const auto &ts = r.svc->registry().stats(id);
-            accesses += ts.accesses;
-            faults += ts.demandFaults;
-            swap_ops += ts.swapOuts + ts.swapIns;
-            nma += ts.nmaOps;
-            cpu += ts.cpuOps;
+            const std::string p = tenantPrefix(id);
+            accesses += snap.u64(p + "accesses");
+            faults += snap.u64(p + "demandFaults");
+            swap_ops += snap.u64(p + "swapOuts")
+                + snap.u64(p + "swapIns");
+            nma += snap.u64(p + "nmaOps");
+            cpu += snap.u64(p + "cpuOps");
             const auto &cfg = r.svc->registry().config(id);
             if (cfg.cls == service::PriorityClass::LatencySensitive) {
-                lat_p99 += ts.faultLatencyNs.percentile(0.99);
+                lat_p99 += snap.value(p + "faultLatencyNs.p99");
                 ++lat_tenants;
             }
         }
@@ -111,10 +125,12 @@ main()
                     (unsigned long long)faults,
                     (unsigned long long)swap_ops, nma_pct,
                     (unsigned long long)
-                        r.svc->arbiter().stats().preemptions,
+                        snap.u64("svc.arbiter.preemptions"),
                     lat_tenants ? lat_p99 / lat_tenants : 0.0);
-        if (n == 16)
+        if (n == 16) {
             last = std::move(r);
+            last_snap = snap;
+        }
     }
 
     std::printf("\nPer-tenant detail at 16 tenants\n");
@@ -124,18 +140,21 @@ main()
     for (std::size_t i = 0; i < last.fleet->numTenants(); ++i) {
         const auto id = last.fleet->tenantId(i);
         const auto &cfg = last.svc->registry().config(id);
-        const auto &ts = last.svc->registry().stats(id);
+        const std::string p = tenantPrefix(id);
         std::printf("%-16s %8s %6u %9llu %7llu %7llu %5.1f%% %8llu "
                     "%8llu %10.0f\n",
                     cfg.name.c_str(),
                     service::priorityClassName(cfg.cls), cfg.weight,
-                    (unsigned long long)ts.accesses,
-                    (unsigned long long)ts.demandFaults,
-                    (unsigned long long)ts.nmaOps,
-                    100.0 * ts.nmaFraction(),
-                    (unsigned long long)ts.quotaRejects,
-                    (unsigned long long)ts.degradedToCpu,
-                    ts.faultLatencyNs.percentile(0.99));
+                    (unsigned long long)last_snap.u64(p + "accesses"),
+                    (unsigned long long)
+                        last_snap.u64(p + "demandFaults"),
+                    (unsigned long long)last_snap.u64(p + "nmaOps"),
+                    100.0 * last_snap.value(p + "nmaFraction"),
+                    (unsigned long long)
+                        last_snap.u64(p + "quotaRejects"),
+                    (unsigned long long)
+                        last_snap.u64(p + "degradedToCpu"),
+                    last_snap.value(p + "faultLatencyNs.p99"));
     }
     return 0;
 }

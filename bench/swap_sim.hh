@@ -23,6 +23,7 @@
 #include "dram/refresh.hh"
 #include "fault/fault.hh"
 #include "nma/xfm_device.hh"
+#include "obs/registry.hh"
 #include "workload/trace_gen.hh"
 #include "xfm/xfm_driver.hh"
 
@@ -201,21 +202,30 @@ runSwapSim(const SwapSimConfig &sc)
     pump();
     eq.run(sc.simTime);
 
-    const auto &st = device.stats();
+    // Report through the observability layer: one registry over the
+    // stack, read back from its snapshot like any external consumer.
+    obs::MetricRegistry registry;
+    device.registerMetrics(registry, "xfm");
+    driver.registerMetrics(registry, "xfm.driver");
+    injector.registerMetrics(registry, "fault");
+    const obs::Snapshot snap = registry.snapshot();
+
     SwapSimResult r;
     r.ops = attempts;
     r.fallbacks = fallbacks;
-    r.conditional = st.conditionalAccesses;
-    r.random = st.randomAccesses;
-    r.trrSlotsUsed = st.trrSlotsUsed;
-    r.subarrayRetries = st.subarrayConflictRetries;
-    r.mmioCapacityReads = driver.stats().capacityRegisterReads;
-    r.offloadsSubmitted = driver.stats().offloadsSubmitted;
-    r.energySavedFraction = st.energySavedFraction();
-    r.faultInjections = injector.totalInjections();
-    r.doorbellLosses = driver.stats().doorbellLosses;
-    r.driverRetries = driver.stats().retries;
-    r.engineStalls = st.engineStalls;
+    r.conditional = snap.u64("xfm.conditionalAccesses");
+    r.random = snap.u64("xfm.randomAccesses");
+    r.trrSlotsUsed = snap.u64("xfm.trrSlotsUsed");
+    r.subarrayRetries = snap.u64("xfm.subarrayConflictRetries");
+    r.mmioCapacityReads =
+        snap.u64("xfm.driver.capacityRegisterReads");
+    r.offloadsSubmitted = snap.u64("xfm.driver.offloadsSubmitted");
+    r.energySavedFraction = snap.value("xfm.energySavedFraction");
+    r.faultInjections = static_cast<std::uint64_t>(
+        snap.value("fault.totalInjections"));
+    r.doorbellLosses = snap.u64("xfm.driver.doorbellLosses");
+    r.driverRetries = snap.u64("xfm.driver.retries");
+    r.engineStalls = snap.u64("xfm.engineStalls");
     return r;
 }
 

@@ -9,13 +9,24 @@
  * events, and p50/p99 demand-fault latency.
  *
  * Usage: fleet_sim [--tenants N] [--ms M] [--rate R] [--seed S]
+ *                  [--config FILE]
+ *
+ * The config file (key = value) may set the same knobs (tenants,
+ * ms, rate, seed) plus the observability sinks:
+ *   stats.json = fleet.json    # metric-registry JSON snapshot
+ *   trace.out  = fleet.jsonl   # per-swap span trace (JSON lines)
+ *   trace.cap  = 65536         # trace ring capacity in events
+ * Flags given after --config override the file.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "common/config.hh"
 #include "dram/ddr_config.hh"
+#include "obs/tracer.hh"
 #include "service/service.hh"
 #include "workload/fleet.hh"
 
@@ -23,6 +34,17 @@ using namespace xfm;
 
 namespace
 {
+
+/** Write @p text to @p path, fatally on failure. */
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '", path, "' for writing");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
 
 service::ServiceConfig
 makeServiceConfig(std::size_t max_tenants)
@@ -54,6 +76,9 @@ main(int argc, char **argv)
     double sim_ms = 50.0;
     double rate = 100000.0;
     std::uint64_t seed = 1;
+    std::string stats_json;
+    std::string trace_out;
+    std::uint64_t trace_cap = 65536;
     for (int i = 1; i < argc; i += 2) {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "fleet_sim: %s needs a value\n", argv[i]);
@@ -67,11 +92,23 @@ main(int argc, char **argv)
             rate = std::strtod(argv[i + 1], nullptr);
         else if (!std::strcmp(argv[i], "--seed"))
             seed = std::strtoull(argv[i + 1], nullptr, 10);
-        else {
+        else if (!std::strcmp(argv[i], "--config")) {
+            Config cfg = Config::parseFile(argv[i + 1]);
+            tenants = cfg.getU64("tenants", tenants);
+            sim_ms = cfg.getDouble("ms", sim_ms);
+            rate = cfg.getDouble("rate", rate);
+            seed = cfg.getU64("seed", seed);
+            stats_json = cfg.getString("stats.json", stats_json);
+            trace_out = cfg.getString("trace.out", trace_out);
+            trace_cap = cfg.getU64("trace.cap", trace_cap);
+            for (const auto &key : cfg.unconsumedKeys())
+                warn("unknown config key '", key, "' ignored");
+        } else {
             std::fprintf(stderr,
                          "fleet_sim: unknown flag %s\n"
                          "usage: fleet_sim [--tenants N] [--ms MS]"
-                         " [--rate PER_SEC] [--seed S]\n",
+                         " [--rate PER_SEC] [--seed S]"
+                         " [--config FILE]\n",
                          argv[i]);
             return 1;
         }
@@ -80,6 +117,9 @@ main(int argc, char **argv)
     EventQueue eq;
     service::FarMemoryService svc("svc", eq,
                                   makeServiceConfig(tenants));
+    obs::Tracer tracer(static_cast<std::size_t>(trace_cap));
+    if (!trace_out.empty())
+        svc.setTracer(&tracer);
 
     workload::FleetConfig fcfg;
     fcfg.numTenants = tenants;
@@ -97,10 +137,17 @@ main(int argc, char **argv)
                 fleet.numTenants(), sim_ms,
                 (unsigned long long)fleet.totalAccesses());
 
-    for (std::size_t i = 0; i < fleet.numTenants(); ++i) {
-        const auto id = fleet.tenantId(i);
-        std::printf("%s\n",
-                    svc.tenantStatsGroup(id).render().c_str());
+    const obs::Snapshot snap = svc.metrics().snapshot();
+    std::printf("%s\n", snap.renderText().c_str());
+    if (!stats_json.empty())
+        writeFile(stats_json, snap.toJson());
+    if (!trace_out.empty()) {
+        writeFile(trace_out, tracer.toJsonLines());
+        std::printf("trace: %llu events recorded, %llu dropped "
+                    "-> %s\n",
+                    (unsigned long long)tracer.recorded(),
+                    (unsigned long long)tracer.dropped(),
+                    trace_out.c_str());
     }
 
     const auto &as = svc.arbiter().stats();

@@ -12,9 +12,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "common/stats.hh"
 #include "compress/corpus.hh"
 #include "dram/phys_mem.hh"
+#include "obs/registry.hh"
 #include "sfm/controller.hh"
 #include "sfm/cpu_backend.hh"
 #include "workload/trace_gen.hh"
@@ -83,26 +83,17 @@ main(int argc, char **argv)
     drive();
     eq.run(seconds(run_seconds));
 
-    const auto &cs = controller.stats();
-    const auto &bs = backend.stats();
-    stats::Group g("web_frontend");
-    g.add("requests", hits + faults);
-    g.add("local_hit_rate",
-          static_cast<double>(hits) / (hits + faults));
-    g.add("demand_faults", cs.demandFaults);
-    g.add("prefetches", cs.prefetchesInitiated);
-    g.add("prefetch_hits", cs.prefetchHits);
-    g.add("avg_fault_service_us", cs.faultServiceNs.mean() / 1000.0,
-          "CPU decompression path");
-    g.add("pages_far", backend.farPageCount());
-    g.add("stored_compressed", backend.storedCompressedBytes(),
-          "bytes in zpool");
-    g.add("swap_outs", bs.swapOuts);
-    g.add("swap_ins", bs.swapIns);
-    g.add("cpu_mcycles", bs.cpuCycles / 1000000,
-          "compression cycles burned");
-    g.add("compactions", bs.compactions);
-    std::printf("%s", g.render().c_str());
+    obs::MetricRegistry registry;
+    registry.counter("web_frontend.requests", &hits,
+                     "local hits (see demandFaults for misses)");
+    registry.derived("web_frontend.localHitRate",
+                     [&] {
+                         return static_cast<double>(hits)
+                             / (hits + faults);
+                     });
+    backend.registerMetrics(registry);
+    controller.registerMetrics(registry);
+    std::printf("%s", registry.renderText().c_str());
 
     const double saved =
         static_cast<double>(backend.farPageCount()) * pageBytes

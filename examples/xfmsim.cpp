@@ -32,6 +32,11 @@
  *   retry.max_attempts       = 3
  *   retry.backoff_ns         = 200
  *   retry.cap_ns             = 50000
+ *
+ * Observability (src/obs):
+ *   stats.json = out.json     # dump the metric registry as JSON
+ *   trace.out  = trace.jsonl  # per-swap span trace (JSON lines)
+ *   trace.cap  = 65536        # trace ring capacity in events
  */
 
 #include <cstdio>
@@ -40,7 +45,24 @@
 #include "common/config.hh"
 #include "common/random.hh"
 #include "compress/corpus.hh"
+#include "obs/tracer.hh"
 #include "system/system.hh"
+
+namespace
+{
+
+/** Write @p text to @p path, fatally on failure. */
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        xfm::fatal("cannot open '", path, "' for writing");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+} // namespace
 
 using namespace xfm;
 using namespace xfm::system;
@@ -82,11 +104,18 @@ main(int argc, char **argv)
     const double zipf = cfg.getDouble("workload.zipf", 0.9);
     const std::uint64_t seed = cfg.getU64("workload.seed", 1);
 
+    const std::string stats_json = cfg.getString("stats.json", "");
+    const std::string trace_out = cfg.getString("trace.out", "");
+    const std::uint64_t trace_cap = cfg.getU64("trace.cap", 65536);
+
     for (const auto &key : cfg.unconsumedKeys())
         warn("unknown config key '", key, "' ignored");
 
     EventQueue eq;
     System sys("xfmsim", eq, sys_cfg);
+    obs::Tracer tracer(static_cast<std::size_t>(trace_cap));
+    if (!trace_out.empty())
+        sys.setTracer(&tracer);
     for (sfm::VirtPage p = 0; p < sys_cfg.pages; ++p) {
         sys.writePage(p, compress::generateCorpus(
                              compress::CorpusKind::Json, p,
@@ -120,15 +149,17 @@ main(int argc, char **argv)
     drive(gap);
     eq.run(seconds(run_seconds) + milliseconds(50.0));
 
-    std::printf("%s", sys.statsGroup().render().c_str());
-    if (sys_cfg.backend == BackendKind::Xfm
-        && sys_cfg.faultPlan.anyArmed()) {
-        const auto &xfm_backend =
-            static_cast<xfmsys::XfmBackend &>(sys.backend());
-        std::printf("\n%s", xfm_backend.faultInjector()
-                                .statsGroup("fault")
-                                .render()
-                                .c_str());
+    const obs::Snapshot snap = sys.metrics().snapshot();
+    std::printf("%s", snap.renderText().c_str());
+    if (!stats_json.empty())
+        writeFile(stats_json, snap.toJson());
+    if (!trace_out.empty()) {
+        writeFile(trace_out, tracer.toJsonLines());
+        std::printf("\ntrace: %llu events recorded, %llu dropped "
+                    "-> %s\n",
+                    (unsigned long long)tracer.recorded(),
+                    (unsigned long long)tracer.dropped(),
+                    trace_out.c_str());
     }
     std::printf("\napplication: %llu accesses, %.2f%% local hit "
                 "rate\n",

@@ -28,3 +28,20 @@ cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_CXX_FLAGS="${cxx_flags}"
 cmake --build "${build_dir}" -j "${jobs}"
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+# Observability smoke: run a short xfmsim with JSON snapshot and
+# trace export enabled, then validate both emitted files (parseable,
+# schema-tagged, required keys) with the schema checker.
+obs_dir="${build_dir}/obs-smoke"
+mkdir -p "${obs_dir}"
+cat > "${obs_dir}/smoke.cfg" <<EOF
+backend          = xfm
+pages            = 256
+workload.seconds = 0.05
+stats.json       = ${obs_dir}/stats.json
+trace.out        = ${obs_dir}/trace.jsonl
+trace.cap        = 16384
+EOF
+"${build_dir}/examples/xfmsim" "${obs_dir}/smoke.cfg" > /dev/null
+"${build_dir}/tools/check_obs_output" stats "${obs_dir}/stats.json"
+"${build_dir}/tools/check_obs_output" trace "${obs_dir}/trace.jsonl"

@@ -65,41 +65,5 @@ Histogram::reset()
     underflow_ = overflow_ = total_ = 0;
 }
 
-void
-Group::add(const std::string &key, double value, const std::string &desc)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.4f", value);
-    rows_.push_back({key, buf, desc});
-}
-
-void
-Group::add(const std::string &key, std::uint64_t value,
-           const std::string &desc)
-{
-    rows_.push_back({key, std::to_string(value), desc});
-}
-
-std::string
-Group::render() const
-{
-    std::size_t key_width = 0;
-    std::size_t val_width = 0;
-    for (const auto &r : rows_) {
-        key_width = std::max(key_width, r.key.size());
-        val_width = std::max(val_width, r.value.size());
-    }
-    std::ostringstream os;
-    os << "---- " << name_ << " ----\n";
-    for (const auto &r : rows_) {
-        os << r.key << std::string(key_width - r.key.size() + 2, ' ')
-           << std::string(val_width - r.value.size(), ' ') << r.value;
-        if (!r.desc.empty())
-            os << "  # " << r.desc;
-        os << "\n";
-    }
-    return os.str();
-}
-
 } // namespace stats
 } // namespace xfm

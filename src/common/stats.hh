@@ -1,8 +1,9 @@
 /**
  * @file
  * Lightweight statistics collection: scalar counters, running
- * averages, and fixed-bucket histograms, grouped per component and
- * renderable as a formatted table.
+ * averages, and fixed-bucket histograms. Components own these as
+ * plain fields; rendering and export live in the observability
+ * layer (src/obs), which holds pointers registered at wiring time.
  */
 
 #ifndef XFM_COMMON_STATS_HH
@@ -83,6 +84,8 @@ class Histogram
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t total() const { return total_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
 
     /** Value below which the given fraction of samples fall. */
     double percentile(double p) const;
@@ -97,34 +100,6 @@ class Histogram
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
     std::uint64_t total_ = 0;
-};
-
-/** Named collection of stats rendered as an aligned text table. */
-class Group
-{
-  public:
-    explicit Group(std::string name) : name_(std::move(name)) {}
-
-    void add(const std::string &key, double value,
-             const std::string &desc = "");
-    void add(const std::string &key, std::uint64_t value,
-             const std::string &desc = "");
-
-    /** Render all rows; used by examples and bench tools. */
-    std::string render() const;
-
-    const std::string &name() const { return name_; }
-
-  private:
-    struct Row
-    {
-        std::string key;
-        std::string value;
-        std::string desc;
-    };
-
-    std::string name_;
-    std::vector<Row> rows_;
 };
 
 } // namespace stats

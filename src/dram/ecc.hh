@@ -23,6 +23,7 @@
 #include "common/stats.hh"
 #include "dram/phys_mem.hh"
 #include "fault/fault.hh"
+#include "obs/registry.hh"
 
 namespace xfm
 {
@@ -141,6 +142,24 @@ class EccStore
     }
 
     const EccStats &stats() const { return stats_; }
+
+    /** Register ECC metrics under `<prefix>.*`. */
+    void
+    registerMetrics(obs::MetricRegistry &r, const std::string &prefix)
+    {
+        const std::string p = prefix + ".";
+        r.counter(p + "wordsWritten", &stats_.wordsWritten);
+        r.counter(p + "wordsRead", &stats_.wordsRead);
+        r.counter(p + "correctedErrors", &stats_.correctedErrors);
+        r.counter(p + "uncorrectableErrors",
+                  &stats_.uncorrectableErrors);
+        r.counter(p + "parityBytesWritten",
+                  &stats_.parityBytesWritten);
+        r.derived(p + "poisonedWords",
+                  [this] {
+                      return static_cast<double>(poisonedWords());
+                  });
+    }
 
   private:
     std::uint64_t parityAddr(std::uint64_t addr) const;

@@ -218,5 +218,29 @@ MemCtrl::pendingRequests() const
     return n;
 }
 
+void
+MemCtrl::registerMetrics(obs::MetricRegistry &r)
+{
+    const std::string p = name() + ".";
+    r.counter(p + "reads", &stats_.reads);
+    r.counter(p + "writes", &stats_.writes);
+    r.counter(p + "bytesRead", &stats_.bytesRead);
+    r.counter(p + "bytesWritten", &stats_.bytesWritten);
+    r.counter(p + "rowHits", &stats_.rowHits);
+    r.counter(p + "rowMisses", &stats_.rowMisses);
+    r.counter(p + "frfcfsBypasses", &stats_.frfcfsBypasses,
+              "row hits served out of order");
+    r.counter(p + "busyTicks", &stats_.busyTicks,
+              "data-bus occupancy, all channels");
+    r.counter(p + "refreshStallTicks", &stats_.refreshStallTicks,
+              "waited on tRFC locks");
+    r.counter(p + "extLockStallTicks", &stats_.extLockStallTicks,
+              "waited on NMA rank lockouts");
+    r.counter(p + "queueTicks", &stats_.queueTicks,
+              "total queueing delay");
+    r.derived(p + "rowHitRate",
+              [this] { return stats_.rowHitRate(); });
+}
+
 } // namespace dram
 } // namespace xfm

@@ -25,6 +25,7 @@
 #include "dram/address_map.hh"
 #include "dram/ddr_config.hh"
 #include "dram/refresh.hh"
+#include "obs/registry.hh"
 #include "sim/sim_object.hh"
 
 namespace xfm
@@ -85,6 +86,9 @@ class MemCtrl : public SimObject
     void submit(MemRequest req);
 
     const MemCtrlStats &stats() const { return stats_; }
+
+    /** Register controller metrics under `<name()>.*`. */
+    void registerMetrics(obs::MetricRegistry &r);
     const AddressMap &addressMap() const { return map_; }
     const MemSystemConfig &config() const { return cfg_; }
 

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <type_traits>
 
+#include "obs/registry.hh"
 #include "system/system.hh"
 
 namespace xfm
@@ -105,6 +106,19 @@ class FarArray
     }
 
     const FarArrayStats &stats() const { return stats_; }
+
+    /** Register array metrics under `<prefix>.*`. */
+    void
+    registerMetrics(obs::MetricRegistry &r, const std::string &prefix)
+    {
+        const std::string p = prefix + ".";
+        r.counter(p + "reads", &stats_.reads);
+        r.counter(p + "writes", &stats_.writes);
+        r.counter(p + "faults", &stats_.faults,
+                  "accesses that found Far pages");
+        r.counter(p + "faultWaitTicks", &stats_.faultWaitTicks,
+                  "simulated time spent waiting");
+    }
 
   private:
     std::pair<sfm::VirtPage, std::size_t>

@@ -131,19 +131,23 @@ FaultInjector::totalInjections() const
     return total;
 }
 
-stats::Group
-FaultInjector::statsGroup(const std::string &name) const
+void
+FaultInjector::registerMetrics(obs::MetricRegistry &r,
+                               const std::string &prefix)
 {
-    stats::Group g(name);
     for (std::size_t s = 0; s < faultSiteCount; ++s) {
-        if (!plan_.sites[s].armed() && stats_[s].evaluations == 0)
+        if (!plan_.sites[s].armed())
             continue;
-        const std::string site = siteNames[s];
-        g.add(site + "_evaluations", stats_[s].evaluations);
-        g.add(site + "_injections", stats_[s].injections);
+        const std::string base =
+            prefix + "." + siteNames[s] + ".";
+        r.counter(base + "evaluations", &stats_[s].evaluations);
+        r.counter(base + "injections", &stats_[s].injections);
     }
-    g.add("total_injections", totalInjections());
-    return g;
+    r.derived(prefix + ".totalInjections",
+              [this] {
+                  return static_cast<double>(totalInjections());
+              },
+              "injections across all sites");
 }
 
 } // namespace fault

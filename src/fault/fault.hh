@@ -33,8 +33,8 @@
 
 #include "common/config.hh"
 #include "common/random.hh"
-#include "common/stats.hh"
 #include "common/units.hh"
+#include "obs/registry.hh"
 
 namespace xfm
 {
@@ -202,8 +202,12 @@ class FaultInjector
     }
     std::uint64_t totalInjections() const;
 
-    /** Render per-site counters as a stats table. */
-    stats::Group statsGroup(const std::string &name) const;
+    /**
+     * Register per-armed-site counters plus the injection total
+     * under `<prefix>.<site>.{evaluations,injections}`.
+     */
+    void registerMetrics(obs::MetricRegistry &r,
+                         const std::string &prefix);
 
   private:
     FaultPlan plan_{};

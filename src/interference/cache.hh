@@ -11,9 +11,11 @@
 #define XFM_INTERFERENCE_CACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/registry.hh"
 
 namespace xfm
 {
@@ -70,6 +72,20 @@ class SetAssocCache
     }
 
     void resetStats();
+
+    /** Register per-requester metrics under `<prefix>.reqN.*`. */
+    void
+    registerMetrics(obs::MetricRegistry &r, const std::string &prefix)
+    {
+        for (std::uint32_t q = 0; q < stats_.size(); ++q) {
+            const std::string p =
+                prefix + ".req" + std::to_string(q) + ".";
+            r.counter(p + "accesses", &stats_[q].accesses);
+            r.counter(p + "misses", &stats_[q].misses);
+            r.derived(p + "missRate",
+                      [this, q] { return stats_[q].missRate(); });
+        }
+    }
 
   private:
     struct Line

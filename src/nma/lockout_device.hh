@@ -65,6 +65,17 @@ class HostLockoutDevice : public SimObject
 
     const LockoutDeviceStats &stats() const { return stats_; }
 
+    /** Register lockout metrics under `<name()>.*`. */
+    void
+    registerMetrics(obs::MetricRegistry &r)
+    {
+        const std::string p = name() + ".";
+        r.counter(p + "offloads", &stats_.offloads);
+        r.counter(p + "rankLockedTicks", &stats_.rankLockedTicks,
+                  "host locked out of the rank");
+        r.counter(p + "bytesMoved", &stats_.bytesMoved);
+    }
+
   private:
     Tick transferTime(std::size_t bytes) const;
 

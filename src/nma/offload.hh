@@ -62,6 +62,10 @@ struct OffloadRequest
     Tick deadline = maxTick;       ///< fall back if not started by then
     /** SPM partition charged for the staged output (0 = uncapped). */
     std::uint32_t partition = 0;
+    /** obs::Tracer request id this offload belongs to (0 = untraced). */
+    std::uint64_t traceId = 0;
+    /** Stamped by the device at submit(); anchors the queue span. */
+    Tick submitTick = 0;
 };
 
 /** Completion record delivered to the driver. */

@@ -82,8 +82,12 @@ XfmDevice::submit(const OffloadRequest &req)
     }
     OffloadRequest r = req;
     r.id = next_id_++;
-    if (queue_.push(r))
+    r.submitTick = curTick();
+    if (queue_.push(r)) {
+        if (tracer_ && r.traceId)
+            trace_ids_[r.id] = r.traceId;
         return r.id;
+    }
     --next_id_;
     ++stats_.queueRejects;
     return invalidOffloadId;
@@ -97,6 +101,9 @@ XfmDevice::drainQueue()
     // the read actually executes).
     while (!queue_.empty()) {
         OffloadRequest req = queue_.pop();
+        if (tracer_ && req.traceId)
+            tracer_->record(req.traceId, obs::Stage::Queue,
+                            req.submitTick, curTick());
         reads_.push_back({req.id, req, curTick()});
     }
 }
@@ -107,6 +114,7 @@ XfmDevice::dropExpired(Tick now)
     for (auto it = reads_.begin(); it != reads_.end();) {
         if (it->req.deadline < now) {
             ++stats_.deadlineDrops;
+            trace_ids_.erase(it->id);
             if (on_drop_)
                 on_drop_(it->id);
             it = reads_.erase(it);
@@ -158,6 +166,14 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
         dram::accessCompletionOffset(dev_cfg_, window_access_index_);
     ++window_access_index_;
 
+    if (tracer_ && op.req.traceId) {
+        tracer_->record(op.req.traceId, obs::Stage::WindowWait,
+                        op.accepted, curTick());
+        tracer_->point(op.req.traceId, obs::Stage::Classify,
+                       curTick(),
+                       cls == AccessClass::Conditional ? 0 : 1);
+    }
+
     Bytes data = mem_.read(op.req.srcAddr, op.req.size);
     const OffloadId id = op.id;
     const OffloadKind kind = op.req.kind;
@@ -170,6 +186,7 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
         // so the driver/backend redo the work on the CPU.
         ++stats_.engineStalls;
         spm_.release(id);
+        trace_ids_.erase(id);
         stalled_.insert(id);
         eventq().scheduleIn(transfer, [this, id] {
             if (!stalled_.erase(id))
@@ -190,6 +207,10 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
         std::tie(output, latency) =
             engine_.decompress(data, op.req.rawSize);
     }
+
+    if (tracer_ && op.req.traceId)
+        tracer_->record(op.req.traceId, obs::Stage::Engine,
+                        curTick(), curTick() + transfer + latency);
 
     eventq().scheduleIn(transfer + latency,
                         [this, id, kind,
@@ -213,6 +234,17 @@ XfmDevice::executeWriteback(SpmEntry entry, AccessClass cls)
         dram::accessCompletionOffset(dev_cfg_, window_access_index_);
     ++window_access_index_;
     mem_.write(entry.dstAddr, entry.data);
+
+    if (tracer_) {
+        const auto tid = trace_ids_.find(entry.id);
+        if (tid != trace_ids_.end()) {
+            tracer_->record(tid->second, obs::Stage::SpmStage,
+                            entry.stagedAt, curTick());
+            tracer_->record(tid->second, obs::Stage::Writeback,
+                            curTick(), curTick() + transfer);
+            trace_ids_.erase(tid);
+        }
+    }
 
     // Sec. 4.1: regenerate the side-band SECDED parity for every
     // 64-bit word the write-back touched, so the memory controller
@@ -255,6 +287,7 @@ XfmDevice::commitWriteback(OffloadId id, std::uint64_t dst_addr)
 void
 XfmDevice::abort(OffloadId id)
 {
+    trace_ids_.erase(id);
     if (stalled_.erase(id))
         return;  // stall already released SPM; drop will not fire
     if (queue_.removeById(id))
@@ -273,32 +306,47 @@ XfmDevice::abort(OffloadId id)
         aborted_.insert(id);
 }
 
-stats::Group
-XfmDevice::statsGroup() const
+void
+XfmDevice::registerMetrics(obs::MetricRegistry &r,
+                           const std::string &prefix)
 {
-    stats::Group g(name());
-    g.add("windows", stats_.windows, "refresh windows observed");
-    g.add("conditional_accesses", stats_.conditionalAccesses);
-    g.add("random_accesses", stats_.randomAccesses);
-    g.add("compress_offloads", stats_.compressOffloads);
-    g.add("decompress_offloads", stats_.decompressOffloads);
-    g.add("queue_rejects", stats_.queueRejects);
-    g.add("deadline_drops", stats_.deadlineDrops);
-    g.add("deferred_executions", stats_.deferredExecutions,
-          "SPM full at read time");
-    g.add("engine_stalls", stats_.engineStalls,
-          "injected engine stalls/timeouts");
-    g.add("subarray_conflict_retries",
-          stats_.subarrayConflictRetries);
-    g.add("trr_slots_used", stats_.trrSlotsUsed);
-    g.add("dram_bytes_read", stats_.bytesReadFromDram);
-    g.add("dram_bytes_written", stats_.bytesWrittenToDram);
-    g.add("ecc_parity_bytes", stats_.eccParityBytesWritten);
-    g.add("energy_saved_fraction", stats_.energySavedFraction(),
-          "activation energy avoided by conditional accesses");
-    g.add("spm_used_bytes",
-          static_cast<std::uint64_t>(spm_.usedBytes()));
-    return g;
+    const std::string p = prefix + ".";
+    r.counter(p + "windows", &stats_.windows,
+              "refresh windows observed");
+    r.counter(p + "conditionalAccesses",
+              &stats_.conditionalAccesses);
+    r.counter(p + "randomAccesses", &stats_.randomAccesses);
+    r.counter(p + "compressOffloads", &stats_.compressOffloads);
+    r.counter(p + "decompressOffloads", &stats_.decompressOffloads);
+    r.counter(p + "queueRejects", &stats_.queueRejects);
+    r.counter(p + "unregisteredRejects",
+              &stats_.unregisteredRejects);
+    r.counter(p + "deadlineDrops", &stats_.deadlineDrops);
+    r.counter(p + "deferredExecutions", &stats_.deferredExecutions,
+              "SPM full at read time");
+    r.counter(p + "engineStalls", &stats_.engineStalls,
+              "injected engine stalls/timeouts");
+    r.counter(p + "subarrayConflictRetries",
+              &stats_.subarrayConflictRetries);
+    r.counter(p + "trrSlotsUsed", &stats_.trrSlotsUsed);
+    r.counter(p + "dramBytesRead", &stats_.bytesReadFromDram);
+    r.counter(p + "dramBytesWritten", &stats_.bytesWrittenToDram);
+    r.counter(p + "eccParityBytes", &stats_.eccParityBytesWritten);
+    r.gauge(p + "accessEnergyNanojoules",
+            &stats_.accessEnergyNanojoules);
+    r.gauge(p + "energySavedNanojoules",
+            &stats_.energySavedNanojoules);
+    r.derived(p + "energySavedFraction",
+              [this] { return stats_.energySavedFraction(); },
+              "activation energy avoided by conditional accesses");
+    r.derived(p + "spm.usedBytes",
+              [this] {
+                  return static_cast<double>(spm_.usedBytes());
+              });
+    r.derived(p + "spm.freeBytes",
+              [this] {
+                  return static_cast<double>(spm_.freeBytes());
+              });
 }
 
 void

@@ -23,7 +23,6 @@
 #include <set>
 
 #include "common/random.hh"
-#include "common/stats.hh"
 #include "dram/address_map.hh"
 #include "dram/bank.hh"
 #include "dram/phys_mem.hh"
@@ -32,6 +31,8 @@
 #include "nma/mmio.hh"
 #include "nma/offload.hh"
 #include "nma/spm.hh"
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
 #include "sim/sim_object.hh"
 
 namespace xfm
@@ -222,8 +223,20 @@ class XfmDevice : public SimObject
     const XfmDeviceConfig &config() const { return cfg_; }
     CompressionEngine &engine() { return engine_; }
 
-    /** Render the device's statistics as a named table. */
-    stats::Group statsGroup() const;
+    /**
+     * Register device counters and SPM occupancy under
+     * `<prefix>.*` (e.g. "sys.dimm0.conditionalAccesses").
+     */
+    void registerMetrics(obs::MetricRegistry &r,
+                         const std::string &prefix);
+
+    /**
+     * Attach a span tracer (null detaches). The device records
+     * Queue/WindowWait/Classify/Engine/SpmStage/Writeback spans for
+     * offloads whose request carries a non-zero traceId; with no
+     * tracer attached the hot path only pays a pointer check.
+     */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
 
     /** Descriptors waiting in the request queue. */
     std::size_t queuedRequests() const { return queue_.size(); }
@@ -268,6 +281,11 @@ class XfmDevice : public SimObject
     dram::Bank bank_;
     Rng rng_;
     fault::FaultInjector *injector_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
+    /** OffloadId -> traceId, kept only while tracing is attached so
+     *  write-back spans can name their request after the
+     *  OffloadRequest itself is gone. */
+    std::map<OffloadId, std::uint64_t> trace_ids_;
     std::deque<ReadOp> reads_;
     /** Registered NMA-accessible regions (base -> end). */
     std::vector<std::pair<std::uint64_t, std::uint64_t>> regions_;

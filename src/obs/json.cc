@@ -1,0 +1,353 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace obs
+{
+namespace json
+{
+
+const Value &
+Value::at(const std::string &key) const
+{
+    if (!isObject())
+        fatal("json: at('", key, "') on non-object");
+    auto it = obj_->find(key);
+    if (it == obj_->end())
+        fatal("json: object has no key '", key, "'");
+    return it->second;
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    return isObject() && obj_->count(key) > 0;
+}
+
+Value
+Value::makeNull()
+{
+    return Value{};
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.type_ = Type::Bool;
+    v.b_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double d, bool integral, std::int64_t i)
+{
+    Value v;
+    v.type_ = Type::Number;
+    v.num_ = d;
+    v.integral_ = integral;
+    v.int_ = i;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.type_ = Type::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(Array a)
+{
+    Value v;
+    v.type_ = Type::ArrayT;
+    v.arr_ = std::make_shared<Array>(std::move(a));
+    return v;
+}
+
+Value
+Value::makeObject(Object o)
+{
+    Value v;
+    v.type_ = Type::ObjectT;
+    v.obj_ = std::make_shared<Object>(std::move(o));
+    return v;
+}
+
+namespace
+{
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos >= text.size() || text[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text.compare(pos, len, word) != 0)
+            return fail(std::string("bad literal, expected ") + word);
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("unterminated escape");
+                char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= h - 'A' + 10;
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point; surrogate
+                    // pairs are not needed for our exports.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() && std::isdigit(
+                   static_cast<unsigned char>(text[pos])))
+            ++pos;
+        bool integral = true;
+        if (pos < text.size() && text[pos] == '.') {
+            integral = false;
+            ++pos;
+            while (pos < text.size() && std::isdigit(
+                       static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            integral = false;
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            while (pos < text.size() && std::isdigit(
+                       static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        if (pos == start ||
+            (pos == start + 1 && text[start] == '-'))
+            return fail("bad number");
+        const std::string tok = text.substr(start, pos - start);
+        const double d = std::strtod(tok.c_str(), nullptr);
+        const std::int64_t i =
+            integral ? std::strtoll(tok.c_str(), nullptr, 10)
+                     : static_cast<std::int64_t>(d);
+        out = Value::makeNumber(d, integral, i);
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            Object obj;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                out = Value::makeObject(std::move(obj));
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!expect(':'))
+                    return false;
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                obj.emplace(std::move(key), std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            skipWs();
+            if (!expect('}'))
+                return false;
+            out = Value::makeObject(std::move(obj));
+            return true;
+        }
+        if (c == '[') {
+            ++pos;
+            Array arr;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                out = Value::makeArray(std::move(arr));
+                return true;
+            }
+            while (true) {
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                arr.push_back(std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                break;
+            }
+            skipWs();
+            if (!expect(']'))
+                return false;
+            out = Value::makeArray(std::move(arr));
+            return true;
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value::makeString(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true", 4))
+                return false;
+            out = Value::makeBool(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false", 5))
+                return false;
+            out = Value::makeBool(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null", 4))
+                return false;
+            out = Value::makeNull();
+            return true;
+        }
+        return parseNumber(out);
+    }
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value &out, std::string &error,
+      std::size_t *consumed)
+{
+    Parser p{text, 0, {}};
+    if (!p.parseValue(out)) {
+        error = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (consumed) {
+        *consumed = p.pos;
+    } else if (p.pos != text.size()) {
+        error = "trailing garbage at offset " + std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+} // namespace json
+} // namespace obs
+} // namespace xfm

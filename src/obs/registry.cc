@@ -1,0 +1,317 @@
+#include "registry.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace xfm
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Locale-free, round-trippable double formatting. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Compact double formatting for the human-facing table. */
+std::string
+formatDoubleShort(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+}
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+bool
+Snapshot::has(const std::string &name) const
+{
+    return std::binary_search(
+        leaves_.begin(), leaves_.end(), name,
+        [](const auto &a, const auto &b) {
+            if constexpr (std::is_same_v<std::decay_t<decltype(a)>,
+                                         std::string>)
+                return a < b.name;
+            else
+                return a.name < b;
+        });
+}
+
+static const SnapshotLeaf *
+findLeaf(const std::vector<SnapshotLeaf> &leaves,
+         const std::string &name)
+{
+    auto it = std::lower_bound(leaves.begin(), leaves.end(), name,
+                               [](const SnapshotLeaf &l,
+                                  const std::string &n) {
+        return l.name < n;
+    });
+    if (it == leaves.end() || it->name != name)
+        return nullptr;
+    return &*it;
+}
+
+std::uint64_t
+Snapshot::u64(const std::string &name) const
+{
+    const SnapshotLeaf *l = findLeaf(leaves_, name);
+    if (!l)
+        fatal("snapshot has no metric '", name, "'");
+    return l->isInt ? l->u : static_cast<std::uint64_t>(l->d);
+}
+
+double
+Snapshot::value(const std::string &name) const
+{
+    const SnapshotLeaf *l = findLeaf(leaves_, name);
+    if (!l)
+        fatal("snapshot has no metric '", name, "'");
+    return l->asDouble();
+}
+
+Snapshot
+Snapshot::delta(const Snapshot &base) const
+{
+    Snapshot out = *this;
+    for (auto &leaf : out.leaves_) {
+        if (!leaf.monotone)
+            continue;
+        const SnapshotLeaf *b = findLeaf(base.leaves_, leaf.name);
+        if (!b)
+            continue;
+        if (leaf.isInt)
+            leaf.u = leaf.u >= b->u ? leaf.u - b->u : 0;
+        else
+            leaf.d -= b->d;
+    }
+    return out;
+}
+
+std::string
+Snapshot::renderText() const
+{
+    std::size_t name_width = 0;
+    std::size_t val_width = 0;
+    std::vector<std::string> values;
+    values.reserve(leaves_.size());
+    for (const auto &l : leaves_) {
+        values.push_back(l.isInt ? std::to_string(l.u)
+                                 : formatDoubleShort(l.d));
+        name_width = std::max(name_width, l.name.size());
+        val_width = std::max(val_width, values.back().size());
+    }
+    std::ostringstream os;
+    for (std::size_t i = 0; i < leaves_.size(); ++i) {
+        const auto &l = leaves_[i];
+        os << l.name << std::string(name_width - l.name.size() + 2, ' ')
+           << std::string(val_width - values[i].size(), ' ')
+           << values[i];
+        if (!l.desc.empty())
+            os << "  # " << l.desc;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Snapshot::toJson() const
+{
+    std::string out = "{\n  \"schema\": ";
+    appendJsonString(out, snapshotSchema);
+    out += ",\n  \"metrics\": {";
+    bool first = true;
+    for (const auto &l : leaves_) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, l.name);
+        out += ": ";
+        out += l.isInt ? std::to_string(l.u) : formatDouble(l.d);
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+void
+MetricRegistry::insert(const std::string &name, Entry e)
+{
+    XFM_ASSERT(!name.empty(), "metric with empty name");
+    if (!entries_.emplace(name, std::move(e)).second)
+        fatal("metric '", name, "' registered twice");
+}
+
+void
+MetricRegistry::counter(const std::string &name, std::uint64_t *v,
+                        std::string desc)
+{
+    Entry e;
+    e.kind = Entry::Kind::Counter;
+    e.u = v;
+    e.desc = std::move(desc);
+    insert(name, std::move(e));
+}
+
+void
+MetricRegistry::gauge(const std::string &name, double *v,
+                      std::string desc)
+{
+    Entry e;
+    e.kind = Entry::Kind::Gauge;
+    e.g = v;
+    e.desc = std::move(desc);
+    insert(name, std::move(e));
+}
+
+void
+MetricRegistry::derived(const std::string &name,
+                        std::function<double()> fn, std::string desc)
+{
+    Entry e;
+    e.kind = Entry::Kind::Derived;
+    e.fn = std::move(fn);
+    e.desc = std::move(desc);
+    insert(name, std::move(e));
+}
+
+void
+MetricRegistry::average(const std::string &name, stats::Average *a,
+                        std::string desc)
+{
+    Entry e;
+    e.kind = Entry::Kind::Average;
+    e.avg = a;
+    e.desc = std::move(desc);
+    insert(name, std::move(e));
+}
+
+void
+MetricRegistry::histogram(const std::string &name, stats::Histogram *h,
+                          std::string desc)
+{
+    Entry e;
+    e.kind = Entry::Kind::Histogram;
+    e.hist = h;
+    e.desc = std::move(desc);
+    insert(name, std::move(e));
+}
+
+bool
+MetricRegistry::contains(const std::string &name) const
+{
+    return entries_.count(name) > 0;
+}
+
+Snapshot
+MetricRegistry::snapshot() const
+{
+    Snapshot s;
+    auto addInt = [&s](std::string name, std::uint64_t v,
+                       const std::string &desc, bool monotone) {
+        SnapshotLeaf l;
+        l.name = std::move(name);
+        l.isInt = true;
+        l.monotone = monotone;
+        l.u = v;
+        l.desc = desc;
+        s.leaves_.push_back(std::move(l));
+    };
+    auto addDouble = [&s](std::string name, double v,
+                          const std::string &desc, bool monotone) {
+        SnapshotLeaf l;
+        l.name = std::move(name);
+        l.isInt = false;
+        l.monotone = monotone;
+        l.d = v;
+        l.desc = desc;
+        s.leaves_.push_back(std::move(l));
+    };
+
+    for (const auto &[name, e] : entries_) {
+        switch (e.kind) {
+          case Entry::Kind::Counter:
+            addInt(name, *e.u, e.desc, true);
+            break;
+          case Entry::Kind::Gauge:
+            addDouble(name, *e.g, e.desc, false);
+            break;
+          case Entry::Kind::Derived:
+            addDouble(name, e.fn(), e.desc, false);
+            break;
+          case Entry::Kind::Average:
+            addInt(name + ".count", e.avg->count(), e.desc, true);
+            addDouble(name + ".mean", e.avg->mean(), "", false);
+            addDouble(name + ".min", e.avg->min(), "", false);
+            addDouble(name + ".max", e.avg->max(), "", false);
+            break;
+          case Entry::Kind::Histogram:
+            addInt(name + ".count", e.hist->total(), e.desc, true);
+            // Out-of-range tails are first-class: they participate
+            // in the percentile rank math and are exported here.
+            addInt(name + ".underflow", e.hist->underflow(), "",
+                   true);
+            addInt(name + ".overflow", e.hist->overflow(), "", true);
+            addDouble(name + ".p50", e.hist->percentile(0.50), "",
+                      false);
+            addDouble(name + ".p90", e.hist->percentile(0.90), "",
+                      false);
+            addDouble(name + ".p99", e.hist->percentile(0.99), "",
+                      false);
+            break;
+        }
+    }
+    std::sort(s.leaves_.begin(), s.leaves_.end(),
+              [](const SnapshotLeaf &a, const SnapshotLeaf &b) {
+        return a.name < b.name;
+    });
+    return s;
+}
+
+void
+MetricRegistry::reset()
+{
+    for (auto &[name, e] : entries_) {
+        switch (e.kind) {
+          case Entry::Kind::Counter: *e.u = 0; break;
+          case Entry::Kind::Gauge: *e.g = 0.0; break;
+          case Entry::Kind::Derived: break;
+          case Entry::Kind::Average: e.avg->reset(); break;
+          case Entry::Kind::Histogram: e.hist->reset(); break;
+        }
+    }
+}
+
+} // namespace obs
+} // namespace xfm

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * MetricRegistry: the unified observability substrate.
+ *
+ * Every layer of the stack (dram, nma, xfm, sfm, service, fault)
+ * registers its statistics here under hierarchical dotted names
+ * ("svc.backend.dimm0.queueRejects"). Components keep owning the
+ * underlying storage — plain counters in their *Stats structs — so
+ * the hot path stays a raw integer increment; the registry holds
+ * typed pointers and materializes values only when a snapshot is
+ * taken. One shared text renderer and one JSON exporter replace the
+ * per-layer hand-built stats tables, so human output and machine
+ * export can never disagree.
+ */
+
+#ifndef XFM_OBS_REGISTRY_HH
+#define XFM_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace xfm
+{
+namespace obs
+{
+
+/** One materialized metric value inside a Snapshot. */
+struct SnapshotLeaf
+{
+    std::string name;
+    bool isInt = true;      ///< integral (counter-like) value
+    /** Monotonically increasing: subtractable in Snapshot::delta().
+     *  Levels (gauges, percentiles, means) are not. */
+    bool monotone = true;
+    std::uint64_t u = 0;    ///< value when isInt
+    double d = 0.0;         ///< value when !isInt
+    std::string desc;
+
+    double
+    asDouble() const
+    {
+        return isInt ? static_cast<double>(u) : d;
+    }
+};
+
+/**
+ * A point-in-time materialization of a registry.
+ *
+ * Leaves are sorted by name, and all formatting is locale-free and
+ * value-deterministic, so two snapshots of identical runs render and
+ * export byte-identically (asserted by tests/test_determinism.cc).
+ */
+class Snapshot
+{
+  public:
+    const std::vector<SnapshotLeaf> &leaves() const { return leaves_; }
+
+    bool has(const std::string &name) const;
+
+    /** Integral value of a leaf. @throws FatalError if missing. */
+    std::uint64_t u64(const std::string &name) const;
+
+    /** Numeric value of any leaf. @throws FatalError if missing. */
+    double value(const std::string &name) const;
+
+    /**
+     * Interval view: monotone leaves become (this - base); level
+     * leaves (gauges, percentiles, means) keep this snapshot's
+     * value. Leaves absent from @p base pass through unchanged.
+     */
+    Snapshot delta(const Snapshot &base) const;
+
+    /** The one shared text renderer (aligned name/value table). */
+    std::string renderText() const;
+
+    /** JSON export: {"schema": "...", "metrics": {name: value}}. */
+    std::string toJson() const;
+
+  private:
+    friend class MetricRegistry;
+    std::vector<SnapshotLeaf> leaves_;  ///< sorted by name
+};
+
+/** Schema tag emitted in (and required of) every JSON snapshot. */
+inline constexpr const char *snapshotSchema = "xfm.metrics.v1";
+
+/**
+ * Named index over externally-owned metrics.
+ *
+ * Registration is one-time wiring (at construction of a System /
+ * FarMemoryService / bench harness); name collisions are user error
+ * and throw FatalError. Averages and histograms expand into several
+ * leaves (.count/.mean/... and .p50/.p99/.underflow/.overflow) when
+ * snapshotted.
+ */
+class MetricRegistry
+{
+  public:
+    void counter(const std::string &name, std::uint64_t *v,
+                 std::string desc = "");
+    void gauge(const std::string &name, double *v,
+               std::string desc = "");
+    /** Computed level metric (rates, fractions, container sizes). */
+    void derived(const std::string &name, std::function<double()> fn,
+                 std::string desc = "");
+    void average(const std::string &name, stats::Average *a,
+                 std::string desc = "");
+    void histogram(const std::string &name, stats::Histogram *h,
+                   std::string desc = "");
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    Snapshot snapshot() const;
+    std::string renderText() const { return snapshot().renderText(); }
+    std::string toJson() const { return snapshot().toJson(); }
+
+    /** Zero every registered counter/gauge/average/histogram
+     *  (derived metrics recompute from their sources). */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        enum class Kind
+        {
+            Counter,
+            Gauge,
+            Derived,
+            Average,
+            Histogram,
+        };
+        Kind kind;
+        std::uint64_t *u = nullptr;
+        double *g = nullptr;
+        std::function<double()> fn;
+        stats::Average *avg = nullptr;
+        stats::Histogram *hist = nullptr;
+        std::string desc;
+    };
+
+    void insert(const std::string &name, Entry e);
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace obs
+} // namespace xfm
+
+#endif // XFM_OBS_REGISTRY_HH

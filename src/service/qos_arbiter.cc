@@ -74,6 +74,35 @@ QosArbiter::laneStats(TenantId id) const
     return lane(id).stats;
 }
 
+void
+QosArbiter::registerMetrics(obs::MetricRegistry &r)
+{
+    const std::string p = name() + ".";
+    r.counter(p + "windows", &stats_.windows,
+              "tREFI dispatch windows run");
+    r.counter(p + "dispatched", &stats_.dispatched);
+    r.counter(p + "preemptions", &stats_.preemptions,
+              "latency slots granted while batch waited");
+    r.counter(p + "throttledWindows", &stats_.throttledWindows,
+              "slots left unused with work queued");
+    r.derived(p + "queued",
+              [this] { return static_cast<double>(queued()); });
+}
+
+void
+QosArbiter::registerLaneMetrics(obs::MetricRegistry &r, TenantId id,
+                                const std::string &prefix)
+{
+    // Lane addresses are stable only because reserveLanes() bounded
+    // the vector; the service calls it before any admission.
+    ArbiterLaneStats &ls = lane(id).stats;
+    const std::string p = prefix + ".arbiter.";
+    r.counter(p + "enqueued", &ls.enqueued);
+    r.counter(p + "dispatched", &ls.dispatched);
+    r.average(p + "waitNs", &ls.waitNs,
+              "queueing delay before dispatch");
+}
+
 QosArbiter::Lane &
 QosArbiter::lane(TenantId id)
 {

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hh"
 #include "service/tenant.hh"
 #include "sim/sim_object.hh"
 
@@ -98,6 +99,20 @@ class QosArbiter : public SimObject
     const ArbiterLaneStats &laneStats(TenantId id) const;
     const QosArbiterStats &stats() const { return stats_; }
     const QosArbiterConfig &config() const { return cfg_; }
+
+    /**
+     * Pre-size the lane table so ArbiterLaneStats addresses stay
+     * stable across addTenant (required before registerLaneMetrics
+     * hands lane pointers to a registry).
+     */
+    void reserveLanes(std::size_t n) { lanes_.reserve(n); }
+
+    /** Register whole-arbiter metrics under `<name()>.*`. */
+    void registerMetrics(obs::MetricRegistry &r);
+
+    /** Register one lane's metrics under `<prefix>.arbiter.*`. */
+    void registerLaneMetrics(obs::MetricRegistry &r, TenantId id,
+                             const std::string &prefix);
 
   private:
     struct Pending

@@ -38,6 +38,17 @@ FarMemoryService::FarMemoryService(std::string name, EventQueue &eq,
             backend_.driver(d).device().setSpmPartitionCap(
                 batchSpmPartition, per_dimm);
     }
+    // Lane stats addresses must survive later addTenant calls; the
+    // registry already reserves its own entries.
+    arbiter_.reserveLanes(cfg_.registry.maxTenants);
+    backend_.registerMetrics(metrics_);
+    arbiter_.registerMetrics(metrics_);
+    metrics_.derived(this->name() + ".rejectedAdmissions",
+                     [this] {
+                         return static_cast<double>(
+                             registry_.rejectedAdmissions());
+                     },
+                     "tenants turned away");
 }
 
 TenantId
@@ -65,8 +76,68 @@ FarMemoryService::addTenant(const TenantConfig &cfg)
     }
     arbiter_.addTenant(id, cfg.cls, cfg.weight,
                        cfg.quota.offloadSlotsPerTrefi);
+    if (t.kstaled)
+        t.kstaled->registerMetrics(metrics_);
+    if (t.senpai)
+        t.senpai->registerMetrics(metrics_);
+    registerTenantMetrics(id);
     tenants_.push_back(std::move(t));
     return id;
+}
+
+void
+FarMemoryService::registerTenantMetrics(TenantId id)
+{
+    const TenantConfig &cfg = registry_.config(id);
+    // Ids (not names) key the namespace: tenant names need not be
+    // unique, metric names must be.
+    const std::string p =
+        name() + ".tenant" + std::to_string(id) + ".";
+    const std::string who = std::string(priorityClassName(cfg.cls))
+        + "/" + cfg.name;
+    TenantStats &ts = registry_.stats(id);
+    metrics_.counter(p + "accesses", &ts.accesses,
+                     who + ": application page touches");
+    metrics_.counter(p + "localHits", &ts.localHits,
+                     "served from local memory");
+    metrics_.counter(p + "demandFaults", &ts.demandFaults,
+                     "blocked on swap-in");
+    metrics_.counter(p + "swapOuts", &ts.swapOuts, "pages demoted");
+    metrics_.counter(p + "swapIns", &ts.swapIns, "pages promoted");
+    metrics_.counter(p + "nmaOps", &ts.nmaOps,
+                     "swap ops served by the NMA");
+    metrics_.counter(p + "cpuOps", &ts.cpuOps,
+                     "swap ops on the CPU path");
+    metrics_.counter(p + "quotaRejects", &ts.quotaRejects,
+                     "far-page quota hits");
+    metrics_.counter(p + "degradedToCpu", &ts.degradedToCpu,
+                     "SPM quota degrades");
+    metrics_.counter(p + "nmaFallbacks", &ts.nmaFallbacks,
+                     "offload-eligible ops that fell back");
+    metrics_.counter(p + "offloadRetries", &ts.offloadRetries,
+                     "driver re-submissions consumed");
+    metrics_.counter(p + "faultedOps", &ts.faultedOps,
+                     "swap ops that failed");
+    metrics_.derived(p + "nmaFraction",
+                     [&ts] { return ts.nmaFraction(); },
+                     "NMA share of swap ops");
+    metrics_.derived(p + "farPages",
+                     [this, id] {
+                         return static_cast<double>(
+                             registry_.farPages(id));
+                     },
+                     "pages held far");
+    metrics_.derived(p + "storedBytes",
+                     [this, id] {
+                         return static_cast<double>(
+                             registry_.storedBytes(id));
+                     },
+                     "compressed bytes stored");
+    metrics_.histogram(p + "faultLatencyNs", &ts.faultLatencyNs,
+                       "demand swap-in service latency");
+    arbiter_.registerLaneMetrics(metrics_,
+                                 id, name() + ".tenant"
+                                 + std::to_string(id));
 }
 
 void
@@ -117,42 +188,6 @@ FarMemoryService::tenantBackend(TenantId id)
 {
     XFM_ASSERT(id < tenants_.size(), "unknown tenant id ", id);
     return *tenants_[id].backend;
-}
-
-stats::Group
-FarMemoryService::tenantStatsGroup(TenantId id) const
-{
-    const TenantConfig &cfg = registry_.config(id);
-    const TenantStats &ts = registry_.stats(id);
-    const ArbiterLaneStats &lane = arbiter_.laneStats(id);
-
-    stats::Group g(std::string(priorityClassName(cfg.cls)) + "/"
-                   + cfg.name);
-    g.add("accesses", ts.accesses, "application page touches");
-    g.add("localHits", ts.localHits, "served from local memory");
-    g.add("demandFaults", ts.demandFaults, "blocked on swap-in");
-    g.add("swapOuts", ts.swapOuts, "pages demoted");
-    g.add("swapIns", ts.swapIns, "pages promoted");
-    g.add("nmaOps", ts.nmaOps, "swap ops served by the NMA");
-    g.add("cpuOps", ts.cpuOps, "swap ops on the CPU path");
-    g.add("nmaFraction", ts.nmaFraction(), "NMA share of swap ops");
-    g.add("quotaRejects", ts.quotaRejects, "far-page quota hits");
-    g.add("degradedToCpu", ts.degradedToCpu, "SPM quota degrades");
-    g.add("nmaFallbacks", ts.nmaFallbacks,
-          "offload-eligible ops that fell back to the CPU");
-    g.add("offloadRetries", ts.offloadRetries,
-          "driver re-submissions consumed");
-    g.add("faultedOps", ts.faultedOps, "swap ops that failed");
-    g.add("farPages", registry_.farPages(id), "pages held far");
-    g.add("storedBytes", registry_.storedBytes(id),
-          "compressed bytes stored");
-    g.add("faultP50Ns", ts.faultLatencyNs.percentile(0.50),
-          "median demand-fault latency");
-    g.add("faultP99Ns", ts.faultLatencyNs.percentile(0.99),
-          "tail demand-fault latency");
-    g.add("arbiterWaitNs", lane.waitNs.mean(),
-          "mean offload queueing delay");
-    return g;
 }
 
 } // namespace service

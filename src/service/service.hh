@@ -25,6 +25,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
 #include "service/qos_arbiter.hh"
 #include "service/tenant_backend.hh"
 #include "service/tenant_registry.hh"
@@ -98,9 +100,6 @@ class FarMemoryService : public SimObject
     std::size_t numTenants() const { return tenants_.size(); }
     const ServiceConfig &config() const { return cfg_; }
 
-    /** Per-tenant service statistics table. */
-    stats::Group tenantStatsGroup(TenantId id) const;
-
     /** The shared backend's fault injector (configured via
      *  cfg.system.faults; disarmed by default). */
     const fault::FaultInjector &faultInjector() const
@@ -108,13 +107,22 @@ class FarMemoryService : public SimObject
         return backend_.faultInjector();
     }
 
-    /** Fault-injection site statistics for the shared backend. */
-    stats::Group faultStatsGroup() const
-    {
-        return backend_.faultInjector().statsGroup(name() + ".fault");
-    }
+    /**
+     * The service-wide metric registry. The constructor registers
+     * backend, fault-site, arbiter, and per-DIMM metrics; every
+     * addTenant() adds that tenant's counters, latency histogram,
+     * and arbiter lane under `<name()>.tenantN.*`.
+     */
+    obs::MetricRegistry &metrics() { return metrics_; }
+    const obs::MetricRegistry &metrics() const { return metrics_; }
+
+    /** Attach a span tracer to the shared backend (null detaches). */
+    void setTracer(obs::Tracer *t) { backend_.setTracer(t); }
 
   private:
+    /** Register one admitted tenant's metrics (from addTenant). */
+    void registerTenantMetrics(TenantId id);
+
     struct Tenant
     {
         std::unique_ptr<TenantBackend> backend;
@@ -127,6 +135,7 @@ class FarMemoryService : public SimObject
     xfmsys::XfmBackend backend_;
     QosArbiter arbiter_;
     std::vector<Tenant> tenants_;
+    obs::MetricRegistry metrics_;
 };
 
 } // namespace service

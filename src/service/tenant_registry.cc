@@ -18,6 +18,10 @@ TenantRegistry::TenantRegistry(const RegistryConfig &cfg) : cfg_(cfg)
 {
     XFM_ASSERT(cfg_.maxTenants > 0, "need at least one tenant slot");
     XFM_ASSERT(cfg_.pagesPerShard > 0, "empty page-table shards");
+    // Admission control bounds size() by maxTenants; reserving that
+    // keeps TenantStats addresses stable, so the service may hand
+    // pointers into entries to the metric registry.
+    tenants_.reserve(cfg_.maxTenants);
 }
 
 TenantId

@@ -128,5 +128,23 @@ SfmController::recordAccess(VirtPage page)
     return false;
 }
 
+void
+SfmController::registerMetrics(obs::MetricRegistry &r)
+{
+    const std::string p = name() + ".";
+    r.counter(p + "scans", &stats_.scans);
+    r.counter(p + "coldPagesFound", &stats_.coldPagesFound);
+    r.counter(p + "swapOutsInitiated", &stats_.swapOutsInitiated);
+    r.counter(p + "demandFaults", &stats_.demandFaults);
+    r.counter(p + "prefetchesInitiated",
+              &stats_.prefetchesInitiated);
+    r.counter(p + "prefetchHits", &stats_.prefetchHits,
+              "faults avoided by prefetch");
+    r.counter(p + "strideDetections", &stats_.strideDetections,
+              "non-unit strides locked");
+    r.average(p + "faultServiceNs", &stats_.faultServiceNs,
+              "demand swap-in latency");
+}
+
 } // namespace sfm
 } // namespace xfm

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/registry.hh"
 #include "sfm/backend.hh"
 #include "sim/sim_object.hh"
 
@@ -90,6 +91,9 @@ class SfmController : public SimObject
     std::uint64_t numPages() const { return num_pages_; }
 
     const ControllerStats &stats() const { return stats_; }
+
+    /** Register control-plane metrics under `<name()>.*`. */
+    void registerMetrics(obs::MetricRegistry &r);
 
   private:
     void scan();

@@ -130,8 +130,20 @@ CpuSfmBackend::cpuSwapOut(VirtPage page, SwapCallback done)
                            static_cast<std::uint32_t>(block.size()),
                            true, nullptr});
     }
-    eventq().scheduleIn(latency, [outcome, done, this]() mutable {
+    std::uint64_t tid = 0;
+    if (tracer_) {
+        tid = tracer_->begin();
+        tracer_->record(tid, obs::Stage::SwapOut, curTick(),
+                        curTick() + latency);
+        tracer_->record(tid, obs::Stage::CpuCompute, curTick(),
+                        curTick() + latency);
+    }
+    eventq().scheduleIn(latency, [outcome, done, tid,
+                                  this]() mutable {
         outcome.completed = curTick();
+        if (tracer_ && tid)
+            tracer_->point(tid, obs::Stage::Complete, curTick(),
+                           obs::outcomeCpu);
         if (done)
             done(outcome);
     });
@@ -199,9 +211,21 @@ CpuSfmBackend::cpuSwapIn(VirtPage page, SwapCallback done)
     outcome.success = true;
     outcome.usedCpu = true;
     outcome.compressedSize = static_cast<std::uint32_t>(block.size());
-    eventq().scheduleIn(cyclesToTicks(cycles),
-                        [outcome, done, this]() mutable {
+    const Tick latency = cyclesToTicks(cycles);
+    std::uint64_t tid = 0;
+    if (tracer_) {
+        tid = tracer_->begin();
+        tracer_->record(tid, obs::Stage::SwapIn, curTick(),
+                        curTick() + latency);
+        tracer_->record(tid, obs::Stage::CpuCompute, curTick(),
+                        curTick() + latency);
+    }
+    eventq().scheduleIn(latency, [outcome, done, tid,
+                                  this]() mutable {
         outcome.completed = curTick();
+        if (tracer_ && tid)
+            tracer_->point(tid, obs::Stage::Complete, curTick(),
+                           obs::outcomeCpu);
         if (done)
             done(outcome);
     });
@@ -236,22 +260,24 @@ CpuSfmBackend::compact()
     ++stats_.compactions;
 }
 
-stats::Group
-CpuSfmBackend::statsGroup() const
+void
+CpuSfmBackend::registerMetrics(obs::MetricRegistry &r)
 {
-    stats::Group g(name());
-    g.add("swap_outs", stats_.swapOuts);
-    g.add("swap_ins", stats_.swapIns);
-    g.add("rejected_swap_outs", stats_.rejectedSwapOuts);
-    g.add("same_filled_pages", stats_.sameFilledPages);
-    g.add("bytes_compressed", stats_.bytesCompressed);
-    g.add("bytes_decompressed", stats_.bytesDecompressed);
-    g.add("cpu_cycles", stats_.cpuCycles);
-    g.add("pages_far", farPageCount());
-    g.add("pool_used_bytes", pool_.usedBytes());
-    g.add("pool_fragmented_bytes", pool_.fragmentedBytes());
-    g.add("compactions", stats_.compactions);
-    return g;
+    const std::string p = name() + ".";
+    r.counter(p + "swapOuts", &stats_.swapOuts);
+    r.counter(p + "swapIns", &stats_.swapIns);
+    r.counter(p + "cpuSwapOuts", &stats_.cpuSwapOuts);
+    r.counter(p + "cpuSwapIns", &stats_.cpuSwapIns);
+    r.counter(p + "rejectedSwapOuts", &stats_.rejectedSwapOuts);
+    r.counter(p + "sameFilledPages", &stats_.sameFilledPages,
+              "stored as fill markers");
+    r.counter(p + "bytesCompressed", &stats_.bytesCompressed);
+    r.counter(p + "bytesDecompressed", &stats_.bytesDecompressed);
+    r.counter(p + "cpuCycles", &stats_.cpuCycles);
+    r.counter(p + "compactions", &stats_.compactions);
+    r.derived(p + "pagesFar",
+              [this] { return static_cast<double>(farPageCount()); });
+    pool_.registerMetrics(r, name() + ".pool");
 }
 
 } // namespace sfm

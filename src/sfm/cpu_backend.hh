@@ -16,10 +16,11 @@
 #include <map>
 #include <memory>
 
-#include "common/stats.hh"
 #include "compress/compressor.hh"
 #include "dram/mem_ctrl.hh"
 #include "dram/phys_mem.hh"
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
 #include "sfm/backend.hh"
 #include "sfm/zpool.hh"
 #include "sim/sim_object.hh"
@@ -91,8 +92,14 @@ class CpuSfmBackend : public SimObject, public SfmBackend
     const ZPool &pool() const { return pool_; }
     const CpuBackendConfig &config() const { return cfg_; }
 
-    /** Render the backend's statistics as a named table. */
-    stats::Group statsGroup() const;
+    /** Register backend + ZPool metrics under `<name()>.*`. */
+    void registerMetrics(obs::MetricRegistry &r);
+
+    /**
+     * Attach a span tracer (null detaches). Each swap records a
+     * SwapOut/SwapIn request span with its CpuCompute leg.
+     */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
 
     /** Convert CPU cycles to simulated time. */
     Tick
@@ -115,6 +122,7 @@ class CpuSfmBackend : public SimObject, public SfmBackend
     /** Same-filled pages: virtual page -> 64-bit fill pattern. */
     std::map<VirtPage, std::uint64_t> same_filled_;
     BackendStats stats_;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace sfm

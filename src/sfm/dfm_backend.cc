@@ -79,13 +79,25 @@ DfmBackend::swapOut(VirtPage page, SwapCallback done)
     std::uint32_t retries;
     const bool delivered = transferPage(total, retries);
     outcome.retries = retries;
+    std::uint64_t tid = 0;
+    if (tracer_) {
+        tid = tracer_->begin();
+        tracer_->record(tid, obs::Stage::SwapOut, curTick(),
+                        curTick() + total);
+        tracer_->record(tid, obs::Stage::DfmLink, curTick(),
+                        curTick() + total, retries);
+    }
     if (!delivered) {
         // Retries exhausted: the page stays Local and the slot stays
         // free; the caller sees the failure after the wasted link
         // time and can degrade.
         outcome.success = false;
-        eventq().scheduleIn(total, [outcome, done, this]() mutable {
+        eventq().scheduleIn(total, [outcome, done, tid,
+                                    this]() mutable {
             outcome.completed = curTick();
+            if (tracer_ && tid)
+                tracer_->point(tid, obs::Stage::Complete, curTick(),
+                               obs::outcomeFailed);
             if (done)
                 done(outcome);
         });
@@ -101,8 +113,12 @@ DfmBackend::swapOut(VirtPage page, SwapCallback done)
     outcome.success = true;
     outcome.compressedSize = pageBytes;  // uncompressed slot
 
-    eventq().scheduleIn(total, [outcome, done, this]() mutable {
+    eventq().scheduleIn(total, [outcome, done, tid,
+                                this]() mutable {
         outcome.completed = curTick();
+        if (tracer_ && tid)
+            tracer_->point(tid, obs::Stage::Complete, curTick(),
+                           obs::outcomeCpu);
         if (done)
             done(outcome);
     });
@@ -124,12 +140,24 @@ DfmBackend::swapIn(VirtPage page, bool allow_offload,
     std::uint32_t retries;
     const bool delivered = transferPage(total, retries);
     outcome.retries = retries;
+    std::uint64_t tid = 0;
+    if (tracer_) {
+        tid = tracer_->begin();
+        tracer_->record(tid, obs::Stage::SwapIn, curTick(),
+                        curTick() + total);
+        tracer_->record(tid, obs::Stage::DfmLink, curTick(),
+                        curTick() + total, retries);
+    }
     if (!delivered) {
         // The pool copy is intact; the page stays Far so a later
         // swap-in can still recover it once the link heals.
         outcome.success = false;
-        eventq().scheduleIn(total, [outcome, done, this]() mutable {
+        eventq().scheduleIn(total, [outcome, done, tid,
+                                    this]() mutable {
             outcome.completed = curTick();
+            if (tracer_ && tid)
+                tracer_->point(tid, obs::Stage::Complete, curTick(),
+                               obs::outcomeFailed);
             if (done)
                 done(outcome);
         });
@@ -144,8 +172,12 @@ DfmBackend::swapIn(VirtPage page, bool allow_offload,
     ++stats_.swapIns;
     outcome.success = true;
     outcome.compressedSize = pageBytes;
-    eventq().scheduleIn(total, [outcome, done, this]() mutable {
+    eventq().scheduleIn(total, [outcome, done, tid,
+                                this]() mutable {
         outcome.completed = curTick();
+        if (tracer_ && tid)
+            tracer_->point(tid, obs::Stage::Complete, curTick(),
+                           obs::outcomeCpu);
         if (done)
             done(outcome);
     });
@@ -155,6 +187,28 @@ PageState
 DfmBackend::pageState(VirtPage page) const
 {
     return entries_.count(page) ? PageState::Far : PageState::Local;
+}
+
+void
+DfmBackend::registerMetrics(obs::MetricRegistry &r)
+{
+    const std::string p = name() + ".";
+    r.counter(p + "swapOuts", &stats_.swapOuts);
+    r.counter(p + "swapIns", &stats_.swapIns);
+    r.counter(p + "rejectedSwapOuts", &stats_.rejectedSwapOuts,
+              "pool statically full");
+    r.counter(p + "link.delays", &fault_stats_.linkDelays,
+              "injected latency spikes");
+    r.counter(p + "link.drops", &fault_stats_.linkDrops,
+              "injected transfer drops");
+    r.counter(p + "link.retries", &fault_stats_.linkRetries);
+    r.counter(p + "link.deliveryFailures",
+              &fault_stats_.deliveryFailures,
+              "retry budget exhausted");
+    r.derived(p + "pagesFar",
+              [this] { return static_cast<double>(farPageCount()); });
+    r.derived(p + "pool.freeSlots",
+              [this] { return static_cast<double>(freeSlots()); });
 }
 
 } // namespace sfm

@@ -18,6 +18,8 @@
 
 #include "dram/phys_mem.hh"
 #include "fault/fault.hh"
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
 #include "sfm/backend.hh"
 #include "sim/sim_object.hh"
 
@@ -107,6 +109,16 @@ class DfmBackend : public SimObject, public SfmBackend
         return injector_;
     }
 
+    /** Register backend + link-fault metrics under `<name()>.*`. */
+    void registerMetrics(obs::MetricRegistry &r);
+
+    /**
+     * Attach a span tracer (null detaches). Each swap records a
+     * SwapOut/SwapIn span whose DfmLink leg covers the modelled
+     * transfer (including injected delays and re-transfers).
+     */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
+
   private:
     /**
      * Model one page transfer across the faulty link: evaluates
@@ -127,6 +139,7 @@ class DfmBackend : public SimObject, public SfmBackend
     std::map<VirtPage, std::uint64_t> entries_;
     std::vector<std::uint64_t> free_slots_;
     BackendStats stats_;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace sfm

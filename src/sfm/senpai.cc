@@ -95,5 +95,23 @@ SenpaiController::recordAccess(VirtPage page)
     return false;
 }
 
+void
+SenpaiController::registerMetrics(obs::MetricRegistry &r)
+{
+    const std::string p = name() + ".";
+    r.counter(p + "intervals", &stats_.intervals);
+    r.counter(p + "reclaimed", &stats_.reclaimed);
+    r.counter(p + "backoffs", &stats_.backoffs,
+              "pressure over target");
+    r.counter(p + "probes", &stats_.probes,
+              "pressure under target");
+    r.counter(p + "demandFaults", &stats_.demandFaults);
+    r.average(p + "reclaimRate", &stats_.reclaimRate,
+              "pages per interval");
+    r.derived(p + "reclaimBatch",
+              [this] { return static_cast<double>(reclaim_); },
+              "current per-interval batch");
+}
+
 } // namespace sfm
 } // namespace xfm

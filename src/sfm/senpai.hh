@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/registry.hh"
 #include "sfm/backend.hh"
 #include "sim/sim_object.hh"
 
@@ -80,6 +81,9 @@ class SenpaiController : public SimObject
     std::size_t reclaimBatch() const { return reclaim_; }
 
     const SenpaiStats &stats() const { return stats_; }
+
+    /** Register pressure-loop metrics under `<name()>.*`. */
+    void registerMetrics(obs::MetricRegistry &r);
 
   private:
     void tick();

@@ -139,5 +139,24 @@ ZPool::compact()
     return before - fragmented_;
 }
 
+void
+ZPool::registerMetrics(obs::MetricRegistry &r,
+                       const std::string &prefix)
+{
+    const std::string p = prefix + ".";
+    r.counter(p + "allocs", &stats_.allocs);
+    r.counter(p + "frees", &stats_.frees);
+    r.counter(p + "compactions", &stats_.compactions);
+    r.counter(p + "compactionMemcpyBytes",
+              &stats_.compactionMemcpyBytes);
+    r.counter(p + "failedAllocs", &stats_.failedAllocs,
+              "inserts with no room");
+    r.derived(p + "usedBytes",
+              [this] { return static_cast<double>(used_); });
+    r.derived(p + "fragmentedBytes",
+              [this] { return static_cast<double>(fragmented_); },
+              "holes awaiting compaction");
+}
+
 } // namespace sfm
 } // namespace xfm

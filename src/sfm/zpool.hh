@@ -19,6 +19,7 @@
 
 #include "common/stats.hh"
 #include "dram/phys_mem.hh"
+#include "obs/registry.hh"
 
 namespace xfm
 {
@@ -96,6 +97,10 @@ class ZPool
     std::uint64_t objectCount() const { return objects_.size(); }
 
     const ZPoolStats &stats() const { return stats_; }
+
+    /** Register allocator metrics under `<prefix>.*`. */
+    void registerMetrics(obs::MetricRegistry &r,
+                         const std::string &prefix);
 
   private:
     struct Object

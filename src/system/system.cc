@@ -64,6 +64,7 @@ System::System(std::string name, EventQueue &eq,
                : cfg_.sfmBytes);
     promotions_ = std::make_unique<workload::PromotionTracker>(
         far_capacity);
+    registerMetrics();
 }
 
 double
@@ -127,42 +128,55 @@ System::sfmHostBytes() const
     return total >= app_bytes_ ? total - app_bytes_ : 0;
 }
 
-stats::Group
-System::statsGroup() const
+void
+System::registerMetrics()
 {
-    stats::Group g(name());
-    const auto &bs = backend_->stats();
-    const auto &cs = controller_->stats();
-    const auto &ms = host_ctrl_->stats();
-    g.add("pages_far", backend_->farPageCount());
-    g.add("stored_compressed_bytes",
-          backend_->storedCompressedBytes());
-    g.add("swap_outs", bs.swapOuts);
-    g.add("swap_ins", bs.swapIns);
-    g.add("cpu_swap_fraction", bs.cpuFraction());
-    g.add("cpu_mcycles", bs.cpuCycles / 1000000);
-    g.add("demand_faults", cs.demandFaults);
-    g.add("prefetch_hits", cs.prefetchHits);
-    g.add("host_bytes_total", ms.bytesRead + ms.bytesWritten);
-    g.add("host_bytes_app", app_bytes_);
-    g.add("host_bytes_sfm", sfmHostBytes(),
-          "channel traffic caused by SFM operations");
-    g.add("host_row_hit_rate", ms.rowHitRate());
-    g.add("promotion_rate",
-          const_cast<System *>(this)->promotionRate(),
-          "fraction of far capacity promoted per minute");
-    if (xfm_backend_) {
-        const auto &xs = xfm_backend_->xfmStats();
-        g.add("offloaded_swap_outs", xs.offloadedSwapOuts);
-        g.add("offloaded_swap_ins", xs.offloadedSwapIns);
-        g.add("fallbacks", xs.fallbackCapacity + xs.fallbackDeadline
-                               + xs.fallbackAlloc);
-        g.add("offload_retries", xs.offloadRetries);
-        g.add("ecc_quarantines", xs.eccQuarantines);
-        g.add("fault_injections",
-              xfm_backend_->faultInjector().totalInjections());
-    }
-    return g;
+    const std::string p = name() + ".";
+    // Headline gauges of the whole stack; the layers below register
+    // their own counters under their SimObject names.
+    metrics_.derived(p + "pagesFar",
+                     [this] {
+                         return static_cast<double>(
+                             backend_->farPageCount());
+                     });
+    metrics_.derived(p + "storedCompressedBytes",
+                     [this] {
+                         return static_cast<double>(
+                             backend_->storedCompressedBytes());
+                     });
+    metrics_.derived(p + "cpuSwapFraction",
+                     [this] {
+                         return backend_->stats().cpuFraction();
+                     },
+                     "share of swaps the CPU served");
+    metrics_.derived(p + "hostBytesApp",
+                     [this] {
+                         return static_cast<double>(app_bytes_);
+                     },
+                     "channel traffic from the application");
+    metrics_.derived(p + "hostBytesSfm",
+                     [this] {
+                         return static_cast<double>(sfmHostBytes());
+                     },
+                     "channel traffic caused by SFM operations");
+    metrics_.derived(p + "promotionRate",
+                     [this] { return promotionRate(); },
+                     "fraction of far capacity promoted per minute");
+    host_ctrl_->registerMetrics(metrics_);
+    controller_->registerMetrics(metrics_);
+    if (cpu_backend_)
+        cpu_backend_->registerMetrics(metrics_);
+    if (xfm_backend_)
+        xfm_backend_->registerMetrics(metrics_);
+}
+
+void
+System::setTracer(obs::Tracer *t)
+{
+    if (cpu_backend_)
+        cpu_backend_->setTracer(t);
+    if (xfm_backend_)
+        xfm_backend_->setTracer(t);
 }
 
 } // namespace system

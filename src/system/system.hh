@@ -18,6 +18,8 @@
 
 #include "common/stats.hh"
 #include "dram/mem_ctrl.hh"
+#include "obs/registry.hh"
+#include "obs/tracer.hh"
 #include "dram/phys_mem.hh"
 #include "dram/refresh.hh"
 #include "sfm/controller.hh"
@@ -103,10 +105,21 @@ class System : public SimObject
     /** Observed promotion rate (fraction of far capacity/minute). */
     double promotionRate();
 
-    /** Render the headline statistics of the whole stack. */
-    stats::Group statsGroup() const;
+    /**
+     * The system-wide metric registry: headline gauges under
+     * `<name()>.*` plus every layer's metrics (host controller,
+     * backend, per-DIMM devices/drivers, fault sites, control
+     * plane), all registered by the constructor.
+     */
+    obs::MetricRegistry &metrics() { return metrics_; }
+    const obs::MetricRegistry &metrics() const { return metrics_; }
+
+    /** Attach a span tracer to the swap path (null detaches). */
+    void setTracer(obs::Tracer *t);
 
   private:
+    void registerMetrics();
+
     SystemConfig cfg_;
     std::unique_ptr<dram::PhysMem> host_phys_;
     std::unique_ptr<dram::RefreshController> host_refresh_;
@@ -122,6 +135,7 @@ class System : public SimObject
     /** Swap-in (promotion) meter, Sec. 2.1's metric. */
     std::unique_ptr<workload::PromotionTracker> promotions_;
     std::uint64_t last_swap_ins_ = 0;
+    obs::MetricRegistry metrics_;
 };
 
 } // namespace system

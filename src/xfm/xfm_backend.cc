@@ -204,7 +204,16 @@ XfmBackend::chargeCpu(std::uint64_t bytes, bool compress_op,
 // --------------------------------------------------------- CPU fallback
 
 void
-XfmBackend::cpuSwapOut(VirtPage page, SwapCallback done)
+XfmBackend::traceFailed(std::uint64_t trace_id)
+{
+    if (tracer_ && trace_id)
+        tracer_->point(trace_id, obs::Stage::Complete, curTick(),
+                       obs::outcomeFailed);
+}
+
+void
+XfmBackend::cpuSwapOut(VirtPage page, SwapCallback done,
+                       std::uint64_t trace_id)
 {
     std::vector<Bytes> blocks;
     blocks.reserve(cfg_.numDimms);
@@ -229,6 +238,10 @@ XfmBackend::cpuSwapOut(VirtPage page, SwapCallback done)
     if (offset == SameOffsetAllocator::invalidOffset) {
         ++stats_.rejectedSwapOuts;
         ++xfm_stats_.fallbackAlloc;
+        if (tracer_ && trace_id)
+            tracer_->point(trace_id, obs::Stage::Fallback, curTick(),
+                           obs::fallbackAlloc);
+        traceFailed(trace_id);
         outcome.success = false;
         outcome.completed = curTick();
         if (done)
@@ -262,15 +275,23 @@ XfmBackend::cpuSwapOut(VirtPage page, SwapCallback done)
     Tick latency;
     chargeCpu(pageBytes, true, latency);
     outcome.success = true;
-    eventq().scheduleIn(latency, [outcome, done, this]() mutable {
+    if (tracer_ && trace_id)
+        tracer_->record(trace_id, obs::Stage::CpuCompute, curTick(),
+                        curTick() + latency);
+    eventq().scheduleIn(latency,
+                        [outcome, done, trace_id, this]() mutable {
         outcome.completed = curTick();
+        if (tracer_ && trace_id)
+            tracer_->point(trace_id, obs::Stage::Complete, curTick(),
+                           obs::outcomeCpu);
         if (done)
             done(outcome);
     });
 }
 
 void
-XfmBackend::cpuSwapIn(VirtPage page, SwapCallback done)
+XfmBackend::cpuSwapIn(VirtPage page, SwapCallback done,
+                      std::uint64_t trace_id)
 {
     auto it = entries_.find(page);
     XFM_ASSERT(it != entries_.end(), "cpuSwapIn: page not far");
@@ -307,8 +328,15 @@ XfmBackend::cpuSwapIn(VirtPage page, SwapCallback done)
     }
     Tick latency;
     chargeCpu(pageBytes, false, latency);
-    eventq().scheduleIn(latency, [outcome, done, this]() mutable {
+    if (tracer_ && trace_id)
+        tracer_->record(trace_id, obs::Stage::CpuCompute, curTick(),
+                        curTick() + latency);
+    eventq().scheduleIn(latency,
+                        [outcome, done, trace_id, this]() mutable {
         outcome.completed = curTick();
+        if (tracer_ && trace_id)
+            tracer_->point(trace_id, obs::Stage::Complete, curTick(),
+                           obs::outcomeCpu);
         if (done)
             done(outcome);
     });
@@ -329,7 +357,9 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
     XFM_ASSERT(page < cfg_.localPages, "page out of range");
     if (entries_.count(page))
         fatal("swapOut: page ", page, " already in far memory");
+    const std::uint64_t tid = tracer_ ? tracer_->begin() : 0;
     if (busy_.count(page)) {
+        traceFailed(tid);
         SwapOutcome o;
         o.page = page;
         o.success = false;
@@ -342,7 +372,7 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
     // The service layer degrades over-quota tenants to the CPU path
     // without touching the NMA's queues.
     if (!allow_offload) {
-        cpuSwapOut(page, std::move(done));
+        cpuSwapOut(page, std::move(done), tid);
         return;
     }
 
@@ -353,7 +383,10 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
     for (auto &dimm : dimms_) {
         if (!dimm.driver->canAccept(worst)) {
             ++xfm_stats_.fallbackCapacity;
-            cpuSwapOut(page, std::move(done));
+            if (tracer_ && tid)
+                tracer_->point(tid, obs::Stage::Fallback, curTick(),
+                               obs::fallbackCapacity);
+            cpuSwapOut(page, std::move(done), tid);
             return;
         }
     }
@@ -364,6 +397,8 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
     op->ids.resize(cfg_.numDimms, nma::invalidOffloadId);
     op->sizes.resize(cfg_.numDimms, 0);
     op->done = std::move(done);
+    op->traceId = tid;
+    op->traceStart = curTick();
 
     const Tick deadline =
         curTick() + cfg_.dimmMem.rank.device.retention;
@@ -371,7 +406,7 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
         const nma::OffloadId id = dimms_[d].driver->xfmCompress(
             shardFrameAddr(page),
             static_cast<std::uint32_t>(cfg_.shardBytes()), deadline,
-            partition_);
+            partition_, tid);
         op->retries += dimms_[d].driver->lastSubmitRetries();
         xfm_stats_.offloadRetries +=
             dimms_[d].driver->lastSubmitRetries();
@@ -382,10 +417,16 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
                 dimms_[k].driver->abort(op->ids[k]);
             }
             ++xfm_stats_.fallbackCapacity;
+            if (tracer_ && tid)
+                tracer_->point(tid, obs::Stage::Fallback, curTick(),
+                               obs::fallbackCapacity);
             cpuSwapOut(page,
-                       carryRetries(op->retries, std::move(op->done)));
+                       carryRetries(op->retries, std::move(op->done)),
+                       tid);
             return;
         }
+        if (tracer_ && tid)
+            tracer_->point(tid, obs::Stage::Submit, curTick(), d);
         op->ids[d] = id;
         routes_[d].emplace(id, op);
     }
@@ -398,10 +439,12 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
     auto it = entries_.find(page);
     if (it == entries_.end())
         fatal("swapIn: page ", page, " is not in far memory");
+    const std::uint64_t tid = tracer_ ? tracer_->begin() : 0;
     // Quarantined pages fail fast: their compressed image took an
     // uncorrectable ECC error, so decompressing it would hand
     // corrupt data to the application.
     if (quarantined_.count(page)) {
+        traceFailed(tid);
         SwapOutcome o;
         o.page = page;
         o.success = false;
@@ -417,6 +460,7 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
                 fault::FaultSite::EccUncorrectable)) {
             quarantined_.insert(page);
             ++xfm_stats_.eccQuarantines;
+            traceFailed(tid);
             SwapOutcome o;
             o.page = page;
             o.success = false;
@@ -427,6 +471,7 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
         }
     }
     if (busy_.count(page)) {
+        traceFailed(tid);
         SwapOutcome o;
         o.page = page;
         o.success = false;
@@ -438,7 +483,7 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
 
     // Latency-critical demand faults default to the CPU (Sec. 6).
     if (!allow_offload) {
-        cpuSwapIn(page, std::move(done));
+        cpuSwapIn(page, std::move(done), tid);
         return;
     }
 
@@ -446,7 +491,10 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
         if (!dimms_[d].driver->canAccept(entry.shardSizes[d])) {
             ++xfm_stats_.fallbackCapacity;
-            cpuSwapIn(page, std::move(done));
+            if (tracer_ && tid)
+                tracer_->point(tid, obs::Stage::Fallback, curTick(),
+                               obs::fallbackCapacity);
+            cpuSwapIn(page, std::move(done), tid);
             return;
         }
     }
@@ -458,6 +506,8 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
     op->sizes = entry.shardSizes;
     op->offset = entry.offset;
     op->done = std::move(done);
+    op->traceId = tid;
+    op->traceStart = curTick();
 
     const Tick deadline = decompressDeadline();
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
@@ -465,7 +515,7 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
             slotAddr(entry.offset), entry.shardSizes[d],
             shardFrameAddr(page),
             static_cast<std::uint32_t>(cfg_.shardBytes()), deadline,
-            partition_);
+            partition_, tid);
         op->retries += dimms_[d].driver->lastSubmitRetries();
         xfm_stats_.offloadRetries +=
             dimms_[d].driver->lastSubmitRetries();
@@ -475,10 +525,16 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
                 dimms_[k].driver->abort(op->ids[k]);
             }
             ++xfm_stats_.fallbackCapacity;
+            if (tracer_ && tid)
+                tracer_->point(tid, obs::Stage::Fallback, curTick(),
+                               obs::fallbackCapacity);
             cpuSwapIn(page,
-                      carryRetries(op->retries, std::move(op->done)));
+                      carryRetries(op->retries, std::move(op->done)),
+                      tid);
             return;
         }
+        if (tracer_ && tid)
+            tracer_->point(tid, obs::Stage::Submit, curTick(), d);
         op->ids[d] = id;
         routes_[d].emplace(id, op);
     }
@@ -519,6 +575,10 @@ XfmBackend::onComplete(std::size_t dimm, const nma::OffloadCompletion &c)
             dimms_[d].driver->abort(op->ids[d]);
         }
         busy_.erase(op->page);
+        if (tracer_ && op->traceId)
+            tracer_->point(op->traceId, obs::Stage::Fallback,
+                           curTick(), obs::fallbackAlloc);
+        traceFailed(op->traceId);
         SwapOutcome o;
         o.page = op->page;
         o.success = false;
@@ -586,6 +646,15 @@ XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
         ++xfm_stats_.offloadedSwapIns;
         stats_.bytesDecompressed += pageBytes;
     }
+    if (tracer_ && op->traceId) {
+        tracer_->record(op->traceId,
+                        op->isCompress ? obs::Stage::SwapOut
+                                       : obs::Stage::SwapIn,
+                        op->traceStart, now);
+        tracer_->point(op->traceId, obs::Stage::Complete, now,
+                       used_cpu ? obs::outcomeCpu
+                                : obs::outcomeOffloaded);
+    }
     if (op->done)
         op->done(outcome);
 }
@@ -601,6 +670,9 @@ XfmBackend::onDrop(std::size_t dimm, nma::OffloadId id)
     if (op->dead)
         return;
     ++xfm_stats_.fallbackDeadline;
+    if (tracer_ && op->traceId)
+        tracer_->point(op->traceId, obs::Stage::Fallback, curTick(),
+                       obs::fallbackDeadline);
     failToCpu(op);
 }
 
@@ -617,57 +689,77 @@ XfmBackend::failToCpu(const std::shared_ptr<PendingOp> &op)
     }
     busy_.erase(op->page);
     if (op->isCompress)
-        cpuSwapOut(op->page, carryRetries(op->retries, op->done));
+        cpuSwapOut(op->page, carryRetries(op->retries, op->done),
+                   op->traceId);
     else
-        cpuSwapIn(op->page, carryRetries(op->retries, op->done));
+        cpuSwapIn(op->page, carryRetries(op->retries, op->done),
+                  op->traceId);
 }
 
-stats::Group
-XfmBackend::statsGroup() const
+void
+XfmBackend::registerMetrics(obs::MetricRegistry &r)
 {
-    stats::Group g(name());
-    g.add("swap_outs", stats_.swapOuts);
-    g.add("swap_ins", stats_.swapIns);
-    g.add("offloaded_swap_outs", xfm_stats_.offloadedSwapOuts);
-    g.add("offloaded_swap_ins", xfm_stats_.offloadedSwapIns);
-    g.add("cpu_swap_outs", stats_.cpuSwapOuts);
-    g.add("cpu_swap_ins", stats_.cpuSwapIns);
-    g.add("fallback_capacity", xfm_stats_.fallbackCapacity);
-    g.add("fallback_deadline", xfm_stats_.fallbackDeadline);
-    g.add("fallback_alloc", xfm_stats_.fallbackAlloc);
-    g.add("pages_far", farPageCount());
-    g.add("stored_compressed_bytes", storedCompressedBytes());
-    g.add("fragmentation_bytes", fragmentationBytes());
-    g.add("sfm_region_bytes", cfg_.sfmBytes, "per DIMM");
-    g.add("cpu_cycles", stats_.cpuCycles);
-    std::uint64_t cond = 0;
-    std::uint64_t rand = 0;
-    for (const auto &dimm : dimms_) {
-        cond += dimm.device->stats().conditionalAccesses;
-        rand += dimm.device->stats().randomAccesses;
+    const std::string p = name() + ".";
+    r.counter(p + "swapOuts", &stats_.swapOuts);
+    r.counter(p + "swapIns", &stats_.swapIns);
+    r.counter(p + "offloadedSwapOuts",
+              &xfm_stats_.offloadedSwapOuts);
+    r.counter(p + "offloadedSwapIns", &xfm_stats_.offloadedSwapIns);
+    r.counter(p + "cpuSwapOuts", &stats_.cpuSwapOuts);
+    r.counter(p + "cpuSwapIns", &stats_.cpuSwapIns);
+    r.counter(p + "rejectedSwapOuts", &stats_.rejectedSwapOuts,
+              "SFM region full");
+    r.counter(p + "fallbackCapacity", &xfm_stats_.fallbackCapacity,
+              "SPM/queue exhausted");
+    r.counter(p + "fallbackDeadline", &xfm_stats_.fallbackDeadline,
+              "window service too late");
+    r.counter(p + "fallbackAlloc", &xfm_stats_.fallbackAlloc,
+              "SFM region full at placement");
+    r.counter(p + "offloadRetries", &xfm_stats_.offloadRetries,
+              "driver re-submissions");
+    r.counter(p + "eccCorrected", &xfm_stats_.eccCorrected);
+    r.counter(p + "eccQuarantines", &xfm_stats_.eccQuarantines);
+    r.counter(p + "bytesCompressed", &stats_.bytesCompressed);
+    r.counter(p + "bytesDecompressed", &stats_.bytesDecompressed);
+    r.counter(p + "cpuCycles", &stats_.cpuCycles);
+    r.counter(p + "compactions", &stats_.compactions);
+    r.derived(p + "pagesFar",
+              [this] { return static_cast<double>(farPageCount()); });
+    r.derived(p + "storedCompressedBytes",
+              [this] {
+                  return static_cast<double>(storedCompressedBytes());
+              });
+    r.derived(p + "fragmentationBytes",
+              [this] {
+                  return static_cast<double>(fragmentationBytes());
+              },
+              "same-offset padding across all DIMMs");
+    r.derived(p + "sfmRegionBytes",
+              [this] {
+                  return static_cast<double>(cfg_.sfmBytes);
+              },
+              "per DIMM");
+    r.derived(p + "quarantinedPages",
+              [this] {
+                  return static_cast<double>(quarantinedPageCount());
+              });
+    r.derived(p + "cpuFraction",
+              [this] { return stats_.cpuFraction(); },
+              "swaps serviced by the CPU path");
+    injector_.registerMetrics(r, name() + ".fault");
+    for (std::size_t d = 0; d < dimms_.size(); ++d) {
+        const std::string dp = p + "dimm" + std::to_string(d);
+        dimms_[d].device->registerMetrics(r, dp);
+        dimms_[d].driver->registerMetrics(r, dp + ".driver");
     }
-    g.add("nma_conditional_accesses", cond);
-    g.add("nma_random_accesses", rand);
-    g.add("offload_retries", xfm_stats_.offloadRetries);
-    g.add("ecc_corrected", xfm_stats_.eccCorrected);
-    g.add("ecc_quarantines", xfm_stats_.eccQuarantines);
-    g.add("quarantined_pages", quarantinedPageCount());
-    std::uint64_t doorbell = 0;
-    std::uint64_t drv_retries = 0;
-    std::uint64_t stalls = 0;
-    Tick backoff = 0;
-    for (const auto &dimm : dimms_) {
-        doorbell += dimm.driver->stats().doorbellLosses;
-        drv_retries += dimm.driver->stats().retries;
-        backoff += dimm.driver->stats().backoffTicksAccrued;
-        stalls += dimm.device->stats().engineStalls;
-    }
-    g.add("doorbell_losses", doorbell);
-    g.add("driver_retries", drv_retries);
-    g.add("backoff_ticks", backoff);
-    g.add("engine_stalls", stalls);
-    g.add("fault_injections", injector_.totalInjections());
-    return g;
+}
+
+void
+XfmBackend::setTracer(obs::Tracer *t)
+{
+    tracer_ = t;
+    for (auto &dimm : dimms_)
+        dimm.device->setTracer(t);
 }
 
 bool

@@ -21,7 +21,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/stats.hh"
 #include "fault/fault.hh"
 #include "compress/compressor.hh"
 #include "dram/mem_ctrl.hh"
@@ -169,8 +168,20 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     /** Bytes lost to same-offset padding across all DIMMs. */
     std::uint64_t fragmentationBytes() const;
 
-    /** Render backend + per-DIMM device statistics. */
-    stats::Group statsGroup() const;
+    /**
+     * Register backend, fault-injector, and per-DIMM device/driver
+     * metrics under `<name()>.*` (e.g. "sys.xfm.dimm0.queueRejects").
+     */
+    void registerMetrics(obs::MetricRegistry &r);
+
+    /**
+     * Attach a span tracer (null detaches); forwarded to every DIMM
+     * device. Each swap-out/in gets a tracer request id threaded
+     * through driver and device so the whole lifecycle — submit,
+     * queue, window wait, engine, SPM stage, write-back, or the CPU
+     * fallback — lands in one span group.
+     */
+    void setTracer(obs::Tracer *t);
 
     /**
      * Re-provision the per-DIMM SFM region size (the elasticity
@@ -211,14 +222,20 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
         std::uint64_t offset = SameOffsetAllocator::invalidOffset;
         sfm::SwapCallback done;
         bool dead = false;  ///< fell back / aborted
+        std::uint64_t traceId = 0;  ///< obs::Tracer request id
+        Tick traceStart = 0;        ///< request submission tick
     };
 
     std::uint64_t shardFrameAddr(sfm::VirtPage page) const;
     std::uint64_t slotAddr(std::uint64_t offset) const;
     Tick decompressDeadline() const;
 
-    void cpuSwapOut(sfm::VirtPage page, sfm::SwapCallback done);
-    void cpuSwapIn(sfm::VirtPage page, sfm::SwapCallback done);
+    void cpuSwapOut(sfm::VirtPage page, sfm::SwapCallback done,
+                    std::uint64_t trace_id = 0);
+    void cpuSwapIn(sfm::VirtPage page, sfm::SwapCallback done,
+                   std::uint64_t trace_id = 0);
+    /** Trace a failed request end (busy/quarantine/reject paths). */
+    void traceFailed(std::uint64_t trace_id);
     void chargeCpu(std::uint64_t bytes, bool compress_op,
                    Tick &latency_out);
 
@@ -249,6 +266,7 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     sfm::BackendStats stats_;
     XfmBackendStats xfm_stats_;
     std::uint32_t partition_ = 0;  ///< SPM partition for submissions
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace xfmsys

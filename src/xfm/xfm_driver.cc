@@ -108,7 +108,8 @@ XfmDriver::submitTracked(const nma::OffloadRequest &req,
 
 nma::OffloadId
 XfmDriver::xfmCompress(std::uint64_t src, std::uint32_t size,
-                       Tick deadline, std::uint32_t partition)
+                       Tick deadline, std::uint32_t partition,
+                       std::uint64_t trace_id)
 {
     const std::uint32_t worst =
         nma::CompressionEngine::worstCaseCompressedSize(size);
@@ -122,13 +123,15 @@ XfmDriver::xfmCompress(std::uint64_t src, std::uint32_t size,
     req.size = size;
     req.deadline = deadline;
     req.partition = partition;
+    req.traceId = trace_id;
     return submitTracked(req, worst);
 }
 
 nma::OffloadId
 XfmDriver::xfmDecompress(std::uint64_t src, std::uint32_t size,
                          std::uint64_t dst, std::uint32_t raw_size,
-                         Tick deadline, std::uint32_t partition)
+                         Tick deadline, std::uint32_t partition,
+                         std::uint64_t trace_id)
 {
     // The staged footprint of a decompression averages near its
     // compressed size: the 4 KiB output exists in the SPM only
@@ -145,6 +148,7 @@ XfmDriver::xfmDecompress(std::uint64_t src, std::uint32_t size,
     req.rawSize = raw_size;
     req.deadline = deadline;
     req.partition = partition;
+    req.traceId = trace_id;
     return submitTracked(req, size);
 }
 
@@ -152,6 +156,28 @@ void
 XfmDriver::commitWriteback(nma::OffloadId id, std::uint64_t dst)
 {
     dev_.commitWriteback(id, dst);
+}
+
+void
+XfmDriver::registerMetrics(obs::MetricRegistry &r,
+                           const std::string &prefix)
+{
+    const std::string p = prefix + ".";
+    r.counter(p + "offloadsSubmitted", &stats_.offloadsSubmitted);
+    r.counter(p + "capacityRegisterReads",
+              &stats_.capacityRegisterReads,
+              "lazy-sync MMIO reads");
+    r.counter(p + "fallbacks", &stats_.fallbacks,
+              "resources exhausted");
+    r.counter(p + "doorbellLosses", &stats_.doorbellLosses,
+              "injected lost submissions");
+    r.counter(p + "retries", &stats_.retries);
+    r.counter(p + "backoffTicksAccrued",
+              &stats_.backoffTicksAccrued,
+              "modelled driver spin time");
+    r.derived(p + "occupancyBound",
+              [this] { return static_cast<double>(bound_); },
+              "local SPM usage upper bound");
 }
 
 void

@@ -67,17 +67,20 @@ class XfmDriver
     /**
      * Submit a compression offload.
      * @param partition SPM QoS partition to charge (0 = uncapped).
+     * @param trace_id  obs::Tracer request id (0 = untraced).
      * @return offload id or nma::invalidOffloadId (CPU fallback).
      */
     nma::OffloadId xfmCompress(std::uint64_t src, std::uint32_t size,
                                Tick deadline,
-                               std::uint32_t partition = 0);
+                               std::uint32_t partition = 0,
+                               std::uint64_t trace_id = 0);
 
     /** Submit a decompression offload (destination known). */
     nma::OffloadId xfmDecompress(std::uint64_t src, std::uint32_t size,
                                  std::uint64_t dst,
                                  std::uint32_t raw_size, Tick deadline,
-                                 std::uint32_t partition = 0);
+                                 std::uint32_t partition = 0,
+                                 std::uint64_t trace_id = 0);
 
     /** Commit the write-back target of a completed compression. */
     void commitWriteback(nma::OffloadId id, std::uint64_t dst);
@@ -103,6 +106,10 @@ class XfmDriver
 
     const DriverStats &stats() const { return stats_; }
     nma::XfmDevice &device() { return dev_; }
+
+    /** Register the driver's counters under `<prefix>.*`. */
+    void registerMetrics(obs::MetricRegistry &r,
+                         const std::string &prefix);
 
     /** Current local upper bound on SPM bytes in use. */
     std::uint64_t occupancyBound() const { return bound_; }

@@ -279,19 +279,6 @@ TEST(Stats, HistogramBucketEdgeValues)
     EXPECT_EQ(h.underflow(), 0u);
 }
 
-TEST(Stats, GroupRendersRows)
-{
-    stats::Group g("mygroup");
-    g.add("reads", std::uint64_t(10), "number of reads");
-    g.add("ratio", 2.5);
-    const std::string out = g.render();
-    EXPECT_NE(out.find("mygroup"), std::string::npos);
-    EXPECT_NE(out.find("reads"), std::string::npos);
-    EXPECT_NE(out.find("10"), std::string::npos);
-    EXPECT_NE(out.find("2.5"), std::string::npos);
-    EXPECT_NE(out.find("number of reads"), std::string::npos);
-}
-
 } // namespace
 } // namespace xfm
 

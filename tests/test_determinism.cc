@@ -16,6 +16,7 @@
 #include "common/random.hh"
 #include "compress/corpus.hh"
 #include "nma/engine.hh"
+#include "obs/tracer.hh"
 #include "system/system.hh"
 
 namespace xfm
@@ -50,8 +51,9 @@ faultedConfig(std::uint64_t fault_seed)
 struct RunResult
 {
     std::string stats;            ///< rendered end-of-run stats
+    std::string json;             ///< JSON snapshot export
+    std::string trace;            ///< JSON-lines trace export
     std::uint64_t injections;     ///< total injected faults
-    std::string faultStats;       ///< per-site fault counters
 };
 
 /** One complete demote/promote run under the given fault seed. */
@@ -60,6 +62,8 @@ runSystem(std::uint64_t fault_seed)
 {
     EventQueue eq;
     System sys("sys", eq, faultedConfig(fault_seed));
+    obs::Tracer tracer(4096);
+    sys.setTracer(&tracer);
     for (sfm::VirtPage p = 0; p < 96; ++p)
         sys.writePage(p, compress::generateCorpus(
                              compress::CorpusKind::LogLines, p + 1,
@@ -75,12 +79,13 @@ runSystem(std::uint64_t fault_seed)
     }
 
     RunResult r;
-    r.stats = sys.statsGroup().render();
+    r.stats = sys.metrics().renderText();
+    r.json = sys.metrics().toJson();
+    r.trace = tracer.toJsonLines();
     const auto &inj =
         static_cast<xfmsys::XfmBackend &>(sys.backend())
             .faultInjector();
     r.injections = inj.totalInjections();
-    r.faultStats = inj.statsGroup("fault").render();
     return r;
 }
 
@@ -90,8 +95,20 @@ TEST(Determinism, SameSeedsSameStats)
     const RunResult b = runSystem(7);
     EXPECT_GT(a.injections, 0u);  // the plan actually fired
     EXPECT_EQ(a.injections, b.injections);
-    EXPECT_EQ(a.faultStats, b.faultStats);
     EXPECT_EQ(a.stats, b.stats);
+}
+
+TEST(Determinism, SameSeedsByteIdenticalSnapshotAndTrace)
+{
+    // The observability exports themselves must be reproducible:
+    // same seeds, same config => byte-identical stats.json text and
+    // byte-identical JSON-lines trace output.
+    const RunResult a = runSystem(7);
+    const RunResult b = runSystem(7);
+    EXPECT_FALSE(a.json.empty());
+    EXPECT_FALSE(a.trace.empty());  // tracer saw real requests
+    EXPECT_EQ(a.json, b.json);
+    EXPECT_EQ(a.trace, b.trace);
 }
 
 TEST(Determinism, DifferentFaultSeedDiverges)
@@ -100,7 +117,7 @@ TEST(Determinism, DifferentFaultSeedDiverges)
     const RunResult c = runSystem(8);
     // Same workload, different fault RNG: the injected sequence must
     // differ somewhere observable.
-    EXPECT_NE(a.faultStats + a.stats, c.faultStats + c.stats);
+    EXPECT_NE(a.stats, c.stats);
 }
 
 TEST(Determinism, ModeledEngineIsPerEngineState)

@@ -412,14 +412,13 @@ TEST_F(ServiceTest, FaultPlanSurfacesInPerTenantStats)
     for (VirtPage p = 0; p < tenantPages; ++p)
         EXPECT_EQ(svc_->readPage(id, p), pageContent(id, p));
 
-    // The counters reach the rendered per-tenant table and the
-    // injector's own per-site table.
-    const std::string tenants = svc_->tenantStatsGroup(id).render();
-    EXPECT_NE(tenants.find("offloadRetries"), std::string::npos);
-    EXPECT_NE(tenants.find("nmaFallbacks"), std::string::npos);
-    EXPECT_NE(tenants.find("faultedOps"), std::string::npos);
-    const std::string faults = svc_->faultStatsGroup().render();
-    EXPECT_NE(faults.find("mmio_doorbell_injections"),
+    // The counters reach the unified registry: per-tenant metrics
+    // and the injector's per-site metrics share one rendered table.
+    const std::string out = svc_->metrics().renderText();
+    EXPECT_NE(out.find("offloadRetries"), std::string::npos);
+    EXPECT_NE(out.find("nmaFallbacks"), std::string::npos);
+    EXPECT_NE(out.find("faultedOps"), std::string::npos);
+    EXPECT_NE(out.find("mmio_doorbell.injections"),
               std::string::npos);
     EXPECT_GT(svc_->faultInjector().totalInjections(), 0u);
 }

@@ -67,12 +67,12 @@ TEST_P(SystemTest, ColdPagesDemotedAndDataSurvives)
     }
 }
 
-TEST_P(SystemTest, StatsGroupRenders)
+TEST_P(SystemTest, MetricsRender)
 {
     eq_.run(milliseconds(40.0));
-    const std::string out = sys_.statsGroup().render();
-    EXPECT_NE(out.find("pages_far"), std::string::npos);
-    EXPECT_NE(out.find("host_bytes_sfm"), std::string::npos);
+    const std::string out = sys_.metrics().renderText();
+    EXPECT_NE(out.find("pagesFar"), std::string::npos);
+    EXPECT_NE(out.find("hostBytesSfm"), std::string::npos);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -144,12 +144,11 @@ TEST(BackendStatsGroups, RenderNonEmpty)
         sys.writePage(p, pageContent(p));
     sys.start();
     eq.run(milliseconds(40.0));
-    auto &xfm_backend =
-        dynamic_cast<xfmsys::XfmBackend &>(sys.backend());
-    const std::string out = xfm_backend.statsGroup().render();
-    EXPECT_NE(out.find("offloaded_swap_outs"), std::string::npos);
-    EXPECT_NE(out.find("nma_conditional_accesses"),
-              std::string::npos);
+    // Backend and per-DIMM device metrics surface through the
+    // system's unified registry.
+    const std::string out = sys.metrics().renderText();
+    EXPECT_NE(out.find("offloadedSwapOuts"), std::string::npos);
+    EXPECT_NE(out.find("conditionalAccesses"), std::string::npos);
 
     EventQueue eq2;
     System sys2("sys2", eq2, testConfig(BackendKind::BaselineCpu));
@@ -157,10 +156,8 @@ TEST(BackendStatsGroups, RenderNonEmpty)
         sys2.writePage(p, pageContent(p));
     sys2.start();
     eq2.run(milliseconds(40.0));
-    auto &cpu_backend =
-        dynamic_cast<sfm::CpuSfmBackend &>(sys2.backend());
-    const std::string out2 = cpu_backend.statsGroup().render();
-    EXPECT_NE(out2.find("pool_used_bytes"), std::string::npos);
+    const std::string out2 = sys2.metrics().renderText();
+    EXPECT_NE(out2.find("pool.usedBytes"), std::string::npos);
 }
 
 } // namespace

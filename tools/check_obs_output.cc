@@ -1,0 +1,144 @@
+/**
+ * @file
+ * check_obs_output: validate the files the simulators emit through
+ * the observability layer.
+ *
+ * Modes:
+ *   check_obs_output stats <stats.json>
+ *     The file must be a JSON object with schema == xfm.metrics.v1
+ *     and a non-empty "metrics" object whose values are numbers.
+ *
+ *   check_obs_output trace <trace.jsonl>
+ *     Every line must be a JSON object carrying integral req (> 0),
+ *     start, end (end >= start), arg, and a non-empty string stage.
+ *
+ * Exits 0 when the file validates, 1 with a diagnostic otherwise —
+ * small enough for CI to run after every smoke simulation.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/registry.hh"
+
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "check_obs_output: cannot read '%s'\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+int
+fail(const std::string &path, const std::string &why)
+{
+    std::fprintf(stderr, "check_obs_output: %s: %s\n", path.c_str(),
+                 why.c_str());
+    return 1;
+}
+
+int
+checkStats(const std::string &path)
+{
+    using xfm::obs::json::Value;
+    Value v;
+    std::string error;
+    if (!xfm::obs::json::parse(slurp(path), v, error))
+        return fail(path, "invalid JSON: " + error);
+    if (!v.isObject())
+        return fail(path, "top level is not an object");
+    if (!v.has("schema")
+        || !v.at("schema").isString()
+        || v.at("schema").str() != xfm::obs::snapshotSchema)
+        return fail(path, std::string("schema key missing or != ")
+                              + xfm::obs::snapshotSchema);
+    if (!v.has("metrics")
+        || !v.at("metrics").isObject())
+        return fail(path, "metrics object missing");
+    const auto &metrics = v.at("metrics").object();
+    if (metrics.empty())
+        return fail(path, "metrics object is empty");
+    for (const auto &[name, value] : metrics) {
+        if (name.empty())
+            return fail(path, "empty metric name");
+        if (!value.isNumber())
+            return fail(path, "metric '" + name
+                                  + "' is not a number");
+    }
+    std::printf("%s: ok (%zu metrics)\n", path.c_str(),
+                metrics.size());
+    return 0;
+}
+
+int
+checkTrace(const std::string &path)
+{
+    using xfm::obs::json::Value;
+    const std::string text = slurp(path);
+    std::size_t events = 0;
+    std::size_t line_no = 0;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        const std::string where =
+            "line " + std::to_string(line_no);
+        Value v;
+        std::string error;
+        if (!xfm::obs::json::parse(line, v, error))
+            return fail(path, where + ": invalid JSON: " + error);
+        if (!v.isObject())
+            return fail(path, where + ": not an object");
+        for (const char *key : {"req", "start", "end", "arg"}) {
+            if (!v.has(key) || !v.at(key).isIntegral())
+                return fail(path, where + ": missing integral '"
+                                      + key + "'");
+        }
+        if (v.at("req").integer() <= 0)
+            return fail(path, where + ": req must be positive");
+        if (v.at("end").integer() < v.at("start").integer())
+            return fail(path, where + ": end precedes start");
+        if (!v.has("stage")
+            || !v.at("stage").isString()
+            || v.at("stage").str().empty())
+            return fail(path, where + ": missing stage string");
+        ++events;
+    }
+    std::printf("%s: ok (%zu events)\n", path.c_str(), events);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: check_obs_output stats <stats.json>\n"
+                     "       check_obs_output trace <trace.jsonl>\n");
+        return 1;
+    }
+    const std::string mode = argv[1];
+    if (mode == "stats")
+        return checkStats(argv[2]);
+    if (mode == "trace")
+        return checkTrace(argv[2]);
+    std::fprintf(stderr, "check_obs_output: unknown mode '%s'\n",
+                 mode.c_str());
+    return 1;
+}
