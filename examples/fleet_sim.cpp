@@ -16,6 +16,9 @@
  *   stats.json = fleet.json    # metric-registry JSON snapshot
  *   trace.out  = fleet.jsonl   # per-swap span trace (JSON lines)
  *   trace.cap  = 65536         # trace ring capacity in events
+ * and the robustness knobs (src/health):
+ *   health.*                   # circuit breakers on every domain
+ *   shed.*                     # overload-shedding watermarks
  * Flags given after --config override the file.
  */
 
@@ -79,6 +82,8 @@ main(int argc, char **argv)
     std::string stats_json;
     std::string trace_out;
     std::uint64_t trace_cap = 65536;
+    health::HealthConfig health_cfg;
+    health::ShedConfig shed_cfg;
     for (int i = 1; i < argc; i += 2) {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "fleet_sim: %s needs a value\n", argv[i]);
@@ -101,6 +106,8 @@ main(int argc, char **argv)
             stats_json = cfg.getString("stats.json", stats_json);
             trace_out = cfg.getString("trace.out", trace_out);
             trace_cap = cfg.getU64("trace.cap", trace_cap);
+            health_cfg = health::HealthConfig::fromConfig(cfg);
+            shed_cfg = health::ShedConfig::fromConfig(cfg);
             for (const auto &key : cfg.unconsumedKeys())
                 warn("unknown config key '", key, "' ignored");
         } else {
@@ -115,8 +122,10 @@ main(int argc, char **argv)
     }
 
     EventQueue eq;
-    service::FarMemoryService svc("svc", eq,
-                                  makeServiceConfig(tenants));
+    service::ServiceConfig scfg = makeServiceConfig(tenants);
+    scfg.system.health = health_cfg;
+    scfg.shed = shed_cfg;
+    service::FarMemoryService svc("svc", eq, scfg);
     obs::Tracer tracer(static_cast<std::size_t>(trace_cap));
     if (!trace_out.empty())
         svc.setTracer(&tracer);
@@ -160,5 +169,15 @@ main(int argc, char **argv)
     std::printf("admission: %llu tenants rejected\n",
                 (unsigned long long)
                     svc.registry().rejectedAdmissions());
+    if (svc.shedder().enabled()) {
+        const auto &ss = svc.shedder().stats();
+        std::printf("shedding: %llu engages, %llu rejects, "
+                    "%llu down-tiers%s\n",
+                    (unsigned long long)ss.engages,
+                    (unsigned long long)ss.rejects,
+                    (unsigned long long)ss.downTiers,
+                    svc.shedder().shedding() ? " (still engaged)"
+                                             : "");
+    }
     return 0;
 }

@@ -33,6 +33,13 @@
  *   retry.backoff_ns         = 200
  *   retry.cap_ns             = 50000
  *
+ * Health / robustness (src/health; see configs/chaos.cfg):
+ *   health.enabled       = 1     # circuit breakers on every domain
+ *   health.window        = 16    # plus the other health.* keys
+ *   xfm.watchdog_windows = 8     # stuck-offload deadline in tREFIs
+ *   xfm.quarantine_cap   = 64    # quarantine ledger cap (0 = off)
+ *   verify               = 1     # end-of-run page-content audit
+ *
  * Observability (src/obs):
  *   stats.json = out.json     # dump the metric registry as JSON
  *   trace.out  = trace.jsonl  # per-swap span trace (JSON lines)
@@ -97,6 +104,12 @@ main(int argc, char **argv)
         cfg.getU64("controller.prefetch_depth", 2);
     sys_cfg.faultPlan = fault::FaultPlan::fromConfig(cfg);
     sys_cfg.retry = fault::RetryPolicy::fromConfig(cfg);
+    sys_cfg.health = health::HealthConfig::fromConfig(cfg);
+    sys_cfg.xfmDevice.watchdogWindows = static_cast<std::uint32_t>(
+        cfg.getU64("xfm.watchdog_windows", 0));
+    sys_cfg.quarantineCap = static_cast<std::size_t>(
+        cfg.getU64("xfm.quarantine_cap", 0));
+    const bool verify = cfg.getBool("verify", false);
 
     const double run_seconds =
         cfg.getDouble("workload.seconds", 0.3);
@@ -168,5 +181,27 @@ main(int argc, char **argv)
                     ? 100.0 * static_cast<double>(hits)
                           / (hits + faults)
                     : 0.0);
+
+    if (verify) {
+        // Data-integrity audit: every page frame must hold exactly
+        // the corpus it was seeded with. Swap-outs copy (never
+        // scramble) the frame and every swap-in rewrites it whole,
+        // so this holds for Local and Far pages alike; a page that
+        // round-tripped through compression, fault injection,
+        // watchdog drops, channel offlining, or quarantine eviction
+        // and reads back different is a correctness bug, not noise.
+        std::uint64_t corrupt = 0;
+        for (sfm::VirtPage p = 0; p < sys_cfg.pages; ++p) {
+            const Bytes expect = compress::generateCorpus(
+                compress::CorpusKind::Json, p, pageBytes);
+            if (sys.readPage(p) != expect)
+                ++corrupt;
+        }
+        std::printf("\nverify: %llu pages audited, %llu corrupt\n",
+                    (unsigned long long)sys_cfg.pages,
+                    (unsigned long long)corrupt);
+        if (corrupt > 0)
+            return 1;
+    }
     return 0;
 }

@@ -45,3 +45,15 @@ EOF
 "${build_dir}/examples/xfmsim" "${obs_dir}/smoke.cfg" > /dev/null
 "${build_dir}/tools/check_obs_output" stats "${obs_dir}/stats.json"
 "${build_dir}/tools/check_obs_output" trace "${obs_dir}/trace.jsonl"
+
+# Chaos soak: the full fault plan with circuit breakers, watchdog,
+# quarantine eviction, and the end-of-run page-content audit armed
+# (verify = 1 makes xfmsim exit non-zero on any data corruption).
+# The health checker then asserts every breaker settled — re-closed
+# or persistently Failed, never stuck mid-probation.
+chaos_dir="${build_dir}/chaos-smoke"
+mkdir -p "${chaos_dir}"
+cat "${repo_root}/configs/chaos.cfg" > "${chaos_dir}/chaos.cfg"
+echo "stats.json = ${chaos_dir}/stats.json" >> "${chaos_dir}/chaos.cfg"
+"${build_dir}/examples/xfmsim" "${chaos_dir}/chaos.cfg" > /dev/null
+"${build_dir}/tools/check_obs_output" health "${chaos_dir}/stats.json"

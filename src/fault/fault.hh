@@ -28,6 +28,7 @@
 #define XFM_FAULT_FAULT_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -144,12 +145,23 @@ struct RetryPolicy
     Tick backoffBase = nanoseconds(200.0);
     Tick backoffCap = microseconds(50.0);
 
-    /** Backoff after failed attempt @p attempt (0-based). */
+    /**
+     * Backoff after failed attempt @p attempt (0-based), saturated
+     * at backoffCap. The shift is clamped against the base's leading
+     * zero bits first: `backoffBase << attempt` would wrap (UB for
+     * attempt >= 64, silent overflow before that) long before the
+     * old `attempt < 63` guard kicked in for realistic bases.
+     */
     Tick
     backoffFor(std::uint32_t attempt) const
     {
-        const Tick raw = attempt < 63 ? backoffBase << attempt
-                                      : backoffCap;
+        if (backoffBase == 0)
+            return 0;
+        const auto headroom = static_cast<std::uint32_t>(
+            std::countl_zero(backoffBase));
+        if (attempt >= headroom)
+            return backoffCap;
+        const Tick raw = backoffBase << attempt;
         return raw < backoffCap ? raw : backoffCap;
     }
 

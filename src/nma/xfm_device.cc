@@ -18,7 +18,8 @@ XfmDevice::XfmDevice(std::string name, EventQueue &eq,
     : SimObject(std::move(name), eq), cfg_(cfg), map_(map), mem_(mem),
       spm_(cfg.spmBytes), queue_(cfg.queueDepth),
       engine_(cfg.algorithm, cfg.engine),
-      bank_(refresh.device()), rng_(cfg.seed)
+      bank_(refresh.device()), rng_(cfg.seed),
+      engine_health_(cfg.health), spm_health_(cfg.health)
 {
     if (cfg_.maxAccessesPerWindow == 0) {
         // Derive the budget from the device timing (paper Sec. 5).
@@ -80,6 +81,12 @@ XfmDevice::submit(const OffloadRequest &req)
         ++stats_.unregisteredRejects;
         return invalidOffloadId;
     }
+    // Circuit breakers: a Failed engine or SPM domain admits no new
+    // work at all. The SPM monitor is only consulted (its probes are
+    // consumed where reserve() actually runs, in executeRead).
+    const Tick now = curTick();
+    if (!spm_health_.wouldAdmit(now) || !engine_health_.admit(now))
+        return invalidOffloadId;
     OffloadRequest r = req;
     r.id = next_id_++;
     r.submitTick = curTick();
@@ -90,6 +97,7 @@ XfmDevice::submit(const OffloadRequest &req)
     }
     --next_id_;
     ++stats_.queueRejects;
+    engine_health_.cancelProbe(now);  // never reached the engine
     return invalidOffloadId;
 }
 
@@ -115,11 +123,55 @@ XfmDevice::dropExpired(Tick now)
         if (it->req.deadline < now) {
             ++stats_.deadlineDrops;
             trace_ids_.erase(it->id);
+            // The engine never saw the request; an admission probe
+            // consumed at submit would otherwise dangle.
+            engine_health_.cancelProbe(now);
             if (on_drop_)
                 on_drop_(it->id);
             it = reads_.erase(it);
         } else {
             ++it;
+        }
+    }
+}
+
+void
+XfmDevice::runWatchdog(Tick now)
+{
+    if (cfg_.watchdogWindows == 0)
+        return;
+    const Tick limit = Tick(cfg_.watchdogWindows) * dev_trefi_;
+    const auto fire = [this, now](OffloadId id) {
+        ++stats_.watchdogFires;
+        if (tracer_) {
+            const auto tid = trace_ids_.find(id);
+            if (tid != trace_ids_.end())
+                tracer_->point(tid->second, obs::Stage::Fallback,
+                               now, obs::fallbackWatchdog);
+        }
+        trace_ids_.erase(id);
+        if (on_drop_)
+            on_drop_(id);
+    };
+
+    // Doorbell'd offloads that never won a window slot (e.g. an SPM
+    // domain stuck Failed, or pathological subarray conflicts).
+    for (auto it = reads_.begin(); it != reads_.end();) {
+        if (now > it->accepted + limit) {
+            const OffloadId id = it->id;
+            it = reads_.erase(it);
+            engine_health_.cancelProbe(now);  // never executed
+            fire(id);
+        } else {
+            ++it;
+        }
+    }
+    // Committed write-backs stranded in the SPM past the deadline:
+    // force completion-with-error and free the staging space.
+    for (OffloadId id : spm_.writebackIds()) {
+        if (now > spm_.entry(id).stagedAt + limit) {
+            spm_.release(id);
+            fire(id);
         }
     }
 }
@@ -150,11 +202,24 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
         op.req.kind == OffloadKind::Compress
         ? CompressionEngine::worstCaseCompressedSize(op.req.size)
         : op.req.rawSize;
-    if (!spm_.reserve(op.id, op.req.kind, reservation,
-                      op.req.partition)) {
+    if (!spm_health_.admit(curTick())) {
         ++stats_.deferredExecutions;
         return false;
     }
+    const std::uint64_t inj_before = spm_.injectedReserveFailures();
+    if (!spm_.reserve(op.id, op.req.kind, reservation,
+                      op.req.partition)) {
+        // Capacity or partition-cap exhaustion is load, not a bank
+        // fault; only injected reservation failures count against
+        // the SPM's health.
+        if (spm_.injectedReserveFailures() > inj_before)
+            spm_health_.recordFault(curTick());
+        else
+            spm_health_.cancelProbe(curTick());
+        ++stats_.deferredExecutions;
+        return false;
+    }
+    spm_health_.recordSuccess(curTick());
     if (op.req.kind == OffloadKind::Decompress)
         spm_.setDestination(op.id, op.req.dstAddr);
 
@@ -185,6 +250,7 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
         // Release the staging space and report the offload dropped
         // so the driver/backend redo the work on the CPU.
         ++stats_.engineStalls;
+        engine_health_.recordFault(curTick());
         spm_.release(id);
         trace_ids_.erase(id);
         stalled_.insert(id);
@@ -215,6 +281,7 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
     eventq().scheduleIn(transfer + latency,
                         [this, id, kind,
                          out = std::move(output)]() mutable {
+        engine_health_.recordSuccess(curTick());
         if (aborted_.erase(id))
             return;  // offload abandoned mid-compute
         const auto out_size = static_cast<std::uint32_t>(out.size());
@@ -290,11 +357,16 @@ XfmDevice::abort(OffloadId id)
     trace_ids_.erase(id);
     if (stalled_.erase(id))
         return;  // stall already released SPM; drop will not fire
-    if (queue_.removeById(id))
-        return;  // still a queued descriptor: no SPM held
+    if (queue_.removeById(id)) {
+        // Still a queued descriptor: no SPM held, and the engine
+        // never saw it — return any admission probe slot.
+        engine_health_.cancelProbe(curTick());
+        return;
+    }
     for (auto it = reads_.begin(); it != reads_.end(); ++it) {
         if (it->id == id) {
             reads_.erase(it);  // not yet executed: no SPM held
+            engine_health_.cancelProbe(curTick());
             return;
         }
     }
@@ -322,6 +394,8 @@ XfmDevice::registerMetrics(obs::MetricRegistry &r,
     r.counter(p + "unregisteredRejects",
               &stats_.unregisteredRejects);
     r.counter(p + "deadlineDrops", &stats_.deadlineDrops);
+    r.counter(p + "watchdogFires", &stats_.watchdogFires,
+              "stuck offloads forced to complete with error");
     r.counter(p + "deferredExecutions", &stats_.deferredExecutions,
               "SPM full at read time");
     r.counter(p + "engineStalls", &stats_.engineStalls,
@@ -347,6 +421,8 @@ XfmDevice::registerMetrics(obs::MetricRegistry &r,
               [this] {
                   return static_cast<double>(spm_.freeBytes());
               });
+    engine_health_.registerMetrics(r, p + "health.engine");
+    spm_health_.registerMetrics(r, p + "health.spm");
 }
 
 void
@@ -360,6 +436,7 @@ XfmDevice::onWindow(const dram::RefreshWindow &window)
 
     drainQueue();
     dropExpired(window.start);
+    runWatchdog(window.start);
 
     std::uint32_t slots = cfg_.maxAccessesPerWindow;
     std::uint32_t random_budget = cfg_.maxRandomPerWindow;

@@ -24,6 +24,7 @@
 
 #include "common/random.hh"
 #include "dram/address_map.hh"
+#include "health/health.hh"
 #include "dram/bank.hh"
 #include "dram/phys_mem.hh"
 #include "dram/refresh.hh"
@@ -82,6 +83,19 @@ struct XfmDeviceConfig
     double rowActivateNanojoule = 7.5;
     /** On-DIMM IO energy per byte moved (25 Gb/s links, Sec. 4.1). */
     double ioPicojoulePerByte = 9.5;
+
+    /**
+     * Watchdog deadline, in refresh windows (tREFI intervals): an
+     * accepted offload that has not executed after this many
+     * windows, or a committed write-back stranded in the SPM that
+     * long, is forced to complete with an error (drop callback) so
+     * the backend redoes the work on the CPU. 0 disables the
+     * watchdog.
+     */
+    std::uint32_t watchdogWindows = 0;
+    /** Health-monitor tuning for the engine and SPM failure
+     *  domains (disabled by default: no behaviour change). */
+    health::HealthConfig health{};
 };
 
 /** Device-level statistics. */
@@ -94,6 +108,7 @@ struct XfmDeviceStats
     std::uint64_t queueRejects = 0;   ///< submit() failures
     std::uint64_t unregisteredRejects = 0;  ///< address not registered
     std::uint64_t deadlineDrops = 0;  ///< ops abandoned to the CPU
+    std::uint64_t watchdogFires = 0;  ///< stuck ops forced to error
     std::uint64_t deferredExecutions = 0;  ///< SPM full at read time
     std::uint64_t engineStalls = 0;   ///< injected stalls/timeouts
     std::uint64_t subarrayConflictRetries = 0;  ///< reordered randoms
@@ -235,8 +250,20 @@ class XfmDevice : public SimObject
      * Queue/WindowWait/Classify/Engine/SpmStage/Writeback spans for
      * offloads whose request carries a non-zero traceId; with no
      * tracer attached the hot path only pays a pointer check.
+     * Forwarded to the health monitors for transition points.
      */
-    void setTracer(obs::Tracer *t) { tracer_ = t; }
+    void
+    setTracer(obs::Tracer *t)
+    {
+        tracer_ = t;
+        engine_health_.setTracer(t);
+        spm_health_.setTracer(t);
+    }
+
+    /** Health monitor of the (de)compression engine domain. */
+    health::HealthMonitor &engineHealth() { return engine_health_; }
+    /** Health monitor of the scratchpad domain. */
+    health::HealthMonitor &spmHealth() { return spm_health_; }
 
     /** Descriptors waiting in the request queue. */
     std::size_t queuedRequests() const { return queue_.size(); }
@@ -255,6 +282,9 @@ class XfmDevice : public SimObject
     void onWindow(const dram::RefreshWindow &window);
     void drainQueue();
     void dropExpired(Tick now);
+    /** Force completion-with-error for offloads stuck past the
+     *  watchdog deadline (cfg.watchdogWindows refresh windows). */
+    void runWatchdog(Tick now);
     /** @retval false SPM had no room for the output (deferred). */
     bool executeRead(const ReadOp &op, AccessClass cls);
     void executeWriteback(SpmEntry entry, AccessClass cls);
@@ -280,6 +310,8 @@ class XfmDevice : public SimObject
      */
     dram::Bank bank_;
     Rng rng_;
+    health::HealthMonitor engine_health_;
+    health::HealthMonitor spm_health_;
     fault::FaultInjector *injector_ = nullptr;
     obs::Tracer *tracer_ = nullptr;
     /** OffloadId -> traceId, kept only while tracing is attached so

@@ -26,6 +26,8 @@ stageName(Stage s)
       case Stage::DfmLink: return "dfm_link";
       case Stage::Fallback: return "fallback";
       case Stage::Complete: return "complete";
+      case Stage::Health: return "health";
+      case Stage::Shed: return "shed";
     }
     return "unknown";
 }

@@ -44,6 +44,8 @@ enum class Stage : std::uint8_t
     DfmLink,     ///< disaggregated-far-memory link transfer
     Fallback,    ///< instantaneous: NMA declined (arg = reason)
     Complete,    ///< instantaneous: request settled (arg = outcome)
+    Health,      ///< instantaneous: breaker transition (arg = state)
+    Shed,        ///< instantaneous: overload shed toggled (arg = on)
 };
 
 const char *stageName(Stage s);
@@ -54,6 +56,8 @@ enum : std::uint64_t
     fallbackCapacity = 0,  ///< SPM occupancy bound exceeded
     fallbackDeadline = 1,  ///< queue admission deadline infeasible
     fallbackAlloc = 2,     ///< far pool allocation failed
+    fallbackWatchdog = 3,  ///< device watchdog forced an error
+    fallbackBreaker = 4,   ///< circuit breaker open (component Failed)
 };
 
 /** Outcome codes (Stage::Complete arg). */

@@ -27,7 +27,8 @@ FarMemoryService::FarMemoryService(std::string name, EventQueue &eq,
     : SimObject(std::move(name), eq), cfg_(provisioned(cfg)),
       registry_(cfg_.registry),
       backend_(this->name() + ".backend", eq, cfg_.system),
-      arbiter_(this->name() + ".arbiter", eq, cfg_.arbiter)
+      arbiter_(this->name() + ".arbiter", eq, cfg_.arbiter),
+      shedder_(cfg_.shed)
 {
     if (cfg_.batchSpmCapBytes > 0) {
         // The cap is fleet-wide; each DIMM stages an equal shard of
@@ -43,6 +44,7 @@ FarMemoryService::FarMemoryService(std::string name, EventQueue &eq,
     arbiter_.reserveLanes(cfg_.registry.maxTenants);
     backend_.registerMetrics(metrics_);
     arbiter_.registerMetrics(metrics_);
+    shedder_.registerMetrics(metrics_, this->name() + ".shed");
     metrics_.derived(this->name() + ".rejectedAdmissions",
                      [this] {
                          return static_cast<double>(
@@ -64,6 +66,8 @@ FarMemoryService::addTenant(const TenantConfig &cfg)
     Tenant t;
     t.backend = std::make_unique<TenantBackend>(
         id, registry_, backend_, &arbiter_, partition);
+    t.backend->setShedder(
+        &shedder_, cfg.cls == PriorityClass::LatencySensitive);
     const std::string base = name() + "." + cfg.name;
     if (cfg.policy == ControlPolicy::Kstaled) {
         t.kstaled = std::make_unique<sfm::SfmController>(
@@ -118,6 +122,10 @@ FarMemoryService::registerTenantMetrics(TenantId id)
                      "driver re-submissions consumed");
     metrics_.counter(p + "faultedOps", &ts.faultedOps,
                      "swap ops that failed");
+    metrics_.counter(p + "shedRejects", &ts.shedRejects,
+                     "swap-outs refused while shedding");
+    metrics_.counter(p + "shedDownTiers", &ts.shedDownTiers,
+                     "swap-ins down-tiered while shedding");
     metrics_.derived(p + "nmaFraction",
                      [&ts] { return ts.nmaFraction(); },
                      "NMA share of swap ops");

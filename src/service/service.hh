@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "health/shed.hh"
 #include "obs/registry.hh"
 #include "obs/tracer.hh"
 #include "service/qos_arbiter.hh"
@@ -58,6 +59,14 @@ struct ServiceConfig
      * 0 leaves the batch partition uncapped.
      */
     std::uint64_t batchSpmCapBytes = 0;
+    /**
+     * Overload shedding watermarks (disabled by default). While the
+     * arbiter backlog or SPM occupancy exceeds the high watermarks,
+     * batch-class swap-outs are rejected with Rejected{Overload} and
+     * batch swap-ins run on the CPU path; latency tenants are never
+     * shed. Hysteresis disengages only below the low watermarks.
+     */
+    health::ShedConfig shed;
 };
 
 /**
@@ -116,8 +125,21 @@ class FarMemoryService : public SimObject
     obs::MetricRegistry &metrics() { return metrics_; }
     const obs::MetricRegistry &metrics() const { return metrics_; }
 
-    /** Attach a span tracer to the shared backend (null detaches). */
-    void setTracer(obs::Tracer *t) { backend_.setTracer(t); }
+    /** The service-wide overload shedder (shared by all tenants). */
+    health::OverloadShedder &shedder() { return shedder_; }
+    const health::OverloadShedder &shedder() const
+    {
+        return shedder_;
+    }
+
+    /** Attach a span tracer to the shared backend and the shedder
+     *  (null detaches). */
+    void
+    setTracer(obs::Tracer *t)
+    {
+        backend_.setTracer(t);
+        shedder_.setTracer(t);
+    }
 
   private:
     /** Register one admitted tenant's metrics (from addTenant). */
@@ -134,6 +156,7 @@ class FarMemoryService : public SimObject
     TenantRegistry registry_;
     xfmsys::XfmBackend backend_;
     QosArbiter arbiter_;
+    health::OverloadShedder shedder_;
     std::vector<Tenant> tenants_;
     obs::MetricRegistry metrics_;
 };

@@ -107,6 +107,11 @@ struct TenantStats
     std::uint64_t offloadRetries = 0;
     /** Operations that failed outright (e.g. quarantined page). */
     std::uint64_t faultedOps = 0;
+    /** Swap-outs refused with Rejected{Overload} while the service
+     *  was shedding load (batch class only). */
+    std::uint64_t shedRejects = 0;
+    /** Swap-ins forced onto the CPU path while shedding (batch). */
+    std::uint64_t shedDownTiers = 0;
     /** Demand swap-in service latency in nanoseconds. */
     stats::Histogram faultLatencyNs{0.0, 100000.0, 400};
     /** Queueing delay in the QoS arbiter. */

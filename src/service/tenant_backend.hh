@@ -23,6 +23,7 @@
 #ifndef XFM_SERVICE_TENANT_BACKEND_HH
 #define XFM_SERVICE_TENANT_BACKEND_HH
 
+#include "health/shed.hh"
 #include "service/qos_arbiter.hh"
 #include "service/tenant_registry.hh"
 #include "xfm/xfm_backend.hh"
@@ -50,6 +51,20 @@ class TenantBackend : public sfm::SfmBackend
                   xfmsys::XfmBackend &shared, QosArbiter *arbiter,
                   std::uint32_t partition);
 
+    /**
+     * Attach the service-wide overload shedder (may be null). Each
+     * submission then refreshes the shedder's signals (arbiter
+     * backlog, SPM occupancy) and obeys its decision: batch
+     * swap-outs are rejected with Rejected{Overload}, batch swap-ins
+     * are down-tiered to the CPU path, latency tenants pass through.
+     */
+    void setShedder(health::OverloadShedder *shedder,
+                    bool latency_class)
+    {
+        shedder_ = shedder;
+        latency_class_ = latency_class;
+    }
+
     using SfmBackend::swapOut;  // keep the 2-arg convenience overload
 
     void swapOut(sfm::VirtPage page, sfm::SwapCallback done) override;
@@ -75,11 +90,17 @@ class TenantBackend : public sfm::SfmBackend
     void submit(bool is_swap_out, sfm::VirtPage global_page,
                 bool allow_offload, sfm::SwapCallback done);
 
+    /** Consult the shedder for one submission; returns the verdict
+     *  (Admit when no shedder is attached or shedding is off). */
+    health::ShedDecision shedDecision(bool is_swap_out);
+
     TenantId id_;
     TenantRegistry &registry_;
     xfmsys::XfmBackend &shared_;
     QosArbiter *arbiter_;
     std::uint32_t partition_;
+    health::OverloadShedder *shedder_ = nullptr;
+    bool latency_class_ = false;
 
     sfm::BackendStats stats_;  ///< this tenant's slice of the traffic
 };

@@ -36,6 +36,32 @@ enum class PageState
     Far,    ///< compressed, in the SFM region
 };
 
+/** Why an unsuccessful swap was refused (typed backpressure). */
+enum class RejectReason : std::uint8_t
+{
+    None,           ///< not rejected (or legacy untyped failure)
+    Busy,           ///< an operation on the page is already in flight
+    Quarantined,    ///< page poisoned by an uncorrectable ECC error
+    QuotaFarPages,  ///< tenant far-page quota exceeded
+    Overload,       ///< shed: service refused best-effort work
+    SfmFull,        ///< far pool allocation failed
+};
+
+/** Stable lowercase identifier for stats tables and logs. */
+inline const char *
+rejectReasonName(RejectReason r)
+{
+    switch (r) {
+      case RejectReason::None: return "none";
+      case RejectReason::Busy: return "busy";
+      case RejectReason::Quarantined: return "quarantined";
+      case RejectReason::QuotaFarPages: return "quota_far_pages";
+      case RejectReason::Overload: return "overload";
+      case RejectReason::SfmFull: return "sfm_full";
+    }
+    return "unknown";
+}
+
 /** Result of a swap-in or swap-out. */
 struct SwapOutcome
 {
@@ -47,6 +73,9 @@ struct SwapOutcome
     /** Driver/link re-submissions this operation consumed before
      *  succeeding or falling back (fault-injection runs). */
     std::uint32_t retries = 0;
+    /** Typed reason when success == false and the operation was
+     *  refused (rather than attempted and failed). */
+    RejectReason rejected = RejectReason::None;
 };
 
 using SwapCallback = std::function<void(const SwapOutcome &)>;

@@ -47,6 +47,8 @@ System::System(std::string name, EventQueue &eq,
         xcfg.device = cfg_.xfmDevice;
         xcfg.faults = cfg_.faultPlan;
         xcfg.retry = cfg_.retry;
+        xcfg.health = cfg_.health;
+        xcfg.quarantineCap = cfg_.quarantineCap;
         xfm_backend_ = std::make_unique<xfmsys::XfmBackend>(
             this->name() + ".backend", eq, xcfg, host_ctrl_.get());
         backend_ = xfm_backend_.get();

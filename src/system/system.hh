@@ -67,6 +67,11 @@ struct SystemConfig
     fault::FaultPlan faultPlan{};
     /** Driver retry policy for transient injected faults. */
     fault::RetryPolicy retry{};
+    /** Health-monitor tuning applied to every engine, SPM bank,
+     *  doorbell, and channel shard (disabled by default). */
+    health::HealthConfig health{};
+    /** Quarantine ledger cap for the XFM backend (0 = unbounded). */
+    std::size_t quarantineCap = 0;
 };
 
 /**

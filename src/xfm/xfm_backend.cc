@@ -77,6 +77,7 @@ XfmBackend::XfmBackend(std::string name, EventQueue &eq,
         nma::XfmDeviceConfig dcfg = cfg_.device;
         dcfg.rank = static_cast<std::uint32_t>(d);
         dcfg.algorithm = cfg_.algorithm;
+        dcfg.health = cfg_.health;
         dimm.device = std::make_unique<nma::XfmDevice>(
             this->name() + ".dimm" + std::to_string(d), eq, dcfg,
             *dimm.map, *dimm.mem, *refresh_);
@@ -104,8 +105,25 @@ XfmBackend::XfmBackend(std::string name, EventQueue &eq,
         dimm.device->setFaultInjector(&injector_);
         dimm.driver->setFaultInjector(&injector_);
         dimm.driver->setRetryPolicy(cfg_.retry);
+        dimm.driver->configureHealth(cfg_.health);
         dimms_.push_back(std::move(dimm));
+        channel_health_.emplace_back(cfg_.health);
     }
+}
+
+double
+XfmBackend::spmOccupancyFraction() const
+{
+    double worst = 0.0;
+    for (const auto &dimm : dimms_) {
+        const auto &spm = dimm.device->spm();
+        if (spm.capacityBytes() == 0)
+            continue;
+        worst = std::max(worst,
+                         static_cast<double>(spm.usedBytes())
+                             / static_cast<double>(spm.capacityBytes()));
+    }
+    return worst;
 }
 
 void
@@ -243,6 +261,7 @@ XfmBackend::cpuSwapOut(VirtPage page, SwapCallback done,
                            obs::fallbackAlloc);
         traceFailed(trace_id);
         outcome.success = false;
+        outcome.rejected = sfm::RejectReason::SfmFull;
         outcome.completed = curTick();
         if (done)
             done(outcome);
@@ -363,6 +382,7 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
         SwapOutcome o;
         o.page = page;
         o.success = false;
+        o.rejected = sfm::RejectReason::Busy;
         o.completed = curTick();
         if (done)
             done(o);
@@ -376,12 +396,42 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
         return;
     }
 
-    // Lazy capacity check on every DIMM before submitting anywhere,
-    // so a partial submit (and abort storm) stays rare.
+    // Channel-shard breakers: a Failed channel is routed around by
+    // compressing its shard on the CPU while the healthy channels
+    // stay offloaded. If every channel is open, the whole page goes
+    // to the CPU path.
+    // The routing decision uses wouldAdmit() — no half-open probe
+    // slot is consumed until the shard is actually submitted below,
+    // so capacity fallbacks cannot churn a probation round.
+    std::vector<std::uint8_t> use_cpu;
+    std::size_t cpu_shards = 0;
+    if (cfg_.health.enabled) {
+        use_cpu.assign(cfg_.numDimms, 0);
+        for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+            if (!channel_health_[d].wouldAdmit(curTick())) {
+                use_cpu[d] = 1;
+                ++cpu_shards;
+            }
+        }
+        if (cpu_shards == cfg_.numDimms) {
+            ++xfm_stats_.breakerFallbacks;
+            if (tracer_ && tid)
+                tracer_->point(tid, obs::Stage::Fallback, curTick(),
+                               obs::fallbackBreaker);
+            cpuSwapOut(page, std::move(done), tid);
+            return;
+        }
+    }
+    const auto shard_on_cpu = [&use_cpu](std::size_t d) {
+        return !use_cpu.empty() && use_cpu[d];
+    };
+
+    // Lazy capacity check on every offloading DIMM before submitting
+    // anywhere, so a partial submit (and abort storm) stays rare.
     const auto worst = nma::CompressionEngine::worstCaseCompressedSize(
         static_cast<std::uint32_t>(cfg_.shardBytes()));
-    for (auto &dimm : dimms_) {
-        if (!dimm.driver->canAccept(worst)) {
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        if (!shard_on_cpu(d) && !dimms_[d].driver->canAccept(worst)) {
             ++xfm_stats_.fallbackCapacity;
             if (tracer_ && tid)
                 tracer_->point(tid, obs::Stage::Fallback, curTick(),
@@ -396,26 +446,70 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
     op->isCompress = true;
     op->ids.resize(cfg_.numDimms, nma::invalidOffloadId);
     op->sizes.resize(cfg_.numDimms, 0);
+    op->cpuShard = use_cpu;
+    op->completions = cpu_shards;  // CPU shards are done up front
     op->done = std::move(done);
     op->traceId = tid;
     op->traceStart = curTick();
+    if (cpu_shards)
+        op->cpuBlocks.resize(cfg_.numDimms);
 
     const Tick deadline =
         curTick() + cfg_.dimmMem.rank.device.retention;
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
-        const nma::OffloadId id = dimms_[d].driver->xfmCompress(
-            shardFrameAddr(page),
-            static_cast<std::uint32_t>(cfg_.shardBytes()), deadline,
-            partition_, tid);
-        op->retries += dimms_[d].driver->lastSubmitRetries();
-        xfm_stats_.offloadRetries +=
-            dimms_[d].driver->lastSubmitRetries();
+        if (shard_on_cpu(d)) {
+            // Per-shard CPU fallback: compress this channel's shard
+            // now; the block lands in the slot once its size is
+            // known (all completions in).
+            const Bytes shard = dimms_[d].mem->read(
+                shardFrameAddr(page), cfg_.shardBytes());
+            op->cpuBlocks[d] = codec_->compress(shard);
+            op->sizes[d] = static_cast<std::uint32_t>(
+                op->cpuBlocks[d].size());
+            ++xfm_stats_.shardCpuFallbacks;
+            Tick latency;
+            chargeCpu(cfg_.shardBytes(), true, latency);
+            if (host_ctrl_) {
+                host_ctrl_->submit(
+                    {page * pageBytes,
+                     static_cast<std::uint32_t>(cfg_.shardBytes()),
+                     false, nullptr});
+                host_ctrl_->submit({page * pageBytes, op->sizes[d],
+                                    true, nullptr});
+            }
+            if (tracer_ && tid)
+                tracer_->record(tid, obs::Stage::CpuCompute,
+                                curTick(), curTick() + latency);
+            continue;
+        }
+        // Consume the channel's admission (a probe slot while in
+        // probation) only now that the shard truly goes to hardware.
+        // A same-tick race with another operation's probes can still
+        // refuse here; roll back like a failed submit.
+        const bool admitted = channel_health_[d].admit(curTick());
+        const nma::OffloadId id = !admitted
+            ? nma::invalidOffloadId
+            : dimms_[d].driver->xfmCompress(
+                  shardFrameAddr(page),
+                  static_cast<std::uint32_t>(cfg_.shardBytes()),
+                  deadline, partition_, tid);
+        if (admitted) {
+            op->retries += dimms_[d].driver->lastSubmitRetries();
+            xfm_stats_.offloadRetries +=
+                dimms_[d].driver->lastSubmitRetries();
+        }
         if (id == nma::invalidOffloadId) {
-            // Roll back what was already submitted.
+            // Roll back what was already submitted; no channel saw
+            // its shard through, so admitted probes are returned.
             for (std::size_t k = 0; k < d; ++k) {
+                if (op->ids[k] == nma::invalidOffloadId)
+                    continue;
                 routes_[k].erase(op->ids[k]);
                 dimms_[k].driver->abort(op->ids[k]);
             }
+            for (std::size_t k = 0; k <= d; ++k)
+                if (!shard_on_cpu(k) && (k < d || admitted))
+                    channel_health_[k].cancelProbe(curTick());
             ++xfm_stats_.fallbackCapacity;
             if (tracer_ && tid)
                 tracer_->point(tid, obs::Stage::Fallback, curTick(),
@@ -448,6 +542,7 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
         SwapOutcome o;
         o.page = page;
         o.success = false;
+        o.rejected = sfm::RejectReason::Quarantined;
         o.completed = curTick();
         if (done)
             done(o);
@@ -458,12 +553,13 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
             ++xfm_stats_.eccCorrected;  // scrubbed transparently
         if (injector_.shouldInject(
                 fault::FaultSite::EccUncorrectable)) {
-            quarantined_.insert(page);
+            quarantinePage(page);
             ++xfm_stats_.eccQuarantines;
             traceFailed(tid);
             SwapOutcome o;
             o.page = page;
             o.success = false;
+            o.rejected = sfm::RejectReason::Quarantined;
             o.completed = curTick();
             if (done)
                 done(o);
@@ -475,6 +571,7 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
         SwapOutcome o;
         o.page = page;
         o.success = false;
+        o.rejected = sfm::RejectReason::Busy;
         o.completed = curTick();
         if (done)
             done(o);
@@ -488,8 +585,38 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
     }
 
     const PageEntry &entry = it->second;
+
+    // Channel-shard breakers (see swapOut): a Failed channel's shard
+    // decompresses on the CPU straight into its local frame; the
+    // healthy channels stay offloaded.
+    // wouldAdmit() only — probe slots are consumed at the actual
+    // submission below (see swapOut).
+    std::vector<std::uint8_t> use_cpu;
+    std::size_t cpu_shards = 0;
+    if (cfg_.health.enabled) {
+        use_cpu.assign(cfg_.numDimms, 0);
+        for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+            if (!channel_health_[d].wouldAdmit(curTick())) {
+                use_cpu[d] = 1;
+                ++cpu_shards;
+            }
+        }
+        if (cpu_shards == cfg_.numDimms) {
+            ++xfm_stats_.breakerFallbacks;
+            if (tracer_ && tid)
+                tracer_->point(tid, obs::Stage::Fallback, curTick(),
+                               obs::fallbackBreaker);
+            cpuSwapIn(page, std::move(done), tid);
+            return;
+        }
+    }
+    const auto shard_on_cpu = [&use_cpu](std::size_t d) {
+        return !use_cpu.empty() && use_cpu[d];
+    };
+
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
-        if (!dimms_[d].driver->canAccept(entry.shardSizes[d])) {
+        if (!shard_on_cpu(d)
+            && !dimms_[d].driver->canAccept(entry.shardSizes[d])) {
             ++xfm_stats_.fallbackCapacity;
             if (tracer_ && tid)
                 tracer_->point(tid, obs::Stage::Fallback, curTick(),
@@ -505,25 +632,66 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
     op->ids.resize(cfg_.numDimms, nma::invalidOffloadId);
     op->sizes = entry.shardSizes;
     op->offset = entry.offset;
+    op->cpuShard = use_cpu;
+    op->completions = cpu_shards;
+    op->writebacks = cpu_shards;  // CPU shards land immediately
     op->done = std::move(done);
     op->traceId = tid;
     op->traceStart = curTick();
 
     const Tick deadline = decompressDeadline();
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
-        const nma::OffloadId id = dimms_[d].driver->xfmDecompress(
-            slotAddr(entry.offset), entry.shardSizes[d],
-            shardFrameAddr(page),
-            static_cast<std::uint32_t>(cfg_.shardBytes()), deadline,
-            partition_, tid);
-        op->retries += dimms_[d].driver->lastSubmitRetries();
-        xfm_stats_.offloadRetries +=
-            dimms_[d].driver->lastSubmitRetries();
+        if (shard_on_cpu(d)) {
+            // Per-shard CPU fallback, same zero-copy shape as
+            // cpuSwapIn: decompress straight into the local frame.
+            const Bytes block = dimms_[d].mem->read(
+                slotAddr(entry.offset), entry.shardSizes[d]);
+            const Bytes shard = codec_->decompress(block);
+            XFM_ASSERT(shard.size() == cfg_.shardBytes(),
+                       "shard decompressed to wrong size");
+            dimms_[d].mem->write(shardFrameAddr(page), shard);
+            ++xfm_stats_.shardCpuFallbacks;
+            Tick latency;
+            chargeCpu(cfg_.shardBytes(), false, latency);
+            if (host_ctrl_) {
+                host_ctrl_->submit({page * pageBytes,
+                                    entry.shardSizes[d], false,
+                                    nullptr});
+                host_ctrl_->submit(
+                    {page * pageBytes,
+                     static_cast<std::uint32_t>(cfg_.shardBytes()),
+                     true, nullptr});
+            }
+            if (tracer_ && tid)
+                tracer_->record(tid, obs::Stage::CpuCompute,
+                                curTick(), curTick() + latency);
+            continue;
+        }
+        // See swapOut: the channel admission (probe slot) is consumed
+        // only at the real submission.
+        const bool admitted = channel_health_[d].admit(curTick());
+        const nma::OffloadId id = !admitted
+            ? nma::invalidOffloadId
+            : dimms_[d].driver->xfmDecompress(
+                  slotAddr(entry.offset), entry.shardSizes[d],
+                  shardFrameAddr(page),
+                  static_cast<std::uint32_t>(cfg_.shardBytes()),
+                  deadline, partition_, tid);
+        if (admitted) {
+            op->retries += dimms_[d].driver->lastSubmitRetries();
+            xfm_stats_.offloadRetries +=
+                dimms_[d].driver->lastSubmitRetries();
+        }
         if (id == nma::invalidOffloadId) {
             for (std::size_t k = 0; k < d; ++k) {
+                if (op->ids[k] == nma::invalidOffloadId)
+                    continue;
                 routes_[k].erase(op->ids[k]);
                 dimms_[k].driver->abort(op->ids[k]);
             }
+            for (std::size_t k = 0; k <= d; ++k)
+                if (!shard_on_cpu(k) && (k < d || admitted))
+                    channel_health_[k].cancelProbe(curTick());
             ++xfm_stats_.fallbackCapacity;
             if (tracer_ && tid)
                 tracer_->point(tid, obs::Stage::Fallback, curTick(),
@@ -571,8 +739,14 @@ XfmBackend::onComplete(std::size_t dimm, const nma::OffloadCompletion &c)
         ++xfm_stats_.fallbackAlloc;
         op->dead = true;
         for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
-            routes_[d].erase(op->ids[d]);
-            dimms_[d].driver->abort(op->ids[d]);
+            auto rit = routes_[d].find(op->ids[d]);
+            if (rit != routes_[d].end()) {
+                routes_[d].erase(rit);
+                dimms_[d].driver->abort(op->ids[d]);
+                // Aborted shards report no outcome: return any
+                // half-open probe slot they were admitted under.
+                channel_health_[d].cancelProbe(curTick());
+            }
         }
         busy_.erase(op->page);
         if (tracer_ && op->traceId)
@@ -582,20 +756,32 @@ XfmBackend::onComplete(std::size_t dimm, const nma::OffloadCompletion &c)
         SwapOutcome o;
         o.page = op->page;
         o.success = false;
+        o.rejected = sfm::RejectReason::SfmFull;
         o.completed = curTick();
         if (op->done)
             op->done(o);
         return;
     }
     op->offset = offset;
-    for (std::size_t d = 0; d < cfg_.numDimms; ++d)
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        if (!op->cpuShard.empty() && op->cpuShard[d]) {
+            // The CPU-compressed shard block can land now that the
+            // same-offset slot exists.
+            dimms_[d].mem->write(slotAddr(offset), op->cpuBlocks[d]);
+            ++op->writebacks;
+            continue;
+        }
         dimms_[d].driver->commitWriteback(op->ids[d],
                                           slotAddr(offset));
+    }
 }
 
 void
 XfmBackend::onWriteback(std::size_t dimm, nma::OffloadId id, Tick t)
 {
+    // The channel shard delivered an offload end to end, whatever
+    // became of the page-level operation.
+    channel_health_[dimm].recordSuccess(t);
     auto it = routes_[dimm].find(id);
     if (it == routes_[dimm].end())
         return;
@@ -662,6 +848,9 @@ XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
 void
 XfmBackend::onDrop(std::size_t dimm, nma::OffloadId id)
 {
+    // Any drop — deadline, injected stall, or watchdog — means this
+    // channel shard failed to service an accepted offload.
+    channel_health_[dimm].recordFault(curTick());
     auto it = routes_[dimm].find(id);
     if (it == routes_[dimm].end())
         return;
@@ -685,7 +874,19 @@ XfmBackend::failToCpu(const std::shared_ptr<PendingOp> &op)
         if (rit != routes_[d].end()) {
             routes_[d].erase(rit);
             dimms_[d].driver->abort(op->ids[d]);
+            // Aborted shards report no outcome: return any half-open
+            // probe slot they were admitted under, so the faulting
+            // channel alone carries the blame.
+            channel_health_[d].cancelProbe(curTick());
         }
+    }
+    // A watchdog can drop a compress op after its same-offset slot
+    // was already allocated (write-backs committed); release it or
+    // the slot leaks — the CPU path allocates its own.
+    if (op->isCompress
+        && op->offset != SameOffsetAllocator::invalidOffset) {
+        alloc_.release(op->offset);
+        op->offset = SameOffsetAllocator::invalidOffset;
     }
     busy_.erase(op->page);
     if (op->isCompress)
@@ -694,6 +895,41 @@ XfmBackend::failToCpu(const std::shared_ptr<PendingOp> &op)
     else
         cpuSwapIn(op->page, carryRetries(op->retries, op->done),
                   op->traceId);
+}
+
+void
+XfmBackend::quarantinePage(VirtPage page)
+{
+    if (!quarantined_.insert(page).second)
+        return;
+    quarantine_order_.push_back(page);
+    if (cfg_.quarantineCap == 0)
+        return;
+    while (quarantined_.size() > cfg_.quarantineCap) {
+        // Evict the oldest quarantined page without an operation in
+        // flight: free its retired slot (the poisoned image is
+        // shipped to the DFM tier for repair) and re-establish the
+        // page from its still-resident local shard frames.
+        auto victim = quarantine_order_.end();
+        for (auto it = quarantine_order_.begin();
+             it != quarantine_order_.end(); ++it) {
+            if (!busy_.count(*it)) {
+                victim = it;
+                break;
+            }
+        }
+        if (victim == quarantine_order_.end())
+            break;  // everything in flight; retry on the next UE
+        const VirtPage evicted = *victim;
+        quarantine_order_.erase(victim);
+        quarantined_.erase(evicted);
+        auto e = entries_.find(evicted);
+        if (e != entries_.end()) {
+            alloc_.release(e->second.offset);
+            entries_.erase(e);
+        }
+        ++xfm_stats_.quarantineEvicted;
+    }
 }
 
 void
@@ -719,6 +955,14 @@ XfmBackend::registerMetrics(obs::MetricRegistry &r)
               "driver re-submissions");
     r.counter(p + "eccCorrected", &xfm_stats_.eccCorrected);
     r.counter(p + "eccQuarantines", &xfm_stats_.eccQuarantines);
+    r.counter(p + "quarantine.evicted",
+              &xfm_stats_.quarantineEvicted,
+              "quarantined pages evicted to honour the cap");
+    r.counter(p + "shardCpuFallbacks",
+              &xfm_stats_.shardCpuFallbacks,
+              "single shards rerouted to the CPU by channel breakers");
+    r.counter(p + "breakerFallbacks", &xfm_stats_.breakerFallbacks,
+              "whole swaps rerouted: every channel breaker open");
     r.counter(p + "bytesCompressed", &stats_.bytesCompressed);
     r.counter(p + "bytesDecompressed", &stats_.bytesDecompressed);
     r.counter(p + "cpuCycles", &stats_.cpuCycles);
@@ -751,6 +995,8 @@ XfmBackend::registerMetrics(obs::MetricRegistry &r)
         const std::string dp = p + "dimm" + std::to_string(d);
         dimms_[d].device->registerMetrics(r, dp);
         dimms_[d].driver->registerMetrics(r, dp + ".driver");
+        channel_health_[d].registerMetrics(r,
+                                           dp + ".health.channel");
     }
 }
 
@@ -758,8 +1004,11 @@ void
 XfmBackend::setTracer(obs::Tracer *t)
 {
     tracer_ = t;
-    for (auto &dimm : dimms_)
-        dimm.device->setTracer(t);
+    for (std::size_t d = 0; d < dimms_.size(); ++d) {
+        dimms_[d].device->setTracer(t);
+        dimms_[d].driver->doorbellHealth().setTracer(t);
+        channel_health_[d].setTracer(t);
+    }
 }
 
 bool

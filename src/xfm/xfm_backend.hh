@@ -15,6 +15,7 @@
 #ifndef XFM_XFM_XFM_BACKEND_HH
 #define XFM_XFM_XFM_BACKEND_HH
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "fault/fault.hh"
+#include "health/health.hh"
 #include "compress/compressor.hh"
 #include "dram/mem_ctrl.hh"
 #include "dram/phys_mem.hh"
@@ -65,6 +67,24 @@ struct XfmSystemConfig
     /** Driver retry policy for transient submission faults. */
     fault::RetryPolicy retry{};
 
+    /**
+     * Health-monitor tuning for every failure domain of this
+     * backend: each DIMM's channel shard, MMIO doorbell, NMA engine
+     * and SPM bank. Disabled by default — baseline runs take no new
+     * branches and keep their metric namespace unchanged.
+     */
+    health::HealthConfig health{};
+
+    /**
+     * Cap on simultaneously quarantined pages (0 = unbounded). When
+     * a new uncorrectable-ECC quarantine would exceed the cap, the
+     * oldest quarantined page is evicted: its retired SFM slot is
+     * freed (the image is shipped to the DFM tier for repair) and
+     * the page is re-established from its still-resident local
+     * shard frames (swap-outs are non-destructive copies).
+     */
+    std::size_t quarantineCap = 0;
+
     /** Shard of a page stored on each DIMM. */
     std::uint64_t
     shardBytes() const
@@ -84,6 +104,14 @@ struct XfmBackendStats
     std::uint64_t offloadRetries = 0;    ///< driver re-submissions
     std::uint64_t eccCorrected = 0;      ///< injected UEs scrubbed
     std::uint64_t eccQuarantines = 0;    ///< pages poisoned by UEs
+    /** Quarantined pages evicted to stay under cfg.quarantineCap. */
+    std::uint64_t quarantineEvicted = 0;
+    /** Page shards (de)compressed on the CPU because their channel's
+     *  breaker was open while the other channels stayed offloaded. */
+    std::uint64_t shardCpuFallbacks = 0;
+    /** Whole swaps routed to the CPU because every channel breaker
+     *  was open. */
+    std::uint64_t breakerFallbacks = 0;
 };
 
 /**
@@ -162,6 +190,19 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
 
     XfmDriver &driver(std::size_t dimm) { return *dimms_[dimm].driver; }
     dram::RefreshController &refresh() { return *refresh_; }
+
+    /**
+     * Health monitor of one channel shard (the per-DIMM end-to-end
+     * offload path). Tests and escalation policies may forceFail()
+     * a channel here to take it offline administratively.
+     */
+    health::HealthMonitor &channelHealth(std::size_t dimm)
+    {
+        return channel_health_[dimm];
+    }
+
+    /** Worst per-DIMM SPM occupancy fraction (overload signal). */
+    double spmOccupancyFraction() const;
     const XfmSystemConfig &config() const { return cfg_; }
     const SameOffsetAllocator &allocator() const { return alloc_; }
 
@@ -220,6 +261,12 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
         std::size_t completions = 0;
         std::size_t writebacks = 0;
         std::uint64_t offset = SameOffsetAllocator::invalidOffset;
+        /** Per-DIMM flag: shard handled on the CPU because that
+         *  channel's breaker was open (empty = all offloaded). */
+        std::vector<std::uint8_t> cpuShard;
+        /** CPU-compressed shard blocks awaiting slot placement
+         *  (hybrid swap-out only; indexed like ids). */
+        std::vector<Bytes> cpuBlocks;
         sfm::SwapCallback done;
         bool dead = false;  ///< fell back / aborted
         std::uint64_t traceId = 0;  ///< obs::Tracer request id
@@ -238,6 +285,10 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     void traceFailed(std::uint64_t trace_id);
     void chargeCpu(std::uint64_t bytes, bool compress_op,
                    Tick &latency_out);
+
+    /** Quarantine a poisoned page, evicting the oldest quarantined
+     *  page when cfg.quarantineCap would be exceeded. */
+    void quarantinePage(sfm::VirtPage page);
 
     void onComplete(std::size_t dimm, const nma::OffloadCompletion &c);
     void onWriteback(std::size_t dimm, nma::OffloadId id, Tick t);
@@ -262,6 +313,10 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     std::map<sfm::VirtPage, std::shared_ptr<PendingOp>> busy_;
     /** Pages poisoned by an uncorrectable ECC error. */
     std::set<sfm::VirtPage> quarantined_;
+    /** Quarantine order, oldest first (cap eviction policy). */
+    std::deque<sfm::VirtPage> quarantine_order_;
+    /** One breaker per channel shard (per-DIMM offload path). */
+    std::vector<health::HealthMonitor> channel_health_;
 
     sfm::BackendStats stats_;
     XfmBackendStats xfm_stats_;

@@ -75,6 +75,14 @@ XfmDriver::submitTracked(const nma::OffloadRequest &req,
                          std::uint32_t worst_case)
 {
     last_submit_retries_ = 0;
+    // Circuit breaker: a Failed doorbell is not rung at all — the
+    // whole retry ladder is skipped and the caller falls straight
+    // back to the CPU path.
+    if (!doorbell_health_.admit(dev_.curTick())) {
+        ++stats_.breakerFallbacks;
+        ++stats_.fallbacks;
+        return nma::invalidOffloadId;
+    }
     for (std::uint32_t attempt = 1;; ++attempt) {
         // Doorbell-loss fault: the MMIO write never reaches the
         // device, so the descriptor silently vanishes. This is the
@@ -84,6 +92,15 @@ XfmDriver::submitTracked(const nma::OffloadRequest &req,
             && injector_->shouldInject(
                    fault::FaultSite::MmioDoorbellLoss)) {
             ++stats_.doorbellLosses;
+            doorbell_health_.recordFault(dev_.curTick());
+            if (doorbell_health_.rawState()
+                == health::HealthState::Failed) {
+                // The loss tripped (or re-tripped) the breaker:
+                // abandon the remaining retry budget immediately.
+                ++stats_.breakerFallbacks;
+                ++stats_.fallbacks;
+                return nma::invalidOffloadId;
+            }
             if (attempt >= retry_.maxAttempts) {
                 ++stats_.fallbacks;
                 return nma::invalidOffloadId;
@@ -96,9 +113,14 @@ XfmDriver::submitTracked(const nma::OffloadRequest &req,
         }
         const nma::OffloadId id = dev_.submit(req);
         if (id == nma::invalidOffloadId) {
+            // Device-side exhaustion (queue full, device breaker):
+            // the doorbell write itself worked, so this is not a
+            // doorbell outcome — return any probe slot unused.
+            doorbell_health_.cancelProbe(dev_.curTick());
             ++stats_.fallbacks;
             return id;
         }
+        doorbell_health_.recordSuccess(dev_.curTick());
         ++stats_.offloadsSubmitted;
         bound_ += worst_case;
         tracked_.emplace(id, worst_case);
@@ -175,9 +197,12 @@ XfmDriver::registerMetrics(obs::MetricRegistry &r,
     r.counter(p + "backoffTicksAccrued",
               &stats_.backoffTicksAccrued,
               "modelled driver spin time");
+    r.counter(p + "breakerFallbacks", &stats_.breakerFallbacks,
+              "submissions refused by the open doorbell breaker");
     r.derived(p + "occupancyBound",
               [this] { return static_cast<double>(bound_); },
               "local SPM usage upper bound");
+    doorbell_health_.registerMetrics(r, p + "health.doorbell");
 }
 
 void

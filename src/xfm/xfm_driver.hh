@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "fault/fault.hh"
+#include "health/health.hh"
 #include "nma/xfm_device.hh"
 
 namespace xfm
@@ -33,6 +34,9 @@ struct DriverStats
     std::uint64_t fallbacks = 0;              ///< resources exhausted
     std::uint64_t doorbellLosses = 0;  ///< injected lost submissions
     std::uint64_t retries = 0;         ///< re-submissions attempted
+    /** Submissions refused because the doorbell breaker was open
+     *  (the retry ladder is skipped entirely). */
+    std::uint64_t breakerFallbacks = 0;
     /** Modelled driver spin time: the sum of exponential backoffs
      *  taken before re-submissions (the ioctl path is synchronous,
      *  so the wait is accounted here rather than simulated). */
@@ -149,6 +153,22 @@ class XfmDriver
         return last_submit_retries_;
     }
 
+    /**
+     * Arm the MMIO-doorbell health monitor (circuit breaker). While
+     * it is Failed, submissions return invalidOffloadId immediately
+     * instead of walking the retry ladder; after the cooldown a
+     * bounded number of half-open probe submissions decide whether
+     * the doorbell re-closes.
+     */
+    void configureHealth(const health::HealthConfig &cfg)
+    {
+        doorbell_health_ = health::HealthMonitor(cfg);
+    }
+    health::HealthMonitor &doorbellHealth()
+    {
+        return doorbell_health_;
+    }
+
   private:
     nma::OffloadId submitTracked(const nma::OffloadRequest &req,
                                  std::uint32_t worst_case);
@@ -156,6 +176,7 @@ class XfmDriver
     nma::XfmDevice &dev_;
     fault::FaultInjector *injector_ = nullptr;
     fault::RetryPolicy retry_{};
+    health::HealthMonitor doorbell_health_{};
     std::uint32_t last_submit_retries_ = 0;
     bool always_sync_ = false;
     std::uint64_t bound_ = 0;  ///< local SPM usage upper bound

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "health/health.hh"
 #include "sfm/cpu_backend.hh"
 #include "test_util.hh"
 #include "xfm/xfm_backend.hh"
@@ -75,13 +76,15 @@ struct DifferentialResult
  * assert byte-identical restoration everywhere.
  */
 DifferentialResult
-runDifferential(compress::Algorithm alg, const fault::FaultPlan &plan)
+runDifferential(compress::Algorithm alg, const fault::FaultPlan &plan,
+                const health::HealthConfig &health = {})
 {
     EventQueue eq;
 
     auto xcfg = testutil::testXfmConfig(2);
     xcfg.algorithm = alg;
     xcfg.faults = plan;
+    xcfg.health = health;
     xfmsys::XfmBackend xfm("xfm", eq, xcfg);
     xfm.start();
 
@@ -180,6 +183,21 @@ TEST_P(DifferentialTest, FaultedRunRestoresAllPages)
     const auto r = runDifferential(GetParam(), aggressivePlan());
     // The plan is aggressive enough that some operations must have
     // degraded — otherwise the harness is not exercising fallback.
+    EXPECT_GT(r.xfmCpuOps, 0u);
+}
+
+TEST_P(DifferentialTest, FaultedRunWithBreakersRestoresAllPages)
+{
+    // Same aggressive plan, but with the health layer armed: circuit
+    // breakers now trip mid-stream, reroute shards to per-channel
+    // CPU fallbacks, and re-probe through half-open probation — and
+    // none of that may cost a byte either.
+    health::HealthConfig h;
+    h.enabled = true;
+    h.window = 8;
+    h.failConsecutive = 3;
+    h.cooldown = microseconds(50.0);
+    const auto r = runDifferential(GetParam(), aggressivePlan(), h);
     EXPECT_GT(r.xfmCpuOps, 0u);
 }
 

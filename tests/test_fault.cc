@@ -88,6 +88,28 @@ TEST(RetryPolicy, BackoffGrowsExponentiallyToCap)
     EXPECT_EQ(p.backoffFor(63), nanoseconds(500.0));  // no overflow
 }
 
+TEST(RetryPolicy, BackoffLargeBaseSaturatesInsteadOfWrapping)
+{
+    // Regression: with a realistic base, `base << attempt` wraps
+    // long before attempt 63, so a fixed attempt guard silently
+    // returned a tiny (wrapped) backoff for mid-range attempts. The
+    // backoff must saturate at the cap and stay monotone for every
+    // attempt count instead.
+    RetryPolicy p;
+    p.backoffBase = nanoseconds(200.0);
+    p.backoffCap = ~Tick{0};  // effectively uncapped: expose wraps
+    Tick prev = 0;
+    for (std::uint32_t a = 0; a < 128; ++a) {
+        const Tick b = p.backoffFor(a);
+        ASSERT_GE(b, prev) << "backoff regressed at attempt " << a;
+        prev = b;
+    }
+    EXPECT_EQ(p.backoffFor(62), p.backoffCap);
+
+    p.backoffBase = 0;
+    EXPECT_EQ(p.backoffFor(100), 0u);
+}
+
 TEST(RetryPolicy, ParsesConfigKeys)
 {
     const auto cfg = Config::parseString(

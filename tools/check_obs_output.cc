@@ -12,6 +12,13 @@
  *     Every line must be a JSON object carrying integral req (> 0),
  *     start, end (end >= start), arg, and a non-empty string stage.
  *
+ *   check_obs_output health <stats.json>
+ *     Everything `stats` checks, plus: at least one health-monitor
+ *     state leaf (*.health.*.state) must be present, and every one
+ *     must read healthy (0), degraded (1), or failed (2) — a monitor
+ *     still in probation (3) at the end of a chaos soak means a
+ *     half-open round never resolved, i.e. the breaker is stuck.
+ *
  * Exits 0 when the file validates, 1 with a diagnostic otherwise —
  * small enough for CI to run after every smoke simulation.
  */
@@ -83,6 +90,39 @@ checkStats(const std::string &path)
 }
 
 int
+checkHealth(const std::string &path)
+{
+    using xfm::obs::json::Value;
+    if (checkStats(path) != 0)
+        return 1;
+    Value v;
+    std::string error;
+    if (!xfm::obs::json::parse(slurp(path), v, error))
+        return fail(path, "invalid JSON: " + error);
+    const auto &metrics = v.at("metrics").object();
+    std::size_t monitors = 0;
+    for (const auto &[name, value] : metrics) {
+        if (name.find(".health.") == std::string::npos
+            || name.size() < 6
+            || name.compare(name.size() - 6, 6, ".state") != 0)
+            continue;
+        ++monitors;
+        const double s = value.number();
+        if (s != 0.0 && s != 1.0 && s != 2.0)
+            return fail(path, "monitor '" + name
+                                  + "' ended the run in state "
+                                  + std::to_string(s)
+                                  + " (stuck breaker?)");
+    }
+    if (monitors == 0)
+        return fail(path, "no health-monitor state leaves found "
+                          "(was health.enabled set?)");
+    std::printf("%s: health ok (%zu monitors settled)\n",
+                path.c_str(), monitors);
+    return 0;
+}
+
+int
 checkTrace(const std::string &path)
 {
     using xfm::obs::json::Value;
@@ -130,7 +170,8 @@ main(int argc, char **argv)
     if (argc != 3) {
         std::fprintf(stderr,
                      "usage: check_obs_output stats <stats.json>\n"
-                     "       check_obs_output trace <trace.jsonl>\n");
+                     "       check_obs_output trace <trace.jsonl>\n"
+                     "       check_obs_output health <stats.json>\n");
         return 1;
     }
     const std::string mode = argv[1];
@@ -138,6 +179,8 @@ main(int argc, char **argv)
         return checkStats(argv[2]);
     if (mode == "trace")
         return checkTrace(argv[2]);
+    if (mode == "health")
+        return checkHealth(argv[2]);
     std::fprintf(stderr, "check_obs_output: unknown mode '%s'\n",
                  mode.c_str());
     return 1;
