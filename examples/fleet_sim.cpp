@@ -12,7 +12,9 @@
  *                  [--config FILE]
  *
  * The config file (key = value) may set the same knobs (tenants,
- * ms, rate, seed) plus the observability sinks:
+ * ms, rate, seed), `workers` (shard-compression threads for every
+ * tenant's CPU swap path; results identical for any value), plus
+ * the observability sinks:
  *   stats.json = fleet.json    # metric-registry JSON snapshot
  *   trace.out  = fleet.jsonl   # per-swap span trace (JSON lines)
  *   trace.cap  = 65536         # trace ring capacity in events
@@ -79,6 +81,7 @@ main(int argc, char **argv)
     double sim_ms = 50.0;
     double rate = 100000.0;
     std::uint64_t seed = 1;
+    std::size_t workers = 1;
     std::string stats_json;
     std::string trace_out;
     std::uint64_t trace_cap = 65536;
@@ -103,6 +106,8 @@ main(int argc, char **argv)
             sim_ms = cfg.getDouble("ms", sim_ms);
             rate = cfg.getDouble("rate", rate);
             seed = cfg.getU64("seed", seed);
+            workers = static_cast<std::size_t>(
+                cfg.getU64("workers", workers));
             stats_json = cfg.getString("stats.json", stats_json);
             trace_out = cfg.getString("trace.out", trace_out);
             trace_cap = cfg.getU64("trace.cap", trace_cap);
@@ -124,6 +129,7 @@ main(int argc, char **argv)
     EventQueue eq;
     service::ServiceConfig scfg = makeServiceConfig(tenants);
     scfg.system.health = health_cfg;
+    scfg.system.workers = workers;
     scfg.shed = shed_cfg;
     service::FarMemoryService svc("svc", eq, scfg);
     obs::Tracer tracer(static_cast<std::size_t>(trace_cap));

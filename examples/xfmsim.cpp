@@ -23,6 +23,8 @@
  *   workload.rps       = 20000
  *   workload.zipf      = 0.9
  *   workload.seed      = 1
+ *   workers            = 1          # shard-compression threads;
+ *                                   # results identical for any value
  *
  * Fault injection (see src/fault/fault.hh and configs/faults.cfg):
  *   fault.seed               = 7
@@ -109,6 +111,8 @@ main(int argc, char **argv)
         cfg.getU64("xfm.watchdog_windows", 0));
     sys_cfg.quarantineCap = static_cast<std::size_t>(
         cfg.getU64("xfm.quarantine_cap", 0));
+    sys_cfg.workers =
+        static_cast<std::size_t>(cfg.getU64("workers", 1));
     const bool verify = cfg.getBool("verify", false);
 
     const double run_seconds =

@@ -1,24 +1,35 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure with warnings-as-errors, build
-# everything, run the full test suite. This is the gate every change
-# must pass (see ROADMAP.md).
+# everything (Release: -O2 -DNDEBUG), run the full test suite. This
+# is the gate every change must pass (see ROADMAP.md).
 #
 # SANITIZE=1 runs the same suite under ASan+UBSan (separate build
 # dir, RelWithDebInfo so stacks symbolise), with both sanitizers set
 # to fail hard on any report.
+#
+# SANITIZE=thread builds under TSan and runs the concurrency-facing
+# tests (worker pool, event kernel, service layer, worker-count
+# determinism) plus the perf-harness smoke, which drives the
+# threaded shard-compression paths end to end at workers = 2 and 8.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 
+sanitize="${SANITIZE:-0}"
 cxx_flags="-Werror"
 build_type="${BUILD_TYPE:-Release}"
-if [[ "${SANITIZE:-0}" == "1" ]]; then
+if [[ "${sanitize}" == "1" ]]; then
     build_dir="${BUILD_DIR:-${repo_root}/build-asan}"
     build_type="${BUILD_TYPE:-RelWithDebInfo}"
     cxx_flags+=" -fsanitize=address,undefined -fno-sanitize-recover=all"
     export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:abort_on_error=1}"
     export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+elif [[ "${sanitize}" == "thread" ]]; then
+    build_dir="${BUILD_DIR:-${repo_root}/build-tsan}"
+    build_type="${BUILD_TYPE:-RelWithDebInfo}"
+    cxx_flags+=" -fsanitize=thread"
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
     build_dir="${BUILD_DIR:-${repo_root}/build-ci}"
 fi
@@ -27,6 +38,15 @@ cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE="${build_type}" \
     -DCMAKE_CXX_FLAGS="${cxx_flags}"
 cmake --build "${build_dir}" -j "${jobs}"
+
+if [[ "${sanitize}" == "thread" ]]; then
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+        -R 'WorkerPool|EventQueue|Determinism|ServiceTest|ArbiterTest'
+    "${build_dir}/bench/perf_harness" --smoke \
+        --out "${build_dir}/BENCH_PERF.json"
+    exit 0
+fi
+
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 
 # Observability smoke: run a short xfmsim with JSON snapshot and
@@ -57,3 +77,10 @@ cat "${repo_root}/configs/chaos.cfg" > "${chaos_dir}/chaos.cfg"
 echo "stats.json = ${chaos_dir}/stats.json" >> "${chaos_dir}/chaos.cfg"
 "${build_dir}/examples/xfmsim" "${chaos_dir}/chaos.cfg" > /dev/null
 "${build_dir}/tools/check_obs_output" health "${chaos_dir}/stats.json"
+
+# Perf smoke: the hot-path harness at tiny sizes. Exits non-zero
+# only if results diverge across worker counts (the determinism
+# contract) — the measured speedup is informational and depends on
+# the runner's core count, so it is never gated on.
+"${build_dir}/bench/perf_harness" --smoke \
+    --out "${build_dir}/BENCH_PERF.json"

@@ -1,0 +1,123 @@
+#include "worker_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace xfm
+{
+
+void
+WorkerPool::Task::run()
+{
+    try {
+        fn_();
+    } catch (...) {
+        std::lock_guard<std::mutex> g(m_);
+        error_ = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> g(m_);
+        fn_ = nullptr;
+        done_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+WorkerPool::Task::wait()
+{
+    std::unique_lock<std::mutex> g(m_);
+    cv_.wait(g, [this] { return done_; });
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+WorkerPool::WorkerPool(std::size_t workers)
+    : workers_(std::max<std::size_t>(1, workers))
+{
+    threads_.reserve(workers_ - 1);
+    for (std::size_t i = 0; i + 1 < workers_; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> g(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+WorkerPool::TaskPtr
+WorkerPool::submit(std::function<void()> fn)
+{
+    auto task = std::make_shared<Task>();
+    task->fn_ = std::move(fn);
+    ++stats_.tasks;
+    if (!parallel()) {
+        ++stats_.inlineTasks;
+        task->run();
+        return task;
+    }
+    {
+        std::lock_guard<std::mutex> g(m_);
+        queue_.push_back(task);
+    }
+    cv_.notify_one();
+    return task;
+}
+
+void
+WorkerPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    ++stats_.parallelLoops;
+    if (!parallel() || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Atomic work-stealing counter; helpers and the caller drain it
+    // together. fn is captured by reference — safe because every
+    // helper task is awaited before returning.
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    const auto *body = &fn;
+    auto drain = [next, n, body] {
+        for (std::size_t i = next->fetch_add(1); i < n;
+             i = next->fetch_add(1)) {
+            (*body)(i);
+        }
+    };
+
+    const std::size_t helpers = std::min(threads_.size(), n - 1);
+    std::vector<TaskPtr> tasks;
+    tasks.reserve(helpers);
+    for (std::size_t h = 0; h < helpers; ++h)
+        tasks.push_back(submit(drain));
+    drain();
+    for (auto &t : tasks)
+        t->wait();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    for (;;) {
+        TaskPtr task;
+        {
+            std::unique_lock<std::mutex> g(m_);
+            cv_.wait(g, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ set and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task->run();
+    }
+}
+
+} // namespace xfm

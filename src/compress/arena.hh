@@ -1,0 +1,165 @@
+/**
+ * @file
+ * ScratchArena: a per-context pool of reusable byte buffers.
+ *
+ * Steady-state page operations (swap-out, swap-in, shard assembly,
+ * NMA input staging) need short-lived Bytes buffers whose sizes
+ * quickly converge. The arena recycles those buffers so the hot
+ * path allocates only until each buffer has grown to its working
+ * size, after which every acquire() is a free-list pop.
+ *
+ * Ownership rules (DESIGN.md §11): each backend/device owns its own
+ * arena (no global pool); a Lease returns its buffer to the arena
+ * on destruction and must not outlive the arena. The arena is
+ * mutex-protected so leases may be released from WorkerPool threads
+ * (the NMA engine recycles input staging buffers from codec jobs
+ * that finish on a worker).
+ */
+
+#ifndef XFM_COMPRESS_ARENA_HH
+#define XFM_COMPRESS_ARENA_HH
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "compress/compressor.hh"
+
+namespace xfm
+{
+namespace compress
+{
+
+/** Pool of reusable Bytes buffers with RAII leases. */
+class ScratchArena
+{
+  public:
+    /** Movable RAII handle; returns its buffer on destruction. */
+    class Lease
+    {
+      public:
+        Lease() = default;
+
+        Lease(Lease &&o) noexcept
+            : arena_(o.arena_), buf_(std::move(o.buf_))
+        {
+            o.arena_ = nullptr;
+        }
+
+        Lease &
+        operator=(Lease &&o) noexcept
+        {
+            if (this != &o) {
+                release();
+                arena_ = o.arena_;
+                buf_ = std::move(o.buf_);
+                o.arena_ = nullptr;
+            }
+            return *this;
+        }
+
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        ~Lease() { release(); }
+
+        /** True when this lease holds a pooled buffer. */
+        explicit operator bool() const { return arena_ != nullptr; }
+
+        Bytes &operator*() { return buf_; }
+        const Bytes &operator*() const { return buf_; }
+        Bytes *operator->() { return &buf_; }
+        const Bytes *operator->() const { return &buf_; }
+
+      private:
+        friend class ScratchArena;
+        Lease(ScratchArena *a, Bytes b)
+            : arena_(a), buf_(std::move(b))
+        {}
+
+        void
+        release()
+        {
+            if (arena_) {
+                arena_->put(std::move(buf_));
+                arena_ = nullptr;
+            }
+        }
+
+        ScratchArena *arena_ = nullptr;
+        Bytes buf_;
+    };
+
+    /**
+     * Take a buffer (empty, with whatever capacity it retired
+     * with), reserving at least @p reserve_hint bytes.
+     */
+    Lease
+    acquire(std::size_t reserve_hint = 0)
+    {
+        Bytes buf;
+        {
+            std::lock_guard<std::mutex> g(m_);
+            if (!free_.empty()) {
+                buf = std::move(free_.back());
+                free_.pop_back();
+                ++reuses_;
+            } else {
+                ++allocs_;
+            }
+        }
+        if (buf.capacity() < reserve_hint)
+            buf.reserve(reserve_hint);
+        return Lease(this, std::move(buf));
+    }
+
+    /** Buffers currently resting in the pool. */
+    std::size_t
+    pooled() const
+    {
+        std::lock_guard<std::mutex> g(m_);
+        return free_.size();
+    }
+
+    /** acquire() calls served from the pool. */
+    std::uint64_t
+    reuses() const
+    {
+        std::lock_guard<std::mutex> g(m_);
+        return reuses_;
+    }
+
+    /** acquire() calls that had to start from a fresh buffer. */
+    std::uint64_t
+    allocations() const
+    {
+        std::lock_guard<std::mutex> g(m_);
+        return allocs_;
+    }
+
+  private:
+    friend class Lease;
+
+    void
+    put(Bytes b)
+    {
+        b.clear();
+        std::lock_guard<std::mutex> g(m_);
+        if (free_.size() < maxPooled)
+            free_.push_back(std::move(b));
+    }
+
+    // Bound the resting pool so a burst (e.g. a compaction sweep)
+    // doesn't pin its high-water mark of buffers forever.
+    static constexpr std::size_t maxPooled = 64;
+
+    mutable std::mutex m_;
+    std::vector<Bytes> free_;
+    std::uint64_t reuses_ = 0;
+    std::uint64_t allocs_ = 0;
+};
+
+} // namespace compress
+} // namespace xfm
+
+#endif // XFM_COMPRESS_ARENA_HH

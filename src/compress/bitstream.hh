@@ -6,7 +6,9 @@
 #ifndef XFM_COMPRESS_BITSTREAM_HH
 #define XFM_COMPRESS_BITSTREAM_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "compress/compressor.hh"
@@ -58,6 +60,42 @@ class BitWriter
     std::uint64_t acc_ = 0;
     unsigned fill_ = 0;
 };
+
+/**
+ * Append an LZ match to @p out: copy @p len bytes starting @p dist
+ * bytes before the current end of @p out.
+ *
+ * Overlap-aware block copy shared by every decoder. When the match
+ * does not overlap its source (dist >= len) it is a single memcpy.
+ * When it does overlap (dist < len) the output is periodic with
+ * period dist, so we seed one period and then double the copied
+ * region; `filled` stays a multiple of dist until the final partial
+ * chunk, which keeps every memcpy source fully written and
+ * non-overlapping with its destination.
+ */
+inline void
+appendMatch(Bytes &out, std::size_t dist, std::size_t len)
+{
+    XFM_ASSERT(dist >= 1 && dist <= out.size(),
+               "appendMatch: distance outside produced output");
+    if (len == 0)
+        return;
+    const std::size_t start = out.size() - dist;
+    out.resize(out.size() + len);
+    std::uint8_t *dst = out.data() + out.size() - len;
+    const std::uint8_t *src = out.data() + start;
+    if (len <= dist) {
+        std::memcpy(dst, src, len);
+        return;
+    }
+    std::memcpy(dst, src, dist);
+    std::size_t filled = dist;
+    while (filled < len) {
+        const std::size_t chunk = std::min(filled, len - filled);
+        std::memcpy(dst + filled, dst, chunk);
+        filled += chunk;
+    }
+}
 
 /** Read bits LSB-first from a byte span. */
 class BitReader

@@ -10,6 +10,22 @@ namespace xfm
 namespace compress
 {
 
+Bytes
+Compressor::compress(ByteSpan input) const
+{
+    Bytes out;
+    compressInto(input, out);
+    return out;
+}
+
+Bytes
+Compressor::decompress(ByteSpan block) const
+{
+    Bytes out;
+    decompressInto(block, out);
+    return out;
+}
+
 std::string
 algorithmName(Algorithm a)
 {

@@ -75,15 +75,50 @@ class Compressor
      * The output always round-trips through decompress(); if the
      * data is incompressible the output may be larger than the
      * input (a stored-block header is added).
+     *
+     * Thin wrapper over compressInto() that allocates a fresh
+     * buffer; hot paths should hold a reusable buffer (e.g. from a
+     * ScratchArena) and call compressInto() directly.
      */
-    virtual Bytes compress(ByteSpan input) const = 0;
+    Bytes compress(ByteSpan input) const;
 
     /**
-     * Decompress a block produced by compress().
+     * Decompress a block produced by compress(). Wrapper over
+     * decompressInto(), see compress().
      *
      * @throws FatalError on a corrupt or truncated block.
      */
-    virtual Bytes decompress(ByteSpan block) const = 0;
+    Bytes decompress(ByteSpan block) const;
+
+    /**
+     * Compress @p input into @p out, which is cleared first. The
+     * buffer's capacity is reused across calls, so steady-state
+     * page operations allocate nothing once the buffer has grown to
+     * its working size. @p out must not alias @p input.
+     */
+    virtual void compressInto(ByteSpan input, Bytes &out) const = 0;
+
+    /**
+     * Decompress @p block into @p out (cleared first); capacity is
+     * reused as in compressInto(). @p out must not alias @p block.
+     */
+    virtual void decompressInto(ByteSpan block, Bytes &out) const = 0;
+
+    /**
+     * Conservative upper bound on the bytes a codec may emit while
+     * compressing @p raw input bytes, *including* transient growth
+     * before the stored-block fallback truncates oversized output.
+     * Suitable as a reserve() hint that avoids reallocation during
+     * emission.
+     */
+    static constexpr std::size_t
+    maxCompressedSize(std::size_t raw)
+    {
+        // Huffman emission is bounded by ~9 bits/byte plus code
+        // tables and the block header; LzFast literal runs add at
+        // most 1 control byte per 15 literals.
+        return raw + raw / 8 + 256;
+    }
 
     /**
      * Maximum window the match finder may reference, in bytes.

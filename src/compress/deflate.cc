@@ -91,15 +91,14 @@ getU32(ByteSpan in, std::size_t off)
         | (static_cast<std::uint32_t>(in[off + 3]) << 24);
 }
 
-Bytes
-storedBlock(ByteSpan input)
+void
+storedBlockInto(ByteSpan input, Bytes &out)
 {
-    Bytes out;
+    out.clear();
     out.reserve(input.size() + 5);
     out.push_back(modeStored);
     putU32(out, static_cast<std::uint32_t>(input.size()));
     out.insert(out.end(), input.begin(), input.end());
-    return out;
 }
 
 } // namespace
@@ -111,11 +110,13 @@ DeflateCodec::DeflateCodec(std::size_t window_bytes)
                "deflate window must be in [16, 32768]");
 }
 
-Bytes
-DeflateCodec::compress(ByteSpan input) const
+void
+DeflateCodec::compressInto(ByteSpan input, Bytes &out) const
 {
-    if (input.empty())
-        return storedBlock(input);
+    if (input.empty()) {
+        storedBlockInto(input, out);
+        return;
+    }
 
     Lz77Params params;
     params.windowBytes = window_bytes_;
@@ -139,7 +140,8 @@ DeflateCodec::compress(ByteSpan input) const
     HuffmanEncoder lit_enc(lit_lengths);
     HuffmanEncoder dist_enc(dist_lengths);
 
-    Bytes out;
+    out.clear();
+    out.reserve(maxCompressedSize(input.size()));
     out.push_back(modeHuffman);
     putU32(out, static_cast<std::uint32_t>(input.size()));
 
@@ -165,12 +167,11 @@ DeflateCodec::compress(ByteSpan input) const
 
     // Incompressible input: fall back to a stored block.
     if (out.size() >= input.size() + 5)
-        return storedBlock(input);
-    return out;
+        storedBlockInto(input, out);
 }
 
-Bytes
-DeflateCodec::decompress(ByteSpan block) const
+void
+DeflateCodec::decompressInto(ByteSpan block, Bytes &out) const
 {
     if (block.empty())
         fatal("deflate: empty block");
@@ -179,7 +180,8 @@ DeflateCodec::decompress(ByteSpan block) const
         const std::uint32_t len = getU32(block, 1);
         if (block.size() < 5 + std::size_t(len))
             fatal("deflate: stored block truncated");
-        return Bytes(block.begin() + 5, block.begin() + 5 + len);
+        out.assign(block.begin() + 5, block.begin() + 5 + len);
+        return;
     }
     if (mode != modeHuffman)
         fatal("deflate: unknown block mode ", unsigned(mode));
@@ -191,7 +193,7 @@ DeflateCodec::decompress(ByteSpan block) const
     HuffmanDecoder lit_dec(lit_lengths);
     HuffmanDecoder dist_dec(dist_lengths);
 
-    Bytes out;
+    out.clear();
     out.reserve(expected);
     for (;;) {
         const std::uint32_t sym = lit_dec.decode(br);
@@ -218,14 +220,11 @@ DeflateCodec::decompress(ByteSpan block) const
         if (dist > out.size())
             fatal("deflate: distance ", dist, " beyond output size ",
                   out.size());
-        const std::size_t src = out.size() - dist;
-        for (std::uint32_t k = 0; k < len; ++k)
-            out.push_back(out[src + k]);
+        appendMatch(out, dist, len);
     }
     if (out.size() != expected)
         fatal("deflate: size mismatch (", out.size(), " vs ", expected,
               ")");
-    return out;
 }
 
 } // namespace compress

@@ -31,8 +31,8 @@ class DeflateCodec : public Compressor
     explicit DeflateCodec(std::size_t window_bytes = 32 * 1024);
 
     Algorithm algorithm() const override { return Algorithm::Deflate; }
-    Bytes compress(ByteSpan input) const override;
-    Bytes decompress(ByteSpan block) const override;
+    void compressInto(ByteSpan input, Bytes &out) const override;
+    void decompressInto(ByteSpan block, Bytes &out) const override;
     std::size_t windowBytes() const override { return window_bytes_; }
 
   private:

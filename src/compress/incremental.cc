@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "compress/bitstream.hh"
 
 namespace xfm
 {
@@ -76,7 +77,7 @@ IncrementalCompressor::addChunk(ByteSpan chunk)
     const auto tokens = lz77TokenizeSuffix(history_, params_, start);
 
     Bytes out;
-    out.reserve(chunk.size() / 2 + 16);
+    out.reserve(Compressor::maxCompressedSize(chunk.size()));
     putU32(out, static_cast<std::uint32_t>(chunk.size()));
 
     std::size_t i = 0;
@@ -152,9 +153,7 @@ IncrementalDecompressor::addSegment(ByteSpan segment)
 
         if (dist == 0 || dist > history_.size())
             fatal("incremental: bad distance ", dist);
-        const std::size_t src = history_.size() - dist;
-        for (std::uint32_t k = 0; k < len; ++k)
-            history_.push_back(history_[src + k]);
+        appendMatch(history_, dist, len);
     }
     if (history_.size() - start != raw_len)
         fatal("incremental: segment size mismatch");

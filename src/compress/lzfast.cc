@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "compress/bitstream.hh"
 #include "compress/lz77.hh"
 
 namespace xfm
@@ -62,15 +63,14 @@ getExtended(ByteSpan in, std::size_t &pos)
     }
 }
 
-Bytes
-storedBlock(ByteSpan input)
+void
+storedBlockInto(ByteSpan input, Bytes &out)
 {
-    Bytes out;
+    out.clear();
     out.reserve(input.size() + 5);
     out.push_back(modeStored);
     putU32(out, static_cast<std::uint32_t>(input.size()));
     out.insert(out.end(), input.begin(), input.end());
-    return out;
 }
 
 } // namespace
@@ -82,11 +82,13 @@ LzFastCodec::LzFastCodec(std::size_t window_bytes)
                "lzfast window must fit 16-bit offsets");
 }
 
-Bytes
-LzFastCodec::compress(ByteSpan input) const
+void
+LzFastCodec::compressInto(ByteSpan input, Bytes &out) const
 {
-    if (input.empty())
-        return storedBlock(input);
+    if (input.empty()) {
+        storedBlockInto(input, out);
+        return;
+    }
 
     Lz77Params params;
     params.windowBytes = window_bytes_;
@@ -96,8 +98,8 @@ LzFastCodec::compress(ByteSpan input) const
     params.lazyMatching = false;
     const auto tokens = lz77Tokenize(input, params);
 
-    Bytes out;
-    out.reserve(input.size() / 2 + 16);
+    out.clear();
+    out.reserve(maxCompressedSize(input.size()));
     out.push_back(modeLz);
     putU32(out, static_cast<std::uint32_t>(input.size()));
 
@@ -138,12 +140,11 @@ LzFastCodec::compress(ByteSpan input) const
     }
 
     if (out.size() >= input.size() + 5)
-        return storedBlock(input);
-    return out;
+        storedBlockInto(input, out);
 }
 
-Bytes
-LzFastCodec::decompress(ByteSpan block) const
+void
+LzFastCodec::decompressInto(ByteSpan block, Bytes &out) const
 {
     if (block.empty())
         fatal("lzfast: empty block");
@@ -152,12 +153,13 @@ LzFastCodec::decompress(ByteSpan block) const
     if (mode == modeStored) {
         if (block.size() < 5 + std::size_t(expected))
             fatal("lzfast: stored block truncated");
-        return Bytes(block.begin() + 5, block.begin() + 5 + expected);
+        out.assign(block.begin() + 5, block.begin() + 5 + expected);
+        return;
     }
     if (mode != modeLz)
         fatal("lzfast: unknown block mode ", unsigned(mode));
 
-    Bytes out;
+    out.clear();
     out.reserve(expected);
     std::size_t pos = 5;
     while (out.size() < expected) {
@@ -188,14 +190,11 @@ LzFastCodec::decompress(ByteSpan block) const
 
         if (dist == 0 || dist > out.size())
             fatal("lzfast: bad distance ", dist);
-        const std::size_t src = out.size() - dist;
-        for (std::uint32_t k = 0; k < match_len; ++k)
-            out.push_back(out[src + k]);
+        appendMatch(out, dist, match_len);
     }
     if (out.size() != expected)
         fatal("lzfast: size mismatch (", out.size(), " vs ", expected,
               ")");
-    return out;
 }
 
 } // namespace compress

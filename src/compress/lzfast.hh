@@ -29,8 +29,8 @@ class LzFastCodec : public Compressor
     explicit LzFastCodec(std::size_t window_bytes = 64 * 1024 - 1);
 
     Algorithm algorithm() const override { return Algorithm::LzFast; }
-    Bytes compress(ByteSpan input) const override;
-    Bytes decompress(ByteSpan block) const override;
+    void compressInto(ByteSpan input, Bytes &out) const override;
+    void decompressInto(ByteSpan block, Bytes &out) const override;
     std::size_t windowBytes() const override { return window_bytes_; }
 
   private:

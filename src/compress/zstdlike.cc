@@ -70,15 +70,14 @@ getVarint(ByteSpan in, std::size_t &pos)
     }
 }
 
-Bytes
-storedBlock(ByteSpan input)
+void
+storedBlockInto(ByteSpan input, Bytes &out)
 {
-    Bytes out;
+    out.clear();
     out.reserve(input.size() + 5);
     out.push_back(modeStored);
     putU32(out, static_cast<std::uint32_t>(input.size()));
     out.insert(out.end(), input.begin(), input.end());
-    return out;
 }
 
 } // namespace
@@ -90,11 +89,13 @@ ZstdLikeCodec::ZstdLikeCodec(std::size_t window_bytes)
                "zstdlike window out of range");
 }
 
-Bytes
-ZstdLikeCodec::compress(ByteSpan input) const
+void
+ZstdLikeCodec::compressInto(ByteSpan input, Bytes &out) const
 {
-    if (input.empty())
-        return storedBlock(input);
+    if (input.empty()) {
+        storedBlockInto(input, out);
+        return;
+    }
 
     Lz77Params params;
     params.windowBytes = window_bytes_;
@@ -133,7 +134,8 @@ ZstdLikeCodec::compress(ByteSpan input) const
     const auto lit_lengths = huffmanCodeLengths(counts);
     HuffmanEncoder lit_enc(lit_lengths);
 
-    Bytes out;
+    out.clear();
+    out.reserve(maxCompressedSize(input.size()));
     out.push_back(modeZstd);
     putU32(out, static_cast<std::uint32_t>(input.size()));
     putU32(out, static_cast<std::uint32_t>(literals.size()));
@@ -176,12 +178,11 @@ ZstdLikeCodec::compress(ByteSpan input) const
     }
 
     if (out.size() >= input.size() + 5)
-        return storedBlock(input);
-    return out;
+        storedBlockInto(input, out);
 }
 
-Bytes
-ZstdLikeCodec::decompress(ByteSpan block) const
+void
+ZstdLikeCodec::decompressInto(ByteSpan block, Bytes &out) const
 {
     if (block.empty())
         fatal("zstdlike: empty block");
@@ -190,7 +191,8 @@ ZstdLikeCodec::decompress(ByteSpan block) const
         const std::uint32_t len = getU32(block, 1);
         if (block.size() < 5 + std::size_t(len))
             fatal("zstdlike: stored block truncated");
-        return Bytes(block.begin() + 5, block.begin() + 5 + len);
+        out.assign(block.begin() + 5, block.begin() + 5 + len);
+        return;
     }
     if (mode != modeZstd)
         fatal("zstdlike: unknown block mode ", unsigned(mode));
@@ -214,7 +216,7 @@ ZstdLikeCodec::decompress(ByteSpan block) const
     }
 
     // Sequence replay.
-    Bytes out;
+    out.clear();
     out.reserve(expected);
     std::size_t lit_pos = 0;
     std::uint32_t last_offset = 0;
@@ -243,14 +245,11 @@ ZstdLikeCodec::decompress(ByteSpan block) const
             last_offset = offset;
         if (offset == 0 || offset > out.size())
             fatal("zstdlike: bad offset ", offset);
-        const std::size_t src = out.size() - offset;
-        for (std::uint32_t k = 0; k < match_len; ++k)
-            out.push_back(out[src + k]);
+        appendMatch(out, offset, match_len);
     }
     if (out.size() != expected)
         fatal("zstdlike: size mismatch (", out.size(), " vs ", expected,
               ")");
-    return out;
 }
 
 } // namespace compress

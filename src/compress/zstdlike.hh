@@ -28,8 +28,8 @@ class ZstdLikeCodec : public Compressor
     explicit ZstdLikeCodec(std::size_t window_bytes = 128 * 1024);
 
     Algorithm algorithm() const override { return Algorithm::ZstdLike; }
-    Bytes compress(ByteSpan input) const override;
-    Bytes decompress(ByteSpan block) const override;
+    void compressInto(ByteSpan input, Bytes &out) const override;
+    void decompressInto(ByteSpan block, Bytes &out) const override;
     std::size_t windowBytes() const override { return window_bytes_; }
 
   private:

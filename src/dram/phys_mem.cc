@@ -13,9 +13,17 @@ namespace dram
 Bytes
 PhysMem::read(std::uint64_t addr, std::size_t size) const
 {
+    Bytes out;
+    read(addr, size, out);
+    return out;
+}
+
+void
+PhysMem::read(std::uint64_t addr, std::size_t size, Bytes &out) const
+{
     XFM_ASSERT(addr + size <= capacity_, "read past capacity: addr=",
                addr, " size=", size);
-    Bytes out(size, 0);
+    out.assign(size, 0);
     std::size_t done = 0;
     while (done < size) {
         const std::uint64_t cur = addr + done;
@@ -29,7 +37,6 @@ PhysMem::read(std::uint64_t addr, std::size_t size) const
                         chunk);
         done += chunk;
     }
-    return out;
 }
 
 void

@@ -32,6 +32,13 @@ class PhysMem
     /** Read @p size bytes at @p addr (zero-filled if untouched). */
     Bytes read(std::uint64_t addr, std::size_t size) const;
 
+    /**
+     * Read @p size bytes at @p addr into @p out (resized to fit).
+     * Reuses @p out's capacity, so hot paths holding a scratch
+     * buffer read without allocating.
+     */
+    void read(std::uint64_t addr, std::size_t size, Bytes &out) const;
+
     /** Write @p data at @p addr. */
     void write(std::uint64_t addr, ByteSpan data);
 

@@ -73,5 +73,78 @@ CompressionEngine::decompress(ByteSpan block,
                                         profile_.decompressGBps)};
 }
 
+std::pair<EngineJob, Tick>
+CompressionEngine::compressDeferred(compress::ScratchArena::Lease input)
+{
+    const std::size_t n = input->size();
+    bytes_compressed_ += n;
+    const Tick latency = durationFor(n, profile_.compressGBps);
+
+    EngineJob job;
+    job.state_ = std::make_shared<EngineJob::State>();
+    auto &state = *job.state_;
+    if (profile_.modeledRatio > 0.0) {
+        // Inline: the jitter counter must advance in submission
+        // order or same-seed runs diverge across worker counts.
+        state.out.assign(modeledSize(n), 0);
+        return {std::move(job), latency};
+    }
+    state.input = std::move(input);
+    if (pool_ && pool_->parallel()) {
+        state.task = pool_->submit(
+            [codec = codec_, s = job.state_] {
+                codec->compressInto(*s->input, s->out);
+            });
+    } else {
+        codec_->compressInto(*state.input, state.out);
+    }
+    return {std::move(job), latency};
+}
+
+std::pair<EngineJob, Tick>
+CompressionEngine::decompressDeferred(
+    compress::ScratchArena::Lease input, std::uint32_t expected_raw)
+{
+    EngineJob job;
+    job.state_ = std::make_shared<EngineJob::State>();
+    auto &state = *job.state_;
+
+    if (profile_.modeledRatio > 0.0) {
+        XFM_ASSERT(expected_raw > 0,
+                   "size-model decompression needs the expected "
+                   "output size");
+        state.out.assign(expected_raw, 0);
+        bytes_decompressed_ += expected_raw;
+        return {std::move(job),
+                durationFor(expected_raw, profile_.decompressGBps)};
+    }
+
+    if (expected_raw == 0) {
+        // Unknown output size: run inline so the latency and byte
+        // counter can be charged from the actual output.
+        codec_->decompressInto(*input, state.out);
+        bytes_decompressed_ += state.out.size();
+        return {std::move(job), durationFor(state.out.size(),
+                                            profile_.decompressGBps)};
+    }
+
+    // A valid block decompresses to exactly expected_raw bytes, so
+    // charging latency and counters from it at submission keeps both
+    // identical to the synchronous path for any worker count.
+    bytes_decompressed_ += expected_raw;
+    const Tick latency =
+        durationFor(expected_raw, profile_.decompressGBps);
+    state.input = std::move(input);
+    if (pool_ && pool_->parallel()) {
+        state.task = pool_->submit(
+            [codec = codec_, s = job.state_] {
+                codec->decompressInto(*s->input, s->out);
+            });
+    } else {
+        codec_->decompressInto(*state.input, state.out);
+    }
+    return {std::move(job), latency};
+}
+
 } // namespace nma
 } // namespace xfm

@@ -14,8 +14,11 @@
 #define XFM_NMA_ENGINE_HH
 
 #include <memory>
+#include <utility>
 
 #include "common/stats.hh"
+#include "common/worker_pool.hh"
+#include "compress/arena.hh"
 #include "compress/compressor.hh"
 #include "nma/offload.hh"
 
@@ -23,6 +26,47 @@ namespace xfm
 {
 namespace nma
 {
+
+/**
+ * Handle to an engine (de)compression whose codec work may still be
+ * running on a WorkerPool thread. The simulated latency is known at
+ * submission; only the bytes arrive later. take() blocks until the
+ * codec finished (a no-op for inline jobs) and moves the output out.
+ *
+ * The shared state owns the staged input lease, so the source bytes
+ * stay alive for a worker even after the caller moved on; the lease
+ * returns to its (mutex-protected) arena when the job is dropped.
+ */
+class EngineJob
+{
+  public:
+    EngineJob() = default;
+
+    /** True once a job was issued into this handle. */
+    explicit operator bool() const { return state_ != nullptr; }
+
+    /** Wait for the codec and move the output out (once). */
+    Bytes
+    take()
+    {
+        auto state = std::move(state_);
+        if (state->task)
+            state->task->wait();
+        return std::move(state->out);
+    }
+
+  private:
+    friend class CompressionEngine;
+
+    struct State
+    {
+        Bytes out;
+        compress::ScratchArena::Lease input;
+        WorkerPool::TaskPtr task;
+    };
+
+    std::shared_ptr<State> state_;
+};
 
 /** Engine timing profile. */
 struct EngineProfile
@@ -70,6 +114,34 @@ class CompressionEngine
                                       std::uint32_t expected_raw = 0);
 
     /**
+     * Deferred compress: the simulated latency (a function of the
+     * input size only) returns immediately; the codec itself runs on
+     * the worker pool when one is attached and parallel, inline
+     * otherwise. Size-model mode always runs inline so the modeled
+     * jitter counter advances in submission order. Byte counters are
+     * charged at submission either way, so metrics are identical for
+     * any worker count.
+     *
+     * @param input staged input bytes; the job owns the lease.
+     */
+    std::pair<EngineJob, Tick>
+    compressDeferred(compress::ScratchArena::Lease input);
+
+    /**
+     * Deferred decompress; see compressDeferred(). Requires the
+     * expected raw size (which the simulated latency and the byte
+     * counter are charged from — equal to the actual output for any
+     * valid block); pass 0 to force inline execution with counters
+     * charged from the actual output.
+     */
+    std::pair<EngineJob, Tick>
+    decompressDeferred(compress::ScratchArena::Lease input,
+                       std::uint32_t expected_raw);
+
+    /** Attach (or detach, nullptr) the fan-out pool. */
+    void setWorkerPool(WorkerPool *pool) { pool_ = pool; }
+
+    /**
      * Worst-case compressed size for an input, used for the SPM's
      * pessimistic reservation (stored-block fallback bound).
      */
@@ -95,8 +167,9 @@ class CompressionEngine
     Tick durationFor(std::size_t bytes, double gbps) const;
     std::uint32_t modeledSize(std::size_t input_size);
 
-    std::unique_ptr<compress::Compressor> codec_;
+    std::shared_ptr<compress::Compressor> codec_;
     EngineProfile profile_;
+    WorkerPool *pool_ = nullptr;
     /**
      * Jitter counter for size-model mode. Per-engine state (not a
      * process-wide static): two engines — or two back-to-back runs

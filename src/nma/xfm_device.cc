@@ -239,7 +239,8 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
                        cls == AccessClass::Conditional ? 0 : 1);
     }
 
-    Bytes data = mem_.read(op.req.srcAddr, op.req.size);
+    auto staged = arena_.acquire(op.req.size);
+    mem_.read(op.req.srcAddr, op.req.size, *staged);
     const OffloadId id = op.id;
     const OffloadKind kind = op.req.kind;
 
@@ -263,15 +264,17 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
         return true;
     }
 
-    Bytes output;
+    EngineJob job;
     Tick latency;
     if (kind == OffloadKind::Compress) {
         ++stats_.compressOffloads;
-        std::tie(output, latency) = engine_.compress(data);
+        std::tie(job, latency) =
+            engine_.compressDeferred(std::move(staged));
     } else {
         ++stats_.decompressOffloads;
-        std::tie(output, latency) =
-            engine_.decompress(data, op.req.rawSize);
+        std::tie(job, latency) =
+            engine_.decompressDeferred(std::move(staged),
+                                       op.req.rawSize);
     }
 
     if (tracer_ && op.req.traceId)
@@ -280,10 +283,11 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
 
     eventq().scheduleIn(transfer + latency,
                         [this, id, kind,
-                         out = std::move(output)]() mutable {
+                         job = std::move(job)]() mutable {
         engine_health_.recordSuccess(curTick());
         if (aborted_.erase(id))
             return;  // offload abandoned mid-compute
+        Bytes out = job.take();
         const auto out_size = static_cast<std::uint32_t>(out.size());
         spm_.complete(id, std::move(out), curTick());
         if (on_complete_)

@@ -232,6 +232,16 @@ class XfmDevice : public SimObject
         spm_.setFaultInjector(inj);
     }
 
+    /**
+     * Attach the deterministic fan-out pool (null detaches); codec
+     * work for offloads runs on it while simulated timing stays
+     * byte-identical for any worker count.
+     */
+    void setWorkerPool(WorkerPool *pool)
+    {
+        engine_.setWorkerPool(pool);
+    }
+
     RegisterFile &regs() { return regs_; }
     const ScratchPad &spm() const { return spm_; }
     const XfmDeviceStats &stats() const { return stats_; }
@@ -299,6 +309,8 @@ class XfmDevice : public SimObject
     CompressRequestQueue queue_;
     RegisterFile regs_;
     CompressionEngine engine_;
+    /** Staging buffers for DRAM reads handed to engine jobs. */
+    compress::ScratchArena arena_;
 
     Tick dev_trefi_ = 0;  ///< tREFI of the attached refresh domain
     dram::DeviceConfig dev_cfg_;  ///< timing of the attached DRAM

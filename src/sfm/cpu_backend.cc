@@ -54,7 +54,8 @@ CpuSfmBackend::cpuSwapOut(VirtPage page, SwapCallback done)
         fatal("swapOut: page ", page, " already in far memory");
 
     const std::uint64_t src = frameAddr(page);
-    const Bytes raw = mem_.read(src, pageBytes);
+    mem_.read(src, pageBytes, raw_scratch_);
+    const Bytes &raw = raw_scratch_;
 
     // zswap same-filled shortcut: no compression, no pool space.
     std::uint64_t fill;
@@ -75,7 +76,8 @@ CpuSfmBackend::cpuSwapOut(VirtPage page, SwapCallback done)
         });
         return;
     }
-    const Bytes block = codec_->compress(raw);
+    codec_->compressInto(raw, block_scratch_);
+    const Bytes &block = block_scratch_;
 
     // Incompressible pages gain nothing in far memory; reject them
     // (zswap likewise refuses pages that do not shrink).
@@ -155,7 +157,8 @@ CpuSfmBackend::cpuSwapIn(VirtPage page, SwapCallback done)
     // Same-filled pages rematerialise with a fill, no decompression.
     auto sf = same_filled_.find(page);
     if (sf != same_filled_.end()) {
-        Bytes raw(pageBytes);
+        Bytes &raw = raw_scratch_;
+        raw.resize(pageBytes);
         for (std::size_t off = 0; off < raw.size(); off += 8)
             std::memcpy(raw.data() + off, &sf->second, 8);
         mem_.write(frameAddr(page), raw);
@@ -181,8 +184,10 @@ CpuSfmBackend::cpuSwapIn(VirtPage page, SwapCallback done)
 
     const ZHandle h = it->second;
     const std::uint64_t block_addr = pool_.addressOf(h);
-    const Bytes block = pool_.fetch(h);
-    const Bytes raw = codec_->decompress(block);
+    pool_.fetchInto(h, block_scratch_);
+    const Bytes &block = block_scratch_;
+    codec_->decompressInto(block, raw_scratch_);
+    const Bytes &raw = raw_scratch_;
     XFM_ASSERT(raw.size() == pageBytes,
                "decompressed page has wrong size");
     mem_.write(frameAddr(page), raw);

@@ -123,6 +123,10 @@ class CpuSfmBackend : public SimObject, public SfmBackend
     std::map<VirtPage, std::uint64_t> same_filled_;
     BackendStats stats_;
     obs::Tracer *tracer_ = nullptr;
+    /** Page/block staging reused across swaps (zero steady-state
+     *  allocation once grown to the working size). */
+    Bytes raw_scratch_;
+    Bytes block_scratch_;
 };
 
 } // namespace sfm

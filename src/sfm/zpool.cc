@@ -54,10 +54,18 @@ ZPool::insert(ByteSpan data)
 Bytes
 ZPool::fetch(ZHandle handle) const
 {
+    Bytes out;
+    fetchInto(handle, out);
+    return out;
+}
+
+void
+ZPool::fetchInto(ZHandle handle, Bytes &out) const
+{
     const auto it = objects_.find(handle);
     XFM_ASSERT(it != objects_.end(), "fetch: unknown handle ", handle);
     const Object &obj = it->second;
-    return mem_.read(pageAddr(obj.page) + obj.offset, obj.size);
+    mem_.read(pageAddr(obj.page) + obj.offset, obj.size, out);
 }
 
 void
@@ -117,9 +125,9 @@ ZPool::compactPage(std::uint32_t page)
     for (ZHandle h : hp.objects) {
         Object &obj = objects_.at(h);
         if (obj.offset != write) {
-            const Bytes data =
-                mem_.read(pageAddr(page) + obj.offset, obj.size);
-            mem_.write(pageAddr(page) + write, data);
+            mem_.read(pageAddr(page) + obj.offset, obj.size,
+                      compact_scratch_);
+            mem_.write(pageAddr(page) + write, compact_scratch_);
             stats_.compactionMemcpyBytes += obj.size;
             obj.offset = write;
         }

@@ -67,6 +67,9 @@ class ZPool
     /** Fetch a stored object's bytes. */
     Bytes fetch(ZHandle handle) const;
 
+    /** Fetch into a reusable buffer (resized; capacity kept). */
+    void fetchInto(ZHandle handle, Bytes &out) const;
+
     /** Remove an object, leaving a hole until compaction. */
     void erase(ZHandle handle);
 
@@ -130,6 +133,8 @@ class ZPool
     std::vector<HostPage> pages_;
     std::map<ZHandle, Object> objects_;
     ZPoolStats stats_;
+    /** Displaced-object staging for compactPage (reused capacity). */
+    Bytes compact_scratch_;
 };
 
 } // namespace sfm

@@ -1,49 +1,126 @@
 #include "event_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace xfm
 {
+namespace
+{
+
+constexpr std::uint32_t slotMask = 0xffffffffu;
+
+EventId
+makeId(std::uint32_t gen, std::uint32_t slot)
+{
+    // slot + 1 keeps the low word nonzero so no id ever collides
+    // with invalidEventId.
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+}
+
+} // namespace
+
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (!free_slots_.empty()) {
+        const std::uint32_t slot = free_slots_.back();
+        free_slots_.pop_back();
+        return slot;
+    }
+    if (slot_count_ % chunkSize == 0)
+        chunks_.emplace_back(std::make_unique<Entry[]>(chunkSize));
+    return slot_count_++;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    Entry &e = entry(slot);
+    e.cb = EventCallback();
+    e.cancelled = false;
+    // Invalidate every EventId handed out for this incarnation.
+    ++e.gen;
+    free_slots_.push_back(slot);
+}
 
 EventId
 EventQueue::schedule(Tick when, Callback cb, int priority)
 {
     XFM_ASSERT(when >= now_, "scheduling event in the past: when=", when,
                " now=", now_);
-    const EventId id = next_id_++;
-    auto [it, inserted] =
-        storage_.emplace(id, Entry{when, priority, id, std::move(cb)});
-    XFM_ASSERT(inserted, "duplicate event id");
-    events_.push(&it->second);
-    return id;
+    const std::uint32_t slot = acquireSlot();
+    Entry &e = entry(slot);
+    e.cb = std::move(cb);
+    heap_.push_back(HeapNode{when, priority, next_seq_++, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return makeId(e.gen, slot);
 }
 
 bool
 EventQueue::deschedule(EventId id)
 {
-    auto it = storage_.find(id);
-    if (it == storage_.end() || it->second.cancelled)
+    if (id == invalidEventId)
         return false;
-    it->second.cancelled = true;
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(id & slotMask) - 1;
+    if (slot >= slot_count_)
+        return false;
+    Entry &e = entry(slot);
+    if (e.gen != static_cast<std::uint32_t>(id >> 32) || e.cancelled)
+        return false;
+    e.cancelled = true;
+    // Drop the callback now so captured resources free promptly; the
+    // heap node stays behind as a tombstone until popped or swept.
+    e.cb = EventCallback();
     ++cancelled_;
+    if (cancelled_ > heap_.size() / 2 && heap_.size() >= compactMinHeap)
+        compact();
     return true;
+}
+
+void
+EventQueue::compact()
+{
+    // Sweep tombstones in one pass instead of letting them trickle
+    // through pops; keeps long soaks with heavy deschedule traffic
+    // (retry ladders, watchdogs) from growing the heap unboundedly.
+    auto keep = heap_.begin();
+    for (auto &node : heap_) {
+        if (entry(node.slot).cancelled) {
+            releaseSlot(node.slot);
+        } else {
+            *keep++ = node;
+        }
+    }
+    heap_.erase(keep, heap_.end());
+    cancelled_ = 0;
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    ++compactions_;
 }
 
 bool
 EventQueue::step()
 {
-    while (!events_.empty()) {
-        Entry *e = events_.top();
-        events_.pop();
-        if (e->cancelled) {
+    while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        const HeapNode node = heap_.back();
+        heap_.pop_back();
+        Entry &e = entry(node.slot);
+        if (e.cancelled) {
             --cancelled_;
-            storage_.erase(e->id);
+            releaseSlot(node.slot);
             continue;
         }
-        XFM_ASSERT(e->when >= now_, "event queue time went backwards");
-        now_ = e->when;
-        Callback cb = std::move(e->cb);
-        storage_.erase(e->id);
+        XFM_ASSERT(node.when >= now_, "event queue time went backwards");
+        now_ = node.when;
+        EventCallback cb = std::move(e.cb);
+        // Release before invoking so a callback that reschedules
+        // sees the slot free and a self-deschedule returns false —
+        // the same contract as the old erase-before-call kernel.
+        releaseSlot(node.slot);
         cb();
         ++executed_;
         return true;
@@ -55,15 +132,17 @@ std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t n = 0;
-    while (!events_.empty()) {
-        Entry *e = events_.top();
-        if (e->cancelled) {
-            events_.pop();
+    while (!heap_.empty()) {
+        const HeapNode &top = heap_.front();
+        if (entry(top.slot).cancelled) {
+            const std::uint32_t slot = top.slot;
+            std::pop_heap(heap_.begin(), heap_.end(), Later{});
+            heap_.pop_back();
             --cancelled_;
-            storage_.erase(e->id);
+            releaseSlot(slot);
             continue;
         }
-        if (e->when > limit)
+        if (top.when > limit)
             break;
         if (step())
             ++n;

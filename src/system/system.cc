@@ -49,6 +49,7 @@ System::System(std::string name, EventQueue &eq,
         xcfg.retry = cfg_.retry;
         xcfg.health = cfg_.health;
         xcfg.quarantineCap = cfg_.quarantineCap;
+        xcfg.workers = cfg_.workers;
         xfm_backend_ = std::make_unique<xfmsys::XfmBackend>(
             this->name() + ".backend", eq, xcfg, host_ctrl_.get());
         backend_ = xfm_backend_.get();

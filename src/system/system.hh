@@ -63,6 +63,13 @@ struct SystemConfig
     /** Bytes of host DRAM traffic per application page access. */
     std::uint32_t accessBytes = 64;
 
+    /**
+     * Shard-compression worker count for the XFM backend's CPU
+     * paths (1 = fully inline; results are byte-identical for any
+     * value — see WorkerPool).
+     */
+    std::size_t workers = 1;
+
     /** Fault scenario for the XFM backend (disarmed by default). */
     fault::FaultPlan faultPlan{};
     /** Driver retry policy for transient injected faults. */

@@ -9,15 +9,18 @@ namespace xfm
 namespace xfmsys
 {
 
-std::vector<Bytes>
-splitPage(ByteSpan page, std::size_t num_dimms, std::size_t interleave)
+void
+splitPageInto(ByteSpan page, std::size_t num_dimms,
+              std::size_t interleave, std::vector<Bytes> &shards)
 {
     XFM_ASSERT(num_dimms >= 1, "need at least one DIMM");
     XFM_ASSERT(interleave > 0, "interleave must be positive");
-    std::vector<Bytes> shards(num_dimms);
+    shards.resize(num_dimms);
     const std::size_t reserve = page.size() / num_dimms + interleave;
-    for (auto &s : shards)
+    for (auto &s : shards) {
+        s.clear();
         s.reserve(reserve);
+    }
     std::size_t chunk = 0;
     for (std::size_t off = 0; off < page.size();
          off += interleave, ++chunk) {
@@ -27,17 +30,25 @@ splitPage(ByteSpan page, std::size_t num_dimms, std::size_t interleave)
         dst.insert(dst.end(), page.begin() + off,
                    page.begin() + off + len);
     }
+}
+
+std::vector<Bytes>
+splitPage(ByteSpan page, std::size_t num_dimms, std::size_t interleave)
+{
+    std::vector<Bytes> shards;
+    splitPageInto(page, num_dimms, interleave, shards);
     return shards;
 }
 
-Bytes
-gatherPage(const std::vector<Bytes> &shards, std::size_t interleave)
+void
+gatherPageInto(const std::vector<Bytes> &shards, std::size_t interleave,
+               Bytes &page)
 {
     XFM_ASSERT(!shards.empty(), "gather with no shards");
     std::size_t total = 0;
     for (const auto &s : shards)
         total += s.size();
-    Bytes page;
+    page.clear();
     page.reserve(total);
 
     std::vector<std::size_t> cursor(shards.size(), 0);
@@ -54,6 +65,13 @@ gatherPage(const std::vector<Bytes> &shards, std::size_t interleave)
         cursor[d] += len;
         ++chunk;
     }
+}
+
+Bytes
+gatherPage(const std::vector<Bytes> &shards, std::size_t interleave)
+{
+    Bytes page;
+    gatherPageInto(shards, interleave, page);
     return page;
 }
 
@@ -169,16 +187,28 @@ SameOffsetAllocator::slotSize(std::uint64_t offset) const
 MultiChannelResult
 measureMultiChannel(const std::vector<Bytes> &pages,
                     const compress::Compressor &codec,
-                    std::size_t num_dimms, std::size_t interleave)
+                    std::size_t num_dimms, std::size_t interleave,
+                    WorkerPool *pool)
 {
     MultiChannelResult res;
     res.dimms = num_dimms;
+    std::vector<Bytes> shards;
+    std::vector<Bytes> blocks(num_dimms);
     for (const auto &page : pages) {
         res.rawBytes += page.size();
-        const auto shards = splitPage(page, num_dimms, interleave);
+        splitPageInto(page, num_dimms, interleave, shards);
+        if (pool && pool->parallel()) {
+            pool->parallelFor(num_dimms, [&](std::size_t d) {
+                codec.compressInto(shards[d], blocks[d]);
+            });
+        } else {
+            for (std::size_t d = 0; d < num_dimms; ++d)
+                codec.compressInto(shards[d], blocks[d]);
+        }
+        // Sizes accumulate in shard order regardless of which
+        // worker compressed each shard.
         std::uint64_t max_shard = 0;
-        for (const auto &shard : shards) {
-            const Bytes block = codec.compress(shard);
+        for (const auto &block : blocks) {
             res.compressedBytes += block.size();
             max_shard = std::max<std::uint64_t>(max_shard, block.size());
         }

@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "common/worker_pool.hh"
 #include "compress/compressor.hh"
 
 namespace xfm
@@ -38,9 +39,20 @@ constexpr std::size_t defaultInterleave = 256;
 std::vector<Bytes> splitPage(ByteSpan page, std::size_t num_dimms,
                              std::size_t interleave = defaultInterleave);
 
+/**
+ * splitPage() into caller-owned shard buffers (resized to
+ * num_dimms; capacities reused across calls).
+ */
+void splitPageInto(ByteSpan page, std::size_t num_dimms,
+                   std::size_t interleave, std::vector<Bytes> &shards);
+
 /** Inverse of splitPage(). */
 Bytes gatherPage(const std::vector<Bytes> &shards,
                  std::size_t interleave = defaultInterleave);
+
+/** gatherPage() into a caller-owned buffer (capacity reused). */
+void gatherPageInto(const std::vector<Bytes> &shards,
+                    std::size_t interleave, Bytes &page);
 
 /**
  * Same-offset slot allocator over D equally-sized SFM regions.
@@ -140,12 +152,18 @@ struct MultiChannelResult
  * Fig. 8 metrics. Each shard is compressed independently with
  * @p codec; placement assumes same-offset slots sized by the
  * largest shard of each page.
+ *
+ * @param pool optional worker pool: the per-DIMM shard
+ *        compressions of each page fan out over it, with sizes
+ *        accumulated in shard order so the result is identical for
+ *        any worker count.
  */
 MultiChannelResult
 measureMultiChannel(const std::vector<Bytes> &pages,
                     const compress::Compressor &codec,
                     std::size_t num_dimms,
-                    std::size_t interleave = defaultInterleave);
+                    std::size_t interleave = defaultInterleave,
+                    WorkerPool *pool = nullptr);
 
 } // namespace xfmsys
 } // namespace xfm

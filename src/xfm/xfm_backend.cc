@@ -41,7 +41,9 @@ XfmBackend::XfmBackend(std::string name, EventQueue &eq,
     : SimObject(std::move(name), eq), cfg_(cfg),
       host_ctrl_(host_ctrl), injector_(cfg.faults),
       codec_(compress::makeCompressor(cfg.algorithm)),
-      alloc_(cfg.sfmBytes), routes_(cfg.numDimms)
+      alloc_(cfg.sfmBytes), routes_(cfg.numDimms),
+      shard_scratch_(cfg.numDimms), block_scratch_(cfg.numDimms),
+      pool_(cfg.workers)
 {
     XFM_ASSERT(cfg_.numDimms >= 1, "need at least one DIMM");
     XFM_ASSERT(cfg_.dimmMem.channels == 1
@@ -103,6 +105,7 @@ XfmBackend::XfmBackend(std::string name, EventQueue &eq,
         // plan's RNG stream and statistics, and the event queue
         // orders evaluations deterministically across DIMMs.
         dimm.device->setFaultInjector(&injector_);
+        dimm.device->setWorkerPool(&pool_);
         dimm.driver->setFaultInjector(&injector_);
         dimm.driver->setRetryPolicy(cfg_.retry);
         dimm.driver->configureHealth(cfg_.health);
@@ -158,21 +161,22 @@ XfmBackend::writePage(VirtPage page, ByteSpan data)
 {
     XFM_ASSERT(page < cfg_.localPages, "page out of range");
     XFM_ASSERT(data.size() == pageBytes, "writePage needs a full page");
-    const auto shards = splitPage(data, cfg_.numDimms, cfg_.interleave);
+    splitPageInto(data, cfg_.numDimms, cfg_.interleave, shard_scratch_);
     for (std::size_t d = 0; d < cfg_.numDimms; ++d)
-        dimms_[d].mem->write(shardFrameAddr(page), shards[d]);
+        dimms_[d].mem->write(shardFrameAddr(page), shard_scratch_[d]);
 }
 
 Bytes
 XfmBackend::readPage(VirtPage page) const
 {
     XFM_ASSERT(page < cfg_.localPages, "page out of range");
-    std::vector<Bytes> shards;
-    shards.reserve(cfg_.numDimms);
+    std::vector<Bytes> shards(cfg_.numDimms);
     for (std::size_t d = 0; d < cfg_.numDimms; ++d)
-        shards.push_back(dimms_[d].mem->read(shardFrameAddr(page),
-                                             cfg_.shardBytes()));
-    return gatherPage(shards, cfg_.interleave);
+        dimms_[d].mem->read(shardFrameAddr(page), cfg_.shardBytes(),
+                            shards[d]);
+    Bytes page_data;
+    gatherPageInto(shards, cfg_.interleave, page_data);
+    return page_data;
 }
 
 PageState
@@ -233,16 +237,20 @@ void
 XfmBackend::cpuSwapOut(VirtPage page, SwapCallback done,
                        std::uint64_t trace_id)
 {
-    std::vector<Bytes> blocks;
-    blocks.reserve(cfg_.numDimms);
+    // Fan the per-DIMM shard compressions out over the worker pool;
+    // each index touches only its own DIMM's memory and scratch
+    // slot, and every result below is consumed in index order, so
+    // the outcome is byte-identical for any worker count.
+    pool_.parallelFor(cfg_.numDimms, [&](std::size_t d) {
+        dimms_[d].mem->read(shardFrameAddr(page), cfg_.shardBytes(),
+                            shard_scratch_[d]);
+        codec_->compressInto(shard_scratch_[d], block_scratch_[d]);
+    });
+    const std::vector<Bytes> &blocks = block_scratch_;
     std::uint32_t max_size = 0;
-    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
-        const Bytes shard = dimms_[d].mem->read(shardFrameAddr(page),
-                                                cfg_.shardBytes());
-        blocks.push_back(codec_->compress(shard));
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d)
         max_size = std::max<std::uint32_t>(
-            max_size, static_cast<std::uint32_t>(blocks.back().size()));
-    }
+            max_size, static_cast<std::uint32_t>(blocks[d].size()));
 
     std::uint64_t offset = alloc_.allocate(max_size);
     if (offset == SameOffsetAllocator::invalidOffset) {
@@ -323,13 +331,17 @@ XfmBackend::cpuSwapIn(VirtPage page, SwapCallback done,
     // The specialised CPU_Fallback decompression handles both
     // decompression and gathering without extra copies (Fig. 9b):
     // each shard decompresses straight into its DIMM-local frame.
+    // Decompressions fan out over the pool; the frame writes commit
+    // serially in index order below.
+    pool_.parallelFor(cfg_.numDimms, [&](std::size_t d) {
+        dimms_[d].mem->read(slotAddr(entry.offset),
+                            entry.shardSizes[d], block_scratch_[d]);
+        codec_->decompressInto(block_scratch_[d], shard_scratch_[d]);
+    });
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
-        const Bytes block = dimms_[d].mem->read(slotAddr(entry.offset),
-                                                entry.shardSizes[d]);
-        const Bytes shard = codec_->decompress(block);
-        XFM_ASSERT(shard.size() == cfg_.shardBytes(),
+        XFM_ASSERT(shard_scratch_[d].size() == cfg_.shardBytes(),
                    "shard decompressed to wrong size");
-        dimms_[d].mem->write(shardFrameAddr(page), shard);
+        dimms_[d].mem->write(shardFrameAddr(page), shard_scratch_[d]);
         outcome.compressedSize += entry.shardSizes[d];
     }
     alloc_.release(entry.offset);
@@ -461,9 +473,9 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
             // Per-shard CPU fallback: compress this channel's shard
             // now; the block lands in the slot once its size is
             // known (all completions in).
-            const Bytes shard = dimms_[d].mem->read(
-                shardFrameAddr(page), cfg_.shardBytes());
-            op->cpuBlocks[d] = codec_->compress(shard);
+            dimms_[d].mem->read(shardFrameAddr(page),
+                                cfg_.shardBytes(), shard_scratch_[d]);
+            codec_->compressInto(shard_scratch_[d], op->cpuBlocks[d]);
             op->sizes[d] = static_cast<std::uint32_t>(
                 op->cpuBlocks[d].size());
             ++xfm_stats_.shardCpuFallbacks;
@@ -644,12 +656,15 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
         if (shard_on_cpu(d)) {
             // Per-shard CPU fallback, same zero-copy shape as
             // cpuSwapIn: decompress straight into the local frame.
-            const Bytes block = dimms_[d].mem->read(
-                slotAddr(entry.offset), entry.shardSizes[d]);
-            const Bytes shard = codec_->decompress(block);
-            XFM_ASSERT(shard.size() == cfg_.shardBytes(),
+            dimms_[d].mem->read(slotAddr(entry.offset),
+                                entry.shardSizes[d],
+                                block_scratch_[d]);
+            codec_->decompressInto(block_scratch_[d],
+                                   shard_scratch_[d]);
+            XFM_ASSERT(shard_scratch_[d].size() == cfg_.shardBytes(),
                        "shard decompressed to wrong size");
-            dimms_[d].mem->write(shardFrameAddr(page), shard);
+            dimms_[d].mem->write(shardFrameAddr(page),
+                                 shard_scratch_[d]);
             ++xfm_stats_.shardCpuFallbacks;
             Tick latency;
             chargeCpu(cfg_.shardBytes(), false, latency);

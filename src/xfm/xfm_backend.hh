@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/worker_pool.hh"
 #include "fault/fault.hh"
 #include "health/health.hh"
 #include "compress/compressor.hh"
@@ -84,6 +85,16 @@ struct XfmSystemConfig
      * shard frames (swap-outs are non-destructive copies).
      */
     std::size_t quarantineCap = 0;
+
+    /**
+     * Wall-clock execution contexts for the embarrassingly-parallel
+     * codec work (per-DIMM shard compression, NMA engine jobs).
+     * Only host runtime changes: results are committed in shard
+     * order, so simulated timing, metrics, and traces are
+     * byte-identical for any value. 1 (the default) spawns no
+     * threads and is exactly the single-threaded simulator.
+     */
+    std::size_t workers = 1;
 
     /** Shard of a page stored on each DIMM. */
     std::uint64_t
@@ -200,6 +211,12 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     {
         return channel_health_[dimm];
     }
+
+    /**
+     * The backend-wide fan-out pool (sized by cfg.workers); shared
+     * by the per-DIMM CPU shard loops and every DIMM's NMA engine.
+     */
+    WorkerPool &workerPool() { return pool_; }
 
     /** Worst per-DIMM SPM occupancy fraction (overload signal). */
     double spmOccupancyFraction() const;
@@ -322,6 +339,16 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     XfmBackendStats xfm_stats_;
     std::uint32_t partition_ = 0;  ///< SPM partition for submissions
     obs::Tracer *tracer_ = nullptr;
+
+    /** Per-DIMM shard/block staging reused across CPU swaps. */
+    std::vector<Bytes> shard_scratch_;
+    std::vector<Bytes> block_scratch_;
+    /**
+     * Declared last so it is destroyed first: the pool's destructor
+     * drains and joins every worker before the DIMM devices (whose
+     * codecs in-flight jobs reference) go away.
+     */
+    WorkerPool pool_;
 };
 
 } // namespace xfmsys

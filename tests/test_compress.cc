@@ -12,6 +12,8 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/units.hh"
+#include "compress/arena.hh"
 #include "compress/bitstream.hh"
 #include "compress/compressor.hh"
 #include "compress/corpus.hh"
@@ -434,6 +436,154 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Algorithm::LzFast, Algorithm::Deflate,
                       Algorithm::ZstdLike),
     [](const auto &info) { return algorithmName(info.param); });
+
+// ------------------------------------------------- zero-copy Into API
+
+/** The 6-class page mix of the workload corpus. */
+const CorpusKind intoMix[] = {
+    CorpusKind::KeyValue,   CorpusKind::Json,
+    CorpusKind::LogLines,   CorpusKind::EnglishText,
+    CorpusKind::SourceCode, CorpusKind::Html,
+};
+
+TEST_P(CodecTest, CompressIntoMatchesLegacyApi)
+{
+    // The span/out-parameter path must produce byte-identical
+    // blocks to the allocating wrapper, for every page class.
+    Bytes block;
+    Bytes raw;
+    for (const auto kind : intoMix) {
+        const Bytes page = generateCorpus(kind, 17, pageBytes);
+        codec_->compressInto(page, block);
+        EXPECT_EQ(block, codec_->compress(page))
+            << corpusName(kind) << " via "
+            << algorithmName(GetParam());
+        codec_->decompressInto(block, raw);
+        EXPECT_EQ(raw, page) << corpusName(kind);
+    }
+}
+
+TEST_P(CodecTest, IntoReusesCapacityAndClearsOutput)
+{
+    Bytes block(9000, 0xEE);  // stale content must not leak through
+    const Bytes page =
+        generateCorpus(CorpusKind::Json, 23, pageBytes);
+    codec_->compressInto(page, block);
+    EXPECT_EQ(block, codec_->compress(page));
+    const auto cap = block.capacity();
+    // A second call into the same buffer must not need to grow it.
+    codec_->compressInto(page, block);
+    EXPECT_EQ(block.capacity(), cap);
+    EXPECT_EQ(block, codec_->compress(page));
+}
+
+TEST_P(CodecTest, MaxCompressedSizeBoundsEveryCorpus)
+{
+    for (auto kind : allCorpusKinds()) {
+        const Bytes page = generateCorpus(kind, 29, pageBytes);
+        const Bytes block = codec_->compress(page);
+        EXPECT_LE(block.size(),
+                  Compressor::maxCompressedSize(page.size()))
+            << corpusName(kind);
+    }
+}
+
+// ----------------------------------------------- overlap-aware copies
+
+TEST(AppendMatch, NonOverlappingIsPlainCopy)
+{
+    Bytes out = toBytes("abcdef");
+    appendMatch(out, 6, 3);  // dist >= len: straight memcpy
+    EXPECT_EQ(out, toBytes("abcdefabc"));
+}
+
+TEST(AppendMatch, DistanceOneRunLengthEncodes)
+{
+    Bytes out = toBytes("x");
+    appendMatch(out, 1, 9);
+    EXPECT_EQ(out, toBytes("xxxxxxxxxx"));
+}
+
+TEST(AppendMatch, ShortPeriodReplicates)
+{
+    Bytes out = toBytes("abc");
+    appendMatch(out, 3, 10);
+    EXPECT_EQ(out, toBytes("abcabcabcabca"));
+}
+
+TEST(AppendMatch, OverlapWithinExistingOutput)
+{
+    Bytes out = toBytes("0123456789");
+    appendMatch(out, 4, 6);  // copies "6789" then wraps
+    EXPECT_EQ(out, toBytes("0123456789678967"));
+}
+
+TEST(AppendMatch, MatchesByteAtATimeReference)
+{
+    Rng rng(51);
+    for (int trial = 0; trial < 200; ++trial) {
+        Bytes seed(1 + rng.uniformInt(32));
+        for (auto &b : seed)
+            b = static_cast<std::uint8_t>(rng.next());
+        const std::size_t dist = 1 + rng.uniformInt(seed.size());
+        const std::size_t len = 1 + rng.uniformInt(64);
+
+        Bytes fast = seed;
+        appendMatch(fast, dist, len);
+
+        Bytes slow = seed;
+        for (std::size_t i = 0; i < len; ++i)
+            slow.push_back(slow[slow.size() - dist]);
+        ASSERT_EQ(fast, slow) << "dist=" << dist << " len=" << len;
+    }
+}
+
+// ------------------------------------------------------ scratch arena
+
+TEST(ScratchArena, FirstAcquireAllocatesThenReuses)
+{
+    ScratchArena arena;
+    {
+        auto lease = arena.acquire(4096);
+        EXPECT_TRUE(lease);
+        EXPECT_GE(lease->capacity(), 4096u);
+        lease->assign(100, 0xAB);
+    }
+    EXPECT_EQ(arena.allocations(), 1u);
+    EXPECT_EQ(arena.pooled(), 1u);
+    {
+        auto lease = arena.acquire();
+        EXPECT_TRUE(lease->empty());  // returned buffers are cleared
+        EXPECT_GE(lease->capacity(), 100u);  // capacity survived
+    }
+    EXPECT_EQ(arena.reuses(), 1u);
+    EXPECT_EQ(arena.allocations(), 1u);
+}
+
+TEST(ScratchArena, ConcurrentLeasesGetDistinctBuffers)
+{
+    ScratchArena arena;
+    auto a = arena.acquire(16);
+    auto b = arena.acquire(16);
+    a->assign(4, 1);
+    b->assign(4, 2);
+    EXPECT_NE(a->data(), b->data());
+    EXPECT_EQ((*a)[0], 1);
+    EXPECT_EQ((*b)[0], 2);
+}
+
+TEST(ScratchArena, MoveTransfersOwnership)
+{
+    ScratchArena arena;
+    auto a = arena.acquire(64);
+    a->assign(8, 7);
+    ScratchArena::Lease b = std::move(a);
+    EXPECT_FALSE(a);
+    EXPECT_TRUE(b);
+    EXPECT_EQ(b->size(), 8u);
+    { ScratchArena::Lease c = std::move(b); }
+    EXPECT_EQ(arena.pooled(), 1u);  // released exactly once
+}
 
 // ------------------------------------------------------- codec comparisons
 

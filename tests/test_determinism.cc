@@ -58,10 +58,12 @@ struct RunResult
 
 /** One complete demote/promote run under the given fault seed. */
 RunResult
-runSystem(std::uint64_t fault_seed)
+runSystem(std::uint64_t fault_seed, std::size_t workers = 1)
 {
     EventQueue eq;
-    System sys("sys", eq, faultedConfig(fault_seed));
+    SystemConfig cfg = faultedConfig(fault_seed);
+    cfg.workers = workers;
+    System sys("sys", eq, cfg);
     obs::Tracer tracer(4096);
     sys.setTracer(&tracer);
     for (sfm::VirtPage p = 0; p < 96; ++p)
@@ -109,6 +111,27 @@ TEST(Determinism, SameSeedsByteIdenticalSnapshotAndTrace)
     EXPECT_FALSE(a.trace.empty());  // tracer saw real requests
     EXPECT_EQ(a.json, b.json);
     EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(Determinism, WorkerCountDoesNotChangeResults)
+{
+    // The parallel shard-compression contract: the worker count is
+    // a host-runtime knob only. The metrics snapshot AND the swap
+    // trace must be byte-identical for workers = 1 (fully inline),
+    // 2, and 8, fault injection included.
+    const RunResult w1 = runSystem(7, 1);
+    const RunResult w2 = runSystem(7, 2);
+    const RunResult w8 = runSystem(7, 8);
+    EXPECT_GT(w1.injections, 0u);
+    EXPECT_FALSE(w1.json.empty());
+    EXPECT_FALSE(w1.trace.empty());
+    EXPECT_EQ(w1.stats, w2.stats);
+    EXPECT_EQ(w1.stats, w8.stats);
+    EXPECT_EQ(w1.json, w2.json);
+    EXPECT_EQ(w1.json, w8.json);
+    EXPECT_EQ(w1.trace, w2.trace);
+    EXPECT_EQ(w1.trace, w8.trace);
+    EXPECT_EQ(w1.injections, w8.injections);
 }
 
 TEST(Determinism, DifferentFaultSeedDiverges)

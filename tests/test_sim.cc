@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -130,6 +131,111 @@ TEST(EventQueue, ZeroDelaySelfScheduleAdvances)
     eq.run();
     EXPECT_EQ(runs, 3);
     EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueue, SlabRecyclesSlots)
+{
+    // Steady-state schedule/execute churn must not grow the slab:
+    // after warm-up, slots are recycled from the free list.
+    EventQueue eq;
+    int runs = 0;
+    std::function<void()> f = [&] {
+        if (++runs < 10000)
+            eq.scheduleIn(1, f);
+    };
+    eq.schedule(0, f);
+    eq.run();
+    EXPECT_EQ(runs, 10000);
+    // One live event at a time (plus transient overlap): far fewer
+    // slots than events executed.
+    EXPECT_LE(eq.slots(), 256u);
+}
+
+TEST(EventQueue, StaleIdAfterRecycleDoesNotCancel)
+{
+    // A slot freed by execution may be recycled for a new event;
+    // the old id's generation must no longer match, so a late
+    // deschedule neither succeeds nor kills the new occupant.
+    EventQueue eq;
+    const EventId old_id = eq.schedule(1, [] {});
+    eq.run();  // executes and frees the slot
+    bool ran = false;
+    // Recycle until some new event reuses old_id's slot.
+    std::vector<EventId> ids;
+    for (int i = 0; i < 300; ++i)
+        ids.push_back(eq.schedule(10, [&] { ran = true; }));
+    EXPECT_FALSE(eq.deschedule(old_id));
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, CancelledEntriesAreCompacted)
+{
+    // Satellite fix: descheduled entries used to ride the heap until
+    // their tick. Mass-cancelling must trigger the sweep instead of
+    // retaining thousands of tombstones.
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 2000; ++i)
+        ids.push_back(eq.schedule(1000000 + i, [] {}));
+    for (const auto id : ids)
+        EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_GT(eq.compactions(), 0u);
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, CompactionPreservesOrdering)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Interleave keepers with a larger population of cancels so the
+    // sweep fires while keepers are still pending.
+    std::vector<EventId> cancels;
+    for (int i = 0; i < 512; ++i)
+        cancels.push_back(eq.schedule(10 + i, [] {}));
+    eq.schedule(600, [&] { order.push_back(2); },
+                EventQueue::defaultPriority);
+    eq.schedule(600, [&] { order.push_back(1); },
+                EventQueue::refreshPriority);
+    eq.schedule(550, [&] { order.push_back(0); });
+    eq.schedule(700, [&] { order.push_back(3); });
+    for (const auto id : cancels)
+        eq.deschedule(id);
+    EXPECT_GT(eq.compactions(), 0u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, SelfDescheduleDuringCallbackIsHarmless)
+{
+    // The executing event's slot is released before its callback
+    // runs (matching the old erase-before-call): cancelling
+    // yourself mid-callback reports false and corrupts nothing.
+    EventQueue eq;
+    EventId self = 0;
+    bool saw_false = false;
+    self = eq.schedule(5, [&] {
+        saw_false = !eq.deschedule(self);
+        eq.scheduleIn(1, [] {});
+    });
+    eq.run();
+    EXPECT_TRUE(saw_false);
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(EventQueue, LargeCallbacksFallBackToHeap)
+{
+    // Callbacks above the SBO threshold take the heap path; both
+    // must behave identically.
+    EventQueue eq;
+    std::array<std::uint64_t, 64> big{};  // 512 B, above inline size
+    big[0] = 41;
+    std::uint64_t seen = 0;
+    eq.schedule(1, [big, &seen] { seen = big[0] + 1; });
+    eq.run();
+    EXPECT_EQ(seen, 42u);
 }
 
 TEST(SimObject, ExposesNameAndTime)
