@@ -160,7 +160,8 @@ runSwapSim(const SwapSimConfig &sc)
             driver.commitWriteback(c.id,
                                    addr_of_row(predict_row(2)));
     });
-    driver.onDrop([&](nma::OffloadId) { ++fallbacks; });
+    driver.onDrop(
+        [&](nma::OffloadId, nma::DropReason) { ++fallbacks; });
 
     workload::SwapTraceConfig tcfg;
     tcfg.farCapacityGB = sc.rankShareGB;

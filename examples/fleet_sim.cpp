@@ -85,6 +85,8 @@ main(int argc, char **argv)
     std::string stats_json;
     std::string trace_out;
     std::uint64_t trace_cap = 65536;
+    std::uint32_t sq_depth = 1;
+    std::uint32_t cq_coalesce = 1;
     health::HealthConfig health_cfg;
     health::ShedConfig shed_cfg;
     for (int i = 1; i < argc; i += 2) {
@@ -111,6 +113,10 @@ main(int argc, char **argv)
             stats_json = cfg.getString("stats.json", stats_json);
             trace_out = cfg.getString("trace.out", trace_out);
             trace_cap = cfg.getU64("trace.cap", trace_cap);
+            sq_depth = static_cast<std::uint32_t>(
+                cfg.getU64("xfm.sq_depth", sq_depth));
+            cq_coalesce = static_cast<std::uint32_t>(
+                cfg.getU64("xfm.cq_coalesce", cq_coalesce));
             health_cfg = health::HealthConfig::fromConfig(cfg);
             shed_cfg = health::ShedConfig::fromConfig(cfg);
             for (const auto &key : cfg.unconsumedKeys())
@@ -130,6 +136,8 @@ main(int argc, char **argv)
     service::ServiceConfig scfg = makeServiceConfig(tenants);
     scfg.system.health = health_cfg;
     scfg.system.workers = workers;
+    scfg.system.device.sqDepth = sq_depth;
+    scfg.system.device.cqCoalesce = cq_coalesce;
     scfg.shed = shed_cfg;
     service::FarMemoryService svc("svc", eq, scfg);
     obs::Tracer tracer(static_cast<std::size_t>(trace_cap));

@@ -16,6 +16,10 @@
  *   xfm.dimms          = 4
  *   xfm.spm_bytes      = 2097152
  *   xfm.accesses_per_trfc = 3
+ *   xfm.sq_depth       = 1          # async command-ring depth per
+ *                                   # DIMM; 1 = legacy sync path
+ *   xfm.cq_coalesce    = 1          # completions reaped per CQ
+ *                                   # interrupt (ring mode only)
  *   controller.cold_ms = 20
  *   controller.scan_ms = 2
  *   controller.prefetch_depth = 2
@@ -98,6 +102,13 @@ main(int argc, char **argv)
     sys_cfg.xfmDevice.spmBytes = cfg.getU64("xfm.spm_bytes", mib(2));
     sys_cfg.xfmDevice.maxAccessesPerWindow = static_cast<
         std::uint32_t>(cfg.getU64("xfm.accesses_per_trfc", 3));
+    // Async NMA command rings: depth 1 (the default) keeps the
+    // legacy synchronous submit path byte-identical; >= 2 builds
+    // per-DIMM SQ/CQ pairs with batched doorbells.
+    sys_cfg.xfmDevice.sqDepth = static_cast<std::uint32_t>(
+        cfg.getU64("xfm.sq_depth", 1));
+    sys_cfg.xfmDevice.cqCoalesce = static_cast<std::uint32_t>(
+        cfg.getU64("xfm.cq_coalesce", 1));
     sys_cfg.controller.coldThreshold =
         milliseconds(cfg.getDouble("controller.cold_ms", 20.0));
     sys_cfg.controller.scanInterval =

@@ -58,6 +58,8 @@ cat > "${obs_dir}/smoke.cfg" <<EOF
 backend          = xfm
 pages            = 256
 workload.seconds = 0.05
+xfm.sq_depth     = 8
+xfm.cq_coalesce  = 2
 stats.json       = ${obs_dir}/stats.json
 trace.out        = ${obs_dir}/trace.jsonl
 trace.cap        = 16384
@@ -84,3 +86,10 @@ echo "stats.json = ${chaos_dir}/stats.json" >> "${chaos_dir}/chaos.cfg"
 # the runner's core count, so it is never gated on.
 "${build_dir}/bench/perf_harness" --smoke \
     --out "${build_dir}/BENCH_PERF.json"
+
+# Queue-depth sweep smoke: simulated swap throughput versus async
+# command-ring depth. Exits non-zero only if the restored page bytes
+# diverge across depths (data integrity); the pages/sec curve is a
+# measurement archived by CI, not a gate.
+"${build_dir}/bench/qd_sweep" --smoke \
+    --out "${build_dir}/BENCH_QD.json"

@@ -21,6 +21,12 @@ RegisterFile::bindReadOnly(Reg reg, ReadHook hook)
     slot(reg).hook = std::move(hook);
 }
 
+void
+RegisterFile::bindWrite(Reg reg, WriteHook hook)
+{
+    slot(reg).writeHook = std::move(hook);
+}
+
 std::uint64_t
 RegisterFile::read(Reg reg)
 {
@@ -38,6 +44,8 @@ RegisterFile::write(Reg reg, std::uint64_t value)
         fatal("MMIO write to read-only register ",
               static_cast<std::uint32_t>(reg));
     s.value = value;
+    if (s.writeHook)
+        s.writeHook(value);
 }
 
 } // namespace nma

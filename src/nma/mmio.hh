@@ -32,6 +32,8 @@ enum class Reg : std::uint32_t
     SfmRegionSize,   ///< SFM region size in bytes
     QueueDepth,      ///< occupied Compress_Request_Queue slots (RO)
     Control,         ///< enable bit etc.
+    SqTailDoorbell,  ///< ring mode: SQ tail (batched doorbell)
+    CqHeadDoorbell,  ///< ring mode: CQ head (reap acknowledgement)
 };
 
 /**
@@ -44,9 +46,13 @@ class RegisterFile
 {
   public:
     using ReadHook = std::function<std::uint64_t()>;
+    using WriteHook = std::function<void(std::uint64_t)>;
 
     /** Install the live-value provider for a read-only register. */
     void bindReadOnly(Reg reg, ReadHook hook);
+
+    /** Install a device-side reaction to writes (doorbells). */
+    void bindWrite(Reg reg, WriteHook hook);
 
     /** MMIO read (counted). */
     std::uint64_t read(Reg reg);
@@ -61,12 +67,13 @@ class RegisterFile
     struct Slot
     {
         std::uint64_t value = 0;
-        ReadHook hook;  ///< non-null => read-only
+        ReadHook hook;        ///< non-null => read-only
+        WriteHook writeHook;  ///< non-null => doorbell side effect
     };
 
     Slot &slot(Reg reg);
 
-    std::array<Slot, 5> slots_;
+    std::array<Slot, 7> slots_;
     stats::Counter reads_;
     stats::Counter writes_;
 };

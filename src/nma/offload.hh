@@ -37,6 +37,14 @@ using OffloadId = std::uint64_t;
 
 constexpr OffloadId invalidOffloadId = 0;
 
+/** Why an accepted offload was abandoned (drop callback detail). */
+enum class DropReason : std::uint8_t
+{
+    Deadline,     ///< request deadline passed before execution
+    EngineStall,  ///< injected engine stall/timeout mid-window
+    Watchdog,     ///< stuck past the watchdog deadline
+};
+
 /**
  * A descriptor pushed into the Compress_Request_Queue.
  *
@@ -82,6 +90,9 @@ using CompletionCallback = std::function<void(const OffloadCompletion &)>;
 
 /** Callback invoked when the write-back has been committed to DRAM. */
 using WritebackCallback = std::function<void(OffloadId, Tick)>;
+
+/** Callback invoked when an accepted offload is abandoned. */
+using DropCallback = std::function<void(OffloadId, DropReason)>;
 
 } // namespace nma
 } // namespace xfm

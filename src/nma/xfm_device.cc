@@ -31,10 +31,24 @@ XfmDevice::XfmDevice(std::string name, EventQueue &eq,
     XFM_ASSERT(cfg_.maxRandomPerWindow <= cfg_.maxAccessesPerWindow,
                "random budget cannot exceed the window budget");
 
+    if (cfg_.cqCoalesce == 0)
+        cfg_.cqCoalesce = 1;
+    if (cfg_.sqDepth > 1)
+        ring_ = std::make_unique<CommandRing>(cfg_.sqDepth);
+
     regs_.bindReadOnly(Reg::SpCapacity,
                        [this] { return spm_.freeBytes(); });
-    regs_.bindReadOnly(Reg::QueueDepth,
-                       [this] { return queue_.size(); });
+    regs_.bindReadOnly(Reg::QueueDepth, [this]() -> std::uint64_t {
+        return ring_ ? ring_->sq().inFlight() : queue_.size();
+    });
+    if (ring_) {
+        // The tail doorbell is the only way staged descriptors
+        // become device-visible: one MMIO write covers a whole
+        // tREFI batch.
+        regs_.bindWrite(Reg::SqTailDoorbell, [this](std::uint64_t) {
+            ring_->sq().ringDoorbell(curTick());
+        });
+    }
 
     dev_trefi_ = refresh.device().tREFI();
     dev_cfg_ = refresh.device();
@@ -101,6 +115,90 @@ XfmDevice::submit(const OffloadRequest &req)
     return invalidOffloadId;
 }
 
+OffloadId
+XfmDevice::ringSubmit(const OffloadRequest &req)
+{
+    XFM_ASSERT(ring_, "ringSubmit on a device without a command ring");
+    XFM_ASSERT(req.size > 0, "offload with zero size");
+    if (!regionRegistered(req.srcAddr, req.size)
+        || (req.kind == OffloadKind::Decompress
+            && !regionRegistered(req.dstAddr, req.rawSize))) {
+        ++stats_.unregisteredRejects;
+        return invalidOffloadId;
+    }
+    const Tick now = curTick();
+    if (!spm_health_.wouldAdmit(now) || !engine_health_.admit(now))
+        return invalidOffloadId;
+    OffloadRequest r = req;
+    r.submitTick = now;
+    const CommandTag tag = ring_->sq().push(r, now);
+    if (tag == 0) {
+        // Full-SQ backpressure: every slot is owned by an in-flight
+        // command, so the descriptor cannot even be written.
+        ++stats_.queueRejects;
+        engine_health_.cancelProbe(now);
+        return invalidOffloadId;
+    }
+    ring_->sampleOccupancy();
+    if (tracer_ && r.traceId)
+        trace_ids_[tag] = r.traceId;
+    return tag;
+}
+
+std::uint64_t
+XfmDevice::traceIdOf(OffloadId id) const
+{
+    const auto it = trace_ids_.find(id);
+    return it == trace_ids_.end() ? 0 : it->second;
+}
+
+void
+XfmDevice::postRecord(CompletionRecord rec)
+{
+    if (!ring_->cq().post(rec, curTick()))
+        fatal(name(), ": completion ring overflow");
+    if (ring_->cq().pending() >= cfg_.cqCoalesce)
+        raiseCq();
+}
+
+void
+XfmDevice::raiseCq()
+{
+    if (cq_ready_ && ring_->cq().pending() > 0)
+        cq_ready_();
+}
+
+void
+XfmDevice::deliverDrop(OffloadId id, DropReason reason,
+                       std::uint64_t trace_id)
+{
+    if (ring_) {
+        CompletionRecord rec;
+        rec.tag = id;
+        rec.type = CompletionType::Drop;
+        rec.reason = reason;
+        rec.traceId = trace_id;
+        postRecord(rec);
+    } else if (on_drop_) {
+        on_drop_(id, reason);
+    }
+}
+
+void
+XfmDevice::drainSq()
+{
+    CommandDescriptor d;
+    while (ring_->sq().consume(d)) {
+        if (tracer_ && d.req.traceId) {
+            tracer_->record(d.req.traceId, obs::Stage::SqEnqueue,
+                            d.enqueued, d.doorbelled);
+            tracer_->record(d.req.traceId, obs::Stage::Queue,
+                            d.req.submitTick, curTick());
+        }
+        reads_.push_back({d.req.id, d.req, curTick()});
+    }
+}
+
 void
 XfmDevice::drainQueue()
 {
@@ -122,12 +220,12 @@ XfmDevice::dropExpired(Tick now)
     for (auto it = reads_.begin(); it != reads_.end();) {
         if (it->req.deadline < now) {
             ++stats_.deadlineDrops;
+            const std::uint64_t tid = traceIdOf(it->id);
             trace_ids_.erase(it->id);
             // The engine never saw the request; an admission probe
             // consumed at submit would otherwise dangle.
             engine_health_.cancelProbe(now);
-            if (on_drop_)
-                on_drop_(it->id);
+            deliverDrop(it->id, DropReason::Deadline, tid);
             it = reads_.erase(it);
         } else {
             ++it;
@@ -142,17 +240,29 @@ XfmDevice::runWatchdog(Tick now)
         return;
     const Tick limit = Tick(cfg_.watchdogWindows) * dev_trefi_;
     const auto fire = [this, now](OffloadId id) {
+        const std::uint64_t tid = traceIdOf(id);
         ++stats_.watchdogFires;
-        if (tracer_) {
-            const auto tid = trace_ids_.find(id);
-            if (tid != trace_ids_.end())
-                tracer_->point(tid->second, obs::Stage::Fallback,
-                               now, obs::fallbackWatchdog);
-        }
+        if (tracer_ && tid)
+            tracer_->point(tid, obs::Stage::Fallback, now,
+                           obs::fallbackWatchdog);
         trace_ids_.erase(id);
-        if (on_drop_)
-            on_drop_(id);
+        deliverDrop(id, DropReason::Watchdog, tid);
     };
+
+    // Ring mode: commands whose doorbell was lost (and whose
+    // retries ran out) sit in the SQ slab with no way to ever be
+    // consumed. Withdraw and drop them; the slot itself is
+    // reclaimed when the driver reaps the Drop record, so a healthy
+    // queue's in-flight commands are untouched.
+    if (ring_) {
+        for (CommandTag tag : ring_->sq().strandedSince(now, limit)) {
+            if (!ring_->sq().withdraw(tag))
+                continue;
+            ++ring_->stats().watchdogCancels;
+            engine_health_.cancelProbe(now);  // never reached engine
+            fire(tag);
+        }
+    }
 
     // Doorbell'd offloads that never won a window slot (e.g. an SPM
     // domain stuck Failed, or pathological subarray conflicts).
@@ -253,13 +363,13 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
         ++stats_.engineStalls;
         engine_health_.recordFault(curTick());
         spm_.release(id);
+        const std::uint64_t tid = traceIdOf(id);
         trace_ids_.erase(id);
         stalled_.insert(id);
-        eventq().scheduleIn(transfer, [this, id] {
+        eventq().scheduleIn(transfer, [this, id, tid] {
             if (!stalled_.erase(id))
                 return;  // aborted before the timeout was noticed
-            if (on_drop_)
-                on_drop_(id);
+            deliverDrop(id, DropReason::EngineStall, tid);
         });
         return true;
     }
@@ -290,8 +400,17 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
         Bytes out = job.take();
         const auto out_size = static_cast<std::uint32_t>(out.size());
         spm_.complete(id, std::move(out), curTick());
-        if (on_complete_)
+        if (ring_) {
+            CompletionRecord rec;
+            rec.tag = id;
+            rec.kind = kind;
+            rec.type = CompletionType::Complete;
+            rec.outputSize = out_size;
+            rec.traceId = traceIdOf(id);
+            postRecord(rec);
+        } else if (on_complete_) {
             on_complete_({id, kind, out_size, curTick()});
+        }
     });
     return true;
 }
@@ -299,6 +418,7 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
 void
 XfmDevice::executeWriteback(SpmEntry entry, AccessClass cls)
 {
+    const std::uint64_t tid = traceIdOf(entry.id);
     chargeAccess(entry.data.size(), cls);
     stats_.bytesWrittenToDram += entry.data.size();
     const Tick transfer =
@@ -336,7 +456,15 @@ XfmDevice::executeWriteback(SpmEntry entry, AccessClass cls)
         stats_.eccParityBytesWritten += parity.size();
     }
 
-    if (on_writeback_) {
+    if (ring_) {
+        eventq().scheduleIn(transfer, [this, id = entry.id, tid] {
+            CompletionRecord rec;
+            rec.tag = id;
+            rec.type = CompletionType::Writeback;
+            rec.traceId = tid;
+            postRecord(rec);
+        });
+    } else if (on_writeback_) {
         eventq().scheduleIn(transfer,
                             [this, id = entry.id] {
             on_writeback_(id, curTick());
@@ -359,6 +487,38 @@ void
 XfmDevice::abort(OffloadId id)
 {
     trace_ids_.erase(id);
+    if (ring_) {
+        if (!ring_->sq().validTag(id))
+            return;  // already retired (or never issued)
+        if (ring_->sq().cancel(id)) {
+            // Unconsumed descriptor: the engine never saw it.
+            engine_health_.cancelProbe(curTick());
+            return;
+        }
+        // Consumed: walk the in-flight states, then retire the slot
+        // so any completion record already posted for this command
+        // reads as stale at reap time.
+        if (stalled_.erase(id)) {
+            ring_->sq().retire(id);
+            return;
+        }
+        for (auto it = reads_.begin(); it != reads_.end(); ++it) {
+            if (it->id == id) {
+                reads_.erase(it);
+                engine_health_.cancelProbe(curTick());
+                ring_->sq().retire(id);
+                return;
+            }
+        }
+        if (spm_.contains(id)) {
+            const bool pend = spm_.entry(id).tag == SpmTag::Pending;
+            spm_.release(id);
+            if (pend)
+                aborted_.insert(id);
+        }
+        ring_->sq().retire(id);
+        return;
+    }
     if (stalled_.erase(id))
         return;  // stall already released SPM; drop will not fire
     if (queue_.removeById(id)) {
@@ -427,6 +587,10 @@ XfmDevice::registerMetrics(obs::MetricRegistry &r,
               });
     engine_health_.registerMetrics(r, p + "health.engine");
     spm_health_.registerMetrics(r, p + "health.spm");
+    // Ring counters exist only in ring mode, so a depth-1 device's
+    // snapshot stays byte-identical to the pre-ring schema.
+    if (ring_)
+        ring_->registerMetrics(r, prefix);
 }
 
 void
@@ -438,7 +602,15 @@ XfmDevice::onWindow(const dram::RefreshWindow &window)
     window_access_index_ = 0;
     bank_.beginRefresh(window.firstRow, window.rowCount);
 
-    drainQueue();
+    if (ring_) {
+        // The window boundary closes the previous tREFI batch: flush
+        // any completion records the coalescing threshold left
+        // unreaped, then pull newly doorbell'd descriptors.
+        raiseCq();
+        drainSq();
+    } else {
+        drainQueue();
+    }
     dropExpired(window.start);
     runWatchdog(window.start);
 

@@ -20,6 +20,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <set>
 
 #include "common/random.hh"
@@ -31,6 +32,7 @@
 #include "nma/engine.hh"
 #include "nma/mmio.hh"
 #include "nma/offload.hh"
+#include "nma/ring.hh"
 #include "nma/spm.hh"
 #include "obs/registry.hh"
 #include "obs/tracer.hh"
@@ -96,6 +98,23 @@ struct XfmDeviceConfig
     /** Health-monitor tuning for the engine and SPM failure
      *  domains (disabled by default: no behaviour change). */
     health::HealthConfig health{};
+
+    /**
+     * Submission-queue depth of the async command ring. The default
+     * of 1 keeps the legacy synchronous doorbell handshake (no ring
+     * is constructed, byte-identical to the pre-ring device);
+     * depth >= 2 switches the DIMM to NVMe-style queue pairs:
+     * slab-allocated descriptors, one batched SQ tail doorbell per
+     * tREFI, phase-bit completion ring, coalesced reaping.
+     */
+    std::uint32_t sqDepth = 1;
+    /**
+     * Completion-interrupt coalescing threshold (ring mode only):
+     * the device raises the CQ-ready callback once this many
+     * records are pending; leftovers are always flushed at the next
+     * window boundary. 1 = interrupt per completion.
+     */
+    std::uint32_t cqCoalesce = 1;
 };
 
 /** Device-level statistics. */
@@ -163,6 +182,34 @@ class XfmDevice : public SimObject
     OffloadId submit(const OffloadRequest &req);
 
     /**
+     * Ring-mode submit: write a descriptor into a free SQ slot
+     * (same admission checks as submit(); the descriptor is not
+     * device-visible until the driver rings the SQ tail doorbell).
+     *
+     * @return the command's generation tag (the ring-mode
+     *         OffloadId), or invalidOffloadId on rejection or
+     *         full-SQ backpressure.
+     */
+    OffloadId ringSubmit(const OffloadRequest &req);
+
+    /** True when cfg.sqDepth >= 2 selected the async command ring. */
+    bool ringMode() const { return ring_ != nullptr; }
+
+    /** The DIMM's queue pair (null in legacy depth-1 mode). */
+    CommandRing *ring() { return ring_.get(); }
+
+    /**
+     * Completion interrupt (ring mode): invoked when pending CQ
+     * records reach cfg.cqCoalesce, and at every window boundary
+     * with any records left over. The driver reaps from the CQ and
+     * acknowledges with one CQ head doorbell write per batch.
+     */
+    void setCqReadyCallback(std::function<void()> cb)
+    {
+        cq_ready_ = std::move(cb);
+    }
+
+    /**
      * Provide the write-back destination for a completed compress
      * offload (the backend allocates space once the size is known).
      */
@@ -200,8 +247,9 @@ class XfmDevice : public SimObject
         on_writeback_ = std::move(cb);
     }
 
-    /** Offload dropped (deadline passed); CPU must redo it. */
-    void setDropCallback(std::function<void(OffloadId)> cb)
+    /** Offload dropped (deadline, stall, or watchdog); the CPU must
+     *  redo it. The reason selects the backend's recovery policy. */
+    void setDropCallback(DropCallback cb)
     {
         on_drop_ = std::move(cb);
     }
@@ -270,6 +318,9 @@ class XfmDevice : public SimObject
         spm_health_.setTracer(t);
     }
 
+    /** Attached tracer, if any (the driver records CqReap spans). */
+    obs::Tracer *tracer() const { return tracer_; }
+
     /** Health monitor of the (de)compression engine domain. */
     health::HealthMonitor &engineHealth() { return engine_health_; }
     /** Health monitor of the scratchpad domain. */
@@ -291,6 +342,19 @@ class XfmDevice : public SimObject
 
     void onWindow(const dram::RefreshWindow &window);
     void drainQueue();
+    /** Ring mode: pull every doorbell-covered descriptor from the
+     *  SQ into the pending-read pool. */
+    void drainSq();
+    /** Ring mode: post a completion record, raising the CQ-ready
+     *  interrupt once cfg.cqCoalesce records are pending. */
+    void postRecord(CompletionRecord rec);
+    /** Ring mode: fire the CQ-ready callback if records pend. */
+    void raiseCq();
+    /** Route a drop to the CQ (ring) or drop callback (legacy). */
+    void deliverDrop(OffloadId id, DropReason reason,
+                     std::uint64_t trace_id);
+    /** traceId recorded for @p id, or 0 (tracing off / untraced). */
+    std::uint64_t traceIdOf(OffloadId id) const;
     void dropExpired(Tick now);
     /** Force completion-with-error for offloads stuck past the
      *  watchdog deadline (cfg.watchdogWindows refresh windows). */
@@ -307,6 +371,8 @@ class XfmDevice : public SimObject
 
     ScratchPad spm_;
     CompressRequestQueue queue_;
+    /** Async queue pair; null when cfg.sqDepth <= 1 (legacy path). */
+    std::unique_ptr<CommandRing> ring_;
     RegisterFile regs_;
     CompressionEngine engine_;
     /** Staging buffers for DRAM reads handed to engine jobs. */
@@ -341,7 +407,8 @@ class XfmDevice : public SimObject
 
     CompletionCallback on_complete_;
     WritebackCallback on_writeback_;
-    std::function<void(OffloadId)> on_drop_;
+    DropCallback on_drop_;
+    std::function<void()> cq_ready_;
 
     XfmDeviceStats stats_;
 };

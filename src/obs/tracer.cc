@@ -28,6 +28,8 @@ stageName(Stage s)
       case Stage::Complete: return "complete";
       case Stage::Health: return "health";
       case Stage::Shed: return "shed";
+      case Stage::SqEnqueue: return "sq_enqueue";
+      case Stage::CqReap: return "cq_reap";
     }
     return "unknown";
 }

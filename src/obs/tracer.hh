@@ -46,6 +46,8 @@ enum class Stage : std::uint8_t
     Complete,    ///< instantaneous: request settled (arg = outcome)
     Health,      ///< instantaneous: breaker transition (arg = state)
     Shed,        ///< instantaneous: overload shed toggled (arg = on)
+    SqEnqueue,   ///< ring: descriptor written -> doorbell covered
+    CqReap,      ///< ring: completion posted -> reaped by the driver
 };
 
 const char *stageName(Stage s);

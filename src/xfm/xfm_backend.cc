@@ -33,6 +33,18 @@ carryRetries(std::uint32_t retries, SwapCallback done)
     };
 }
 
+/** True when every shard of the op was handled on the CPU. */
+bool
+allOnCpu(const std::vector<std::uint8_t> &cpu_shard, std::size_t n)
+{
+    if (cpu_shard.size() != n)
+        return false;
+    for (auto f : cpu_shard)
+        if (!f)
+            return false;
+    return true;
+}
+
 } // namespace
 
 XfmBackend::XfmBackend(std::string name, EventQueue &eq,
@@ -98,8 +110,9 @@ XfmBackend::XfmBackend(std::string name, EventQueue &eq,
         dimm.driver->onWriteback([this, d](nma::OffloadId id, Tick t) {
             onWriteback(d, id, t);
         });
-        dimm.driver->onDrop([this, d](nma::OffloadId id) {
-            onDrop(d, id);
+        dimm.driver->onDrop(
+            [this, d](nma::OffloadId id, nma::DropReason reason) {
+            onDrop(d, id, reason);
         });
         // One injector for the whole backend: all sites share the
         // plan's RNG stream and statistics, and the event queue
@@ -443,7 +456,9 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
     const auto worst = nma::CompressionEngine::worstCaseCompressedSize(
         static_cast<std::uint32_t>(cfg_.shardBytes()));
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
-        if (!shard_on_cpu(d) && !dimms_[d].driver->canAccept(worst)) {
+        if (!shard_on_cpu(d)
+            && (!dimms_[d].driver->ringHasSlot()
+                || !dimms_[d].driver->canAccept(worst))) {
             ++xfm_stats_.fallbackCapacity;
             if (tracer_ && tid)
                 tracer_->point(tid, obs::Stage::Fallback, curTick(),
@@ -459,6 +474,7 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
     op->ids.resize(cfg_.numDimms, nma::invalidOffloadId);
     op->sizes.resize(cfg_.numDimms, 0);
     op->cpuShard = use_cpu;
+    op->shardDone = use_cpu;
     op->completions = cpu_shards;  // CPU shards are done up front
     op->done = std::move(done);
     op->traceId = tid;
@@ -628,7 +644,9 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
 
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
         if (!shard_on_cpu(d)
-            && !dimms_[d].driver->canAccept(entry.shardSizes[d])) {
+            && (!dimms_[d].driver->ringHasSlot()
+                || !dimms_[d].driver->canAccept(
+                       entry.shardSizes[d]))) {
             ++xfm_stats_.fallbackCapacity;
             if (tracer_ && tid)
                 tracer_->point(tid, obs::Stage::Fallback, curTick(),
@@ -645,6 +663,7 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
     op->sizes = entry.shardSizes;
     op->offset = entry.offset;
     op->cpuShard = use_cpu;
+    op->shardDone = use_cpu;
     op->completions = cpu_shards;
     op->writebacks = cpu_shards;  // CPU shards land immediately
     op->done = std::move(done);
@@ -735,11 +754,20 @@ XfmBackend::onComplete(std::size_t dimm, const nma::OffloadCompletion &c)
         return;
 
     op->sizes[dimm] = c.outputSize;
+    if (op->shardDone.empty())
+        op->shardDone.assign(cfg_.numDimms, 0);
+    op->shardDone[dimm] = 1;
     if (++op->completions < cfg_.numDimms)
         return;
     if (!op->isCompress)
         return;  // decompress write-backs are already armed
+    placeCompressWritebacks(op);
+}
 
+void
+XfmBackend::placeCompressWritebacks(
+    const std::shared_ptr<PendingOp> &op)
+{
     // All shards compressed: size the same-offset slot by the
     // largest shard and commit write-backs.
     const std::uint32_t max_size =
@@ -789,6 +817,11 @@ XfmBackend::onComplete(std::size_t dimm, const nma::OffloadCompletion &c)
         dimms_[d].driver->commitWriteback(op->ids[d],
                                           slotAddr(offset));
     }
+    // Every shard was already serviced on the CPU (possible when
+    // watchdog recovery redid the stragglers): nothing is left in
+    // flight, so the op finishes here.
+    if (op->writebacks == cfg_.numDimms)
+        finishOp(op, curTick(), allOnCpu(op->cpuShard, cfg_.numDimms));
 }
 
 void
@@ -831,7 +864,10 @@ XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
         entry.shardSizes = op->sizes;
         entries_.emplace(op->page, std::move(entry));
         ++stats_.swapOuts;
-        ++xfm_stats_.offloadedSwapOuts;
+        if (used_cpu)
+            ++stats_.cpuSwapOuts;
+        else
+            ++xfm_stats_.offloadedSwapOuts;
         stats_.bytesCompressed += pageBytes;
     } else {
         // For decompressions op->sizes holds raw output sizes;
@@ -844,7 +880,10 @@ XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
         alloc_.release(op->offset);
         entries_.erase(op->page);
         ++stats_.swapIns;
-        ++xfm_stats_.offloadedSwapIns;
+        if (used_cpu)
+            ++stats_.cpuSwapIns;
+        else
+            ++xfm_stats_.offloadedSwapIns;
         stats_.bytesDecompressed += pageBytes;
     }
     if (tracer_ && op->traceId) {
@@ -861,7 +900,8 @@ XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
 }
 
 void
-XfmBackend::onDrop(std::size_t dimm, nma::OffloadId id)
+XfmBackend::onDrop(std::size_t dimm, nma::OffloadId id,
+                   nma::DropReason reason)
 {
     // Any drop — deadline, injected stall, or watchdog — means this
     // channel shard failed to service an accepted offload.
@@ -873,11 +913,103 @@ XfmBackend::onDrop(std::size_t dimm, nma::OffloadId id)
     routes_[dimm].erase(it);
     if (op->dead)
         return;
+    if (reason == nma::DropReason::Watchdog) {
+        // The watchdog is scoped to one queue pair: a stranded
+        // command condemns only its own shard, which is redone on
+        // the CPU while the page's other shards stay offloaded.
+        recoverShardOnCpu(dimm, op);
+        return;
+    }
     ++xfm_stats_.fallbackDeadline;
     if (tracer_ && op->traceId)
         tracer_->point(op->traceId, obs::Stage::Fallback, curTick(),
                        obs::fallbackDeadline);
     failToCpu(op);
+}
+
+void
+XfmBackend::recoverShardOnCpu(std::size_t dimm,
+                              const std::shared_ptr<PendingOp> &op)
+{
+    ++xfm_stats_.watchdogShardRedos;
+    if (op->cpuShard.empty())
+        op->cpuShard.assign(cfg_.numDimms, 0);
+    op->cpuShard[dimm] = 1;
+    if (op->shardDone.empty())
+        op->shardDone.assign(cfg_.numDimms, 0);
+    const bool was_done = op->shardDone[dimm];
+    op->shardDone[dimm] = 1;
+    const VirtPage page = op->page;
+    Tick latency;  // modelled; the redo itself commits synchronously
+
+    if (op->isCompress) {
+        if (op->cpuBlocks.empty())
+            op->cpuBlocks.resize(cfg_.numDimms);
+        dimms_[dimm].mem->read(shardFrameAddr(page), cfg_.shardBytes(),
+                               shard_scratch_[dimm]);
+        codec_->compressInto(shard_scratch_[dimm],
+                             op->cpuBlocks[dimm]);
+        op->sizes[dimm] =
+            static_cast<std::uint32_t>(op->cpuBlocks[dimm].size());
+        chargeCpu(cfg_.shardBytes(), true, latency);
+        if (host_ctrl_) {
+            host_ctrl_->submit(
+                {page * pageBytes,
+                 static_cast<std::uint32_t>(cfg_.shardBytes()), false,
+                 nullptr});
+            host_ctrl_->submit({page * pageBytes, op->sizes[dimm],
+                                true, nullptr});
+        }
+        if (tracer_ && op->traceId)
+            tracer_->record(op->traceId, obs::Stage::CpuCompute,
+                            curTick(), curTick() + latency);
+        if (was_done
+            && op->offset != SameOffsetAllocator::invalidOffset) {
+            // The write-back was stranded after placement: the codec
+            // is deterministic, so the redone block matches the
+            // staged one and fits the already-sized slot.
+            dimms_[dimm].mem->write(slotAddr(op->offset),
+                                    op->cpuBlocks[dimm]);
+            if (++op->writebacks == cfg_.numDimms)
+                finishOp(op, curTick(),
+                         allOnCpu(op->cpuShard, cfg_.numDimms));
+            return;
+        }
+        // Dropped before engine completion (a drop between
+        // completion and placement cannot happen: a staged shard
+        // without a destination is outside the watchdog's scans).
+        if (!was_done && ++op->completions == cfg_.numDimms)
+            placeCompressWritebacks(op);
+        return;
+    }
+
+    // Decompress: redo straight into the local frame, reading the
+    // compressed shard back from the same-offset slot.
+    const auto eit = entries_.find(page);
+    XFM_ASSERT(eit != entries_.end(),
+               "watchdog recovery of swap-in for unknown page ", page);
+    const std::uint32_t csize = eit->second.shardSizes[dimm];
+    dimms_[dimm].mem->read(slotAddr(op->offset), csize,
+                           block_scratch_[dimm]);
+    codec_->decompressInto(block_scratch_[dimm], shard_scratch_[dimm]);
+    XFM_ASSERT(shard_scratch_[dimm].size() == cfg_.shardBytes(),
+               "shard decompressed to wrong size");
+    dimms_[dimm].mem->write(shardFrameAddr(page), shard_scratch_[dimm]);
+    chargeCpu(cfg_.shardBytes(), false, latency);
+    if (host_ctrl_) {
+        host_ctrl_->submit({page * pageBytes, csize, false, nullptr});
+        host_ctrl_->submit(
+            {page * pageBytes,
+             static_cast<std::uint32_t>(cfg_.shardBytes()), true,
+             nullptr});
+    }
+    if (tracer_ && op->traceId)
+        tracer_->record(op->traceId, obs::Stage::CpuCompute,
+                        curTick(), curTick() + latency);
+    if (!was_done)
+        ++op->completions;
+    if (++op->writebacks == cfg_.numDimms)
+        finishOp(op, curTick(), allOnCpu(op->cpuShard, cfg_.numDimms));
 }
 
 void
@@ -976,6 +1108,9 @@ XfmBackend::registerMetrics(obs::MetricRegistry &r)
     r.counter(p + "shardCpuFallbacks",
               &xfm_stats_.shardCpuFallbacks,
               "single shards rerouted to the CPU by channel breakers");
+    r.counter(p + "watchdogShardRedos",
+              &xfm_stats_.watchdogShardRedos,
+              "single shards redone on the CPU after watchdog drops");
     r.counter(p + "breakerFallbacks", &xfm_stats_.breakerFallbacks,
               "whole swaps rerouted: every channel breaker open");
     r.counter(p + "bytesCompressed", &stats_.bytesCompressed);
@@ -1022,6 +1157,7 @@ XfmBackend::setTracer(obs::Tracer *t)
     for (std::size_t d = 0; d < dimms_.size(); ++d) {
         dimms_[d].device->setTracer(t);
         dimms_[d].driver->doorbellHealth().setTracer(t);
+        dimms_[d].driver->queueHealth().setTracer(t);
         channel_health_[d].setTracer(t);
     }
 }

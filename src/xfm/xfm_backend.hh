@@ -120,6 +120,11 @@ struct XfmBackendStats
     /** Page shards (de)compressed on the CPU because their channel's
      *  breaker was open while the other channels stayed offloaded. */
     std::uint64_t shardCpuFallbacks = 0;
+    /** Single shards redone on the CPU after a watchdog drop, while
+     *  the page's other shards stayed offloaded (the watchdog is
+     *  scoped per queue pair: one stranded command no longer fails
+     *  the whole page back to the CPU). */
+    std::uint64_t watchdogShardRedos = 0;
     /** Whole swaps routed to the CPU because every channel breaker
      *  was open. */
     std::uint64_t breakerFallbacks = 0;
@@ -284,6 +289,11 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
         /** CPU-compressed shard blocks awaiting slot placement
          *  (hybrid swap-out only; indexed like ids). */
         std::vector<Bytes> cpuBlocks;
+        /** Per-DIMM flag: this shard's completion has been seen
+         *  (CPU shards count as done up front). Distinguishes a
+         *  watchdog drop before engine completion from one that
+         *  stranded an already-staged write-back. */
+        std::vector<std::uint8_t> shardDone;
         sfm::SwapCallback done;
         bool dead = false;  ///< fell back / aborted
         std::uint64_t traceId = 0;  ///< obs::Tracer request id
@@ -309,7 +319,15 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
 
     void onComplete(std::size_t dimm, const nma::OffloadCompletion &c);
     void onWriteback(std::size_t dimm, nma::OffloadId id, Tick t);
-    void onDrop(std::size_t dimm, nma::OffloadId id);
+    void onDrop(std::size_t dimm, nma::OffloadId id,
+                nma::DropReason reason);
+    /** All shards compressed: size the same-offset slot and commit
+     *  write-backs (shared by onComplete and watchdog recovery). */
+    void placeCompressWritebacks(const std::shared_ptr<PendingOp> &op);
+    /** Redo one watchdog-dropped shard on the CPU while the page's
+     *  other shards stay offloaded. */
+    void recoverShardOnCpu(std::size_t dimm,
+                           const std::shared_ptr<PendingOp> &op);
     void failToCpu(const std::shared_ptr<PendingOp> &op);
     void finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
                   bool used_cpu);

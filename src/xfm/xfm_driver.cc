@@ -7,38 +7,65 @@ namespace xfm
 namespace xfmsys
 {
 
-XfmDriver::XfmDriver(nma::XfmDevice &dev) : dev_(dev)
+XfmDriver::XfmDriver(nma::XfmDevice &dev)
+    : dev_(dev), ring_(dev.ring())
 {
+    if (ring_) {
+        // Ring mode: completions arrive through the CQ; the device's
+        // direct callbacks stay unset and the coalesced interrupt
+        // triggers a reap round.
+        dev_.setCqReadyCallback([this] { reapCompletions(); });
+        return;
+    }
     dev_.setCompletionCallback(
         [this](const nma::OffloadCompletion &c) {
-        // Adjust the estimate to the real staged output size.
-        auto it = tracked_.find(c.id);
-        if (it != tracked_.end()) {
-            bound_ += c.outputSize;
-            bound_ -= it->second;
-            it->second = c.outputSize;
-        }
-        if (on_complete_)
-            on_complete_(c);
+        handleComplete(c);
     });
     dev_.setWritebackCallback([this](nma::OffloadId id, Tick t) {
-        auto it = tracked_.find(id);
-        if (it != tracked_.end()) {
-            bound_ -= it->second;
-            tracked_.erase(it);
-        }
-        if (on_writeback_)
-            on_writeback_(id, t);
+        handleWriteback(id, t);
     });
-    dev_.setDropCallback([this](nma::OffloadId id) {
-        auto it = tracked_.find(id);
-        if (it != tracked_.end()) {
-            bound_ -= it->second;
-            tracked_.erase(it);
-        }
-        if (on_drop_)
-            on_drop_(id);
+    dev_.setDropCallback(
+        [this](nma::OffloadId id, nma::DropReason reason) {
+        handleDrop(id, reason);
     });
+}
+
+void
+XfmDriver::handleComplete(const nma::OffloadCompletion &c)
+{
+    // Adjust the estimate to the real staged output size.
+    auto it = tracked_.find(c.id);
+    if (it != tracked_.end()) {
+        bound_ += c.outputSize;
+        bound_ -= it->second;
+        it->second = c.outputSize;
+    }
+    if (on_complete_)
+        on_complete_(c);
+}
+
+void
+XfmDriver::handleWriteback(nma::OffloadId id, Tick t)
+{
+    auto it = tracked_.find(id);
+    if (it != tracked_.end()) {
+        bound_ -= it->second;
+        tracked_.erase(it);
+    }
+    if (on_writeback_)
+        on_writeback_(id, t);
+}
+
+void
+XfmDriver::handleDrop(nma::OffloadId id, nma::DropReason reason)
+{
+    auto it = tracked_.find(id);
+    if (it != tracked_.end()) {
+        bound_ -= it->second;
+        tracked_.erase(it);
+    }
+    if (on_drop_)
+        on_drop_(id, reason);
 }
 
 void
@@ -75,6 +102,30 @@ XfmDriver::submitTracked(const nma::OffloadRequest &req,
                          std::uint32_t worst_case)
 {
     last_submit_retries_ = 0;
+    if (ring_) {
+        // Async path: write the descriptor into a free SQ slot and
+        // arm one batched doorbell write. Losses are handled at the
+        // flush, not per submission.
+        const Tick now = dev_.curTick();
+        if (!queue_health_.admit(now)) {
+            ++stats_.breakerFallbacks;
+            ++stats_.fallbacks;
+            return nma::invalidOffloadId;
+        }
+        const nma::OffloadId id = dev_.ringSubmit(req);
+        if (id == nma::invalidOffloadId) {
+            // Full SQ or a device-side breaker: deterministic
+            // same-tick condition, not a queue-pair outcome.
+            queue_health_.cancelProbe(now);
+            ++stats_.fallbacks;
+            return id;
+        }
+        ++stats_.offloadsSubmitted;
+        bound_ += worst_case;
+        tracked_.emplace(id, worst_case);
+        scheduleDoorbellFlush();
+        return id;
+    }
     // Circuit breaker: a Failed doorbell is not rung at all — the
     // whole retry ladder is skipped and the caller falls straight
     // back to the CPU path.
@@ -126,6 +177,108 @@ XfmDriver::submitTracked(const nma::OffloadRequest &req,
         tracked_.emplace(id, worst_case);
         return id;
     }
+}
+
+void
+XfmDriver::scheduleDoorbellFlush()
+{
+    if (doorbell_scheduled_)
+        return;
+    doorbell_scheduled_ = true;
+    doorbell_attempts_ = 0;
+    // Same-tick event: every submission of this tick (the tREFI
+    // batch) is covered by one SQ tail doorbell MMIO write.
+    dev_.eventq().scheduleIn(0, [this] { flushDoorbell(); });
+}
+
+void
+XfmDriver::flushDoorbell()
+{
+    doorbell_scheduled_ = false;
+    auto &sq = ring_->sq();
+    const std::uint32_t covers = sq.stagedCount();
+    if (covers == 0)
+        return;  // everything staged was aborted in the meantime
+    if (injector_
+        && injector_->shouldInject(fault::FaultSite::MmioDoorbellLoss)) {
+        // The tail doorbell write never reached the device: the
+        // whole staged batch stays invisible.
+        ++stats_.doorbellLosses;
+        ++doorbell_attempts_;
+        queue_health_.recordFault(dev_.curTick());
+        if (queue_health_.rawState() == health::HealthState::Failed) {
+            // Breaker tripped: abandon the retry budget; the device
+            // watchdog will withdraw the stranded descriptors.
+            ++stats_.breakerFallbacks;
+            return;
+        }
+        if (doorbell_attempts_ >= retry_.maxAttempts)
+            return;  // stranded until the watchdog intervenes
+        ++stats_.retries;
+        ++last_submit_retries_;
+        doorbell_scheduled_ = true;
+        dev_.eventq().scheduleIn(
+            retry_.backoffFor(doorbell_attempts_ - 1),
+            [this] { flushDoorbell(); });
+        return;
+    }
+    dev_.regs().write(nma::Reg::SqTailDoorbell, sq.tailIndex());
+    for (std::uint32_t i = 0; i < covers; ++i)
+        queue_health_.recordSuccess(dev_.curTick());
+}
+
+void
+XfmDriver::reapCompletions()
+{
+    if (reaping_)
+        return;
+    reaping_ = true;
+    auto &cq = ring_->cq();
+    if (cq.pending() == 0) {
+        reaping_ = false;
+        return;
+    }
+    // The reap-site injection models a phase-bit misread: the
+    // driver sees no valid entries this round and leaves every
+    // record for the next interrupt or window flush.
+    if (injector_
+        && injector_->shouldInject(fault::FaultSite::MmioDoorbellLoss)) {
+        ++ring_->stats().phaseCorruptions;
+        queue_health_.recordFault(dev_.curTick());
+        reaping_ = false;
+        return;
+    }
+    ++ring_->stats().reapBatches;
+    obs::Tracer *tracer = dev_.tracer();
+    nma::CompletionRecord rec;
+    while (cq.reap(rec)) {
+        if (!ring_->sq().validTag(rec.tag)) {
+            // The command was aborted after this record was posted
+            // and its slot retired: the generation tag is stale.
+            ++ring_->stats().staleRejected;
+            continue;
+        }
+        if (tracer && rec.traceId)
+            tracer->record(rec.traceId, obs::Stage::CqReap, rec.tick,
+                           dev_.curTick());
+        switch (rec.type) {
+          case nma::CompletionType::Complete:
+            handleComplete(
+                {rec.tag, rec.kind, rec.outputSize, rec.tick});
+            break;
+          case nma::CompletionType::Writeback:
+            ring_->sq().retire(rec.tag);
+            handleWriteback(rec.tag, rec.tick);
+            break;
+          case nma::CompletionType::Drop:
+            ring_->sq().retire(rec.tag);
+            handleDrop(rec.tag, rec.reason);
+            break;
+        }
+    }
+    // One MMIO write acknowledges the whole reaped batch.
+    dev_.regs().write(nma::Reg::CqHeadDoorbell, cq.headIndex());
+    reaping_ = false;
 }
 
 nma::OffloadId
@@ -203,6 +356,8 @@ XfmDriver::registerMetrics(obs::MetricRegistry &r,
               [this] { return static_cast<double>(bound_); },
               "local SPM usage upper bound");
     doorbell_health_.registerMetrics(r, p + "health.doorbell");
+    if (ring_)
+        queue_health_.registerMetrics(r, p + "health.queue");
 }
 
 void

@@ -103,7 +103,7 @@ class XfmDriver
         on_writeback_ = std::move(cb);
     }
     void
-    onDrop(std::function<void(nma::OffloadId)> cb)
+    onDrop(nma::DropCallback cb)
     {
         on_drop_ = std::move(cb);
     }
@@ -163,29 +163,70 @@ class XfmDriver
     void configureHealth(const health::HealthConfig &cfg)
     {
         doorbell_health_ = health::HealthMonitor(cfg);
+        queue_health_ = health::HealthMonitor(cfg);
     }
     health::HealthMonitor &doorbellHealth()
     {
         return doorbell_health_;
     }
+    /** Ring-mode breaker scoped to this DIMM's queue pair. */
+    health::HealthMonitor &queueHealth() { return queue_health_; }
+
+    /**
+     * True when a submission can be written into the SQ right now
+     * (always true in legacy mode: the request-queue bound is the
+     * device's to enforce). The backend pre-checks this across all
+     * shards so a full SQ on one DIMM falls the whole page back to
+     * the CPU instead of rolling back a partial submit.
+     */
+    bool
+    ringHasSlot() const
+    {
+        return ring_ == nullptr || !ring_->sq().full();
+    }
+
+    /**
+     * Reap every valid completion record from the CQ and dispatch
+     * it in post order, then acknowledge the batch with one CQ head
+     * doorbell write. Invoked by the device's coalesced completion
+     * interrupt; public so tests can force a reap point.
+     */
+    void reapCompletions();
 
   private:
     nma::OffloadId submitTracked(const nma::OffloadRequest &req,
                                  std::uint32_t worst_case);
+    /** Shared tails of the device callbacks (legacy) and the
+     *  ring-mode reap dispatch. */
+    void handleComplete(const nma::OffloadCompletion &c);
+    void handleWriteback(nma::OffloadId id, Tick t);
+    void handleDrop(nma::OffloadId id, nma::DropReason reason);
+    /** Arm one SQ tail doorbell write for the current batch. */
+    void scheduleDoorbellFlush();
+    void flushDoorbell();
 
     nma::XfmDevice &dev_;
+    /** The device's queue pair in ring mode (null otherwise). */
+    nma::CommandRing *ring_ = nullptr;
     fault::FaultInjector *injector_ = nullptr;
     fault::RetryPolicy retry_{};
     health::HealthMonitor doorbell_health_{};
+    health::HealthMonitor queue_health_{};
     std::uint32_t last_submit_retries_ = 0;
     bool always_sync_ = false;
+    /** A doorbell-flush event is pending (one per batch). */
+    bool doorbell_scheduled_ = false;
+    /** Lost-doorbell retries consumed by the pending flush. */
+    std::uint32_t doorbell_attempts_ = 0;
+    /** Re-entrant reap guard. */
+    bool reaping_ = false;
     std::uint64_t bound_ = 0;  ///< local SPM usage upper bound
     /** Per-offload bytes counted in the bound. */
     std::unordered_map<nma::OffloadId, std::uint32_t> tracked_;
 
     nma::CompletionCallback on_complete_;
     nma::WritebackCallback on_writeback_;
-    std::function<void(nma::OffloadId)> on_drop_;
+    nma::DropCallback on_drop_;
 
     DriverStats stats_;
 };

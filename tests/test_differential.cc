@@ -77,7 +77,8 @@ struct DifferentialResult
  */
 DifferentialResult
 runDifferential(compress::Algorithm alg, const fault::FaultPlan &plan,
-                const health::HealthConfig &health = {})
+                const health::HealthConfig &health = {},
+                std::uint32_t sq_depth = 1)
 {
     EventQueue eq;
 
@@ -85,6 +86,8 @@ runDifferential(compress::Algorithm alg, const fault::FaultPlan &plan,
     xcfg.algorithm = alg;
     xcfg.faults = plan;
     xcfg.health = health;
+    xcfg.device.sqDepth = sq_depth;
+    xcfg.device.cqCoalesce = sq_depth > 1 ? 2 : 1;
     xfmsys::XfmBackend xfm("xfm", eq, xcfg);
     xfm.start();
 
@@ -198,6 +201,31 @@ TEST_P(DifferentialTest, FaultedRunWithBreakersRestoresAllPages)
     h.failConsecutive = 3;
     h.cooldown = microseconds(50.0);
     const auto r = runDifferential(GetParam(), aggressivePlan(), h);
+    EXPECT_GT(r.xfmCpuOps, 0u);
+}
+
+TEST_P(DifferentialTest, RingDepthEightRestoresAllPages)
+{
+    // The async command ring (sq_depth 8, coalesced reap) changes
+    // completion delivery order but may not cost a byte: the same
+    // clean run restores every page exactly.
+    const auto r = runDifferential(GetParam(), fault::FaultPlan{},
+                                   {}, 8);
+    EXPECT_EQ(r.offloadRetries, 0u);
+}
+
+TEST_P(DifferentialTest, RingDepthEightFaultedRestoresAllPages)
+{
+    // Per-queue doorbell loss (batch flush), phase-bit misreads at
+    // reap, SPM reserve failures and engine stalls, all while the
+    // ring runs deep — data integrity must still be perfect.
+    health::HealthConfig h;
+    h.enabled = true;
+    h.window = 8;
+    h.failConsecutive = 3;
+    h.cooldown = microseconds(50.0);
+    const auto r =
+        runDifferential(GetParam(), aggressivePlan(), h, 8);
     EXPECT_GT(r.xfmCpuOps, 0u);
 }
 

@@ -109,7 +109,9 @@ TEST_F(DriverTest, BoundClearsOnDeadlineDrop)
 {
     makeDriver();
     bool dropped = false;
-    driver_->onDrop([&](nma::OffloadId) { dropped = true; });
+    driver_->onDrop([&](nma::OffloadId, nma::DropReason) {
+        dropped = true;
+    });
     // Row far from the refresh cursor, deadline before any window
     // can serve it randomly... deadline 1 tick: dropped at window 1.
     driver_->xfmDecompress(rowAddr(60000), 1024, rowAddr(61000),

@@ -498,7 +498,9 @@ TEST_F(XfmDeviceTest, DeadlineDropInvokesCallback)
 {
     auto &dev = makeDevice();
     std::vector<OffloadId> dropped;
-    dev.setDropCallback([&](OffloadId id) { dropped.push_back(id); });
+    dev.setDropCallback([&](OffloadId id, DropReason) {
+        dropped.push_back(id);
+    });
 
     mem_.write(rowAddr(40000), Bytes(4096, 4));
     OffloadRequest urgent;

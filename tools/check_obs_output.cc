@@ -7,10 +7,17 @@
  *   check_obs_output stats <stats.json>
  *     The file must be a JSON object with schema == xfm.metrics.v1
  *     and a non-empty "metrics" object whose values are numbers.
+ *     The schema is additive-only: new metric families may appear,
+ *     existing names never change meaning. When any async-ring
+ *     metric (*.ring.*) is present the core ring family must be
+ *     complete — a partial family means a registration bug.
  *
  *   check_obs_output trace <trace.jsonl>
  *     Every line must be a JSON object carrying integral req (> 0),
- *     start, end (end >= start), arg, and a non-empty string stage.
+ *     start, end (end >= start), arg, and a stage drawn from the
+ *     canonical stage vocabulary (including the ring-mode stages
+ *     sq_enqueue and cq_reap) — an unknown stage name means a
+ *     producer/consumer skew in the trace schema.
  *
  *   check_obs_output health <stats.json>
  *     Everything `stats` checks, plus: at least one health-monitor
@@ -25,6 +32,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -46,6 +54,20 @@ slurp(const std::string &path)
     std::ostringstream out;
     out << in.rdbuf();
     return out.str();
+}
+
+/** The canonical trace-stage vocabulary (obs/tracer.cc). */
+const std::set<std::string> &
+knownStages()
+{
+    static const std::set<std::string> stages = {
+        "swap_out",  "swap_in",   "submit",      "queue",
+        "window_wait", "classify", "engine",     "spm_stage",
+        "writeback", "cpu_compute", "dfm_link",  "fallback",
+        "complete",  "health",    "shed",        "sq_enqueue",
+        "cq_reap",
+    };
+    return stages;
 }
 
 int
@@ -84,6 +106,30 @@ checkStats(const std::string &path)
             return fail(path, "metric '" + name
                                   + "' is not a number");
     }
+    // Additive-only ring family check: a run with the async command
+    // rings enabled exports `<dimm>.ring.*`; if any such leaf shows
+    // up, the core counters of that queue pair must all be there.
+    std::set<std::string> ring_families;
+    for (const auto &[name, value] : metrics) {
+        const std::size_t at = name.find(".ring.");
+        if (at != std::string::npos)
+            ring_families.insert(name.substr(0, at + 6));
+    }
+    for (const auto &family : ring_families) {
+        for (const char *leaf :
+             {"sqEnqueues", "doorbells", "consumed", "cqPosts",
+              "reaped", "staleRejected", "phaseFlips",
+              "sqOccupancy", "cqPending"}) {
+            if (metrics.find(family + leaf) == metrics.end())
+                return fail(path, "ring family '" + family
+                                      + "*' is missing '" + leaf
+                                      + "'");
+        }
+    }
+    if (!ring_families.empty())
+        std::printf("%s: %zu ring famil%s complete\n", path.c_str(),
+                    ring_families.size(),
+                    ring_families.size() == 1 ? "y" : "ies");
     std::printf("%s: ok (%zu metrics)\n", path.c_str(),
                 metrics.size());
     return 0;
@@ -156,6 +202,10 @@ checkTrace(const std::string &path)
             || !v.at("stage").isString()
             || v.at("stage").str().empty())
             return fail(path, where + ": missing stage string");
+        if (knownStages().find(v.at("stage").str())
+            == knownStages().end())
+            return fail(path, where + ": unknown stage '"
+                                  + v.at("stage").str() + "'");
         ++events;
     }
     std::printf("%s: ok (%zu events)\n", path.c_str(), events);
