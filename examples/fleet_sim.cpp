@@ -13,7 +13,10 @@
  *
  * The config file (key = value) may set the same knobs (tenants,
  * ms, rate, seed), `workers` (shard-compression threads for every
- * tenant's CPU swap path; results identical for any value), plus
+ * tenant's CPU swap path; results identical for any value),
+ * `sim_shards` (event-core shards: 1 = classic monolithic kernel,
+ * N > 1 stages per-DIMM event domains in parallel at tREFI window
+ * barriers — output stays byte-identical), plus
  * the observability sinks:
  *   stats.json = fleet.json    # metric-registry JSON snapshot
  *   trace.out  = fleet.jsonl   # per-swap span trace (JSON lines)
@@ -87,6 +90,7 @@ main(int argc, char **argv)
     std::uint64_t trace_cap = 65536;
     std::uint32_t sq_depth = 1;
     std::uint32_t cq_coalesce = 1;
+    std::size_t sim_shards = 1;
     health::HealthConfig health_cfg;
     health::ShedConfig shed_cfg;
     for (int i = 1; i < argc; i += 2) {
@@ -117,6 +121,8 @@ main(int argc, char **argv)
                 cfg.getU64("xfm.sq_depth", sq_depth));
             cq_coalesce = static_cast<std::uint32_t>(
                 cfg.getU64("xfm.cq_coalesce", cq_coalesce));
+            sim_shards = static_cast<std::size_t>(
+                cfg.getU64("sim_shards", sim_shards));
             health_cfg = health::HealthConfig::fromConfig(cfg);
             shed_cfg = health::ShedConfig::fromConfig(cfg);
             for (const auto &key : cfg.unconsumedKeys())
@@ -132,7 +138,14 @@ main(int argc, char **argv)
         }
     }
 
-    EventQueue eq;
+    // Window barriers of the sharded event core land on tREFI
+    // boundaries, where the DIMMs already synchronise (DESIGN.md
+    // §13); sim_shards = 1 builds no barrier at all.
+    EventQueueConfig eq_cfg;
+    eq_cfg.shards = sim_shards;
+    eq_cfg.windowTicks = dram::ddr5Device32Gb().tREFI();
+    eq_cfg.drainWorkers = workers;
+    EventQueue eq(eq_cfg);
     service::ServiceConfig scfg = makeServiceConfig(tenants);
     scfg.system.health = health_cfg;
     scfg.system.workers = workers;

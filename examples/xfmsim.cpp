@@ -29,6 +29,11 @@
  *   workload.seed      = 1
  *   workers            = 1          # shard-compression threads;
  *                                   # results identical for any value
+ *   sim_shards         = 1          # event-core shards (1 = classic
+ *                                   # monolithic kernel; N > 1 adds
+ *                                   # per-DIMM domains staged in
+ *                                   # parallel at tREFI barriers —
+ *                                   # output is byte-identical)
  *
  * Fault injection (see src/fault/fault.hh and configs/faults.cfg):
  *   fault.seed               = 7
@@ -124,6 +129,8 @@ main(int argc, char **argv)
         cfg.getU64("xfm.quarantine_cap", 0));
     sys_cfg.workers =
         static_cast<std::size_t>(cfg.getU64("workers", 1));
+    const std::size_t sim_shards =
+        static_cast<std::size_t>(cfg.getU64("sim_shards", 1));
     const bool verify = cfg.getBool("verify", false);
 
     const double run_seconds =
@@ -139,7 +146,14 @@ main(int argc, char **argv)
     for (const auto &key : cfg.unconsumedKeys())
         warn("unknown config key '", key, "' ignored");
 
-    EventQueue eq;
+    // The sharded event core is keyed to the DDR5 refresh interval:
+    // conservative window barriers land on tREFI boundaries, where
+    // cross-DIMM interactions already synchronise (DESIGN.md §13).
+    EventQueueConfig eq_cfg;
+    eq_cfg.shards = sim_shards;
+    eq_cfg.windowTicks = dram::ddr5Device32Gb().tREFI();
+    eq_cfg.drainWorkers = sys_cfg.workers;
+    EventQueue eq(eq_cfg);
     System sys("xfmsim", eq, sys_cfg);
     obs::Tracer tracer(static_cast<std::size_t>(trace_cap));
     if (!trace_out.empty())

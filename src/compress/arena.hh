@@ -9,17 +9,22 @@
  * size, after which every acquire() is a free-list pop.
  *
  * Ownership rules (DESIGN.md §11): each backend/device owns its own
- * arena (no global pool); a Lease returns its buffer to the arena
- * on destruction and must not outlive the arena. The arena is
- * mutex-protected so leases may be released from WorkerPool threads
- * (the NMA engine recycles input staging buffers from codec jobs
- * that finish on a worker).
+ * arena (no global pool). The pooled free list is held through a
+ * shared_ptr that every outstanding Lease co-owns, so a lease MAY
+ * outlive its arena: an in-flight engine job parked in a pending
+ * event callback can be destroyed after its device (e.g. when an
+ * EventQueue tears down un-run events at end of scope) and the
+ * release lands in the orphaned pool instead of freed memory. The
+ * pool is mutex-protected so leases may also be released from
+ * WorkerPool threads (the NMA engine recycles input staging buffers
+ * from codec jobs that finish on a worker).
  */
 
 #ifndef XFM_COMPRESS_ARENA_HH
 #define XFM_COMPRESS_ARENA_HH
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -34,6 +39,25 @@ namespace compress
 /** Pool of reusable Bytes buffers with RAII leases. */
 class ScratchArena
 {
+  private:
+    /** The shared free list; kept alive by the arena AND leases. */
+    struct Pool
+    {
+        mutable std::mutex m;
+        std::vector<Bytes> free;
+        std::uint64_t reuses = 0;
+        std::uint64_t allocs = 0;
+
+        void
+        put(Bytes b)
+        {
+            b.clear();
+            std::lock_guard<std::mutex> g(m);
+            if (free.size() < maxPooled)
+                free.push_back(std::move(b));
+        }
+    };
+
   public:
     /** Movable RAII handle; returns its buffer on destruction. */
     class Lease
@@ -42,9 +66,9 @@ class ScratchArena
         Lease() = default;
 
         Lease(Lease &&o) noexcept
-            : arena_(o.arena_), buf_(std::move(o.buf_))
+            : pool_(std::move(o.pool_)), buf_(std::move(o.buf_))
         {
-            o.arena_ = nullptr;
+            o.pool_.reset();
         }
 
         Lease &
@@ -52,9 +76,9 @@ class ScratchArena
         {
             if (this != &o) {
                 release();
-                arena_ = o.arena_;
+                pool_ = std::move(o.pool_);
                 buf_ = std::move(o.buf_);
-                o.arena_ = nullptr;
+                o.pool_.reset();
             }
             return *this;
         }
@@ -64,7 +88,7 @@ class ScratchArena
         ~Lease() { release(); }
 
         /** True when this lease holds a pooled buffer. */
-        explicit operator bool() const { return arena_ != nullptr; }
+        explicit operator bool() const { return pool_ != nullptr; }
 
         Bytes &operator*() { return buf_; }
         const Bytes &operator*() const { return buf_; }
@@ -73,20 +97,20 @@ class ScratchArena
 
       private:
         friend class ScratchArena;
-        Lease(ScratchArena *a, Bytes b)
-            : arena_(a), buf_(std::move(b))
+        Lease(std::shared_ptr<Pool> p, Bytes b)
+            : pool_(std::move(p)), buf_(std::move(b))
         {}
 
         void
         release()
         {
-            if (arena_) {
-                arena_->put(std::move(buf_));
-                arena_ = nullptr;
+            if (pool_) {
+                pool_->put(std::move(buf_));
+                pool_.reset();
             }
         }
 
-        ScratchArena *arena_ = nullptr;
+        std::shared_ptr<Pool> pool_;
         Bytes buf_;
     };
 
@@ -99,64 +123,50 @@ class ScratchArena
     {
         Bytes buf;
         {
-            std::lock_guard<std::mutex> g(m_);
-            if (!free_.empty()) {
-                buf = std::move(free_.back());
-                free_.pop_back();
-                ++reuses_;
+            std::lock_guard<std::mutex> g(pool_->m);
+            if (!pool_->free.empty()) {
+                buf = std::move(pool_->free.back());
+                pool_->free.pop_back();
+                ++pool_->reuses;
             } else {
-                ++allocs_;
+                ++pool_->allocs;
             }
         }
         if (buf.capacity() < reserve_hint)
             buf.reserve(reserve_hint);
-        return Lease(this, std::move(buf));
+        return Lease(pool_, std::move(buf));
     }
 
     /** Buffers currently resting in the pool. */
     std::size_t
     pooled() const
     {
-        std::lock_guard<std::mutex> g(m_);
-        return free_.size();
+        std::lock_guard<std::mutex> g(pool_->m);
+        return pool_->free.size();
     }
 
     /** acquire() calls served from the pool. */
     std::uint64_t
     reuses() const
     {
-        std::lock_guard<std::mutex> g(m_);
-        return reuses_;
+        std::lock_guard<std::mutex> g(pool_->m);
+        return pool_->reuses;
     }
 
     /** acquire() calls that had to start from a fresh buffer. */
     std::uint64_t
     allocations() const
     {
-        std::lock_guard<std::mutex> g(m_);
-        return allocs_;
+        std::lock_guard<std::mutex> g(pool_->m);
+        return pool_->allocs;
     }
 
   private:
-    friend class Lease;
-
-    void
-    put(Bytes b)
-    {
-        b.clear();
-        std::lock_guard<std::mutex> g(m_);
-        if (free_.size() < maxPooled)
-            free_.push_back(std::move(b));
-    }
-
     // Bound the resting pool so a burst (e.g. a compaction sweep)
     // doesn't pin its high-water mark of buffers forever.
     static constexpr std::size_t maxPooled = 64;
 
-    mutable std::mutex m_;
-    std::vector<Bytes> free_;
-    std::uint64_t reuses_ = 0;
-    std::uint64_t allocs_ = 0;
+    std::shared_ptr<Pool> pool_ = std::make_shared<Pool>();
 };
 
 } // namespace compress

@@ -41,7 +41,8 @@ RefreshController::start()
             * static_cast<std::uint64_t>(r) / num_ranks_;
         eventq().schedule(curTick() + phase,
                           [this, r] { issueRef(r); },
-                          EventQueue::refreshPriority);
+                          EventQueue::refreshPriority,
+                          rankDomain(r));
     }
 }
 
@@ -71,7 +72,8 @@ RefreshController::issueRef(std::uint32_t rank)
         listener(window);
 
     eventq().scheduleIn(dev_.tREFI(), [this, rank] { issueRef(rank); },
-                        EventQueue::refreshPriority);
+                        EventQueue::refreshPriority,
+                        rankDomain(rank));
 }
 
 namespace

@@ -42,7 +42,11 @@ QosArbiter::start()
     if (started_)
         return;
     started_ = true;
-    eventq().scheduleIn(cfg_.window, [this] { window(); });
+    // The arbiter spans every tenant and DIMM, so its window timer
+    // stays on the global event domain (shard 0).
+    eventq().scheduleIn(cfg_.window, [this] { window(); },
+                        EventQueue::defaultPriority,
+                        EventQueue::globalDomain);
 }
 
 void
@@ -223,7 +227,11 @@ QosArbiter::window()
         latency_rr_ = (latency_rr_ + 1) % n;
         batch_rr_ = (batch_rr_ + 1) % n;
     }
-    eventq().scheduleIn(cfg_.window, [this] { window(); });
+    // The arbiter spans every tenant and DIMM, so its window timer
+    // stays on the global event domain (shard 0).
+    eventq().scheduleIn(cfg_.window, [this] { window(); },
+                        EventQueue::defaultPriority,
+                        EventQueue::globalDomain);
 }
 
 } // namespace service

@@ -188,7 +188,9 @@ XfmDriver::scheduleDoorbellFlush()
     doorbell_attempts_ = 0;
     // Same-tick event: every submission of this tick (the tREFI
     // batch) is covered by one SQ tail doorbell MMIO write.
-    dev_.eventq().scheduleIn(0, [this] { flushDoorbell(); });
+    dev_.eventq().scheduleIn(0, [this] { flushDoorbell(); },
+                             EventQueue::defaultPriority,
+                             dev_.eventDomain());
 }
 
 void
@@ -219,7 +221,8 @@ XfmDriver::flushDoorbell()
         doorbell_scheduled_ = true;
         dev_.eventq().scheduleIn(
             retry_.backoffFor(doorbell_attempts_ - 1),
-            [this] { flushDoorbell(); });
+            [this] { flushDoorbell(); },
+            EventQueue::defaultPriority, dev_.eventDomain());
         return;
     }
     dev_.regs().write(nma::Reg::SqTailDoorbell, sq.tailIndex());

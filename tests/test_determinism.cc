@@ -59,9 +59,18 @@ struct RunResult
 /** One complete demote/promote run under the given fault seed. */
 RunResult
 runSystem(std::uint64_t fault_seed, std::size_t workers = 1,
-          std::uint32_t sq_depth = 1, std::uint32_t cq_coalesce = 1)
+          std::uint32_t sq_depth = 1, std::uint32_t cq_coalesce = 1,
+          std::size_t sim_shards = 1)
 {
-    EventQueue eq;
+    // Sharded event core: per-DIMM domains staged between tREFI
+    // window barriers (DESIGN.md §13). sim_shards = 1 is the
+    // classic monolithic kernel.
+    EventQueueConfig eq_cfg;
+    eq_cfg.shards = sim_shards;
+    eq_cfg.windowTicks = dram::ddr5Device32Gb().tREFI();
+    eq_cfg.drainWorkers = workers;
+    eq_cfg.parallelStageMin = 0;  // stage every window in tests
+    EventQueue eq(eq_cfg);
     SystemConfig cfg = faultedConfig(fault_seed);
     cfg.workers = workers;
     cfg.xfmDevice.sqDepth = sq_depth;
@@ -167,6 +176,56 @@ TEST(Determinism, RingDepthEightIsReproducible)
     EXPECT_EQ(a.stats, w8.stats);
     EXPECT_EQ(a.json, w8.json);
     EXPECT_EQ(a.trace, w8.trace);
+}
+
+TEST(Determinism, ShardMatrixIsByteIdentical)
+{
+    // The tentpole contract: metrics snapshot, JSON export, and the
+    // span trace are byte-identical for EVERY (sim_shards, workers,
+    // sq_depth) combination — sharding, drain workers, and the
+    // async ring are all host-runtime knobs, never simulation
+    // inputs. Fault injection schedules included.
+    const RunResult base = runSystem(7);
+    EXPECT_GT(base.injections, 0u);
+    EXPECT_FALSE(base.json.empty());
+    EXPECT_FALSE(base.trace.empty());
+    for (std::size_t shards : {1, 2, 8}) {
+        for (std::size_t workers : {1, 8}) {
+            for (std::uint32_t sq_depth : {1u, 8u}) {
+                // The ring reorders completions relative to depth 1
+                // (deterministically), so each depth has its own
+                // golden run at shards = 1, workers = 1.
+                const RunResult golden =
+                    sq_depth == 1 ? base
+                                  : runSystem(7, 1, sq_depth, 2);
+                const RunResult got =
+                    runSystem(7, workers, sq_depth,
+                              sq_depth == 1 ? 1 : 2, shards);
+                EXPECT_EQ(got.stats, golden.stats)
+                    << "shards=" << shards << " workers=" << workers
+                    << " sq_depth=" << sq_depth;
+                EXPECT_EQ(got.json, golden.json)
+                    << "shards=" << shards << " workers=" << workers
+                    << " sq_depth=" << sq_depth;
+                EXPECT_EQ(got.trace, golden.trace)
+                    << "shards=" << shards << " workers=" << workers
+                    << " sq_depth=" << sq_depth;
+                EXPECT_EQ(got.injections, golden.injections);
+            }
+        }
+    }
+}
+
+TEST(Determinism, ExplicitShardOneMatchesDefault)
+{
+    // sim_shards = 1 spelled out must not change a single byte of
+    // any export relative to the default-constructed EventQueue
+    // (no barrier is built at all).
+    const RunResult def = runSystem(7);
+    const RunResult s1 = runSystem(7, 1, 1, 1, 1);
+    EXPECT_EQ(def.stats, s1.stats);
+    EXPECT_EQ(def.json, s1.json);
+    EXPECT_EQ(def.trace, s1.trace);
 }
 
 TEST(Determinism, DifferentFaultSeedDiverges)

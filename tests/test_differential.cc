@@ -78,9 +78,18 @@ struct DifferentialResult
 DifferentialResult
 runDifferential(compress::Algorithm alg, const fault::FaultPlan &plan,
                 const health::HealthConfig &health = {},
-                std::uint32_t sq_depth = 1)
+                std::uint32_t sq_depth = 1,
+                std::size_t sim_shards = 1)
 {
-    EventQueue eq;
+    // sim_shards > 1 runs the sharded event core with per-DIMM
+    // domains staged at tREFI window barriers (DESIGN.md §13); the
+    // data-integrity contract is identical either way.
+    EventQueueConfig eq_cfg;
+    eq_cfg.shards = sim_shards;
+    eq_cfg.windowTicks = dram::ddr5Device32Gb().tREFI();
+    eq_cfg.drainWorkers = sim_shards > 1 ? 4 : 1;
+    eq_cfg.parallelStageMin = 0;
+    EventQueue eq(eq_cfg);
 
     auto xcfg = testutil::testXfmConfig(2);
     xcfg.algorithm = alg;
@@ -227,6 +236,40 @@ TEST_P(DifferentialTest, RingDepthEightFaultedRestoresAllPages)
     const auto r =
         runDifferential(GetParam(), aggressivePlan(), h, 8);
     EXPECT_GT(r.xfmCpuOps, 0u);
+}
+
+TEST_P(DifferentialTest, ShardedCoreFaultedRestoresAllPages)
+{
+    // The aggressive fault plan replayed on the sharded event core
+    // at full width: retries, stalls, and doorbell losses now cross
+    // window barriers, and every page must still restore exactly —
+    // with the same CPU-fallback degradation the monolithic kernel
+    // shows.
+    const auto mono = runDifferential(GetParam(), aggressivePlan());
+    const auto s8 =
+        runDifferential(GetParam(), aggressivePlan(), {}, 1, 8);
+    EXPECT_GT(s8.xfmCpuOps, 0u);
+    EXPECT_EQ(s8.xfmCpuOps, mono.xfmCpuOps);
+    EXPECT_EQ(s8.offloadRetries, mono.offloadRetries);
+}
+
+TEST_P(DifferentialTest, ShardedCoreBreakersRestoresAllPages)
+{
+    // Breaker trips, half-open probes, and channel offlining on the
+    // sharded core: the health state machine walks the exact same
+    // transitions as on the monolithic kernel.
+    health::HealthConfig h;
+    h.enabled = true;
+    h.window = 8;
+    h.failConsecutive = 3;
+    h.cooldown = microseconds(50.0);
+    const auto mono =
+        runDifferential(GetParam(), aggressivePlan(), h);
+    const auto s8 =
+        runDifferential(GetParam(), aggressivePlan(), h, 1, 8);
+    EXPECT_GT(s8.xfmCpuOps, 0u);
+    EXPECT_EQ(s8.xfmCpuOps, mono.xfmCpuOps);
+    EXPECT_EQ(s8.offloadRetries, mono.offloadRetries);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, DifferentialTest,

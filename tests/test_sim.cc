@@ -248,5 +248,344 @@ TEST(SimObject, ExposesNameAndTime)
     EXPECT_EQ(obj.curTick(), 42u);
 }
 
+// ---------------------------------------------------------------
+// Sharded event core (DESIGN.md §13).
+// ---------------------------------------------------------------
+
+EventQueueConfig
+shardedConfig(std::size_t shards, std::size_t workers = 1)
+{
+    EventQueueConfig cfg;
+    cfg.shards = shards;
+    cfg.windowTicks = 1000;  // small windows: many barriers
+    cfg.drainWorkers = workers;
+    cfg.parallelStageMin = 0;  // always exercise the pool path
+    return cfg;
+}
+
+TEST(ShardedEventQueue, ShardOfMapsDomainsRoundRobin)
+{
+    EventQueue mono;
+    EXPECT_EQ(mono.shards(), 1u);
+    EXPECT_EQ(mono.shardOf(0), 0u);
+    EXPECT_EQ(mono.shardOf(17), 0u);
+
+    EventQueue eq(shardedConfig(4));
+    EXPECT_EQ(eq.shards(), 4u);
+    EXPECT_EQ(eq.shardOf(EventQueue::globalDomain), 0u);
+    EXPECT_EQ(eq.shardOf(1), 1u);
+    EXPECT_EQ(eq.shardOf(2), 2u);
+    EXPECT_EQ(eq.shardOf(3), 3u);
+    EXPECT_EQ(eq.shardOf(4), 1u);  // wraps over the non-global shards
+    EXPECT_EQ(eq.shardOf(5), 2u);
+}
+
+TEST(ShardedEventQueue, CrossShardOrderIsGlobal)
+{
+    // Events on different domains at interleaved ticks must fire in
+    // global (tick, priority, seq) order, never shard-batched.
+    EventQueue eq(shardedConfig(4));
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); },
+                EventQueue::defaultPriority, 1);
+    eq.schedule(10, [&] { order.push_back(1); },
+                EventQueue::defaultPriority, 2);
+    eq.schedule(20, [&] { order.push_back(2); },
+                EventQueue::defaultPriority, 3);
+    eq.schedule(10, [&] { order.push_back(10); },
+                EventQueue::refreshPriority, EventQueue::globalDomain);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{10, 1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(ShardedEventQueue, MonolithicBuildsNoBarrier)
+{
+    EventQueue eq;  // shards = 1
+    for (int i = 0; i < 64; ++i)
+        eq.schedule(static_cast<Tick>(i) * 500, [] {});
+    eq.run();
+    EXPECT_EQ(eq.barriers(), 0u);
+    EXPECT_EQ(eq.stagedEvents(), 0u);
+}
+
+TEST(ShardedEventQueue, WindowBarriersAdvanceMonotonically)
+{
+    EventQueue eq(shardedConfig(2));
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(static_cast<Tick>(i) * 2500, [] {}, 0,
+                    1 + (i % 2));
+    eq.run();
+    EXPECT_GT(eq.barriers(), 0u);
+    EXPECT_EQ(eq.executed(), 8u);
+}
+
+TEST(ShardedEventQueue, StagedEntryCanBeDescheduled)
+{
+    // A callback cancels a later same-window event on another
+    // shard; staging must keep entries live (deschedulable).
+    EventQueue eq(shardedConfig(2));
+    bool fired = false;
+    EventId victim =
+        eq.schedule(500, [&] { fired = true; }, 0, 1);
+    eq.schedule(100, [&] { EXPECT_TRUE(eq.deschedule(victim)); },
+                0, EventQueue::globalDomain);
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.executed(), 1u);
+    EXPECT_EQ(eq.descheduled(), 1u);
+}
+
+// --- Per-shard tombstone accounting (the PR 7 fix) --------------
+
+TEST(ShardedEventQueue, TombstonesChargeTheOwningShardOnly)
+{
+    // Cancels in one domain must only ever compact that shard;
+    // before the fix a tombstone could be charged to the wrong
+    // shard's heap count and inflate its compaction trigger with
+    // nodes the sweep cannot find.
+    EventQueue eq(shardedConfig(3));
+    std::vector<EventId> ids;
+    for (int i = 0; i < 256; ++i)
+        ids.push_back(eq.schedule(1000000 + i, [] {}, 0, 1));
+    for (int i = 0; i < 64; ++i)
+        eq.schedule(1000000 + i, [] {}, 0, 2);
+    const std::size_t victim_shard = eq.shardOf(1);
+    const std::size_t other_shard = eq.shardOf(2);
+    for (std::size_t i = 0; i < 200; ++i)
+        ASSERT_TRUE(eq.deschedule(ids[i]));
+    EXPECT_GT(eq.shardCompactions(victim_shard), 0u);
+    EXPECT_EQ(eq.shardCompactions(other_shard), 0u);
+    EXPECT_EQ(eq.shardCancelled(other_shard), 0u);
+    eq.run();
+    EXPECT_EQ(eq.executed(), 256u - 200u + 64u);
+    for (std::size_t s = 0; s < eq.shards(); ++s)
+        EXPECT_EQ(eq.shardCancelled(s), 0u) << "shard " << s;
+}
+
+TEST(ShardedEventQueue, StagedCancelDoesNotInflateHeapCompaction)
+{
+    // Cancelling an already-staged entry must charge the staged
+    // tombstone bucket: the heap sweep can never reclaim it, so
+    // charging it to the heap count would push the shard toward
+    // compactions that find nothing.
+    // Two drain workers so the shard heaps really are staged by
+    // the pool before the canceller runs (workers = 1 builds no
+    // pool and the cancels would take the ordinary heap path).
+    EventQueue eq(shardedConfig(2, /*workers=*/2));
+    std::vector<EventId> victims;
+    for (int i = 0; i < 128; ++i)
+        victims.push_back(
+            eq.schedule(900, [] {}, EventQueue::defaultPriority, 1));
+    eq.schedule(100, [&] {
+        // Same window as the victims: they are staged by now.
+        for (EventId id : victims)
+            EXPECT_TRUE(eq.deschedule(id));
+    }, 0, EventQueue::globalDomain);
+    const std::uint64_t before = eq.compactions();
+    eq.run();
+    EXPECT_EQ(eq.compactions(), before);
+    EXPECT_EQ(eq.executed(), 1u);
+    EXPECT_EQ(eq.descheduled(), 128u);
+    for (std::size_t s = 0; s < eq.shards(); ++s)
+        EXPECT_EQ(eq.shardCancelled(s), 0u) << "shard " << s;
+}
+
+// --- Oracle equivalence harness ---------------------------------
+
+/** One fired event, as observed by the harness. */
+struct FireRecord
+{
+    Tick tick;
+    int priority;
+    std::uint64_t serial;  ///< generator-assigned id of the action
+
+    bool
+    operator==(const FireRecord &o) const
+    {
+        return tick == o.tick && priority == o.priority
+            && serial == o.serial;
+    }
+};
+
+/** End-of-run footprint of a schedule replay. */
+struct ReplayResult
+{
+    std::vector<FireRecord> fires;
+    std::uint64_t executed = 0;
+    std::uint64_t descheduled = 0;
+    Tick finalNow = 0;
+};
+
+/**
+ * Deterministic xorshift generator for the randomized schedule —
+ * self-contained so the harness does not depend on common/random.
+ */
+class ScheduleRng
+{
+  public:
+    explicit ScheduleRng(std::uint64_t seed) : state_(seed | 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 7;
+        state_ ^= state_ << 17;
+        return state_;
+    }
+
+    std::uint64_t pick(std::uint64_t n) { return next() % n; }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Replay a seeded randomized schedule against @p eq and record the
+ * exact (tick, priority, serial) fire order.
+ *
+ * The generator exercises every mutation the real simulator
+ * performs: plain posts across domains, posts landing exactly on
+ * window/epoch boundaries (the barrier edge), cancels of pending
+ * and already-staged events, reschedule (cancel + repost at a new
+ * tick), self-deschedule from inside a callback, and callbacks that
+ * post follow-up work into *other* domains mid-window.
+ */
+ReplayResult
+replaySchedule(EventQueue &eq, std::uint64_t seed,
+               std::uint32_t domains)
+{
+    constexpr Tick kWindow = 1000;  // matches shardedConfig()
+    ReplayResult out;
+    ScheduleRng rng(seed);
+    std::vector<std::pair<std::uint64_t, EventId>> live;
+    std::uint64_t serial = 0;
+
+    auto post = [&](Tick when, int prio, std::uint32_t domain,
+                    auto &&self) -> void {
+        const std::uint64_t id = serial++;
+        EventId ev = eq.schedule(when, [&, id, when, prio, domain,
+                                        self]() mutable {
+            out.fires.push_back({eq.now(), prio, id});
+            // 1 in 4 callbacks posts follow-up work, half of it
+            // into a different domain (cross-shard post).
+            if (rng.pick(4) == 0 && serial < 4096) {
+                const std::uint32_t d =
+                    rng.pick(2) ? domain
+                                : static_cast<std::uint32_t>(
+                                      rng.pick(domains));
+                const Tick delta = 1 + rng.pick(3 * kWindow);
+                self(eq.now() + delta,
+                     static_cast<int>(rng.pick(3)) - 1, d, self);
+            }
+            // 1 in 8 callbacks cancels a random live event (which
+            // may already be staged in the current window).
+            if (rng.pick(8) == 0 && !live.empty()) {
+                const std::size_t idx = rng.pick(live.size());
+                if (eq.deschedule(live[idx].second))
+                    live.erase(live.begin()
+                               + static_cast<std::ptrdiff_t>(idx));
+            }
+        }, prio, domain);
+        live.push_back({id, ev});
+    };
+
+    // Seed schedule: a mix of plain ticks and exact epoch
+    // boundaries, over all domains and three priorities.
+    for (int i = 0; i < 512; ++i) {
+        Tick when = 1 + rng.pick(40 * kWindow);
+        if (rng.pick(5) == 0)
+            when = (1 + rng.pick(40)) * kWindow;  // barrier edge
+        const int prio = static_cast<int>(rng.pick(3)) - 1;
+        const std::uint32_t domain =
+            static_cast<std::uint32_t>(rng.pick(domains));
+        post(when, prio, domain, post);
+    }
+    // Up-front cancels and reschedules of a third of the seeds.
+    for (int i = 0; i < 170 && !live.empty(); ++i) {
+        const std::size_t idx = rng.pick(live.size());
+        if (eq.deschedule(live[idx].second)) {
+            live.erase(live.begin()
+                       + static_cast<std::ptrdiff_t>(idx));
+            if (rng.pick(2) == 0)  // reschedule: repost elsewhere
+                post(1 + rng.pick(40 * kWindow),
+                     static_cast<int>(rng.pick(3)) - 1,
+                     static_cast<std::uint32_t>(rng.pick(domains)),
+                     post);
+        }
+    }
+
+    eq.run();
+    out.executed = eq.executed();
+    out.descheduled = eq.descheduled();
+    out.finalNow = eq.now();
+    return out;
+}
+
+class ShardedOracleTest
+    : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(ShardedOracleTest, MatchesMonolithicOracle)
+{
+    const std::size_t shards = GetParam();
+    for (std::uint64_t seed : {1ull, 7ull, 42ull, 1234567ull}) {
+        EventQueue oracle(shardedConfig(1));
+        const ReplayResult want =
+            replaySchedule(oracle, seed, /*domains=*/9);
+
+        EventQueue eq(shardedConfig(shards));
+        const ReplayResult got = replaySchedule(eq, seed, 9);
+
+        ASSERT_EQ(got.fires.size(), want.fires.size())
+            << "seed " << seed << " shards " << shards;
+        for (std::size_t i = 0; i < want.fires.size(); ++i) {
+            ASSERT_TRUE(got.fires[i] == want.fires[i])
+                << "seed " << seed << " shards " << shards
+                << " fire " << i << ": got (" << got.fires[i].tick
+                << "," << got.fires[i].priority << ","
+                << got.fires[i].serial << ") want ("
+                << want.fires[i].tick << ","
+                << want.fires[i].priority << ","
+                << want.fires[i].serial << ")";
+        }
+        EXPECT_EQ(got.executed, want.executed);
+        EXPECT_EQ(got.descheduled, want.descheduled);
+        EXPECT_EQ(got.finalNow, want.finalNow);
+        // Cancelled-entry compaction must leave no tombstone
+        // behind in any shard once the run drains.
+        for (std::size_t s = 0; s < eq.shards(); ++s)
+            EXPECT_EQ(eq.shardCancelled(s), 0u)
+                << "seed " << seed << " shard " << s;
+        EXPECT_EQ(eq.pending(), 0u);
+    }
+}
+
+TEST_P(ShardedOracleTest, MatchesOracleWithDrainWorkers)
+{
+    // Same oracle, staged on a real worker pool: the parallel
+    // staging path must not perturb the fire order either.
+    const std::size_t shards = GetParam();
+    EventQueue oracle(shardedConfig(1));
+    const ReplayResult want = replaySchedule(oracle, 99, 9);
+
+    EventQueue eq(shardedConfig(shards, /*workers=*/4));
+    const ReplayResult got = replaySchedule(eq, 99, 9);
+
+    ASSERT_EQ(got.fires.size(), want.fires.size());
+    for (std::size_t i = 0; i < want.fires.size(); ++i)
+        ASSERT_TRUE(got.fires[i] == want.fires[i]) << "fire " << i;
+    EXPECT_EQ(got.executed, want.executed);
+    EXPECT_EQ(got.finalNow, want.finalNow);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShardCounts, ShardedOracleTest,
+                         ::testing::Values(1, 2, 4, 8),
+                         [](const auto &info) {
+                             return "shards"
+                                 + std::to_string(info.param);
+                         });
+
 } // namespace
 } // namespace xfm
