@@ -24,6 +24,20 @@
  * and the robustness knobs (src/health):
  *   health.*                   # circuit breakers on every domain
  *   shed.*                     # overload-shedding watermarks
+ *
+ * Workload selection:
+ *   workload.model = fleet     # fleet | apps
+ * `fleet` is the classic heterogeneous zipf fleet (workload/fleet).
+ * `apps` alternates two application models per tenant slot
+ * (workload/app_model): memtier-like KV stores (latency class,
+ * kstaled, xfm_first group policy) and inference-batch servers
+ * (batch class, senpai, auto policy) whose drifting activation
+ * windows feed the spill scan.
+ *
+ * Tiered far memory (src/sfm/tier_manager.hh; `tier.enabled = 0`,
+ * the default, is byte-identical to the two-state stack):
+ *   tier.*                     # same keys as xfmsim (see there)
+ *   fault.dfm_delay.p / fault.dfm_drop.p  # spill-link fault sites
  * Flags given after --config override the file.
  */
 
@@ -32,10 +46,15 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+#include <vector>
+
 #include "common/config.hh"
 #include "dram/ddr_config.hh"
+#include "fault/fault.hh"
 #include "obs/tracer.hh"
 #include "service/service.hh"
+#include "workload/app_model.hh"
 #include "workload/fleet.hh"
 
 using namespace xfm;
@@ -91,8 +110,10 @@ main(int argc, char **argv)
     std::uint32_t sq_depth = 1;
     std::uint32_t cq_coalesce = 1;
     std::size_t sim_shards = 1;
+    std::string model = "fleet";
     health::HealthConfig health_cfg;
     health::ShedConfig shed_cfg;
+    sfm::TierConfig tier_cfg;
     for (int i = 1; i < argc; i += 2) {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "fleet_sim: %s needs a value\n", argv[i]);
@@ -123,8 +144,15 @@ main(int argc, char **argv)
                 cfg.getU64("xfm.cq_coalesce", cq_coalesce));
             sim_shards = static_cast<std::size_t>(
                 cfg.getU64("sim_shards", sim_shards));
+            model = cfg.getString("workload.model", model);
             health_cfg = health::HealthConfig::fromConfig(cfg);
             shed_cfg = health::ShedConfig::fromConfig(cfg);
+            tier_cfg = sfm::TierConfig::fromConfig(cfg);
+            // The spill link shares the run's fault plan and retry
+            // policy (DfmLinkDelay / DfmLinkDrop sites; disarmed
+            // unless configured).
+            tier_cfg.faults = fault::FaultPlan::fromConfig(cfg);
+            tier_cfg.retry = fault::RetryPolicy::fromConfig(cfg);
             for (const auto &key : cfg.unconsumedKeys())
                 warn("unknown config key '", key, "' ignored");
         } else {
@@ -152,26 +180,117 @@ main(int argc, char **argv)
     scfg.system.device.sqDepth = sq_depth;
     scfg.system.device.cqCoalesce = cq_coalesce;
     scfg.shed = shed_cfg;
+    scfg.tier = tier_cfg;
     service::FarMemoryService svc("svc", eq, scfg);
     obs::Tracer tracer(static_cast<std::size_t>(trace_cap));
     if (!trace_out.empty())
         svc.setTracer(&tracer);
 
-    workload::FleetConfig fcfg;
-    fcfg.numTenants = tenants;
-    fcfg.pagesPerTenant = 128;
-    fcfg.accessesPerSecond = rate;
-    fcfg.seed = seed;
-    workload::FleetDriver fleet("fleet", eq, svc, fcfg);
+    std::unique_ptr<workload::FleetDriver> fleet;
+    std::vector<std::unique_ptr<workload::KvStoreModel>> kvs;
+    std::vector<std::unique_ptr<workload::InferenceBatchModel>> infer;
+    if (model == "fleet") {
+        workload::FleetConfig fcfg;
+        fcfg.numTenants = tenants;
+        fcfg.pagesPerTenant = 128;
+        fcfg.accessesPerSecond = rate;
+        fcfg.seed = seed;
+        fleet = std::make_unique<workload::FleetDriver>(
+            "fleet", eq, svc, fcfg);
+    } else if (model == "apps") {
+        // Application-model mix: KV serving jobs alternate with
+        // inference-batch servers. The KV tenants pin their hot
+        // heads near and prefer the compressed tier for the warm
+        // middle (xfm_first); the inference tenants let the
+        // watermark router decide, so their retired activation
+        // windows drain to the spill tier.
+        sfm::ControllerConfig kstaled;
+        kstaled.coldThreshold = milliseconds(2.0);
+        kstaled.scanInterval = milliseconds(1.0);
+        kstaled.maxSwapOutsPerScan = 16;
+        sfm::SenpaiConfig senpai;
+        senpai.interval = milliseconds(1.0);
+        senpai.targetFaultsPerSec = 20000.0;
+        senpai.initialReclaim = 8;
+        senpai.maxReclaim = 64;
+        for (std::size_t i = 0; i < tenants; ++i) {
+            service::TenantConfig tcfg;
+            tcfg.kstaled = kstaled;
+            tcfg.senpai = senpai;
+            if (i % 2 == 0) {
+                tcfg.name = "kv_" + std::to_string(i);
+                tcfg.cls = service::PriorityClass::LatencySensitive;
+                tcfg.policy = service::ControlPolicy::Kstaled;
+                tcfg.tierPolicy = sfm::TierPolicy::XfmFirst;
+                workload::KvStoreConfig kcfg;
+                kcfg.opsPerSecond = rate;
+                kcfg.seed = seed + i;
+                kvs.push_back(
+                    std::make_unique<workload::KvStoreModel>(
+                        "kv" + std::to_string(i), eq, svc, kcfg,
+                        tcfg));
+            } else {
+                tcfg.name = "infer_" + std::to_string(i);
+                tcfg.cls = service::PriorityClass::Batch;
+                tcfg.policy = service::ControlPolicy::Senpai;
+                tcfg.tierPolicy = sfm::TierPolicy::Auto;
+                workload::InferenceBatchConfig icfg;
+                icfg.seed = seed + i;
+                infer.push_back(
+                    std::make_unique<workload::InferenceBatchModel>(
+                        "infer" + std::to_string(i), eq, svc, icfg,
+                        tcfg));
+            }
+        }
+    } else {
+        fatal("workload.model must be 'fleet' or 'apps', got '",
+              model, "'");
+    }
 
     svc.start();
-    fleet.start();
+    if (fleet)
+        fleet->start();
+    for (auto &m : kvs)
+        m->start();
+    for (auto &m : infer)
+        m->start();
     eq.run(milliseconds(sim_ms));
 
+    std::uint64_t touches = 0;
+    if (fleet) {
+        touches = fleet->totalAccesses();
+    } else {
+        for (const auto &m : kvs)
+            touches += m->stats().requests;
+        for (const auto &m : infer)
+            touches += m->stats().requests;
+    }
     std::printf("fleet_sim: %zu tenants, %.1f ms simulated, "
                 "%llu page touches\n\n",
-                fleet.numTenants(), sim_ms,
-                (unsigned long long)fleet.totalAccesses());
+                fleet ? fleet->numTenants() : kvs.size() + infer.size(),
+                sim_ms, (unsigned long long)touches);
+
+    for (const auto &m : kvs) {
+        const auto &s = m->stats();
+        std::printf("kv tenant %u: %llu requests (%llu bursts), "
+                    "%llu hits, %llu faults, %llu writes\n",
+                    m->tenantId(), (unsigned long long)s.requests,
+                    (unsigned long long)s.bursts,
+                    (unsigned long long)s.localHits,
+                    (unsigned long long)s.faults,
+                    (unsigned long long)s.writes);
+    }
+    for (const auto &m : infer) {
+        const auto &s = m->stats();
+        std::printf("inference tenant %u: %llu touches "
+                    "(%llu batches), %llu hits, %llu faults\n",
+                    m->tenantId(), (unsigned long long)s.requests,
+                    (unsigned long long)s.bursts,
+                    (unsigned long long)s.localHits,
+                    (unsigned long long)s.faults);
+    }
+    if (!kvs.empty() || !infer.empty())
+        std::printf("\n");
 
     const obs::Snapshot snap = svc.metrics().snapshot();
     std::printf("%s\n", snap.renderText().c_str());
@@ -196,6 +315,20 @@ main(int argc, char **argv)
     std::printf("admission: %llu tenants rejected\n",
                 (unsigned long long)
                     svc.registry().rejectedAdmissions());
+    if (const sfm::TierManager *tm = svc.tierManager()) {
+        const auto &t = tm->tierStats();
+        std::printf("tiers: %llu near / %llu xfm / %llu dfm pages; "
+                    "demotions %llu->xfm %llu->dfm, spills %llu, "
+                    "promotions %llu xfm %llu dfm\n",
+                    (unsigned long long)tm->nearPages(),
+                    (unsigned long long)tm->xfmPages(),
+                    (unsigned long long)tm->dfmPages(),
+                    (unsigned long long)t.demotedNearToXfm,
+                    (unsigned long long)t.demotedNearToDfm,
+                    (unsigned long long)t.demotedXfmToDfm,
+                    (unsigned long long)t.promotedFromXfm,
+                    (unsigned long long)t.promotedFromDfm);
+    }
     if (svc.shedder().enabled()) {
         const auto &ss = svc.shedder().stats();
         std::printf("shedding: %llu engages, %llu rejects, "

@@ -29,6 +29,22 @@
  *   workload.seed      = 1
  *   workers            = 1          # shard-compression threads;
  *                                   # results identical for any value
+ *
+ * Tiered far memory (src/sfm/tier_manager.hh; off by default —
+ * `tier.enabled = 0` is byte-identical to the two-state stack):
+ *   tier.enabled       = 1
+ *   tier.policy        = auto       # auto | xfm_first | dfm_first
+ *   tier.promote_watermark = 2      # accesses that make a page hot
+ *   tier.scan_ms       = 2          # XFM -> DFM spill-scan period
+ *   tier.spill_cold_ms = 40         # second-level coldness bound
+ *   tier.max_spills_per_scan = 16
+ *   tier.xfm_capacity_pages  = 0    # 0 = uncapped compressed tier
+ *   tier.target_promotions_per_sec = 2000
+ *   tier.dfm_bytes     = 8388608    # provisioned spill pool
+ *   tier.dfm_link_ns   = 300        # spill link latency
+ *   tier.dfm_gbps      = 12         # spill link bandwidth
+ *   fault.dfm_delay.p  = 0.05       # spill-link latency spikes
+ *   fault.dfm_drop.p   = 0.02       # spill-link transfer drops
  *   sim_shards         = 1          # event-core shards (1 = classic
  *                                   # monolithic kernel; N > 1 adds
  *                                   # per-DIMM domains staged in
@@ -129,6 +145,11 @@ main(int argc, char **argv)
         cfg.getU64("xfm.quarantine_cap", 0));
     sys_cfg.workers =
         static_cast<std::size_t>(cfg.getU64("workers", 1));
+    sys_cfg.tier = sfm::TierConfig::fromConfig(cfg);
+    // The spill link shares the run's fault plan and retry policy
+    // (DfmLinkDelay / DfmLinkDrop sites; disarmed unless configured).
+    sys_cfg.tier.faults = sys_cfg.faultPlan;
+    sys_cfg.tier.retry = sys_cfg.retry;
     const std::size_t sim_shards =
         static_cast<std::size_t>(cfg.getU64("sim_shards", 1));
     const bool verify = cfg.getBool("verify", false);

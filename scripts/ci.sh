@@ -66,6 +66,8 @@ pages            = 256
 workload.seconds = 0.05
 xfm.sq_depth     = 8
 xfm.cq_coalesce  = 2
+tier.enabled     = 1
+tier.spill_cold_ms = 10
 stats.json       = ${obs_dir}/stats.json
 trace.out        = ${obs_dir}/trace.jsonl
 trace.cap        = 16384
@@ -106,3 +108,10 @@ echo "stats.json = ${chaos_dir}/stats.json" >> "${chaos_dir}/chaos.cfg"
 # events/sec curve is a measurement archived by CI, not a gate.
 "${build_dir}/bench/fleet_throughput" --smoke \
     --out "${build_dir}/BENCH_FLEET.json"
+
+# Tier-policy sweep smoke: the three demotion policies (xfm_first,
+# auto, dfm_first) under working-set drift. Exits non-zero only if
+# the restored page bytes diverge across policies (data integrity);
+# the policy separation is a measurement archived by CI, not a gate.
+"${build_dir}/bench/tier_sweep" --smoke \
+    --out "${build_dir}/BENCH_TIER.json"

@@ -30,6 +30,7 @@ stageName(Stage s)
       case Stage::Shed: return "shed";
       case Stage::SqEnqueue: return "sq_enqueue";
       case Stage::CqReap: return "cq_reap";
+      case Stage::TierShift: return "tier_shift";
     }
     return "unknown";
 }

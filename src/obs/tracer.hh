@@ -48,6 +48,8 @@ enum class Stage : std::uint8_t
     Shed,        ///< instantaneous: overload shed toggled (arg = on)
     SqEnqueue,   ///< ring: descriptor written -> doorbell covered
     CqReap,      ///< ring: completion posted -> reaped by the driver
+    TierShift,   ///< instantaneous: tier transition committed
+                 ///  (arg = from << 2 | to, Tier enum values)
 };
 
 const char *stageName(Stage s);

@@ -39,6 +39,17 @@ FarMemoryService::FarMemoryService(std::string name, EventQueue &eq,
             backend_.driver(d).device().setSpmPartitionCap(
                 batchSpmPartition, per_dimm);
     }
+    if (cfg_.tier.enabled) {
+        tiers_ = std::make_unique<sfm::TierManager>(
+            this->name() + ".tiers", eq, cfg_.tier, backend_,
+            cfg_.system.localPages);
+        tiers_->setTransitionHook(
+            [this](sfm::VirtPage page, sfm::Tier from, sfm::Tier to,
+                   std::uint32_t freed, bool internal) {
+                onTierTransition(page, from, to, freed, internal);
+            });
+        tiers_->registerMetrics(metrics_);
+    }
     // Lane stats addresses must survive later addTenant calls; the
     // registry already reserves its own entries.
     arbiter_.reserveLanes(cfg_.registry.maxTenants);
@@ -68,6 +79,17 @@ FarMemoryService::addTenant(const TenantConfig &cfg)
         id, registry_, backend_, &arbiter_, partition);
     t.backend->setShedder(
         &shedder_, cfg.cls == PriorityClass::LatencySensitive);
+    t.promotions = std::make_unique<workload::PromotionTracker>(
+        cfg.pages * pageBytes);
+    t.backend->setPromotionTracker(t.promotions.get());
+    if (tiers_) {
+        // The tenant's shard becomes its page group: demotion
+        // routing follows the tenant's own policy, isolated from
+        // its neighbours'.
+        t.backend->setRoute(tiers_.get());
+        tiers_->assignGroup(registry_.basePage(id), cfg.pages, id);
+        tiers_->setGroupPolicy(id, cfg.tierPolicy);
+    }
     const std::string base = name() + "." + cfg.name;
     if (cfg.policy == ControlPolicy::Kstaled) {
         t.kstaled = std::make_unique<sfm::SfmController>(
@@ -141,6 +163,24 @@ FarMemoryService::registerTenantMetrics(TenantId id)
                              registry_.storedBytes(id));
                      },
                      "compressed bytes stored");
+    metrics_.counter(p + "dfmOps", &ts.dfmOps,
+                     "swap ops served by the DFM spill tier");
+    metrics_.counter(p + "dfmSpills", &ts.dfmSpills,
+                     "page transitions into the spill tier");
+    metrics_.counter(p + "dfmReturns", &ts.dfmReturns,
+                     "page transitions out of the spill tier");
+    metrics_.derived(p + "dfmPages",
+                     [&ts] {
+                         return static_cast<double>(ts.dfmSpills
+                                                    - ts.dfmReturns);
+                     },
+                     "pages currently in the spill tier");
+    metrics_.derived(p + "promotionRate",
+                     [this, id] {
+                         return tenants_[id].promotions->rate(
+                             curTick());
+                     },
+                     "fraction of shard capacity promoted per min");
     metrics_.histogram(p + "faultLatencyNs", &ts.faultLatencyNs,
                        "demand swap-in service latency");
     arbiter_.registerLaneMetrics(metrics_,
@@ -149,9 +189,43 @@ FarMemoryService::registerTenantMetrics(TenantId id)
 }
 
 void
+FarMemoryService::onTierTransition(sfm::VirtPage page,
+                                   sfm::Tier from, sfm::Tier to,
+                                   std::uint32_t freed, bool internal)
+{
+    const TenantId id = static_cast<TenantId>(
+        page / cfg_.registry.pagesPerShard);
+    if (id >= registry_.size())
+        return;  // page outside any admitted tenant's shard
+    TenantStats &ts = registry_.stats(id);
+    if (to == sfm::Tier::Dfm)
+        ++ts.dfmSpills;
+    if (from == sfm::Tier::Dfm)
+        ++ts.dfmReturns;
+    // Application-driven legs are already accounted in the
+    // TenantBackend callbacks; only internal scan transitions need
+    // reconciling here. An XFM -> DFM spill passes through NEAR:
+    // the first hop releases the compressed bytes (and, if the link
+    // leg then fails, legitimately returns the page to NEAR, hence
+    // the far-page decrement); the second hop re-counts it far.
+    if (!internal)
+        return;
+    if (from == sfm::Tier::Xfm) {
+        registry_.noteStoredBytes(
+            id, -static_cast<std::int64_t>(freed));
+        if (to == sfm::Tier::Near)
+            registry_.noteFarPages(id, -1);
+    }
+    if (from == sfm::Tier::Near && to == sfm::Tier::Dfm)
+        registry_.noteFarPages(id, 1);
+}
+
+void
 FarMemoryService::start()
 {
     backend_.start();
+    if (tiers_)
+        tiers_->start();
     arbiter_.start();
     for (auto &t : tenants_) {
         if (t.kstaled)

@@ -67,6 +67,15 @@ struct ServiceConfig
      * shed. Hysteresis disengages only below the low watermarks.
      */
     health::ShedConfig shed;
+
+    /**
+     * Three-tier hierarchy over the shared backend. When enabled,
+     * every tenant's shard becomes a TierManager page group carrying
+     * that tenant's TenantConfig::tierPolicy, and tenant accounting
+     * (stored bytes, far pages, dfm counters) tracks scan-driven
+     * XFM -> DFM spills through the transition hook.
+     */
+    sfm::TierConfig tier{};
 };
 
 /**
@@ -106,6 +115,13 @@ class FarMemoryService : public SimObject
     xfmsys::XfmBackend &backend() { return backend_; }
     TenantBackend &tenantBackend(TenantId id);
 
+    /** Tier hierarchy governor; null when `tier.enabled = 0`. */
+    sfm::TierManager *tierManager() { return tiers_.get(); }
+    const sfm::TierManager *tierManager() const
+    {
+        return tiers_.get();
+    }
+
     std::size_t numTenants() const { return tenants_.size(); }
     const ServiceConfig &config() const { return cfg_; }
 
@@ -132,29 +148,40 @@ class FarMemoryService : public SimObject
         return shedder_;
     }
 
-    /** Attach a span tracer to the shared backend and the shedder
-     *  (null detaches). */
+    /** Attach a span tracer to the shared backend, the shedder, and
+     *  the tier governor (null detaches). */
     void
     setTracer(obs::Tracer *t)
     {
         backend_.setTracer(t);
         shedder_.setTracer(t);
+        if (tiers_)
+            tiers_->setTracer(t);
     }
 
   private:
     /** Register one admitted tenant's metrics (from addTenant). */
     void registerTenantMetrics(TenantId id);
 
+    /** Reconcile tenant accounting after a tier transition. */
+    void onTierTransition(sfm::VirtPage page, sfm::Tier from,
+                          sfm::Tier to, std::uint32_t freed,
+                          bool internal);
+
     struct Tenant
     {
         std::unique_ptr<TenantBackend> backend;
         std::unique_ptr<sfm::SfmController> kstaled;
         std::unique_ptr<sfm::SenpaiController> senpai;
+        /** Per-tenant promotions/min meter (paper Sec. 2.1). */
+        std::unique_ptr<workload::PromotionTracker> promotions;
     };
 
     ServiceConfig cfg_;
     TenantRegistry registry_;
     xfmsys::XfmBackend backend_;
+    /** Tier governor over the shared backend (tiering on only). */
+    std::unique_ptr<sfm::TierManager> tiers_;
     QosArbiter arbiter_;
     health::OverloadShedder shedder_;
     std::vector<Tenant> tenants_;

@@ -21,6 +21,7 @@
 #include "common/units.hh"
 #include "sfm/controller.hh"
 #include "sfm/senpai.hh"
+#include "sfm/tier_manager.hh"
 
 namespace xfm
 {
@@ -79,6 +80,12 @@ struct TenantConfig
     ControlPolicy policy = ControlPolicy::Kstaled;
     sfm::ControllerConfig kstaled;
     sfm::SenpaiConfig senpai;
+    /**
+     * Demotion-routing policy of this tenant's page group when the
+     * service runs the three-tier hierarchy (SMDK-style group
+     * policy). Ignored while tiering is disabled.
+     */
+    sfm::TierPolicy tierPolicy = sfm::TierPolicy::Auto;
 };
 
 /**
@@ -112,6 +119,14 @@ struct TenantStats
     std::uint64_t shedRejects = 0;
     /** Swap-ins forced onto the CPU path while shedding (batch). */
     std::uint64_t shedDownTiers = 0;
+    /** Application swap ops the DFM spill tier served (tiered
+     *  service only). */
+    std::uint64_t dfmOps = 0;
+    /** Transitions of this tenant's pages into the spill tier
+     *  (application demotions plus internal XFM -> DFM spills). */
+    std::uint64_t dfmSpills = 0;
+    /** Transitions of this tenant's pages out of the spill tier. */
+    std::uint64_t dfmReturns = 0;
     /** Demand swap-in service latency in nanoseconds. */
     stats::Histogram faultLatencyNs{0.0, 100000.0, 400};
     /** Queueing delay in the QoS arbiter. */

@@ -12,7 +12,7 @@ TenantBackend::TenantBackend(TenantId id, TenantRegistry &registry,
                              QosArbiter *arbiter,
                              std::uint32_t partition)
     : id_(id), registry_(registry), shared_(shared),
-      arbiter_(arbiter), partition_(partition)
+      route_(&shared), arbiter_(arbiter), partition_(partition)
 {
     const std::uint64_t end =
         registry_.basePage(id_) + registry_.config(id_).pages;
@@ -53,12 +53,14 @@ TenantBackend::submit(bool is_swap_out, sfm::VirtPage global_page,
 {
     auto run = [this, is_swap_out, global_page, allow_offload,
                 done = std::move(done)]() mutable {
+        // XFM-tier legs land on the shared device whichever route is
+        // installed, so the partition tag is set either way.
         shared_.setOffloadPartition(partition_);
         if (is_swap_out)
-            shared_.swapOut(global_page, allow_offload,
+            route_->swapOut(global_page, allow_offload,
                             std::move(done));
         else
-            shared_.swapIn(global_page, allow_offload,
+            route_->swapIn(global_page, allow_offload,
                            std::move(done));
     };
     // Only offload-eligible work contends for NMA slots; CPU-path
@@ -135,7 +137,14 @@ TenantBackend::swapOut(sfm::VirtPage page, bool allow_offload,
         if (o.success) {
             ++stats_.swapOuts;
             ++ts.swapOuts;
-            if (o.usedCpu) {
+            if (o.servedTier == sfm::Tier::Dfm) {
+                // Spill-tier demotion: no compression, no NMA; the
+                // outcome carries compressedSize 0 so stored-bytes
+                // accounting stays symmetric with the swap-in side.
+                ++ts.dfmOps;
+                ++stats_.cpuSwapOuts;
+                ++ts.cpuOps;
+            } else if (o.usedCpu) {
                 ++stats_.cpuSwapOuts;
                 ++ts.cpuOps;
                 if (allow_offload)
@@ -195,7 +204,11 @@ TenantBackend::swapIn(sfm::VirtPage page, bool allow_offload,
         if (o.success) {
             ++stats_.swapIns;
             ++ts.swapIns;
-            if (o.usedCpu) {
+            if (o.servedTier == sfm::Tier::Dfm) {
+                ++ts.dfmOps;
+                ++stats_.cpuSwapIns;
+                ++ts.cpuOps;
+            } else if (o.usedCpu) {
                 ++stats_.cpuSwapIns;
                 ++ts.cpuOps;
                 if (allow_offload)
@@ -206,6 +219,9 @@ TenantBackend::swapIn(sfm::VirtPage page, bool allow_offload,
             registry_.noteFarPages(id_, -1);
             registry_.noteStoredBytes(
                 id_, -static_cast<std::int64_t>(o.compressedSize));
+            if (promotions_)
+                promotions_->recordPromotion(shared_.curTick(),
+                                             pageBytes);
             if (demand)
                 ts.faultLatencyNs.sample(
                     ticksToNs(o.completed - start));
@@ -221,13 +237,16 @@ TenantBackend::swapIn(sfm::VirtPage page, bool allow_offload,
 sfm::PageState
 TenantBackend::pageState(sfm::VirtPage page) const
 {
-    return shared_.pageState(global(page));
+    // Must go through the route: a DFM-tier page is Local as far as
+    // the shared compressed backend knows (its frame was never
+    // scrambled), but the TierManager reports it Far.
+    return route_->pageState(global(page));
 }
 
 void
 TenantBackend::compact()
 {
-    shared_.compact();
+    route_->compact();
 }
 
 std::uint64_t

@@ -26,6 +26,7 @@
 #include "health/shed.hh"
 #include "service/qos_arbiter.hh"
 #include "service/tenant_registry.hh"
+#include "workload/promotion_tracker.hh"
 #include "xfm/xfm_backend.hh"
 
 namespace xfm
@@ -65,6 +66,26 @@ class TenantBackend : public sfm::SfmBackend
         latency_class_ = latency_class;
     }
 
+    /**
+     * Interpose a routing backend (the service's TierManager)
+     * between this adapter and the shared device. Swaps, residence
+     * queries, and access notes then flow through @p route (which
+     * itself forwards XFM-tier legs to the shared backend); null
+     * restores direct dispatch.
+     */
+    void
+    setRoute(sfm::SfmBackend *route)
+    {
+        route_ = route ? route : &shared_;
+    }
+
+    /** Feed successful promotions into @p tracker (may be null). */
+    void
+    setPromotionTracker(workload::PromotionTracker *tracker)
+    {
+        promotions_ = tracker;
+    }
+
     using SfmBackend::swapOut;  // keep the 2-arg convenience overload
 
     void swapOut(sfm::VirtPage page, sfm::SwapCallback done) override;
@@ -77,6 +98,11 @@ class TenantBackend : public sfm::SfmBackend
     std::uint64_t farPageCount() const override;
     std::uint64_t storedCompressedBytes() const override;
     const sfm::BackendStats &stats() const override { return stats_; }
+    void
+    noteAccess(sfm::VirtPage page, Tick now) override
+    {
+        route_->noteAccess(global(page), now);
+    }
 
     TenantId id() const { return id_; }
 
@@ -97,10 +123,14 @@ class TenantBackend : public sfm::SfmBackend
     TenantId id_;
     TenantRegistry &registry_;
     xfmsys::XfmBackend &shared_;
+    /** Dispatch target: the shared backend directly, or the
+     *  service's TierManager when tiering is on. */
+    sfm::SfmBackend *route_;
     QosArbiter *arbiter_;
     std::uint32_t partition_;
     health::OverloadShedder *shedder_ = nullptr;
     bool latency_class_ = false;
+    workload::PromotionTracker *promotions_ = nullptr;
 
     sfm::BackendStats stats_;  ///< this tenant's slice of the traffic
 };

@@ -19,7 +19,9 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/logging.hh"
 #include "common/units.hh"
+#include "compress/compressor.hh"  // Bytes / ByteSpan aliases
 
 namespace xfm
 {
@@ -35,6 +37,37 @@ enum class PageState
     Local,  ///< uncompressed, in the local region
     Far,    ///< compressed, in the SFM region
 };
+
+/**
+ * Memory tier a page occupies in the three-level hierarchy the
+ * TierManager governs (SMDK-style CXL tiering generalised to the
+ * paper's far-memory model):
+ *
+ *   NEAR  — uncompressed local DRAM (PageState::Local);
+ *   XFM   — the compressed tier (CpuBackend / XfmBackend pool);
+ *   DFM   — the uncompressed spill tier behind a serial link.
+ *
+ * Two-state backends only ever report Near/Xfm; Dfm appears once a
+ * TierManager routes demotions to a spill backend.
+ */
+enum class Tier : std::uint8_t
+{
+    Near,
+    Xfm,
+    Dfm,
+};
+
+/** Stable lowercase identifier for stats tables and logs. */
+inline const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Near: return "near";
+      case Tier::Xfm: return "xfm";
+      case Tier::Dfm: return "dfm";
+    }
+    return "unknown";
+}
 
 /** Why an unsuccessful swap was refused (typed backpressure). */
 enum class RejectReason : std::uint8_t
@@ -76,6 +109,14 @@ struct SwapOutcome
     /** Typed reason when success == false and the operation was
      *  refused (rather than attempted and failed). */
     RejectReason rejected = RejectReason::None;
+    /**
+     * Tier the operation moved the page to (swap-out) or from
+     * (swap-in). Two-state backends leave the default; a TierManager
+     * rewrites it when it routed the operation to the spill tier, so
+     * accounting layers (the tenant service above all) can tell a
+     * compressed-pool byte from an uncompressed spill slot.
+     */
+    Tier servedTier = Tier::Xfm;
 };
 
 using SwapCallback = std::function<void(const SwapOutcome &)>;
@@ -162,6 +203,59 @@ class SfmBackend
     virtual std::uint64_t storedCompressedBytes() const = 0;
 
     virtual const BackendStats &stats() const = 0;
+
+    /**
+     * The application touched @p page at @p now. Plain backends
+     * ignore the signal; a TierManager feeds its access-frequency
+     * watermarks from it. Controllers call this on every access, so
+     * the default must stay a no-op (byte-identity of non-tiered
+     * runs).
+     */
+    virtual void
+    noteAccess(VirtPage page, Tick now)
+    {
+        (void)page;
+        (void)now;
+    }
+
+    /**
+     * Raw content of @p page's local frame. Tier transitions move
+     * page data between backends through this pair; only backends
+     * that own frame storage implement them (the default is fatal:
+     * a TierManager must never sit on top of an adapter that cannot
+     * source page bytes).
+     */
+    virtual Bytes
+    readLocalPage(VirtPage page) const
+    {
+        fatal("backend cannot read local frame of page ", page);
+    }
+
+    /** Overwrite @p page's local frame with @p data (a full page). */
+    virtual void
+    writeLocalPage(VirtPage page, ByteSpan data)
+    {
+        (void)data;
+        fatal("backend cannot write local frame of page ", page);
+    }
+
+    /**
+     * Notification that the backend forcibly reclaimed a Far page
+     * back to Local outside any swap operation — e.g. a
+     * quarantine-cap eviction releasing the poisoned compressed
+     * image and re-establishing the page from its local frames.
+     * Args: the page and the compressed bytes released. A layered
+     * view (TierManager) needs this to keep its tier map coherent;
+     * backends that never reclaim silently ignore it.
+     */
+    using ReclaimHook = std::function<void(VirtPage, std::uint32_t)>;
+
+    /** Install @p hook (default: discarded — nothing to report). */
+    virtual void
+    setReclaimHook(ReclaimHook hook)
+    {
+        (void)hook;
+    }
 };
 
 } // namespace sfm

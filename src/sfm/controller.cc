@@ -12,7 +12,8 @@ SfmController::SfmController(std::string name, EventQueue &eq,
                              SfmBackend &backend,
                              std::uint64_t num_pages)
     : SimObject(std::move(name), eq), cfg_(cfg), backend_(backend),
-      num_pages_(num_pages), last_access_(num_pages, 0)
+      num_pages_(num_pages), last_access_(num_pages, 0),
+      inflight_(num_pages), prefetched_(num_pages)
 {
     XFM_ASSERT(num_pages_ > 0, "controller needs at least one page");
 }
@@ -35,16 +36,16 @@ SfmController::scan()
          p < num_pages_ && initiated < cfg_.maxSwapOutsPerScan; ++p) {
         if (backend_.pageState(p) != PageState::Local)
             continue;
-        if (inflight_.count(p))
+        if (inflight_.test(p))
             continue;
         if (curTick() - last_access_[p] < cfg_.coldThreshold)
             continue;
         ++stats_.coldPagesFound;
         ++stats_.swapOutsInitiated;
         ++initiated;
-        inflight_.insert(p);
+        inflight_.set(p);
         backend_.swapOut(p, [this, p](const SwapOutcome &) {
-            inflight_.erase(p);
+            inflight_.clear(p);
         });
     }
     eventq().scheduleIn(cfg_.scanInterval, [this] { scan(); });
@@ -79,17 +80,17 @@ SfmController::prefetchAround(VirtPage page)
         const VirtPage next = static_cast<VirtPage>(target);
         if (backend_.pageState(next) != PageState::Far)
             continue;
-        if (inflight_.count(next))
+        if (inflight_.test(next))
             continue;
         ++stats_.prefetchesInitiated;
-        inflight_.insert(next);
-        prefetched_.insert(next);
+        inflight_.set(next);
+        prefetched_.set(next);
         // Stamp the page so the next scan does not immediately
         // re-demote what we just promoted.
         last_access_[next] = curTick();
         backend_.swapIn(next, cfg_.offloadPrefetch,
                         [this, next](const SwapOutcome &) {
-            inflight_.erase(next);
+            inflight_.clear(next);
         });
     }
 }
@@ -99,9 +100,10 @@ SfmController::recordAccess(VirtPage page)
 {
     XFM_ASSERT(page < num_pages_, "access beyond address space");
     last_access_[page] = curTick();
+    backend_.noteAccess(page, curTick());
 
     if (backend_.pageState(page) == PageState::Local) {
-        if (prefetched_.erase(page)) {
+        if (prefetched_.clear(page)) {
             ++stats_.prefetchHits;
             // The stream advanced onto a prefetched page: keep the
             // stride detector trained and run further ahead.
@@ -114,11 +116,11 @@ SfmController::recordAccess(VirtPage page)
     // then prefetch the pages a sequential scan would touch next.
     ++stats_.demandFaults;
     const Tick fault_start = curTick();
-    if (!inflight_.count(page)) {
-        inflight_.insert(page);
+    if (!inflight_.test(page)) {
+        inflight_.set(page);
         backend_.swapIn(page, false,
                         [this, page, fault_start](const SwapOutcome &o) {
-            inflight_.erase(page);
+            inflight_.clear(page);
             if (o.success)
                 stats_.faultServiceNs.sample(
                     ticksToNs(o.completed - fault_start));

@@ -14,7 +14,6 @@
 #ifndef XFM_SFM_CONTROLLER_HH
 #define XFM_SFM_CONTROLLER_HH
 
-#include <set>
 #include <vector>
 
 #include "common/stats.hh"
@@ -26,6 +25,45 @@ namespace xfm
 {
 namespace sfm
 {
+
+/**
+ * Dense per-page flag set.
+ *
+ * The controller consults its in-flight and prefetched sets on
+ * every application access; at 1000-tenant fleet scale the rb-tree
+ * `std::set<VirtPage>` paid pointer-chasing and allocation on the
+ * fault path. Page numbers are dense [0, num_pages), so a flat
+ * bitmap gives O(1) test/set/clear with one cache line per 512
+ * pages and no allocation after construction.
+ */
+class PageFlags
+{
+  public:
+    explicit PageFlags(std::uint64_t pages)
+        : bits_((pages + 63) / 64, 0)
+    {}
+
+    bool
+    test(VirtPage p) const
+    {
+        return (bits_[p >> 6] >> (p & 63)) & 1;
+    }
+
+    void set(VirtPage p) { bits_[p >> 6] |= 1ull << (p & 63); }
+
+    /** Clear the flag; returns whether it was set. */
+    bool
+    clear(VirtPage p)
+    {
+        const std::uint64_t mask = 1ull << (p & 63);
+        const bool was = bits_[p >> 6] & mask;
+        bits_[p >> 6] &= ~mask;
+        return was;
+    }
+
+  private:
+    std::vector<std::uint64_t> bits_;
+};
 
 /** Control-plane policy knobs. */
 struct ControllerConfig
@@ -105,8 +143,8 @@ class SfmController : public SimObject
     bool started_ = false;
 
     std::vector<Tick> last_access_;
-    std::set<VirtPage> inflight_;
-    std::set<VirtPage> prefetched_;  ///< promoted but not yet touched
+    PageFlags inflight_;
+    PageFlags prefetched_;  ///< promoted but not yet touched
 
     /** Fault-stream stride detector state. */
     VirtPage last_fault_ = ~VirtPage(0);

@@ -89,6 +89,15 @@ class CpuSfmBackend : public SimObject, public SfmBackend
         return cfg_.localBase + page * pageBytes;
     }
 
+    Bytes readLocalPage(VirtPage page) const override
+    {
+        return mem_.read(frameAddr(page), pageBytes);
+    }
+    void writeLocalPage(VirtPage page, ByteSpan data) override
+    {
+        mem_.write(frameAddr(page), data);
+    }
+
     const ZPool &pool() const { return pool_; }
     const CpuBackendConfig &config() const { return cfg_; }
 

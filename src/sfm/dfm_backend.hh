@@ -90,6 +90,15 @@ class DfmBackend : public SimObject, public SfmBackend
         return cfg_.localBase + page * pageBytes;
     }
 
+    Bytes readLocalPage(VirtPage page) const override
+    {
+        return mem_.read(frameAddr(page), pageBytes);
+    }
+    void writeLocalPage(VirtPage page, ByteSpan data) override
+    {
+        mem_.write(frameAddr(page), data);
+    }
+
     /** Pool slots provisioned / free. */
     std::uint64_t poolSlots() const
     {

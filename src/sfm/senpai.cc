@@ -81,6 +81,7 @@ bool
 SenpaiController::recordAccess(VirtPage page)
 {
     XFM_ASSERT(page < num_pages_, "access beyond address space");
+    backend_.noteAccess(page, curTick());
     if (backend_.pageState(page) == PageState::Local)
         return true;
 

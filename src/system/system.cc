@@ -61,6 +61,17 @@ System::System(std::string name, EventQueue &eq,
         backend_ = xfm_backend_.get();
     }
 
+    if (cfg_.tier.enabled) {
+        // Interpose the tier governor between the control plane and
+        // the concrete backend: the controller keeps seeing one
+        // SfmBackend, but demotions now route NEAR -> XFM or
+        // NEAR -> DFM and the spill scan drains cold XFM pages.
+        tier_mgr_ = std::make_unique<sfm::TierManager>(
+            this->name() + ".tiers", eq, cfg_.tier, *backend_,
+            cfg_.pages);
+        backend_ = tier_mgr_.get();
+    }
+
     controller_ = std::make_unique<sfm::SfmController>(
         this->name() + ".controller", eq, cfg_.controller, *backend_,
         cfg_.pages);
@@ -96,7 +107,20 @@ System::start()
     host_refresh_->start();
     if (xfm_backend_)
         xfm_backend_->start();
+    if (tier_mgr_)
+        tier_mgr_->start();
     controller_->start();
+}
+
+std::uint64_t
+System::faultInjections() const
+{
+    std::uint64_t total = 0;
+    if (xfm_backend_)
+        total += xfm_backend_->faultInjector().totalInjections();
+    if (tier_mgr_)
+        total += tier_mgr_->spill().faultInjector().totalInjections();
+    return total;
 }
 
 void
@@ -177,6 +201,8 @@ System::registerMetrics()
         cpu_backend_->registerMetrics(metrics_);
     if (xfm_backend_)
         xfm_backend_->registerMetrics(metrics_);
+    if (tier_mgr_)
+        tier_mgr_->registerMetrics(metrics_);
 }
 
 void
@@ -186,6 +212,8 @@ System::setTracer(obs::Tracer *t)
         cpu_backend_->setTracer(t);
     if (xfm_backend_)
         xfm_backend_->setTracer(t);
+    if (tier_mgr_)
+        tier_mgr_->setTracer(t);
 }
 
 } // namespace system

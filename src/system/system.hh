@@ -24,6 +24,7 @@
 #include "dram/refresh.hh"
 #include "sfm/controller.hh"
 #include "sfm/cpu_backend.hh"
+#include "sfm/tier_manager.hh"
 #include "workload/promotion_tracker.hh"
 #include "sim/sim_object.hh"
 #include "xfm/xfm_backend.hh"
@@ -79,6 +80,13 @@ struct SystemConfig
     health::HealthConfig health{};
     /** Quarantine ledger cap for the XFM backend (0 = unbounded). */
     std::size_t quarantineCap = 0;
+
+    /**
+     * Three-tier hierarchy (NEAR/XFM/DFM). Disabled by default:
+     * `tier.enabled = 0` builds the exact two-state stack and is
+     * byte-identical to pre-tiering output.
+     */
+    sfm::TierConfig tier{};
 };
 
 /**
@@ -111,6 +119,17 @@ class System : public SimObject
     dram::MemCtrl &memCtrl() { return *host_ctrl_; }
     const SystemConfig &config() const { return cfg_; }
 
+    /** Tier hierarchy governor; null when `tier.enabled = 0`. */
+    sfm::TierManager *tierManager() { return tier_mgr_.get(); }
+    const sfm::TierManager *tierManager() const
+    {
+        return tier_mgr_.get();
+    }
+
+    /** Total injected faults across every armed injector (XFM
+     *  device sites plus the DFM spill link when tiering is on). */
+    std::uint64_t faultInjections() const;
+
     /** Host-channel bytes moved by SFM work (not the app). */
     std::uint64_t sfmHostBytes() const;
 
@@ -139,6 +158,8 @@ class System : public SimObject
 
     std::unique_ptr<sfm::CpuSfmBackend> cpu_backend_;
     std::unique_ptr<xfmsys::XfmBackend> xfm_backend_;
+    /** Wraps the concrete backend when `tier.enabled = 1`. */
+    std::unique_ptr<sfm::TierManager> tier_mgr_;
     sfm::SfmBackend *backend_ = nullptr;
     std::unique_ptr<sfm::SfmController> controller_;
 

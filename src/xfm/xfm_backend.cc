@@ -1083,8 +1083,13 @@ XfmBackend::quarantinePage(VirtPage page)
         quarantined_.erase(evicted);
         auto e = entries_.find(evicted);
         if (e != entries_.end()) {
+            std::uint32_t freed = 0;
+            for (auto s : e->second.shardSizes)
+                freed += s;
             alloc_.release(e->second.offset);
             entries_.erase(e);
+            if (reclaim_hook_)
+                reclaim_hook_(evicted, freed);
         }
         ++xfm_stats_.quarantineEvicted;
     }

@@ -162,6 +162,14 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     }
     std::uint64_t storedCompressedBytes() const override;
     const sfm::BackendStats &stats() const override { return stats_; }
+    Bytes readLocalPage(sfm::VirtPage page) const override
+    {
+        return readPage(page);
+    }
+    void writeLocalPage(sfm::VirtPage page, ByteSpan data) override
+    {
+        writePage(page, data);
+    }
 
     // XFM-system access ----------------------------------------------
     /** Write page content into the distributed local frames. */
@@ -202,6 +210,13 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     std::uint64_t quarantinedPageCount() const
     {
         return quarantined_.size();
+    }
+
+    /** Fires on quarantine-cap evictions (silent Far -> Local). */
+    void
+    setReclaimHook(ReclaimHook hook) override
+    {
+        reclaim_hook_ = std::move(hook);
     }
 
     XfmDriver &driver(std::size_t dimm) { return *dimms_[dimm].driver; }
@@ -350,6 +365,7 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     std::set<sfm::VirtPage> quarantined_;
     /** Quarantine order, oldest first (cap eviction policy). */
     std::deque<sfm::VirtPage> quarantine_order_;
+    ReclaimHook reclaim_hook_;
     /** One breaker per channel shard (per-DIMM offload path). */
     std::vector<health::HealthMonitor> channel_health_;
 

@@ -56,11 +56,20 @@ struct RunResult
     std::uint64_t injections;     ///< total injected faults
 };
 
+/** How runSystem configures the three-tier hierarchy. */
+enum class TierMode
+{
+    Default,       ///< default-constructed TierConfig (disabled)
+    ConfiguredOff, ///< every knob populated, enabled = false
+    On,            ///< three tiers + spill scan armed
+};
+
 /** One complete demote/promote run under the given fault seed. */
 RunResult
 runSystem(std::uint64_t fault_seed, std::size_t workers = 1,
           std::uint32_t sq_depth = 1, std::uint32_t cq_coalesce = 1,
-          std::size_t sim_shards = 1)
+          std::size_t sim_shards = 1,
+          TierMode tier_mode = TierMode::Default)
 {
     // Sharded event core: per-DIMM domains staged between tREFI
     // window barriers (DESIGN.md §13). sim_shards = 1 is the
@@ -75,6 +84,19 @@ runSystem(std::uint64_t fault_seed, std::size_t workers = 1,
     cfg.workers = workers;
     cfg.xfmDevice.sqDepth = sq_depth;
     cfg.xfmDevice.cqCoalesce = cq_coalesce;
+    if (tier_mode != TierMode::Default) {
+        // Every tier knob spelled out; only `enabled` differs
+        // between the configured-off and the tiered run.
+        cfg.tier.enabled = tier_mode == TierMode::On;
+        cfg.tier.policy = sfm::TierPolicy::Auto;
+        cfg.tier.promoteWatermark = 2;
+        cfg.tier.scanInterval = milliseconds(1.0);
+        cfg.tier.spillColdThreshold = milliseconds(5.0);
+        cfg.tier.maxSpillsPerScan = 16;
+        cfg.tier.dfmBytes = mib(1);
+        cfg.tier.faults = cfg.faultPlan;
+        cfg.tier.retry = cfg.retry;
+    }
     System sys("sys", eq, cfg);
     obs::Tracer tracer(4096);
     sys.setTracer(&tracer);
@@ -96,10 +118,7 @@ runSystem(std::uint64_t fault_seed, std::size_t workers = 1,
     r.stats = sys.metrics().renderText();
     r.json = sys.metrics().toJson();
     r.trace = tracer.toJsonLines();
-    const auto &inj =
-        static_cast<xfmsys::XfmBackend &>(sys.backend())
-            .faultInjector();
-    r.injections = inj.totalInjections();
+    r.injections = sys.faultInjections();
     return r;
 }
 
@@ -226,6 +245,65 @@ TEST(Determinism, ExplicitShardOneMatchesDefault)
     EXPECT_EQ(def.stats, s1.stats);
     EXPECT_EQ(def.json, s1.json);
     EXPECT_EQ(def.trace, s1.trace);
+}
+
+TEST(Determinism, TieringOffMatchesDefault)
+{
+    // The hard invariant of the tier layer: a fully populated but
+    // DISABLED tier config is byte-identical to a run that never
+    // mentioned tiering — no TierManager is built, no access-path
+    // hook fires, no metric appears.
+    const RunResult def = runSystem(7);
+    const RunResult off =
+        runSystem(7, 1, 1, 1, 1, TierMode::ConfiguredOff);
+    EXPECT_EQ(def.stats, off.stats);
+    EXPECT_EQ(def.json, off.json);
+    EXPECT_EQ(def.trace, off.trace);
+    EXPECT_EQ(def.injections, off.injections);
+}
+
+TEST(Determinism, TieredMatrixIsByteIdentical)
+{
+    // Tiering on extends the determinism matrix: the spill scan,
+    // the DFM link, and the promote-on-fault path must replay
+    // byte-identically across event-core shard counts and drain
+    // workers — and differently from the non-tiered run (the tiers
+    // actually engaged).
+    const RunResult base =
+        runSystem(7, 1, 1, 1, 1, TierMode::On);
+    const RunResult plain = runSystem(7);
+    EXPECT_GT(base.injections, 0u);
+    EXPECT_FALSE(base.json.empty());
+    EXPECT_FALSE(base.trace.empty());
+    EXPECT_NE(base.stats, plain.stats);
+    EXPECT_NE(base.json.find(".tier."), std::string::npos);
+    for (std::size_t shards : {1, 8}) {
+        for (std::size_t workers : {1, 8}) {
+            const RunResult got =
+                runSystem(7, workers, 1, 1, shards, TierMode::On);
+            EXPECT_EQ(got.stats, base.stats)
+                << "shards=" << shards << " workers=" << workers;
+            EXPECT_EQ(got.json, base.json)
+                << "shards=" << shards << " workers=" << workers;
+            EXPECT_EQ(got.trace, base.trace)
+                << "shards=" << shards << " workers=" << workers;
+            EXPECT_EQ(got.injections, base.injections);
+        }
+    }
+}
+
+TEST(Determinism, TieredRingIsReproducible)
+{
+    // Tiering composed with the async command rings: sq_depth = 8
+    // reorders completion delivery under the tier router too, and
+    // must do so identically on every run and at any worker count.
+    const RunResult a = runSystem(7, 1, 8, 2, 1, TierMode::On);
+    const RunResult b = runSystem(7, 8, 8, 2, 8, TierMode::On);
+    EXPECT_GT(a.injections, 0u);
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_EQ(a.stats, b.stats);
+    EXPECT_EQ(a.json, b.json);
+    EXPECT_EQ(a.trace, b.trace);
 }
 
 TEST(Determinism, DifferentFaultSeedDiverges)

@@ -16,6 +16,7 @@
 
 #include "health/health.hh"
 #include "sfm/cpu_backend.hh"
+#include "sfm/tier_manager.hh"
 #include "test_util.hh"
 #include "xfm/xfm_backend.hh"
 
@@ -178,6 +179,118 @@ runDifferential(compress::Algorithm alg, const fault::FaultPlan &plan,
     return r;
 }
 
+/** The aggressive plan with the DFM spill-link sites armed too. */
+fault::FaultPlan
+tieredPlan()
+{
+    fault::FaultPlan plan = aggressivePlan();
+    plan.site(fault::FaultSite::DfmLinkDelay).probability = 0.20;
+    plan.site(fault::FaultSite::DfmLinkDrop).probability = 0.10;
+    return plan;
+}
+
+/**
+ * The differential cycle again, but with BOTH backends wrapped in a
+ * TierManager sized so half the demotions land in the DFM spill
+ * pool and the rest fall back to the compressed tier — every page
+ * must restore byte-identically from either tier, on either stack.
+ */
+void
+runTieredDifferential(compress::Algorithm alg,
+                      const fault::FaultPlan &plan)
+{
+    EventQueue eq;
+    auto xcfg = testutil::testXfmConfig(2);
+    xcfg.algorithm = alg;
+    xcfg.faults = plan;
+    xfmsys::XfmBackend xfm("xfm", eq, xcfg);
+
+    dram::PhysMem cpu_mem(mib(64));
+    sfm::CpuBackendConfig ccfg;
+    ccfg.localBase = 0;
+    ccfg.localPages = numPages;
+    ccfg.sfmBase = mib(32);
+    ccfg.sfmBytes = mib(16);
+    ccfg.algorithm = alg;
+    sfm::CpuSfmBackend cpu("cpu", eq, ccfg, cpu_mem);
+
+    sfm::TierConfig tcfg;
+    tcfg.enabled = true;
+    tcfg.scanInterval = 0;  // pure demand routing, no background scan
+    // Pool for half the pages: the other half exercises the
+    // pool-full fallback into the compressed tier.
+    tcfg.dfmBytes = (numPages / 2) * pageBytes;
+    tcfg.faults = plan;
+    sfm::TierManager xtiers("xfm.tiers", eq, tcfg, xfm, numPages);
+    sfm::TierManager ctiers("cpu.tiers", eq, tcfg, cpu, numPages);
+    xfm.start();
+    xtiers.start();
+    ctiers.start();
+
+    for (VirtPage p = 0; p < numPages; ++p) {
+        const Bytes content = pageFor(p);
+        xfm.writePage(p, content);
+        cpu_mem.write(cpu.frameAddr(p), content);
+    }
+
+    // Demote everything through the tier routers. Cold, never-hit
+    // pages route to DFM under the auto policy until the pool is
+    // full, then fall back to XFM; a failed spill or an
+    // incompressible rejection leaves the page Near and intact.
+    std::vector<bool> xfm_far(numPages, false);
+    std::vector<bool> cpu_far(numPages, false);
+    for (VirtPage p = 0; p < numPages; ++p) {
+        xtiers.swapOut(p, [&xfm_far, p](const SwapOutcome &o) {
+            xfm_far[p] = o.success;
+        });
+        ctiers.swapOut(p, [&cpu_far, p](const SwapOutcome &o) {
+            cpu_far[p] = o.success;
+        });
+    }
+    eq.run(eq.now() + seconds(1.0));
+
+    std::uint64_t xfm_out = 0;
+    std::uint64_t cpu_out = 0;
+    for (VirtPage p = 0; p < numPages; ++p) {
+        xfm_out += xfm_far[p];
+        cpu_out += cpu_far[p];
+        EXPECT_EQ(xtiers.pageState(p),
+                  xfm_far[p] ? PageState::Far : PageState::Local);
+        EXPECT_EQ(ctiers.pageState(p),
+                  cpu_far[p] ? PageState::Far : PageState::Local);
+    }
+    EXPECT_GT(xfm_out, 0u);
+    EXPECT_GT(cpu_out, 0u);
+    // Both tiers actually engaged on both stacks.
+    EXPECT_GT(xtiers.dfmPages(), 0u);
+    EXPECT_GT(xtiers.xfmPages(), 0u);
+    EXPECT_GT(ctiers.dfmPages(), 0u);
+    EXPECT_GT(ctiers.xfmPages(), 0u);
+
+    // Promote everything back through the routers.
+    std::uint64_t in_ok = 0;
+    for (VirtPage p = 0; p < numPages; ++p) {
+        if (xfm_far[p])
+            xtiers.swapIn(p, true, [&](const SwapOutcome &o) {
+                in_ok += o.success;
+            });
+        if (cpu_far[p])
+            ctiers.swapIn(p, false, [&](const SwapOutcome &o) {
+                in_ok += o.success;
+            });
+    }
+    eq.run(eq.now() + seconds(1.0));
+    EXPECT_EQ(in_ok, xfm_out + cpu_out);
+
+    for (VirtPage p = 0; p < numPages; ++p) {
+        const Bytes content = pageFor(p);
+        EXPECT_EQ(xfm.readPage(p), content)
+            << algorithmName(alg) << " tiered xfm page " << p;
+        EXPECT_EQ(cpu_mem.read(cpu.frameAddr(p), pageBytes), content)
+            << algorithmName(alg) << " tiered cpu page " << p;
+    }
+}
+
 class DifferentialTest
     : public ::testing::TestWithParam<compress::Algorithm>
 {
@@ -270,6 +383,22 @@ TEST_P(DifferentialTest, ShardedCoreBreakersRestoresAllPages)
     EXPECT_GT(s8.xfmCpuOps, 0u);
     EXPECT_EQ(s8.xfmCpuOps, mono.xfmCpuOps);
     EXPECT_EQ(s8.offloadRetries, mono.offloadRetries);
+}
+
+TEST_P(DifferentialTest, TieredCleanRunRestoresAllPages)
+{
+    // No faults: the auto policy sends cold pages to the DFM pool
+    // until it fills, the rest land compressed, and both stacks
+    // restore every byte from both tiers.
+    runTieredDifferential(GetParam(), fault::FaultPlan{});
+}
+
+TEST_P(DifferentialTest, TieredFaultedRunRestoresAllPages)
+{
+    // The aggressive plan plus the spill-link sites (delays and
+    // dropped transfers forcing link retries): degraded routing is
+    // fine, byte loss is not.
+    runTieredDifferential(GetParam(), tieredPlan());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, DifferentialTest,

@@ -65,7 +65,7 @@ knownStages()
         "window_wait", "classify", "engine",     "spm_stage",
         "writeback", "cpu_compute", "dfm_link",  "fallback",
         "complete",  "health",    "shed",        "sq_enqueue",
-        "cq_reap",
+        "cq_reap",   "tier_shift",
     };
     return stages;
 }
@@ -130,6 +130,32 @@ checkStats(const std::string &path)
         std::printf("%s: %zu ring famil%s complete\n", path.c_str(),
                     ring_families.size(),
                     ring_families.size() == 1 ? "y" : "ies");
+    // Same rule for the tier family: a tiered run exports
+    // `<manager>.tier.*`; any such leaf means the TierManager
+    // registered, so its full stats family must be there.
+    std::set<std::string> tier_families;
+    for (const auto &[name, value] : metrics) {
+        const std::size_t at = name.find(".tier.");
+        if (at != std::string::npos)
+            tier_families.insert(name.substr(0, at + 6));
+    }
+    for (const auto &family : tier_families) {
+        for (const char *leaf :
+             {"demotedNearToXfm", "demotedNearToDfm",
+              "demotedXfmToDfm", "promotedFromXfm",
+              "promotedFromDfm", "spillScans", "spillRejects",
+              "watermarkHolds", "nearPages", "xfmPages",
+              "dfmPages"}) {
+            if (metrics.find(family + leaf) == metrics.end())
+                return fail(path, "tier family '" + family
+                                      + "*' is missing '" + leaf
+                                      + "'");
+        }
+    }
+    if (!tier_families.empty())
+        std::printf("%s: %zu tier famil%s complete\n", path.c_str(),
+                    tier_families.size(),
+                    tier_families.size() == 1 ? "y" : "ies");
     std::printf("%s: ok (%zu metrics)\n", path.c_str(),
                 metrics.size());
     return 0;
