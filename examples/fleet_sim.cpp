@@ -26,13 +26,31 @@
  *   shed.*                     # overload-shedding watermarks
  *
  * Workload selection:
- *   workload.model = fleet     # fleet | apps
+ *   workload.model = fleet     # fleet | apps | adversary
  * `fleet` is the classic heterogeneous zipf fleet (workload/fleet).
  * `apps` alternates two application models per tenant slot
  * (workload/app_model): memtier-like KV stores (latency class,
  * kstaled, xfm_first group policy) and inference-batch servers
  * (batch class, senpai, auto policy) whose drifting activation
  * windows feed the spill scan.
+ * `adversary` runs the zipf fleet as victims plus three abusive
+ * tenants (workload/adversary): an RFM-starver and a covert
+ * sender/receiver pair. Usually combined with the refresh-realism
+ * and QoS-defense keys below:
+ *   refresh.mode / refresh.hira / refresh.trfcpb_ns
+ *   rfm.raaimt / rfm.raammt / rfm.trfm_ns   # see xfmsim
+ *   qos.reserved_slot_frac = 0.25  # per-lane guaranteed slots
+ *   qos.slot_debt          = 1     # charge RFM steals to the source
+ *   qos.abuse_enabled      = 1     # windowed z-score abuse detector
+ *   qos.abuse_windows / qos.abuse_z / qos.abuse_min_loss
+ *   qos.abuse_consecutive / qos.abuse_cooldown_ns
+ *   adversary.bursts_per_second = 4000000
+ *   adversary.activations_per_burst = 128
+ *   adversary.pages / adversary.target_dimm / adversary.sweep_banks
+ *   adversary.burst_budget      = 0      # 0 = hammer forever
+ *   covert.bits / covert.bit_period_us / covert.bursts_per_bit
+ *   covert.activations_per_burst / covert.probes_per_bit
+ *   covert.seed                 # shared schedule secret
  *
  * Tiered far memory (src/sfm/tier_manager.hh; `tier.enabled = 0`,
  * the default, is byte-identical to the two-state stack):
@@ -54,6 +72,7 @@
 #include "fault/fault.hh"
 #include "obs/tracer.hh"
 #include "service/service.hh"
+#include "workload/adversary.hh"
 #include "workload/app_model.hh"
 #include "workload/fleet.hh"
 
@@ -114,6 +133,10 @@ main(int argc, char **argv)
     health::HealthConfig health_cfg;
     health::ShedConfig shed_cfg;
     sfm::TierConfig tier_cfg;
+    dram::DeviceConfig dev_cfg = dram::ddr5Device32Gb();
+    service::QosArbiterConfig arb_cfg;
+    workload::RfmStarverConfig starver_cfg;
+    workload::CovertConfig covert_cfg;
     for (int i = 1; i < argc; i += 2) {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "fleet_sim: %s needs a value\n", argv[i]);
@@ -145,6 +168,45 @@ main(int argc, char **argv)
             sim_shards = static_cast<std::size_t>(
                 cfg.getU64("sim_shards", sim_shards));
             model = cfg.getString("workload.model", model);
+            // Refresh realism on the shared DIMMs and the QoS
+            // defense knobs (both byte-identical when unset).
+            dram::applyRefreshConfig(dev_cfg, cfg);
+            arb_cfg = service::QosArbiterConfig::fromConfig(cfg);
+            starver_cfg.pages =
+                cfg.getU64("adversary.pages", starver_cfg.pages);
+            starver_cfg.burstsPerSecond =
+                cfg.getDouble("adversary.bursts_per_second",
+                              starver_cfg.burstsPerSecond);
+            starver_cfg.activationsPerBurst =
+                static_cast<std::uint32_t>(
+                    cfg.getU64("adversary.activations_per_burst",
+                               starver_cfg.activationsPerBurst));
+            starver_cfg.targetDimm = static_cast<std::uint32_t>(
+                cfg.getU64("adversary.target_dimm",
+                           starver_cfg.targetDimm));
+            starver_cfg.sweepBanks = cfg.getBool(
+                "adversary.sweep_banks", starver_cfg.sweepBanks);
+            starver_cfg.burstBudget =
+                cfg.getU64("adversary.burst_budget",
+                           starver_cfg.burstBudget);
+            covert_cfg.bits = static_cast<std::uint32_t>(
+                cfg.getU64("covert.bits", covert_cfg.bits));
+            covert_cfg.bitPeriod = microseconds(
+                cfg.getDouble("covert.bit_period_us",
+                              static_cast<double>(covert_cfg.bitPeriod)
+                                  / microseconds(1.0)));
+            covert_cfg.burstsPerBit = static_cast<std::uint32_t>(
+                cfg.getU64("covert.bursts_per_bit",
+                           covert_cfg.burstsPerBit));
+            covert_cfg.activationsPerBurst =
+                static_cast<std::uint32_t>(
+                    cfg.getU64("covert.activations_per_burst",
+                               covert_cfg.activationsPerBurst));
+            covert_cfg.probesPerBit = static_cast<std::uint32_t>(
+                cfg.getU64("covert.probes_per_bit",
+                           covert_cfg.probesPerBit));
+            covert_cfg.scheduleSeed =
+                cfg.getU64("covert.seed", covert_cfg.scheduleSeed);
             health_cfg = health::HealthConfig::fromConfig(cfg);
             shed_cfg = health::ShedConfig::fromConfig(cfg);
             tier_cfg = sfm::TierConfig::fromConfig(cfg);
@@ -174,7 +236,12 @@ main(int argc, char **argv)
     eq_cfg.windowTicks = dram::ddr5Device32Gb().tREFI();
     eq_cfg.drainWorkers = workers;
     EventQueue eq(eq_cfg);
-    service::ServiceConfig scfg = makeServiceConfig(tenants);
+    // The adversary model admits three abusive tenants on top of
+    // the victim fleet, so the registry needs the extra slots.
+    service::ServiceConfig scfg = makeServiceConfig(
+        model == "adversary" ? tenants + 3 : tenants);
+    scfg.arbiter = arb_cfg;
+    scfg.system.dimmMem.rank.device = dev_cfg;
     scfg.system.health = health_cfg;
     scfg.system.workers = workers;
     scfg.system.device.sqDepth = sq_depth;
@@ -189,7 +256,35 @@ main(int argc, char **argv)
     std::unique_ptr<workload::FleetDriver> fleet;
     std::vector<std::unique_ptr<workload::KvStoreModel>> kvs;
     std::vector<std::unique_ptr<workload::InferenceBatchModel>> infer;
-    if (model == "fleet") {
+    std::unique_ptr<workload::RfmStarverModel> starver;
+    std::unique_ptr<workload::CovertSenderModel> covert_tx;
+    std::unique_ptr<workload::CovertReceiverModel> covert_rx;
+    if (model == "adversary") {
+        // Victim fleet plus the three abusive tenants: the starver
+        // hammers RAA counters on one DIMM while the covert pair
+        // modulates/decodes RFM pressure on the shared refresh
+        // machinery. The QoS defense (qos.* keys) is what keeps the
+        // fleet's tail intact.
+        workload::FleetConfig fcfg;
+        fcfg.numTenants = tenants;
+        fcfg.pagesPerTenant = 128;
+        fcfg.accessesPerSecond = rate;
+        fcfg.seed = seed;
+        fleet = std::make_unique<workload::FleetDriver>(
+            "fleet", eq, svc, fcfg);
+        service::TenantConfig atcfg;
+        atcfg.name = "starver";
+        starver = std::make_unique<workload::RfmStarverModel>(
+            "starver", eq, svc, starver_cfg, atcfg);
+        service::TenantConfig rxcfg;
+        rxcfg.name = "covert_rx";
+        covert_rx = std::make_unique<workload::CovertReceiverModel>(
+            "covert_rx", eq, svc, covert_cfg, rxcfg);
+        service::TenantConfig txcfg;
+        txcfg.name = "covert_tx";
+        covert_tx = std::make_unique<workload::CovertSenderModel>(
+            "covert_tx", eq, svc, covert_cfg, txcfg);
+    } else if (model == "fleet") {
         workload::FleetConfig fcfg;
         fcfg.numTenants = tenants;
         fcfg.pagesPerTenant = 128;
@@ -243,8 +338,8 @@ main(int argc, char **argv)
             }
         }
     } else {
-        fatal("workload.model must be 'fleet' or 'apps', got '",
-              model, "'");
+        fatal("workload.model must be 'fleet', 'apps', or "
+              "'adversary', got '", model, "'");
     }
 
     svc.start();
@@ -254,6 +349,12 @@ main(int argc, char **argv)
         m->start();
     for (auto &m : infer)
         m->start();
+    if (starver)
+        starver->start();
+    if (covert_rx)
+        covert_rx->start();
+    if (covert_tx)
+        covert_tx->start();
     eq.run(milliseconds(sim_ms));
 
     std::uint64_t touches = 0;
@@ -303,6 +404,31 @@ main(int argc, char **argv)
                     (unsigned long long)tracer.recorded(),
                     (unsigned long long)tracer.dropped(),
                     trace_out.c_str());
+    }
+
+    if (starver) {
+        const auto &ss = starver->stats();
+        const dram::RefreshStats &rs =
+            svc.backend().refresh().refreshStats();
+        std::printf("adversary: starver %llu bursts "
+                    "(%llu suppressed), %llu RFMs forced, "
+                    "%llu slots stolen, throttled=%s\n",
+                    (unsigned long long)ss.bursts,
+                    (unsigned long long)ss.suppressedBursts,
+                    (unsigned long long)rs.rfmCommands,
+                    (unsigned long long)rs.rfmStolenSlots,
+                    svc.arbiter().abuseThrottled(starver->tenantId())
+                        ? "yes" : "no");
+        const auto &cs = covert_rx->stats();
+        std::printf("covert: %u bits sent, %u decoded, BER %.3f, "
+                    "capacity %.0f b/s, sender flagged=%s\n",
+                    covert_tx->bitsSent(), cs.bitsDecoded,
+                    cs.bitErrorRate(),
+                    covert_rx->channelCapacityBps(),
+                    svc.arbiter()
+                            .laneStats(covert_tx->tenantId())
+                            .abuseFlags > 0
+                        ? "yes" : "no");
     }
 
     const auto &as = svc.arbiter().stats();

@@ -60,6 +60,15 @@
  *   retry.backoff_ns         = 200
  *   retry.cap_ns             = 50000
  *
+ * Refresh realism (src/dram/refresh.hh; the defaults keep the
+ * legacy all-bank REF model byte-identical):
+ *   refresh.mode       = refab   # refab | refpb (bank-granular)
+ *   refresh.hira       = 0       # hidden-row-activation bonus slots
+ *   refresh.trfcpb_ns  = 130     # per-bank refresh lock
+ *   rfm.raaimt         = 0       # RFM threshold (0 = disarmed)
+ *   rfm.raammt         = 0       # ACT-block bound (0 = 4 x raaimt)
+ *   rfm.trfm_ns        = 350     # RFM lock duration
+ *
  * Health / robustness (src/health; see configs/chaos.cfg):
  *   health.enabled       = 1     # circuit breakers on every domain
  *   health.window        = 16    # plus the other health.* keys
@@ -79,6 +88,7 @@
 #include "common/config.hh"
 #include "common/random.hh"
 #include "compress/corpus.hh"
+#include "dram/ddr_config.hh"
 #include "obs/tracer.hh"
 #include "system/system.hh"
 
@@ -130,6 +140,9 @@ main(int argc, char **argv)
         cfg.getU64("xfm.sq_depth", 1));
     sys_cfg.xfmDevice.cqCoalesce = static_cast<std::uint32_t>(
         cfg.getU64("xfm.cq_coalesce", 1));
+    // refresh.* / rfm.* keys arm REFpb, RFM tracking, and HiRA on
+    // the XFM DIMMs; unset they leave the device byte-identical.
+    dram::applyRefreshConfig(sys_cfg.dimmDevice, cfg);
     sys_cfg.controller.coldThreshold =
         milliseconds(cfg.getDouble("controller.cold_ms", 20.0));
     sys_cfg.controller.scanInterval =

@@ -88,6 +88,18 @@ echo "stats.json = ${chaos_dir}/stats.json" >> "${chaos_dir}/chaos.cfg"
 "${build_dir}/examples/xfmsim" "${chaos_dir}/chaos.cfg" > /dev/null
 "${build_dir}/tools/check_obs_output" health "${chaos_dir}/stats.json"
 
+# Adversary soak: the RFM-starver and covert pair against a victim
+# fleet with the full QoS defense armed (configs/adversary.cfg).
+# The abuse checker then asserts the detector settled: at least one
+# escalation fired and no abuse monitor is stuck mid-probation.
+adv_dir="${build_dir}/adversary-smoke"
+mkdir -p "${adv_dir}"
+cat "${repo_root}/configs/adversary.cfg" > "${adv_dir}/adversary.cfg"
+echo "stats.json = ${adv_dir}/stats.json" >> "${adv_dir}/adversary.cfg"
+"${build_dir}/examples/fleet_sim" --config "${adv_dir}/adversary.cfg" \
+    > /dev/null
+"${build_dir}/tools/check_obs_output" abuse "${adv_dir}/stats.json"
+
 # Perf smoke: the hot-path harness at tiny sizes. Exits non-zero
 # only if results diverge across worker counts (the determinism
 # contract) — the measured speedup is informational and depends on
@@ -115,3 +127,11 @@ echo "stats.json = ${chaos_dir}/stats.json" >> "${chaos_dir}/chaos.cfg"
 # the policy separation is a measurement archived by CI, not a gate.
 "${build_dir}/bench/tier_sweep" --smoke \
     --out "${build_dir}/BENCH_TIER.json"
+
+# Adversarial-interference sweep smoke: victim fault-tail latency
+# across attacker intensities with the defense off and on. Exits
+# non-zero only if the restored victim pages diverge across configs
+# (data integrity); the tail separation is a measurement archived by
+# CI, not a gate.
+"${build_dir}/bench/adv_interference" --smoke \
+    --out "${build_dir}/BENCH_ADV.json"

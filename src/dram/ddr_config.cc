@@ -1,9 +1,22 @@
 #include "ddr_config.hh"
 
+#include "common/config.hh"
+#include "common/logging.hh"
+
 namespace xfm
 {
 namespace dram
 {
+
+const char *
+refreshModeName(RefreshMode m)
+{
+    switch (m) {
+      case RefreshMode::RefAb: return "refab";
+      case RefreshMode::RefPb: return "refpb";
+    }
+    return "unknown";
+}
 
 DeviceConfig
 ddr5Device8Gb()
@@ -84,6 +97,45 @@ maxAccessesPerTrfc(const DeviceConfig &dev)
     const Tick per_access = 32 * dev.tBURST;
     return 1 + static_cast<std::uint32_t>((dev.tRFC - first)
                                           / per_access);
+}
+
+std::uint32_t
+maxAccessesPerWindowOf(const DeviceConfig &dev, Tick window)
+{
+    const Tick first = dev.tRCD + dev.tCL + 32 * dev.tBURST;
+    if (window < first)
+        return 0;
+    const Tick per_access = 32 * dev.tBURST;
+    return 1 + static_cast<std::uint32_t>((window - first)
+                                          / per_access);
+}
+
+void
+applyRefreshConfig(DeviceConfig &dev, const Config &cfg)
+{
+    const std::string mode =
+        cfg.getString("refresh.mode",
+                      refreshModeName(dev.refreshMode));
+    if (mode == "refab")
+        dev.refreshMode = RefreshMode::RefAb;
+    else if (mode == "refpb")
+        dev.refreshMode = RefreshMode::RefPb;
+    else
+        fatal("refresh.mode must be 'refab' or 'refpb', got '", mode,
+              "'");
+    dev.hira = cfg.getBool("refresh.hira", dev.hira);
+    dev.tRFCpb = nanoseconds(
+        cfg.getDouble("refresh.trfcpb_ns",
+                      static_cast<double>(dev.tRFCpb)
+                          / nanoseconds(1.0)));
+    dev.rfmRaaimt = static_cast<std::uint32_t>(
+        cfg.getU64("rfm.raaimt", dev.rfmRaaimt));
+    dev.rfmRaammt = static_cast<std::uint32_t>(
+        cfg.getU64("rfm.raammt", dev.rfmRaammt));
+    dev.tRFM = nanoseconds(
+        cfg.getDouble("rfm.trfm_ns",
+                      static_cast<double>(dev.tRFM)
+                          / nanoseconds(1.0)));
 }
 
 Tick

@@ -18,6 +18,9 @@
 
 namespace xfm
 {
+
+class Config;
+
 namespace dram
 {
 
@@ -27,6 +30,24 @@ enum class DdrGeneration
     Ddr4,
     Ddr5,
 };
+
+/**
+ * Refresh command granularity.
+ *
+ * RefAb is the classic all-bank REF (the whole rank locks for tRFC,
+ * the behaviour every pre-existing experiment is calibrated to).
+ * RefPb issues per-bank REFpb commands staggered by tSTAG inside
+ * each tREFI: only the refreshing bank locks (for the shorter
+ * tRFCpb), so the CPU keeps DSARP-style refresh-access parallelism
+ * while the NMA serves each bank's window in turn.
+ */
+enum class RefreshMode : std::uint8_t
+{
+    RefAb,
+    RefPb,
+};
+
+const char *refreshModeName(RefreshMode m);
 
 /**
  * Per-chip DRAM device configuration.
@@ -65,6 +86,54 @@ struct DeviceConfig
     /** REF commands per retention interval (JEDEC: 8192). */
     std::uint32_t refCommandsPerRetention = 8192;
 
+    // Refresh-management realism (ISSUE 9). All default-off: with
+    // refreshMode == RefAb and rfmRaaimt == 0 the controller is
+    // byte-identical to the all-bank-only model.
+    /** Refresh command granularity (RefAb = legacy all-bank). */
+    RefreshMode refreshMode = RefreshMode::RefAb;
+    /** Per-bank refresh duration (REFpb locks one bank this long). */
+    Tick tRFCpb = nanoseconds(130.0);
+    /**
+     * RFM (Refresh Management) duration: the bank stays locked this
+     * long past its REF window while the forced victim refresh runs.
+     */
+    Tick tRFM = nanoseconds(350.0);
+    /**
+     * RAA Initial Management Threshold: once a bank's rolling
+     * activation counter reaches this, the controller must issue an
+     * RFM at the bank's next refresh slot (stealing the NMA's
+     * service window there). 0 disables RFM tracking entirely.
+     */
+    std::uint32_t rfmRaaimt = 0;
+    /**
+     * RAA Maximum Management Threshold: at or above this, further
+     * ACTs to the bank are blocked until an RFM drains the counter —
+     * the CPU-visible denial-of-service lever RogueRFM weaponizes.
+     * 0 derives 4 x rfmRaaimt when RFM is armed.
+     */
+    std::uint32_t rfmRaammt = 0;
+    /**
+     * HiRA-like hidden row activation: refresh of one subarray
+     * overlaps with activation elsewhere, widening the NMA's service
+     * slots (the device adds hiraBonusSlots per window).
+     */
+    bool hira = false;
+
+    /** True when any refresh-management feature changes behaviour. */
+    bool
+    refreshRealismArmed() const
+    {
+        return refreshMode != RefreshMode::RefAb || rfmRaaimt != 0
+            || hira;
+    }
+
+    /** Effective RAAMMT (derives the default from rfmRaaimt). */
+    std::uint32_t
+    effectiveRaammt() const
+    {
+        return rfmRaammt ? rfmRaammt : 4 * rfmRaaimt;
+    }
+
     /** Derived: the average interval between REF commands. */
     Tick
     tREFI() const
@@ -98,9 +167,27 @@ struct DeviceConfig
  */
 std::uint32_t maxAccessesPerTrfc(const DeviceConfig &dev);
 
+/** Same pipeline arithmetic for an arbitrary window length (e.g.
+ *  tRFCpb for per-bank windows). Returns 0 when nothing fits. */
+std::uint32_t maxAccessesPerWindowOf(const DeviceConfig &dev,
+                                     Tick window);
+
 /** Time offset (from window start) at which access @p k completes:
  *  first access pays the full activation, later ones pipeline. */
 Tick accessCompletionOffset(const DeviceConfig &dev, std::uint32_t k);
+
+/**
+ * Apply the `refresh.*` / `rfm.*` config keys to @p dev:
+ *   refresh.mode      = refab | refpb
+ *   refresh.hira      = 0 | 1
+ *   refresh.trfcpb_ns = per-bank refresh duration
+ *   rfm.raaimt        = RFM issue threshold (0 = RFM disabled)
+ *   rfm.raammt        = ACT-blocking threshold (0 = 4 x raaimt)
+ *   rfm.trfm_ns       = RFM lock duration
+ * Absent keys leave the device untouched, so a config without any
+ * of them stays byte-identical to the pre-realism model.
+ */
+void applyRefreshConfig(DeviceConfig &dev, const Config &cfg);
 
 /** Table 1 devices: 8 Gb, 16 Gb, and 32 Gb DDR5. */
 DeviceConfig ddr5Device8Gb();

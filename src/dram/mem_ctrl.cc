@@ -151,11 +151,15 @@ MemCtrl::serviceChunk(const Chunk &chunk, Tick start)
     const auto &dev = cfg_.rank.device;
 
     Tick t = start;
-    // All-bank refresh lock: the rank is unreachable during tRFC.
-    if (refresh_ && refresh_->rankLocked(coord.rank, t)) {
-        const Tick end = refresh_->lockEnd(coord.rank, t);
-        stats_.refreshStallTicks += end - t;
-        t = end;
+    // Refresh lock (bank-granular under REFpb, the whole rank under
+    // all-bank REF), plus RAAMMT ACT-blocking when RFM is armed.
+    if (refresh_) {
+        const Tick stall = refresh_->accessStall(coord.rank,
+                                                 coord.bank, t);
+        if (stall > 0) {
+            stats_.refreshStallTicks += stall;
+            t += stall;
+        }
     }
     // Host-Lockout NMA: the accelerator holds the rank.
     const Tick ext_lock =
@@ -181,6 +185,9 @@ MemCtrl::serviceChunk(const Chunk &chunk, Tick start)
         if (open_row_[bank_idx] >= 0)
             access += dev.tRP;
         open_row_[bank_idx] = coord.row;
+        // Each row miss is an ACT: feed the RAA counters.
+        if (refresh_)
+            refresh_->noteActivates(coord.rank, coord.bank, 1);
     }
 
     // 128 B cross the rank per tBURST (paper Sec. 5: 32 bursts move

@@ -66,6 +66,12 @@ XfmDevice::rowOf(std::uint64_t addr) const
     return map_.decode(addr).row;
 }
 
+std::uint32_t
+XfmDevice::bankOf(std::uint64_t addr) const
+{
+    return map_.decode(addr).bank;
+}
+
 void
 XfmDevice::registerRegion(std::uint64_t base, std::uint64_t bytes)
 {
@@ -585,6 +591,17 @@ XfmDevice::registerMetrics(obs::MetricRegistry &r,
               [this] {
                   return static_cast<double>(spm_.freeBytes());
               });
+    // Refresh-realism counters only exist when the feature is
+    // armed, so a default device's snapshot keeps the legacy
+    // metric namespace byte-identical.
+    if (dev_cfg_.refreshRealismArmed()) {
+        r.counter(p + "pbWindows", &stats_.pbWindows,
+                  "per-bank REFpb windows seen");
+        r.counter(p + "rfmStolenWindows", &stats_.rfmStolenWindows,
+                  "service windows destroyed by RFM");
+        r.counter(p + "hiraBonusSlots", &stats_.hiraBonusSlots,
+                  "extra slots granted by HiRA overlap");
+    }
     engine_health_.registerMetrics(r, p + "health.engine");
     spm_health_.registerMetrics(r, p + "health.spm");
     // Ring counters exist only in ring mode, so a depth-1 device's
@@ -614,7 +631,21 @@ XfmDevice::onWindow(const dram::RefreshWindow &window)
     dropExpired(window.start);
     runWatchdog(window.start);
 
+    // Per-bank REFpb window: only the refreshing bank's rows are
+    // reachable, within the shorter tRFCpb budget.
+    const bool pb = window.bank != dram::RefreshWindow::allBanks;
     std::uint32_t slots = cfg_.maxAccessesPerWindow;
+    if (pb) {
+        ++stats_.pbWindows;
+        slots = dram::maxAccessesPerWindowOf(dev_cfg_,
+                                             dev_cfg_.tRFCpb);
+        if (tracer_) {
+            if (!refresh_trace_req_)
+                refresh_trace_req_ = tracer_->begin();
+            tracer_->point(refresh_trace_req_, obs::Stage::RefPb,
+                           window.start, window.bank);
+        }
+    }
     std::uint32_t random_budget = cfg_.maxRandomPerWindow;
     const std::uint32_t rows_per_bank = map_.rowsPerBank();
 
@@ -627,6 +658,39 @@ XfmDevice::onWindow(const dram::RefreshWindow &window)
     slots += trr_bonus;
     random_budget += trr_bonus;
 
+    // HiRA overlap hides one extra activation behind the refresh,
+    // widening both budgets by a slot.
+    if (window.hira) {
+        ++stats_.hiraBonusSlots;
+        ++slots;
+        ++random_budget;
+    }
+
+    // An RFM riding this slot steals the NMA's service window
+    // entirely: the bank is busy with the forced victim refresh.
+    if (window.rfm) {
+        ++stats_.rfmStolenWindows;
+        if (tracer_) {
+            if (!refresh_trace_req_)
+                refresh_trace_req_ = tracer_->begin();
+            tracer_->point(refresh_trace_req_, obs::Stage::Rfm,
+                           window.start,
+                           pb ? window.bank : window.rank);
+        }
+        slots = 0;
+        random_budget = 0;
+    }
+
+    // Under a per-bank window, conditional accesses must land in
+    // the refreshing bank; randoms too, unless HiRA overlap lets an
+    // activation hide elsewhere.
+    const auto cond_reachable = [&](std::uint64_t addr) {
+        return !pb || bankOf(addr) == window.bank;
+    };
+    const auto rand_reachable = [&](std::uint64_t addr) {
+        return !pb || window.hira || bankOf(addr) == window.bank;
+    };
+
     // Pass 1: conditional write-backs (rows being refreshed now).
     for (OffloadId id : spm_.writebackIds()) {
         if (slots == 0)
@@ -634,7 +698,8 @@ XfmDevice::onWindow(const dram::RefreshWindow &window)
         const SpmEntry &e = spm_.entry(id);
         if (e.data.empty())
             continue;
-        if (window.coversRow(rowOf(e.dstAddr), rows_per_bank)) {
+        if (window.coversRow(rowOf(e.dstAddr), rows_per_bank)
+            && cond_reachable(e.dstAddr)) {
             executeWriteback(spm_.take(id), AccessClass::Conditional);
             --slots;
         }
@@ -642,7 +707,8 @@ XfmDevice::onWindow(const dram::RefreshWindow &window)
 
     // Pass 2: conditional reads.
     for (auto it = reads_.begin(); it != reads_.end() && slots > 0;) {
-        if (window.coversRow(rowOf(it->req.srcAddr), rows_per_bank)) {
+        if (window.coversRow(rowOf(it->req.srcAddr), rows_per_bank)
+            && cond_reachable(it->req.srcAddr)) {
             if (!executeRead(*it, AccessClass::Conditional)) {
                 ++it;  // SPM full: deferred
                 continue;
@@ -676,15 +742,19 @@ XfmDevice::onWindow(const dram::RefreshWindow &window)
             if (best_read != reads_.end()
                 && it->req.deadline >= best_read->req.deadline)
                 continue;
+            if (!rand_reachable(it->req.srcAddr))
+                continue;
             if (!subarray_free(rowOf(it->req.srcAddr)))
                 continue;
             best_read = it;
         }
 
         auto wb_ids = spm_.writebackIds();
-        // Conflict-free write-back candidates only.
+        // Conflict-free, reachable write-back candidates only.
         std::erase_if(wb_ids, [&](OffloadId id) {
-            return !subarray_free(rowOf(spm_.entry(id).dstAddr));
+            const std::uint64_t dst = spm_.entry(id).dstAddr;
+            return !rand_reachable(dst)
+                || !subarray_free(rowOf(dst));
         });
 
         // Write-backs normally wait for their destination row's

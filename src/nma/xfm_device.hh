@@ -133,6 +133,9 @@ struct XfmDeviceStats
     std::uint64_t subarrayConflictRetries = 0;  ///< reordered randoms
     std::uint64_t trrSlotsUsed = 0;   ///< random accesses in TRR slack
     std::uint64_t windows = 0;        ///< refresh windows seen
+    std::uint64_t pbWindows = 0;      ///< per-bank REFpb windows seen
+    std::uint64_t rfmStolenWindows = 0;  ///< windows destroyed by RFM
+    std::uint64_t hiraBonusSlots = 0;  ///< extra slots from HiRA
     std::uint64_t bytesReadFromDram = 0;
     std::uint64_t bytesWrittenToDram = 0;
     std::uint64_t eccParityBytesWritten = 0;
@@ -364,6 +367,7 @@ class XfmDevice : public SimObject
     void executeWriteback(SpmEntry entry, AccessClass cls);
     void chargeAccess(std::size_t bytes, AccessClass cls);
     std::uint32_t rowOf(std::uint64_t addr) const;
+    std::uint32_t bankOf(std::uint64_t addr) const;
 
     XfmDeviceConfig cfg_;
     const dram::AddressMap &map_;
@@ -396,6 +400,9 @@ class XfmDevice : public SimObject
      *  write-back spans can name their request after the
      *  OffloadRequest itself is gone. */
     std::map<OffloadId, std::uint64_t> trace_ids_;
+    /** Lazily-allocated timeline for refresh-realism trace points
+     *  (REFpb window opens, RFM slot steals). */
+    std::uint64_t refresh_trace_req_ = 0;
     std::deque<ReadOp> reads_;
     /** Registered NMA-accessible regions (base -> end). */
     std::vector<std::pair<std::uint64_t, std::uint64_t>> regions_;

@@ -31,6 +31,9 @@ stageName(Stage s)
       case Stage::SqEnqueue: return "sq_enqueue";
       case Stage::CqReap: return "cq_reap";
       case Stage::TierShift: return "tier_shift";
+      case Stage::RefPb: return "refpb";
+      case Stage::Rfm: return "rfm";
+      case Stage::SlotSteal: return "slot_steal";
     }
     return "unknown";
 }

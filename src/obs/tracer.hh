@@ -50,6 +50,12 @@ enum class Stage : std::uint8_t
     CqReap,      ///< ring: completion posted -> reaped by the driver
     TierShift,   ///< instantaneous: tier transition committed
                  ///  (arg = from << 2 | to, Tier enum values)
+    RefPb,       ///< instantaneous: per-bank REFpb window opened
+                 ///  (arg = bank)
+    Rfm,         ///< instantaneous: RFM rode a refresh slot
+                 ///  (arg = bank, or rank for all-bank REF)
+    SlotSteal,   ///< instantaneous: RFM stole NMA service slots
+                 ///  (arg = slots lost)
 };
 
 const char *stageName(Stage s);

@@ -53,6 +53,18 @@ FarMemoryService::FarMemoryService(std::string name, EventQueue &eq,
     // Lane stats addresses must survive later addTenant calls; the
     // registry already reserves its own entries.
     arbiter_.reserveLanes(cfg_.registry.maxTenants);
+    // Every RFM the refresh controller issues destroys NMA service
+    // capacity; feed the loss into the arbiter with the dominant
+    // activation source so the defense layer can attribute it.
+    backend_.refresh().addRfmListener(
+        [this](std::uint32_t, std::uint32_t, std::uint32_t source,
+               std::uint32_t stolen) {
+            const TenantId culprit =
+                source == dram::RefreshController::hostSource
+                    ? invalidTenant
+                    : static_cast<TenantId>(source);
+            arbiter_.noteRfmSteal(stolen, culprit);
+        });
     backend_.registerMetrics(metrics_);
     arbiter_.registerMetrics(metrics_);
     shedder_.registerMetrics(metrics_, this->name() + ".shed");
@@ -148,6 +160,12 @@ FarMemoryService::registerTenantMetrics(TenantId id)
                      "swap-outs refused while shedding");
     metrics_.counter(p + "shedDownTiers", &ts.shedDownTiers,
                      "swap-ins down-tiered while shedding");
+    if (cfg_.arbiter.abuseEnabled) {
+        metrics_.counter(p + "abuseRejects", &ts.abuseRejects,
+                         "swap-outs refused while throttled");
+        metrics_.counter(p + "abuseDownTiers", &ts.abuseDownTiers,
+                         "swap-ins down-tiered while throttled");
+    }
     metrics_.derived(p + "nmaFraction",
                      [&ts] { return ts.nmaFraction(); },
                      "NMA share of swap ops");

@@ -148,13 +148,14 @@ class FarMemoryService : public SimObject
         return shedder_;
     }
 
-    /** Attach a span tracer to the shared backend, the shedder, and
-     *  the tier governor (null detaches). */
+    /** Attach a span tracer to the shared backend, the shedder, the
+     *  arbiter, and the tier governor (null detaches). */
     void
     setTracer(obs::Tracer *t)
     {
         backend_.setTracer(t);
         shedder_.setTracer(t);
+        arbiter_.setTracer(t);
         if (tiers_)
             tiers_->setTracer(t);
     }

@@ -119,6 +119,12 @@ struct TenantStats
     std::uint64_t shedRejects = 0;
     /** Swap-ins forced onto the CPU path while shedding (batch). */
     std::uint64_t shedDownTiers = 0;
+    /** Swap-outs refused with Rejected{AbuseThrottle} while the
+     *  abuse detector held this tenant throttled. */
+    std::uint64_t abuseRejects = 0;
+    /** Swap-ins forced onto the CPU path while throttled (faults
+     *  must still complete; only the offload privilege is lost). */
+    std::uint64_t abuseDownTiers = 0;
     /** Application swap ops the DFM spill tier served (tiered
      *  service only). */
     std::uint64_t dfmOps = 0;

@@ -84,6 +84,21 @@ TenantBackend::swapOut(sfm::VirtPage page, bool allow_offload,
     const sfm::VirtPage g = global(page);
     TenantStats &ts = registry_.stats(id_);
 
+    // An abuse-throttled tenant loses demotion service entirely: its
+    // refresh pressure already taxed everyone else's slots, so no new
+    // far-memory work is accepted until the cooldown clears.
+    if (arbiter_ && arbiter_->abuseThrottled(id_)) {
+        ++ts.abuseRejects;
+        ++stats_.rejectedSwapOuts;
+        sfm::SwapOutcome out;
+        out.page = page;
+        out.rejected = sfm::RejectReason::AbuseThrottle;
+        out.completed = shared_.curTick();
+        if (done)
+            done(out);
+        return;
+    }
+
     // Overload shedding precedes every other check: while the shared
     // path is saturated, a batch swap-out is refused before it can
     // consume quota bookkeeping or an arbiter slot. The page simply
@@ -170,6 +185,15 @@ TenantBackend::swapIn(sfm::VirtPage page, bool allow_offload,
 {
     const sfm::VirtPage g = global(page);
     TenantStats &ts = registry_.stats(id_);
+
+    // Throttled tenants keep making progress on faults — blocking a
+    // swap-in would wedge the application — but lose the offload
+    // privilege so they stop contending for NMA slots.
+    if (allow_offload && arbiter_
+        && arbiter_->abuseThrottled(id_)) {
+        allow_offload = false;
+        ++ts.abuseDownTiers;
+    }
 
     // A swap-in must complete (the tenant is faulting on the page),
     // so overload never rejects it — batch-class swap-ins are

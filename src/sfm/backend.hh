@@ -78,6 +78,7 @@ enum class RejectReason : std::uint8_t
     QuotaFarPages,  ///< tenant far-page quota exceeded
     Overload,       ///< shed: service refused best-effort work
     SfmFull,        ///< far pool allocation failed
+    AbuseThrottle,  ///< tenant throttled by the RFM-abuse detector
 };
 
 /** Stable lowercase identifier for stats tables and logs. */
@@ -91,6 +92,7 @@ rejectReasonName(RejectReason r)
       case RejectReason::QuotaFarPages: return "quota_far_pages";
       case RejectReason::Overload: return "overload";
       case RejectReason::SfmFull: return "sfm_full";
+      case RejectReason::AbuseThrottle: return "abuse_throttle";
     }
     return "unknown";
 }

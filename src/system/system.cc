@@ -42,7 +42,7 @@ System::System(std::string name, EventQueue &eq,
     } else {
         xfmsys::XfmSystemConfig xcfg;
         xcfg.numDimms = cfg_.xfmDimms;
-        xcfg.dimmMem.rank.device = dram::ddr5Device32Gb();
+        xcfg.dimmMem.rank.device = cfg_.dimmDevice;
         xcfg.dimmMem.channels = 1;
         xcfg.dimmMem.dimmsPerChannel = 1;
         xcfg.dimmMem.ranksPerDimm = 1;

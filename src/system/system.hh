@@ -58,6 +58,13 @@ struct SystemConfig
     /** XFM DIMM parameters (used when backend == Xfm). */
     std::size_t xfmDimms = 4;
     nma::XfmDeviceConfig xfmDevice{};
+    /**
+     * DDR device of the XFM DIMMs — carries the refresh-realism
+     * knobs (refreshMode, RFM thresholds, HiRA). The default is the
+     * same ddr5Device32Gb() the system always used, so untouched
+     * configs stay byte-identical.
+     */
+    dram::DeviceConfig dimmDevice = dram::ddr5Device32Gb();
 
     sfm::ControllerConfig controller{};
 

@@ -243,6 +243,24 @@ XfmBackend::chargeCpu(std::uint64_t bytes, bool compress_op,
         static_cast<Tick>(cycles / cfg_.cpuFreqGHz * 1000.0);
 }
 
+Tick
+XfmBackend::cpuRefreshStall(std::uint64_t addr)
+{
+    if (!cfg_.dimmMem.rank.device.refreshRealismArmed())
+        return 0;
+    Tick stall = 0;
+    const Tick now = curTick();
+    for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        const auto coord = dimms_[d].map->decode(addr);
+        stall = std::max(
+            stall,
+            refresh_->accessStall(static_cast<std::uint32_t>(d),
+                                  coord.bank, now));
+    }
+    xfm_stats_.cpuRefreshStallTicks += stall;
+    return stall;
+}
+
 // --------------------------------------------------------- CPU fallback
 
 void
@@ -321,6 +339,9 @@ XfmBackend::cpuSwapOut(VirtPage page, SwapCallback done,
     }
     Tick latency;
     chargeCpu(pageBytes, true, latency);
+    // The host's page read stalls on refresh/RFM locks on its way
+    // to the frame (0 while refresh realism is disarmed).
+    latency += cpuRefreshStall(shardFrameAddr(page));
     outcome.success = true;
     if (tracer_ && trace_id)
         tracer_->record(trace_id, obs::Stage::CpuCompute, curTick(),
@@ -381,6 +402,9 @@ XfmBackend::cpuSwapIn(VirtPage page, SwapCallback done,
     }
     Tick latency;
     chargeCpu(pageBytes, false, latency);
+    // The demand fault's compressed-slot read stalls on refresh/RFM
+    // locks (0 while refresh realism is disarmed).
+    latency += cpuRefreshStall(slotAddr(entry.offset));
     if (tracer_ && trace_id)
         tracer_->record(trace_id, obs::Stage::CpuCompute, curTick(),
                         curTick() + latency);
@@ -1156,6 +1180,14 @@ XfmBackend::registerMetrics(obs::MetricRegistry &r)
     r.derived(p + "cpuFraction",
               [this] { return stats_.cpuFraction(); },
               "swaps serviced by the CPU path");
+    // Refresh-realism metrics only exist when armed, keeping the
+    // default snapshot namespace byte-identical.
+    if (cfg_.dimmMem.rank.device.refreshRealismArmed()) {
+        r.counter(p + "cpuRefreshStallTicks",
+                  &xfm_stats_.cpuRefreshStallTicks,
+                  "CPU-path swaps waited on refresh/RFM locks");
+        refresh_->registerMetrics(r, name());
+    }
     injector_.registerMetrics(r, name() + ".fault");
     for (std::size_t d = 0; d < dimms_.size(); ++d) {
         const std::string dp = p + "dimm" + std::to_string(d);

@@ -128,6 +128,9 @@ struct XfmBackendStats
     /** Whole swaps routed to the CPU because every channel breaker
      *  was open. */
     std::uint64_t breakerFallbacks = 0;
+    /** Time CPU-path swaps waited on refresh/RFM bank locks (only
+     *  accumulates when refresh realism is armed). */
+    std::uint64_t cpuRefreshStallTicks = 0;
 };
 
 /**
@@ -327,6 +330,15 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     void traceFailed(std::uint64_t trace_id);
     void chargeCpu(std::uint64_t bytes, bool compress_op,
                    Tick &latency_out);
+
+    /**
+     * CPU-visible refresh stall for a demand access to @p addr
+     * right now: the worst remaining refresh/RFM bank lock across
+     * the DIMMs the page is striped over (the access needs all
+     * shards). Always 0 while refresh realism is disarmed, so the
+     * default configuration's latencies are untouched.
+     */
+    Tick cpuRefreshStall(std::uint64_t addr);
 
     /** Quarantine a poisoned page, evicting the oldest quarantined
      *  page when cfg.quarantineCap would be exceeded. */

@@ -247,6 +247,43 @@ TEST(Determinism, ExplicitShardOneMatchesDefault)
     EXPECT_EQ(def.trace, s1.trace);
 }
 
+TEST(Determinism, ExplicitRefAbMatchesDefault)
+{
+    // Refresh-realism opt-out contract: spelling out the default
+    // refresh config (all-bank REF, RFM disarmed, no HiRA) must not
+    // change a single byte of any export relative to a run that
+    // never mentioned refresh — the disarmed controller takes the
+    // exact legacy code path (refreshRealismArmed() == false).
+    const RunResult def = runSystem(7);
+    EventQueueConfig eq_cfg;
+    eq_cfg.windowTicks = dram::ddr5Device32Gb().tREFI();
+    eq_cfg.parallelStageMin = 0;
+    EventQueue eq(eq_cfg);
+    SystemConfig cfg = faultedConfig(7);
+    cfg.dimmDevice.refreshMode = dram::RefreshMode::RefAb;
+    cfg.dimmDevice.rfmRaaimt = 0;
+    cfg.dimmDevice.rfmRaammt = 0;
+    cfg.dimmDevice.hira = false;
+    System sys("sys", eq, cfg);
+    obs::Tracer tracer(4096);
+    sys.setTracer(&tracer);
+    for (sfm::VirtPage p = 0; p < 96; ++p)
+        sys.writePage(p, compress::generateCorpus(
+                             compress::CorpusKind::LogLines, p + 1,
+                             pageBytes));
+    sys.start();
+    eq.run(milliseconds(60.0));
+    Rng rng(99);
+    for (int i = 0; i < 48; ++i) {
+        sys.access(rng.uniformInt(96));
+        eq.run(eq.now() + milliseconds(1.0));
+    }
+    EXPECT_EQ(def.stats, sys.metrics().renderText());
+    EXPECT_EQ(def.json, sys.metrics().toJson());
+    EXPECT_EQ(def.trace, tracer.toJsonLines());
+    EXPECT_EQ(def.injections, sys.faultInjections());
+}
+
 TEST(Determinism, TieringOffMatchesDefault)
 {
     // The hard invariant of the tier layer: a fully populated but

@@ -352,6 +352,198 @@ TEST(Refresh, LockedFractionMatchesDevice)
                 ticksToNs(dev.tRFC) / ticksToNs(dev.tREFI()), 1e-12);
 }
 
+TEST(Refresh, WindowCoversRowWrapAtExactEndOfBank)
+{
+    // A range ending exactly on the last row must not leak into row
+    // 0, and one starting at the last row must wrap to cover 0.
+    const std::uint32_t rows = 64 * 1024;
+    RefreshWindow flush{0, 0, 100, rows - 8, 8};
+    EXPECT_TRUE(flush.coversRow(rows - 8, rows));
+    EXPECT_TRUE(flush.coversRow(rows - 1, rows));
+    EXPECT_FALSE(flush.coversRow(0, rows));
+    EXPECT_FALSE(flush.coversRow(rows - 9, rows));
+
+    RefreshWindow wrap{0, 0, 100, rows - 1, 2};
+    EXPECT_TRUE(wrap.coversRow(rows - 1, rows));
+    EXPECT_TRUE(wrap.coversRow(0, rows));
+    EXPECT_FALSE(wrap.coversRow(1, rows));
+    EXPECT_FALSE(wrap.coversRow(rows - 2, rows));
+}
+
+TEST(Refresh, BoundaryTicksAtExactTrefiMultiples)
+{
+    // At when == phase + k * tREFI a window starts that very tick:
+    // the rank is locked, the lock ends exactly tRFC later, and
+    // nextWindowStart is `when` itself (not the following window).
+    EventQueue eq;
+    const auto dev = ddr5Device32Gb();
+    const std::uint32_t ranks = 4;
+    RefreshController ctrl("refresh", eq, dev, ranks);
+    ctrl.start();
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+        const Tick phase = dev.tREFI() * r / ranks;
+        for (Tick k = 0; k < 3; ++k) {
+            const Tick when = phase + k * dev.tREFI();
+            EXPECT_TRUE(ctrl.rankLocked(r, when))
+                << "rank " << r << " k " << k;
+            EXPECT_EQ(ctrl.lockEnd(r, when), when + dev.tRFC);
+            EXPECT_EQ(ctrl.nextWindowStart(r, when), when);
+            // One tick before the boundary is outside the window;
+            // for k == 0 it is before the rank's first REF at all.
+            if (when > 0) {
+                EXPECT_FALSE(ctrl.rankLocked(r, when - 1));
+                EXPECT_EQ(ctrl.lockEnd(r, when - 1), when - 1);
+                EXPECT_EQ(ctrl.nextWindowStart(r, when - 1), when);
+            }
+            // The first unlocked tick after the window.
+            const Tick open = when + dev.tRFC;
+            EXPECT_FALSE(ctrl.rankLocked(r, open));
+            EXPECT_EQ(ctrl.lockEnd(r, open), open);
+            EXPECT_EQ(ctrl.nextWindowStart(r, open),
+                      when + dev.tREFI());
+        }
+    }
+}
+
+TEST(Refresh, RefPbStaggersOneWindowPerBank)
+{
+    EventQueue eq;
+    auto dev = ddr5Device32Gb();
+    dev.refreshMode = RefreshMode::RefPb;
+    RefreshController ctrl("refresh", eq, dev, 1);
+    std::vector<RefreshWindow> windows;
+    ctrl.addListener([&](const RefreshWindow &w) {
+        windows.push_back(w);
+    });
+    ctrl.start();
+    eq.run(dev.tREFI() - 1);
+    ASSERT_EQ(windows.size(), dev.banksPerChip);
+    EXPECT_EQ(ctrl.refreshStats().pbWindows, dev.banksPerChip);
+    for (std::uint32_t b = 0; b < dev.banksPerChip; ++b) {
+        EXPECT_EQ(windows[b].bank, b);
+        EXPECT_EQ(windows[b].start, static_cast<Tick>(b) * dev.tSTAG);
+        EXPECT_EQ(windows[b].end, windows[b].start + dev.tRFCpb);
+        EXPECT_FALSE(windows[b].rfm);
+    }
+}
+
+TEST(Refresh, RefPbBankGranularLocks)
+{
+    EventQueue eq;
+    auto dev = ddr5Device32Gb();
+    dev.refreshMode = RefreshMode::RefPb;
+    RefreshController ctrl("refresh", eq, dev, 1);
+    ctrl.start();
+    // Bank 0 is locked for its own tRFCpb only; a later bank in the
+    // stagger train is still open at tick 0 (refresh-access
+    // parallelism across banks, DSARP-style).
+    EXPECT_TRUE(ctrl.bankLocked(0, 0, 0));
+    EXPECT_TRUE(ctrl.bankLocked(0, 0, dev.tRFCpb - 1));
+    EXPECT_FALSE(ctrl.bankLocked(0, 0, dev.tRFCpb));
+    EXPECT_EQ(ctrl.bankLockEnd(0, 0, 0), dev.tRFCpb);
+    EXPECT_FALSE(ctrl.bankLocked(0, 20, 0));
+    // The rank-level view is the union of the contiguous stagger
+    // train (tSTAG < tRFCpb keeps it gapless).
+    const Tick train_end =
+        static_cast<Tick>(dev.banksPerChip - 1) * dev.tSTAG
+        + dev.tRFCpb;
+    EXPECT_TRUE(ctrl.rankLocked(0, 0));
+    EXPECT_TRUE(ctrl.rankLocked(0, train_end - 1));
+    EXPECT_FALSE(ctrl.rankLocked(0, train_end));
+    EXPECT_EQ(ctrl.lockEnd(0, 0), train_end);
+}
+
+TEST(Refresh, RfmForcedPastRaaimt)
+{
+    EventQueue eq;
+    auto dev = ddr5Device32Gb();
+    dev.rfmRaaimt = 32;
+    RefreshController ctrl("refresh", eq, dev, 1);
+    std::vector<RefreshWindow> windows;
+    ctrl.addListener([&](const RefreshWindow &w) {
+        windows.push_back(w);
+    });
+    std::uint32_t rfm_bank = 0, rfm_source = 0, rfm_stolen = 0;
+    ctrl.addRfmListener([&](std::uint32_t, std::uint32_t bank,
+                            std::uint32_t source,
+                            std::uint32_t stolen) {
+        rfm_bank = bank;
+        rfm_source = source;
+        rfm_stolen = stolen;
+    });
+    ctrl.noteActivates(0, 3, 40, /*source=*/7);
+    EXPECT_EQ(ctrl.raa(0, 3), 40u);
+    ctrl.start();
+    eq.run(dev.tREFI() - 1);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_TRUE(windows[0].rfm);
+    EXPECT_EQ(windows[0].end - windows[0].start,
+              dev.tRFC + dev.tRFM);
+    EXPECT_EQ(ctrl.refreshStats().rfmCommands, 1u);
+    EXPECT_EQ(ctrl.raa(0, 3), 40u - 32u);  // RFM drains one RAAIMT
+    EXPECT_EQ(rfm_bank, RefreshWindow::allBanks);
+    EXPECT_EQ(rfm_source, 7u);
+    EXPECT_EQ(rfm_stolen, maxAccessesPerTrfc(dev));
+}
+
+TEST(Refresh, RfmAttributesDominantSource)
+{
+    EventQueue eq;
+    auto dev = ddr5Device32Gb();
+    dev.rfmRaaimt = 32;
+    RefreshController ctrl("refresh", eq, dev, 1);
+    std::uint32_t rfm_source = 0;
+    ctrl.addRfmListener([&](std::uint32_t, std::uint32_t,
+                            std::uint32_t source, std::uint32_t) {
+        rfm_source = source;
+    });
+    ctrl.noteActivates(0, 5, 10);  // host traffic
+    ctrl.noteActivates(0, 5, 30, /*source=*/3);  // the abuser
+    ctrl.start();
+    eq.run(dev.tREFI() - 1);
+    EXPECT_EQ(ctrl.refreshStats().rfmCommands, 1u);
+    EXPECT_EQ(rfm_source, 3u);
+}
+
+TEST(Refresh, RaammtBlocksHostActs)
+{
+    EventQueue eq;
+    auto dev = ddr5Device32Gb();
+    dev.rfmRaaimt = 32;  // effectiveRaammt() == 128
+    RefreshController ctrl("refresh", eq, dev, 1);
+    ctrl.start();
+    // The counter caps at RAAMMT no matter how hard the bank is hit.
+    ctrl.noteActivates(0, 0, 500);
+    EXPECT_EQ(ctrl.raa(0, 0), dev.effectiveRaammt());
+    // An ACT at tick 5 waits out the current lock AND the next
+    // refresh slot plus its RFM, which finally drains the counter.
+    const Tick when = 5;
+    const Tick stall = ctrl.accessStall(0, 0, when);
+    EXPECT_EQ(stall,
+              dev.tREFI() + dev.tRFC + dev.tRFM - when);
+    EXPECT_EQ(ctrl.refreshStats().raammtBlocks, 1u);
+    // An unsaturated bank only waits out the plain refresh lock.
+    EXPECT_EQ(ctrl.accessStall(0, 1, when), dev.tRFC - when);
+}
+
+TEST(Refresh, HiraWidensWindows)
+{
+    EventQueue eq;
+    auto dev = ddr5Device32Gb();
+    dev.hira = true;
+    RefreshController ctrl("refresh", eq, dev, 1);
+    std::vector<RefreshWindow> windows;
+    ctrl.addListener([&](const RefreshWindow &w) {
+        windows.push_back(w);
+    });
+    ctrl.start();
+    eq.run(dev.tREFI() * 3);
+    ASSERT_GE(windows.size(), 3u);
+    for (const auto &w : windows)
+        EXPECT_TRUE(w.hira);
+    EXPECT_EQ(ctrl.refreshStats().hiraWindows, windows.size());
+}
+
 // --------------------------------------------------------------- mem ctrl
 
 class MemCtrlTest : public ::testing::Test

@@ -26,6 +26,12 @@
  *     still in probation (3) at the end of a chaos soak means a
  *     half-open round never resolved, i.e. the breaker is stuck.
  *
+ *   check_obs_output abuse <stats.json>
+ *     Everything `stats` checks, plus: at least one abuse-monitor
+ *     state leaf (*.abuse.state) must be present and settled (not
+ *     probation), and the abuse detector must have escalated at
+ *     least once — the contract of an adversarial soak's quiet tail.
+ *
  * Exits 0 when the file validates, 1 with a diagnostic otherwise —
  * small enough for CI to run after every smoke simulation.
  */
@@ -65,7 +71,8 @@ knownStages()
         "window_wait", "classify", "engine",     "spm_stage",
         "writeback", "cpu_compute", "dfm_link",  "fallback",
         "complete",  "health",    "shed",        "sq_enqueue",
-        "cq_reap",   "tier_shift",
+        "cq_reap",   "tier_shift", "refpb",      "rfm",
+        "slot_steal",
     };
     return stages;
 }
@@ -156,6 +163,63 @@ checkStats(const std::string &path)
         std::printf("%s: %zu tier famil%s complete\n", path.c_str(),
                     tier_families.size(),
                     tier_families.size() == 1 ? "y" : "ies");
+    // Refresh-realism family: armed runs export `<name>.refresh.*`
+    // (RefreshController::registerMetrics); any leaf means the
+    // controller registered, so its full counter set must be there.
+    std::set<std::string> refresh_families;
+    for (const auto &[name, value] : metrics) {
+        const std::size_t at = name.find(".refresh.");
+        if (at != std::string::npos)
+            refresh_families.insert(name.substr(0, at + 9));
+    }
+    for (const auto &family : refresh_families) {
+        for (const char *leaf :
+             {"pbWindows", "rfmCommands", "rfmStolenSlots",
+              "raammtBlocks", "hiraWindows", "activationsNoted"}) {
+            if (metrics.find(family + leaf) == metrics.end())
+                return fail(path, "refresh family '" + family
+                                      + "*' is missing '" + leaf
+                                      + "'");
+        }
+    }
+    if (!refresh_families.empty())
+        std::printf("%s: %zu refresh famil%s complete\n",
+                    path.c_str(), refresh_families.size(),
+                    refresh_families.size() == 1 ? "y" : "ies");
+    // Abuse-detector families come in two shapes: the arbiter's
+    // totals (`<arbiter>.abuse.evals/flags/escalations`) and each
+    // tenant's throttle monitor (`<tenant>.abuse.state/...`). A
+    // family is identified by which anchor leaf it carries; either
+    // way a partial family means a registration bug.
+    std::set<std::string> abuse_families;
+    for (const auto &[name, value] : metrics) {
+        const std::size_t at = name.find(".abuse.");
+        if (at != std::string::npos)
+            abuse_families.insert(name.substr(0, at + 7));
+    }
+    for (const auto &family : abuse_families) {
+        if (metrics.find(family + "evals") != metrics.end()) {
+            for (const char *leaf : {"evals", "flags",
+                                     "escalations"}) {
+                if (metrics.find(family + leaf) == metrics.end())
+                    return fail(path, "abuse family '" + family
+                                          + "*' is missing '" + leaf
+                                          + "'");
+            }
+        } else {
+            for (const char *leaf : {"state", "successes", "faults",
+                                     "trips", "breakerRejects"}) {
+                if (metrics.find(family + leaf) == metrics.end())
+                    return fail(path, "abuse family '" + family
+                                          + "*' is missing '" + leaf
+                                          + "'");
+            }
+        }
+    }
+    if (!abuse_families.empty())
+        std::printf("%s: %zu abuse famil%s complete\n", path.c_str(),
+                    abuse_families.size(),
+                    abuse_families.size() == 1 ? "y" : "ies");
     std::printf("%s: ok (%zu metrics)\n", path.c_str(),
                 metrics.size());
     return 0;
@@ -191,6 +255,52 @@ checkHealth(const std::string &path)
                           "(was health.enabled set?)");
     std::printf("%s: health ok (%zu monitors settled)\n",
                 path.c_str(), monitors);
+    return 0;
+}
+
+int
+checkAbuse(const std::string &path)
+{
+    using xfm::obs::json::Value;
+    if (checkStats(path) != 0)
+        return 1;
+    Value v;
+    std::string error;
+    if (!xfm::obs::json::parse(slurp(path), v, error))
+        return fail(path, "invalid JSON: " + error);
+    const auto &metrics = v.at("metrics").object();
+    // Quiet-tail settlement: every tenant's throttle monitor must
+    // have left probation (a stuck half-open round means the
+    // detector never resolved the offender), and the detector must
+    // actually have escalated at least once during the soak.
+    std::size_t monitors = 0;
+    double escalations = 0.0;
+    for (const auto &[name, value] : metrics) {
+        const std::size_t at = name.find(".abuse.");
+        if (at == std::string::npos)
+            continue;
+        const std::string leaf = name.substr(at + 7);
+        if (leaf == "escalations")
+            escalations += value.number();
+        if (leaf != "state")
+            continue;
+        ++monitors;
+        const double s = value.number();
+        if (s != 0.0 && s != 1.0 && s != 2.0)
+            return fail(path, "abuse monitor '" + name
+                                  + "' ended the run in state "
+                                  + std::to_string(s)
+                                  + " (stuck throttle?)");
+    }
+    if (monitors == 0)
+        return fail(path, "no abuse-monitor state leaves found "
+                          "(was qos.abuse_enabled set?)");
+    if (escalations < 1.0)
+        return fail(path, "abuse detector never escalated "
+                          "(attack not detected?)");
+    std::printf("%s: abuse ok (%zu monitors settled, %g "
+                "escalations)\n",
+                path.c_str(), monitors, escalations);
     return 0;
 }
 
@@ -247,7 +357,8 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: check_obs_output stats <stats.json>\n"
                      "       check_obs_output trace <trace.jsonl>\n"
-                     "       check_obs_output health <stats.json>\n");
+                     "       check_obs_output health <stats.json>\n"
+                     "       check_obs_output abuse <stats.json>\n");
         return 1;
     }
     const std::string mode = argv[1];
@@ -257,6 +368,8 @@ main(int argc, char **argv)
         return checkTrace(argv[2]);
     if (mode == "health")
         return checkHealth(argv[2]);
+    if (mode == "abuse")
+        return checkAbuse(argv[2]);
     std::fprintf(stderr, "check_obs_output: unknown mode '%s'\n",
                  mode.c_str());
     return 1;
