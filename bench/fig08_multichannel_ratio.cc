@@ -59,6 +59,31 @@ main()
     std::printf("\n%-14s %8.3f %8.3f %8.3f | %8.1f%% %8.1f%%\n",
                 "average", sum1, sum2, sum4, 100.0 * sum2 / sum1,
                 100.0 * sum4 / sum1);
+
+    // Preset dictionaries (DESIGN.md §16, `xfm.shard_dict`): a
+    // per-page sampled dictionary restores cross-shard redundancy
+    // lost to interleaving. Recovery = fraction of the 1-DIMM vs
+    // 4-DIMM ratio gap closed by dict mode.
+    std::printf("\nShard-dict column (4-DIMM, dict_bytes=2048):\n");
+    std::printf("%-14s %8s %8s %8s | %9s\n", "corpus", "1-DIMM",
+                "4-DIMM", "4D+dict", "recovered");
+    double sumd = 0;
+    for (auto kind : allCorpusKinds()) {
+        const Bytes corpus = generateCorpus(kind, seed, corpusBytes);
+        const auto pages = paginate(corpus);
+        const auto r1 = measureMultiChannel(pages, codec, 1);
+        const auto r4 = measureMultiChannel(pages, codec, 4);
+        const auto rd = measureMultiChannelDict(pages, codec, 4, 2048);
+        const double gap = r1.ratio() - r4.ratio();
+        const double rec =
+            gap > 1e-9 ? (rd.ratio() - r4.ratio()) / gap : 0.0;
+        std::printf("%-14s %8.3f %8.3f %8.3f | %8.1f%%\n",
+                    corpusName(kind).c_str(), r1.ratio(), r4.ratio(),
+                    rd.ratio(), 100.0 * rec);
+        sumd += rd.ratio();
+    }
+    sumd /= counted;
+    std::printf("%-14s %17.3f %8.3f\n", "average", sum4, sumd);
     std::printf("\nSec. 6 claim : 4-DIMM mode retains ~86.2%% of the "
                 "in-order compression ratio.\n");
     std::printf("Measured     : %.1f%% (pure), %.1f%% incl. "

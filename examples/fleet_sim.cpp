@@ -128,6 +128,8 @@ main(int argc, char **argv)
     std::uint64_t trace_cap = 65536;
     std::uint32_t sq_depth = 1;
     std::uint32_t cq_coalesce = 1;
+    bool shard_dict = false;
+    std::size_t dict_bytes = 2048;
     std::size_t sim_shards = 1;
     std::string model = "fleet";
     health::HealthConfig health_cfg;
@@ -165,6 +167,9 @@ main(int argc, char **argv)
                 cfg.getU64("xfm.sq_depth", sq_depth));
             cq_coalesce = static_cast<std::uint32_t>(
                 cfg.getU64("xfm.cq_coalesce", cq_coalesce));
+            shard_dict = cfg.getBool("xfm.shard_dict", shard_dict);
+            dict_bytes = static_cast<std::size_t>(
+                cfg.getU64("xfm.dict_bytes", dict_bytes));
             sim_shards = static_cast<std::size_t>(
                 cfg.getU64("sim_shards", sim_shards));
             model = cfg.getString("workload.model", model);
@@ -246,6 +251,8 @@ main(int argc, char **argv)
     scfg.system.workers = workers;
     scfg.system.device.sqDepth = sq_depth;
     scfg.system.device.cqCoalesce = cq_coalesce;
+    scfg.system.shardDict = shard_dict;
+    scfg.system.dictBytes = dict_bytes;
     scfg.shed = shed_cfg;
     scfg.tier = tier_cfg;
     service::FarMemoryService svc("svc", eq, scfg);

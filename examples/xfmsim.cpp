@@ -20,6 +20,10 @@
  *                                   # DIMM; 1 = legacy sync path
  *   xfm.cq_coalesce    = 1          # completions reaped per CQ
  *                                   # interrupt (ring mode only)
+ *   xfm.shard_dict     = 0          # multi-channel preset
+ *                                   # dictionaries (DESIGN.md §16);
+ *                                   # 0 is byte-identical to default
+ *   xfm.dict_bytes     = 2048       # sampled dictionary size
  *   controller.cold_ms = 20
  *   controller.scan_ms = 2
  *   controller.prefetch_depth = 2
@@ -140,6 +144,12 @@ main(int argc, char **argv)
         cfg.getU64("xfm.sq_depth", 1));
     sys_cfg.xfmDevice.cqCoalesce = static_cast<std::uint32_t>(
         cfg.getU64("xfm.cq_coalesce", 1));
+    // Multi-channel preset dictionaries (DESIGN.md §16). Off by
+    // default; `xfm.shard_dict = 0` is byte-identical to leaving the
+    // key unset (Determinism.ExplicitDictOffMatchesDefault).
+    sys_cfg.shardDict = cfg.getBool("xfm.shard_dict", false);
+    sys_cfg.dictBytes = static_cast<std::size_t>(
+        cfg.getU64("xfm.dict_bytes", 2048));
     // refresh.* / rfm.* keys arm REFpb, RFM tracking, and HiRA on
     // the XFM DIMMs; unset they leave the device byte-identical.
     dram::applyRefreshConfig(sys_cfg.dimmDevice, cfg);

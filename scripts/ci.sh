@@ -128,6 +128,14 @@ echo "stats.json = ${adv_dir}/stats.json" >> "${adv_dir}/adversary.cfg"
 "${build_dir}/bench/tier_sweep" --smoke \
     --out "${build_dir}/BENCH_TIER.json"
 
+# Preset-dictionary sweep smoke: compression ratio and modeled
+# restore latency versus channel count with `xfm.shard_dict` off and
+# on. Exits non-zero only if any dict-mode page fails its byte-exact
+# round-trip (asserted inside the measurement); ratios and recovery
+# fractions are measurements archived by CI, not a gate.
+"${build_dir}/bench/dict_sweep" --smoke \
+    --out "${build_dir}/BENCH_DICT.json"
+
 # Adversarial-interference sweep smoke: victim fault-tail latency
 # across attacker intensities with the defense off and on. Exits
 # non-zero only if the restored victim pages diverge across configs

@@ -7,6 +7,7 @@
 #define XFM_COMPRESS_BITSTREAM_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 
@@ -126,9 +127,27 @@ class BitReader
     std::uint32_t
     peek(unsigned nbits)
     {
-        while (fill_ < nbits && pos_ < in_.size()) {
-            acc_ |= static_cast<std::uint64_t>(in_[pos_++]) << fill_;
-            fill_ += 8;
+        if (fill_ < nbits) {
+            // Bulk refill: one unaligned 64-bit load replaces the
+            // byte loop whenever 8 input bytes remain. Only whole
+            // bytes that fit the accumulator are consumed, so the
+            // bit-for-bit stream position matches the byte loop.
+            if constexpr (std::endian::native == std::endian::little) {
+                if (pos_ + 8 <= in_.size()) {
+                    std::uint64_t w;
+                    std::memcpy(&w, in_.data() + pos_, 8);
+                    const unsigned take = (64 - fill_) >> 3;
+                    if (take < 8)
+                        w &= (std::uint64_t(1) << (take * 8)) - 1;
+                    acc_ |= w << fill_;
+                    fill_ += take * 8;
+                    pos_ += take;
+                }
+            }
+            while (fill_ < nbits && pos_ < in_.size()) {
+                acc_ |= static_cast<std::uint64_t>(in_[pos_++]) << fill_;
+                fill_ += 8;
+            }
         }
         return static_cast<std::uint32_t>(
             acc_ & ((nbits >= 32) ? ~std::uint64_t(0)
@@ -147,6 +166,9 @@ class BitReader
 
     /** Bytes consumed so far (rounded up to the buffered byte). */
     std::size_t consumedBytes() const { return pos_; }
+
+    /** Bits currently buffered and available to skip(). */
+    unsigned buffered() const { return fill_; }
 
     /**
      * Byte offset of the next unread datum assuming the writer

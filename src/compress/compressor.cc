@@ -26,6 +26,26 @@ Compressor::decompress(ByteSpan block) const
     return out;
 }
 
+void
+Compressor::compressWithDictInto(ByteSpan dict, ByteSpan input,
+                                 Bytes &out) const
+{
+    if (!dict.empty())
+        fatal(algorithmName(algorithm()),
+              ": preset dictionaries unsupported");
+    compressInto(input, out);
+}
+
+void
+Compressor::decompressWithDictInto(ByteSpan dict, ByteSpan block,
+                                   Bytes &out) const
+{
+    if (!dict.empty())
+        fatal(algorithmName(algorithm()),
+              ": preset dictionaries unsupported");
+    decompressInto(block, out);
+}
+
 std::string
 algorithmName(Algorithm a)
 {

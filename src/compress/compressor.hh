@@ -105,6 +105,21 @@ class Compressor
     virtual void decompressInto(ByteSpan block, Bytes &out) const = 0;
 
     /**
+     * Compress @p input with @p dict preloaded as shared history:
+     * matches may reach back into the dictionary as if it preceded
+     * the input, but no tokens are emitted for it (the multi-channel
+     * preset-dictionary mode, DESIGN.md §16). An empty @p dict is
+     * exactly compressInto(). The output block only round-trips
+     * through decompressWithDictInto() with the same dictionary.
+     */
+    virtual void compressWithDictInto(ByteSpan dict, ByteSpan input,
+                                      Bytes &out) const;
+
+    /** Inverse of compressWithDictInto() under the same @p dict. */
+    virtual void decompressWithDictInto(ByteSpan dict, ByteSpan block,
+                                        Bytes &out) const;
+
+    /**
      * Conservative upper bound on the bytes a codec may emit while
      * compressing @p raw input bytes, *including* transient growth
      * before the stored-block fallback truncates oversized output.

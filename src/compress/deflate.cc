@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "compress/bitstream.hh"
+#include "compress/hotpaths.hh"
 #include "compress/huffman.hh"
 #include "compress/lz77.hh"
 
@@ -113,6 +114,41 @@ DeflateCodec::DeflateCodec(std::size_t window_bytes)
 void
 DeflateCodec::compressInto(ByteSpan input, Bytes &out) const
 {
+    compressBody(input, 0, out);
+}
+
+void
+DeflateCodec::compressWithDictInto(ByteSpan dict, ByteSpan input,
+                                   Bytes &out) const
+{
+    if (dict.empty()) {
+        compressBody(input, 0, out);
+        return;
+    }
+    Bytes concat;
+    concat.reserve(dict.size() + input.size());
+    concat.insert(concat.end(), dict.begin(), dict.end());
+    concat.insert(concat.end(), input.begin(), input.end());
+    compressBody(concat, dict.size(), out);
+}
+
+void
+DeflateCodec::decompressWithDictInto(ByteSpan dict, ByteSpan block,
+                                     Bytes &out) const
+{
+    decompressBody(block, dict, out);
+}
+
+/**
+ * Compress full[start..) with full[0..start) as shared history: the
+ * finder indexes the prefix so matches may reach into it, but only
+ * the suffix is emitted and the header's raw size excludes it.
+ */
+void
+DeflateCodec::compressBody(ByteSpan full, std::size_t start,
+                           Bytes &out) const
+{
+    const ByteSpan input = full.subspan(start);
     if (input.empty()) {
         storedBlockInto(input, out);
         return;
@@ -120,7 +156,7 @@ DeflateCodec::compressInto(ByteSpan input, Bytes &out) const
 
     Lz77Params params;
     params.windowBytes = window_bytes_;
-    const auto tokens = lz77Tokenize(input, params);
+    const auto tokens = lz77TokenizeSuffix(full, params, start);
 
     // Gather symbol statistics.
     std::vector<std::uint64_t> lit_counts(litLenSymbols, 0);
@@ -173,6 +209,18 @@ DeflateCodec::compressInto(ByteSpan input, Bytes &out) const
 void
 DeflateCodec::decompressInto(ByteSpan block, Bytes &out) const
 {
+    decompressBody(block, {}, out);
+}
+
+/**
+ * Decompress with @p dict seeded as match history: the output is
+ * produced on top of the dictionary bytes (so distances may reach
+ * into them) and the prefix is stripped before returning.
+ */
+void
+DeflateCodec::decompressBody(ByteSpan block, ByteSpan dict,
+                             Bytes &out) const
+{
     if (block.empty())
         fatal("deflate: empty block");
     const std::uint8_t mode = block[0];
@@ -187,16 +235,29 @@ DeflateCodec::decompressInto(ByteSpan block, Bytes &out) const
         fatal("deflate: unknown block mode ", unsigned(mode));
 
     const std::uint32_t expected = getU32(block, 1);
+    const std::size_t target = dict.size() + expected;
     BitReader br(block.subspan(5));
     const auto lit_lengths = readCodeLengthsRle(br, litLenSymbols);
     const auto dist_lengths = readCodeLengthsRle(br, distSymbols);
     HuffmanDecoder lit_dec(lit_lengths);
     HuffmanDecoder dist_dec(dist_lengths);
 
-    out.clear();
-    out.reserve(expected);
+    out.assign(dict.begin(), dict.end());
+    out.reserve(target);
+    const bool batched = hotpaths::batchedHuffman;
     for (;;) {
-        const std::uint32_t sym = lit_dec.decode(br);
+        std::uint32_t sym;
+        if (batched) {
+            std::uint32_t sym2;
+            if (lit_dec.decodePair(br, sym, sym2) == 2) {
+                // Pairs are literal-only by construction.
+                out.push_back(static_cast<std::uint8_t>(sym));
+                out.push_back(static_cast<std::uint8_t>(sym2));
+                continue;
+            }
+        } else {
+            sym = lit_dec.decode(br);
+        }
         if (sym == eobSymbol)
             break;
         if (sym < 256) {
@@ -222,9 +283,12 @@ DeflateCodec::decompressInto(ByteSpan block, Bytes &out) const
                   out.size());
         appendMatch(out, dist, len);
     }
-    if (out.size() != expected)
-        fatal("deflate: size mismatch (", out.size(), " vs ", expected,
-              ")");
+    if (out.size() != target)
+        fatal("deflate: size mismatch (", out.size() - dict.size(),
+              " vs ", expected, ")");
+    if (!dict.empty())
+        out.erase(out.begin(),
+                  out.begin() + static_cast<std::ptrdiff_t>(dict.size()));
 }
 
 } // namespace compress

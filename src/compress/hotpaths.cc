@@ -1,0 +1,15 @@
+#include "hotpaths.hh"
+
+namespace xfm
+{
+namespace compress
+{
+namespace hotpaths
+{
+
+bool swarMatch = true;
+bool batchedHuffman = true;
+
+} // namespace hotpaths
+} // namespace compress
+} // namespace xfm

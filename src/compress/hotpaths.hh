@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Runtime toggles for the vectorised codec hot paths.
+ *
+ * Every accelerated path (SWAR match extension, hash-chain
+ * candidate prefilter, batched Huffman decode) is proven
+ * byte-identical to its scalar reference, so these switches change
+ * host wall-clock only — never a compressed byte. They exist so
+ * perf_harness can measure fast-vs-scalar honestly on the same
+ * binary and so the parity tests can drive both paths.
+ *
+ * The flags are plain (non-atomic) globals: they default on and are
+ * only ever toggled by single-threaded test/bench setup code while
+ * no worker threads are running codec calls.
+ */
+
+#ifndef XFM_COMPRESS_HOTPATHS_HH
+#define XFM_COMPRESS_HOTPATHS_HH
+
+namespace xfm
+{
+namespace compress
+{
+namespace hotpaths
+{
+
+/** 64-bit SWAR match extension + 4-byte chain prefilter in lz77. */
+extern bool swarMatch;
+
+/** Pair-table multi-symbol Huffman decode in deflate/zstdlike. */
+extern bool batchedHuffman;
+
+/** RAII toggle for tests/benches; restores the old value on exit. */
+class ScopedToggle
+{
+  public:
+    ScopedToggle(bool &flag, bool value) : flag_(flag), old_(flag)
+    {
+        flag_ = value;
+    }
+    ~ScopedToggle() { flag_ = old_; }
+
+    ScopedToggle(const ScopedToggle &) = delete;
+    ScopedToggle &operator=(const ScopedToggle &) = delete;
+
+  private:
+    bool &flag_;
+    bool old_;
+};
+
+} // namespace hotpaths
+} // namespace compress
+} // namespace xfm
+
+#endif // XFM_COMPRESS_HOTPATHS_HH

@@ -159,20 +159,86 @@ HuffmanEncoder::HuffmanEncoder(const std::vector<std::uint8_t> &lengths)
 {}
 
 HuffmanDecoder::HuffmanDecoder(const std::vector<std::uint8_t> &lengths)
-    : table_(std::size_t(1) << maxCodeLength, {0, 0})
 {
+    XFM_ASSERT(lengths.size() <= 0xFFFF,
+               "huffman alphabet too large for packed table");
+    unsigned max_len = 0;
+    for (auto len : lengths)
+        max_len = std::max<unsigned>(max_len, len);
+    XFM_ASSERT(max_len <= maxCodeLength,
+               "huffman code exceeds the length limit");
+    root_bits_ = std::max(1u, std::min<unsigned>(rootBits, max_len));
+    const std::size_t root_size = std::size_t(1) << root_bits_;
+    table_.assign(root_size, {0, 0, 0, 0});
+    if (max_len == 0)
+        return;
+    has_codes_ = true;
+
     const auto codes = canonicalCodes(lengths);
+    // Short codes fill the root directly (LSB-first: a code of
+    // `len` bits owns every window whose low bits equal it).
     for (std::size_t s = 0; s < lengths.size(); ++s) {
         const unsigned len = lengths[s];
-        if (len == 0)
+        if (len == 0 || len > root_bits_)
             continue;
-        has_codes_ = true;
-        const std::uint32_t base = codes[s];
         const std::size_t step = std::size_t(1) << len;
-        for (std::size_t idx = base; idx < table_.size(); idx += step) {
-            table_[idx].symbol = static_cast<std::uint32_t>(s);
-            table_[idx].length = static_cast<std::uint8_t>(len);
+        for (std::size_t idx = codes[s]; idx < root_size; idx += step) {
+            table_[idx].sym0 = static_cast<std::uint16_t>(s);
+            table_[idx].len0 = static_cast<std::uint8_t>(len);
         }
+    }
+    // Long codes spill into one subtable per root prefix, sized by
+    // the longest code sharing that prefix. Entries store the FULL
+    // code length so a single skip() consumes root and sub bits.
+    for (std::size_t s = 0; s < lengths.size(); ++s) {
+        const unsigned len = lengths[s];
+        if (len <= root_bits_)
+            continue;
+        const std::uint32_t prefix = codes[s] & (root_size - 1);
+        if (table_[prefix].len0 != subLink) {
+            // Size the subtable on first touch: scan the suffix
+            // lengths of every long code with this prefix.
+            unsigned sub_bits = 0;
+            for (std::size_t t = 0; t < lengths.size(); ++t) {
+                if (lengths[t] > root_bits_
+                    && (codes[t] & (root_size - 1)) == prefix)
+                    sub_bits = std::max<unsigned>(
+                        sub_bits, lengths[t] - root_bits_);
+            }
+            const std::size_t off = table_.size();
+            XFM_ASSERT(off <= 0xFFFF,
+                       "huffman subtables exceed the offset field");
+            table_.resize(off + (std::size_t(1) << sub_bits),
+                          {0, 0, 0, 0});
+            table_[prefix].sym0 = static_cast<std::uint16_t>(off);
+            table_[prefix].sym1 = static_cast<std::uint16_t>(sub_bits);
+            table_[prefix].len0 = subLink;
+        }
+        const std::size_t off = table_[prefix].sym0;
+        const unsigned sub_bits = table_[prefix].sym1;
+        const std::size_t step = std::size_t(1) << (len - root_bits_);
+        for (std::size_t idx = codes[s] >> root_bits_;
+             idx < (std::size_t(1) << sub_bits); idx += step) {
+            table_[off + idx].sym0 = static_cast<std::uint16_t>(s);
+            table_[off + idx].len0 = static_cast<std::uint8_t>(len);
+        }
+    }
+    // Pair pass over the root only: pre-pair windows whose
+    // remaining bits fully determine a second symbol. Restricted
+    // to literal pairs (both < 256) so decodePair never swallows
+    // bits past a match/EOB symbol whose extra bits follow in the
+    // stream.
+    for (std::size_t w = 0; w < root_size; ++w) {
+        TableEntry &e = table_[w];
+        if (e.len0 == 0 || e.len0 == subLink || e.sym0 >= 256
+            || e.len0 >= root_bits_)
+            continue;
+        const TableEntry &next = table_[w >> e.len0];
+        if (next.len0 == 0 || next.sym0 >= 256
+            || next.len0 > root_bits_ - e.len0)
+            continue;
+        e.sym1 = next.sym0;
+        e.pairLen = static_cast<std::uint8_t>(e.len0 + next.len0);
     }
 }
 
@@ -249,15 +315,49 @@ readCodeLengthsRle(BitReader &br, std::size_t count)
     return lengths;
 }
 
+const HuffmanDecoder::TableEntry &
+HuffmanDecoder::lookup(BitReader &br) const
+{
+    const TableEntry &root = table_[br.peek(root_bits_)];
+    if (root.len0 != subLink)
+        return root;
+    // Long code: re-peek wide enough for the subtable suffix. The
+    // entry's len0 holds the FULL code length, so the caller's
+    // skip() consumes root and suffix bits together.
+    const std::uint32_t suffix =
+        br.peek(root_bits_ + root.sym1) >> root_bits_;
+    return table_[root.sym0 + suffix];
+}
+
 std::uint32_t
 HuffmanDecoder::decode(BitReader &br) const
 {
-    const std::uint32_t window = br.peek(maxCodeLength);
-    const TableEntry &e = table_[window];
-    if (e.length == 0)
+    const TableEntry &e = lookup(br);
+    if (e.len0 == 0)
         fatal("huffman decode: invalid code in bitstream");
-    br.skip(e.length);
-    return e.symbol;
+    br.skip(e.len0);
+    return e.sym0;
+}
+
+unsigned
+HuffmanDecoder::decodePair(BitReader &br, std::uint32_t &s0,
+                           std::uint32_t &s1) const
+{
+    const TableEntry &e = lookup(br);
+    if (e.len0 == 0)
+        fatal("huffman decode: invalid code in bitstream");
+    // Take the pair only when every one of its bits is real input
+    // (near the end of the stream the peek window is zero-padded,
+    // and the phantom second symbol must not be emitted).
+    if (e.pairLen != 0 && e.pairLen <= br.buffered()) {
+        br.skip(e.pairLen);
+        s0 = e.sym0;
+        s1 = e.sym1;
+        return 2;
+    }
+    br.skip(e.len0);
+    s0 = e.sym0;
+    return 1;
 }
 
 } // namespace compress

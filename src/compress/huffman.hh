@@ -65,8 +65,13 @@ class HuffmanEncoder
 /**
  * Table-driven decoder for canonical codes.
  *
- * Uses a single-level lookup table of maxCodeLength bits; alphabets
- * here are small (< 300 symbols) so this stays compact.
+ * Two-level layout: a root table of min(rootBits, longest code)
+ * bits resolves the common short codes in one lookup; the rare
+ * codes longer than the root spill into per-prefix subtables. The
+ * blocks decoded here are 1-4 KiB, so table BUILD cost is on the
+ * hot path — a root of 2^11 entries is ~16x cheaper to build than
+ * the 2^15 flat table a 15-bit code bound would need, and that
+ * build-time saving dwarfs the extra indirection long codes pay.
  */
 class HuffmanDecoder
 {
@@ -76,17 +81,40 @@ class HuffmanDecoder
     /** Decode one symbol from the reader. */
     std::uint32_t decode(BitReader &br) const;
 
+    /**
+     * Batched decode: consume one or two symbols with a single
+     * table lookup and return how many were produced. Pairs are
+     * pre-computed at table build and only formed from two literal
+     * symbols (< 256) whose combined length fits one root window,
+     * so mixed-alphabet consumers always receive a match/EOB
+     * symbol alone and can branch on it exactly as with decode().
+     * Bit-for-bit identical consumption to two decode() calls.
+     */
+    unsigned decodePair(BitReader &br, std::uint32_t &s0,
+                        std::uint32_t &s1) const;
+
     /** True if at least one symbol has a code. */
     bool hasCodes() const { return has_codes_; }
 
   private:
+    /** Root-table budget; codes longer than this use a subtable. */
+    static constexpr unsigned rootBits = 11;
+    /** len0 value marking a subtable link (real codes are <= 15). */
+    static constexpr std::uint8_t subLink = 0xFF;
+
     struct TableEntry
     {
-        std::uint32_t symbol;
-        std::uint8_t length;
+        std::uint16_t sym0;    ///< symbol, or subtable offset
+        std::uint16_t sym1;    ///< pair partner, or subtable bits
+        std::uint8_t len0;     ///< 0 invalid; subLink = subtable
+        std::uint8_t pairLen;  ///< len0 + len1, or 0 when unpaired
     };
 
-    std::vector<TableEntry> table_;
+    /** Resolve one window to its entry (follows subtable links). */
+    const TableEntry &lookup(BitReader &br) const;
+
+    std::vector<TableEntry> table_;  ///< root, then subtables
+    unsigned root_bits_ = 1;         ///< actual root width used
     bool has_codes_ = false;
 };
 

@@ -1,9 +1,11 @@
 #include "lz77.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "compress/hotpaths.hh"
 
 namespace xfm
 {
@@ -26,10 +28,36 @@ hash3(const std::uint8_t *p)
     return (v * 2654435761u) >> (32 - hashBits);
 }
 
-/** Length of the common prefix of a and b, up to limit. */
+/**
+ * Pooled per-thread finder tables: head/prev are leased across
+ * Finder constructions instead of reallocated (and memset to -1)
+ * per page. A generation stamp on each head bucket makes stale
+ * entries from earlier pages read as empty without any clearing,
+ * and `prev` needs no initialisation at all because every chain
+ * walk only visits positions insert() already wrote this
+ * generation — so steady-state tokenisation allocates nothing.
+ */
+struct FinderTables
+{
+    std::vector<std::uint32_t> headPos; ///< hashSize buckets
+    std::vector<std::uint32_t> headGen; ///< bucket valid iff == gen
+    std::vector<std::int32_t> prev;     ///< chain links per position
+    std::uint32_t gen = 0;
+    std::uint64_t allocs = 0;
+    std::uint64_t reuses = 0;
+};
+
+FinderTables &
+finderTables()
+{
+    thread_local FinderTables tables;
+    return tables;
+}
+
+/** Byte-at-a-time prefix scan: the reference the SWAR path must match. */
 inline std::uint32_t
-matchLength(const std::uint8_t *a, const std::uint8_t *b,
-            std::uint32_t limit)
+matchLengthScalar(const std::uint8_t *a, const std::uint8_t *b,
+                  std::uint32_t limit)
 {
     std::uint32_t n = 0;
     while (n < limit && a[n] == b[n])
@@ -37,16 +65,82 @@ matchLength(const std::uint8_t *a, const std::uint8_t *b,
     return n;
 }
 
+/**
+ * SWAR prefix scan: compare 8 bytes per step via unaligned 64-bit
+ * loads; the first differing byte index falls out of countr_zero on
+ * the XOR. Both pointers are readable through a + limit - 1 and
+ * b + limit - 1 (the caller clamps limit to the input end and a
+ * precedes b), so the 8-byte loads never overread the input.
+ */
+inline std::uint32_t
+matchLengthSwar64(const std::uint8_t *a, const std::uint8_t *b,
+                  std::uint32_t limit)
+{
+    if constexpr (std::endian::native != std::endian::little)
+        return matchLengthScalar(a, b, limit);
+    std::uint32_t n = 0;
+    while (n + 8 <= limit) {
+        std::uint64_t x;
+        std::uint64_t y;
+        std::memcpy(&x, a + n, 8);
+        std::memcpy(&y, b + n, 8);
+        const std::uint64_t diff = x ^ y;
+        if (diff != 0)
+            return n
+                + (static_cast<std::uint32_t>(std::countr_zero(diff))
+                   >> 3);
+        n += 8;
+    }
+    while (n < limit && a[n] == b[n])
+        ++n;
+    return n;
+}
+
+inline std::uint32_t
+matchLength(const std::uint8_t *a, const std::uint8_t *b,
+            std::uint32_t limit)
+{
+    return hotpaths::swarMatch ? matchLengthSwar64(a, b, limit)
+                               : matchLengthScalar(a, b, limit);
+}
+
+/** Unaligned little-endian 32-bit load for the chain prefilter. */
+inline std::uint32_t
+load32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
 struct Finder
 {
     ByteSpan in;
     const Lz77Params &p;
-    std::vector<std::int64_t> head;
-    std::vector<std::int64_t> prev;
+    FinderTables &t;
 
     Finder(ByteSpan input, const Lz77Params &params)
-        : in(input), p(params), head(hashSize, -1), prev(input.size(), -1)
-    {}
+        : in(input), p(params), t(finderTables())
+    {
+        XFM_ASSERT(in.size() < (std::size_t(1) << 31),
+                   "lz77 input too large for pooled chain links");
+        bool grew = false;
+        if (t.headPos.empty()) {
+            t.headPos.resize(hashSize);
+            t.headGen.resize(hashSize, 0);
+            grew = true;
+        }
+        if (t.prev.size() < in.size()) {
+            t.prev.resize(in.size());
+            grew = true;
+        }
+        grew ? ++t.allocs : ++t.reuses;
+        if (++t.gen == 0) {
+            // Generation wrap: stale stamps would alias gen 0.
+            std::fill(t.headGen.begin(), t.headGen.end(), 0u);
+            t.gen = 1;
+        }
+    }
 
     void
     insert(std::size_t pos)
@@ -54,8 +148,11 @@ struct Finder
         if (pos + 3 > in.size())
             return;
         const std::uint32_t h = hash3(in.data() + pos);
-        prev[pos] = head[h];
-        head[h] = static_cast<std::int64_t>(pos);
+        t.prev[pos] = t.headGen[h] == t.gen
+            ? static_cast<std::int32_t>(t.headPos[h])
+            : -1;
+        t.headPos[h] = static_cast<std::uint32_t>(pos);
+        t.headGen[h] = t.gen;
     }
 
     /** Best match at pos; returns length 0 when none qualifies. */
@@ -71,14 +168,27 @@ struct Finder
 
         std::uint32_t best_len = 0;
         std::uint32_t best_dist = 0;
-        std::int64_t cand = head[hash3(in.data() + pos)];
+        const std::uint32_t h = hash3(in.data() + pos);
+        std::int64_t cand =
+            t.headGen[h] == t.gen ? std::int64_t(t.headPos[h]) : -1;
         unsigned chain = p.maxChainLength;
+        const bool prefilter_ok = hotpaths::swarMatch && limit >= 4;
         while (cand >= 0 && chain-- > 0) {
             const auto cpos = static_cast<std::size_t>(cand);
             if (cpos < window_start)
                 break;
             if (cpos >= pos) {
-                cand = prev[cpos];
+                cand = t.prev[cpos];
+                continue;
+            }
+            // 4-byte candidate prefilter: once any improvement
+            // needs >= 4 matching bytes (minMatch >= 4, or a best
+            // of >= 3 already held), a first-dword mismatch proves
+            // the candidate cannot improve — exact, so the scalar
+            // path's match selection is preserved byte-for-byte.
+            if (prefilter_ok && (best_len >= 3 || p.minMatch >= 4)
+                && load32(in.data() + cpos) != load32(in.data() + pos)) {
+                cand = t.prev[cpos];
                 continue;
             }
             // Quick reject on the byte past the current best.
@@ -93,7 +203,7 @@ struct Finder
                         break;
                 }
             }
-            cand = prev[cpos];
+            cand = t.prev[cpos];
         }
         if (best_len < p.minMatch)
             return {0, 0};
@@ -102,6 +212,27 @@ struct Finder
 };
 
 } // namespace
+
+std::uint32_t
+matchLengthReference(const std::uint8_t *a, const std::uint8_t *b,
+                     std::uint32_t limit)
+{
+    return matchLengthScalar(a, b, limit);
+}
+
+std::uint32_t
+matchLengthFast(const std::uint8_t *a, const std::uint8_t *b,
+                std::uint32_t limit)
+{
+    return matchLengthSwar64(a, b, limit);
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+finderTableStats()
+{
+    const FinderTables &t = finderTables();
+    return {t.allocs, t.reuses};
+}
 
 std::vector<Lz77Token>
 lz77Tokenize(ByteSpan input, const Lz77Params &params)

@@ -12,6 +12,7 @@
 #define XFM_COMPRESS_LZ77_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "compress/compressor.hh"
@@ -60,6 +61,26 @@ std::vector<Lz77Token> lz77TokenizeSuffix(ByteSpan input,
 
 /** Reconstruct the original bytes from a token stream. */
 Bytes lz77Reconstruct(const std::vector<Lz77Token> &tokens);
+
+/**
+ * Test hooks for the match-extension kernels: the byte-at-a-time
+ * reference scan and the SWAR 64-bit-at-a-time scan. Both return
+ * the length of the common prefix of a and b up to @p limit and
+ * must agree for every input (asserted by test_compress).
+ */
+std::uint32_t matchLengthReference(const std::uint8_t *a,
+                                   const std::uint8_t *b,
+                                   std::uint32_t limit);
+std::uint32_t matchLengthFast(const std::uint8_t *a,
+                              const std::uint8_t *b,
+                              std::uint32_t limit);
+
+/**
+ * Allocation stats of this thread's pooled finder tables:
+ * {table growths, reuses}. Steady-state tokenisation of same-sized
+ * inputs must only ever bump the reuse counter.
+ */
+std::pair<std::uint64_t, std::uint64_t> finderTableStats();
 
 } // namespace compress
 } // namespace xfm

@@ -85,6 +85,42 @@ LzFastCodec::LzFastCodec(std::size_t window_bytes)
 void
 LzFastCodec::compressInto(ByteSpan input, Bytes &out) const
 {
+    compressBody(input, 0, out);
+}
+
+void
+LzFastCodec::compressWithDictInto(ByteSpan dict, ByteSpan input,
+                                  Bytes &out) const
+{
+    if (dict.empty()) {
+        compressBody(input, 0, out);
+        return;
+    }
+    Bytes concat;
+    concat.reserve(dict.size() + input.size());
+    concat.insert(concat.end(), dict.begin(), dict.end());
+    concat.insert(concat.end(), input.begin(), input.end());
+    compressBody(concat, dict.size(), out);
+}
+
+void
+LzFastCodec::decompressWithDictInto(ByteSpan dict, ByteSpan block,
+                                    Bytes &out) const
+{
+    decompressBody(block, dict, out);
+}
+
+/**
+ * Compress full[start..) with full[0..start) as shared history
+ * (preset-dictionary mode): the prefix is indexed, not emitted.
+ * Offsets into the dictionary still fit the 16-bit wire format
+ * because window_bytes_ <= 65535 bounds every distance.
+ */
+void
+LzFastCodec::compressBody(ByteSpan full, std::size_t start,
+                          Bytes &out) const
+{
+    const ByteSpan input = full.subspan(start);
     if (input.empty()) {
         storedBlockInto(input, out);
         return;
@@ -96,7 +132,7 @@ LzFastCodec::compressInto(ByteSpan input, Bytes &out) const
     params.maxMatch = 1 << 16;     // byte-aligned lengths extend freely
     params.maxChainLength = 16;    // fast profile: shallow search
     params.lazyMatching = false;
-    const auto tokens = lz77Tokenize(input, params);
+    const auto tokens = lz77TokenizeSuffix(full, params, start);
 
     out.clear();
     out.reserve(maxCompressedSize(input.size()));
@@ -146,6 +182,17 @@ LzFastCodec::compressInto(ByteSpan input, Bytes &out) const
 void
 LzFastCodec::decompressInto(ByteSpan block, Bytes &out) const
 {
+    decompressBody(block, {}, out);
+}
+
+/**
+ * Decompress with @p dict seeded as match history; the seeded
+ * prefix is stripped before returning.
+ */
+void
+LzFastCodec::decompressBody(ByteSpan block, ByteSpan dict,
+                            Bytes &out) const
+{
     if (block.empty())
         fatal("lzfast: empty block");
     const std::uint8_t mode = block[0];
@@ -159,10 +206,11 @@ LzFastCodec::decompressInto(ByteSpan block, Bytes &out) const
     if (mode != modeLz)
         fatal("lzfast: unknown block mode ", unsigned(mode));
 
-    out.clear();
-    out.reserve(expected);
+    const std::size_t target = dict.size() + expected;
+    out.assign(dict.begin(), dict.end());
+    out.reserve(target);
     std::size_t pos = 5;
-    while (out.size() < expected) {
+    while (out.size() < target) {
         if (pos >= block.size())
             fatal("lzfast: truncated sequence");
         const std::uint8_t token = block[pos++];
@@ -174,7 +222,7 @@ LzFastCodec::decompressInto(ByteSpan block, Bytes &out) const
         out.insert(out.end(), block.begin() + pos,
                    block.begin() + pos + lit_count);
         pos += lit_count;
-        if (out.size() >= expected)
+        if (out.size() >= target)
             break;  // final literals-only sequence
 
         if (pos + 2 > block.size())
@@ -192,9 +240,12 @@ LzFastCodec::decompressInto(ByteSpan block, Bytes &out) const
             fatal("lzfast: bad distance ", dist);
         appendMatch(out, dist, match_len);
     }
-    if (out.size() != expected)
-        fatal("lzfast: size mismatch (", out.size(), " vs ", expected,
-              ")");
+    if (out.size() != target)
+        fatal("lzfast: size mismatch (", out.size() - dict.size(),
+              " vs ", expected, ")");
+    if (!dict.empty())
+        out.erase(out.begin(),
+                  out.begin() + static_cast<std::ptrdiff_t>(dict.size()));
 }
 
 } // namespace compress

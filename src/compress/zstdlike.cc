@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "compress/bitstream.hh"
+#include "compress/hotpaths.hh"
 #include "compress/huffman.hh"
 #include "compress/lz77.hh"
 
@@ -92,6 +93,40 @@ ZstdLikeCodec::ZstdLikeCodec(std::size_t window_bytes)
 void
 ZstdLikeCodec::compressInto(ByteSpan input, Bytes &out) const
 {
+    compressBody(input, 0, out);
+}
+
+void
+ZstdLikeCodec::compressWithDictInto(ByteSpan dict, ByteSpan input,
+                                    Bytes &out) const
+{
+    if (dict.empty()) {
+        compressBody(input, 0, out);
+        return;
+    }
+    Bytes concat;
+    concat.reserve(dict.size() + input.size());
+    concat.insert(concat.end(), dict.begin(), dict.end());
+    concat.insert(concat.end(), input.begin(), input.end());
+    compressBody(concat, dict.size(), out);
+}
+
+void
+ZstdLikeCodec::decompressWithDictInto(ByteSpan dict, ByteSpan block,
+                                      Bytes &out) const
+{
+    decompressBody(block, dict, out);
+}
+
+/**
+ * Compress full[start..) with full[0..start) as shared history
+ * (preset-dictionary mode): the prefix is indexed, not emitted.
+ */
+void
+ZstdLikeCodec::compressBody(ByteSpan full, std::size_t start,
+                            Bytes &out) const
+{
+    const ByteSpan input = full.subspan(start);
     if (input.empty()) {
         storedBlockInto(input, out);
         return;
@@ -103,7 +138,7 @@ ZstdLikeCodec::compressInto(ByteSpan input, Bytes &out) const
     params.maxMatch = 1 << 16;
     params.maxChainLength = 128;  // deeper search: ratio profile
     params.lazyMatching = true;
-    const auto tokens = lz77Tokenize(input, params);
+    const auto tokens = lz77TokenizeSuffix(full, params, start);
 
     // Split literals from sequences, zstd style.
     Bytes literals;
@@ -184,6 +219,17 @@ ZstdLikeCodec::compressInto(ByteSpan input, Bytes &out) const
 void
 ZstdLikeCodec::decompressInto(ByteSpan block, Bytes &out) const
 {
+    decompressBody(block, {}, out);
+}
+
+/**
+ * Decompress with @p dict seeded as match history; the seeded
+ * prefix is stripped before returning.
+ */
+void
+ZstdLikeCodec::decompressBody(ByteSpan block, ByteSpan dict,
+                              Bytes &out) const
+{
     if (block.empty())
         fatal("zstdlike: empty block");
     const std::uint8_t mode = block[0];
@@ -201,7 +247,9 @@ ZstdLikeCodec::decompressInto(ByteSpan block, Bytes &out) const
     const std::uint32_t lit_count = getU32(block, 5);
     const std::uint32_t seq_count = getU32(block, 9);
 
-    // Literals section.
+    // Literals section; pair-table decode drains two symbols per
+    // lookup (bit-identical to the scalar loop, which remains for
+    // the last odd literal and the toggled-off path).
     Bytes literals;
     literals.reserve(lit_count);
     std::size_t pos = 13;
@@ -209,15 +257,30 @@ ZstdLikeCodec::decompressInto(ByteSpan block, Bytes &out) const
         BitReader br(block.subspan(pos));
         const auto lit_lengths = readCodeLengthsRle(br, 256);
         HuffmanDecoder lit_dec(lit_lengths);
-        for (std::uint32_t i = 0; i < lit_count; ++i)
-            literals.push_back(
-                static_cast<std::uint8_t>(lit_dec.decode(br)));
+        const bool batched = hotpaths::batchedHuffman;
+        std::uint32_t i = 0;
+        while (i < lit_count) {
+            if (batched && i + 1 < lit_count) {
+                std::uint32_t s0;
+                std::uint32_t s1;
+                const unsigned n = lit_dec.decodePair(br, s0, s1);
+                literals.push_back(static_cast<std::uint8_t>(s0));
+                if (n == 2)
+                    literals.push_back(static_cast<std::uint8_t>(s1));
+                i += n;
+            } else {
+                literals.push_back(
+                    static_cast<std::uint8_t>(lit_dec.decode(br)));
+                ++i;
+            }
+        }
         pos += br.alignedByteOffset();
     }
 
-    // Sequence replay.
-    out.clear();
-    out.reserve(expected);
+    // Sequence replay on top of the seeded dictionary.
+    const std::size_t target = dict.size() + expected;
+    out.assign(dict.begin(), dict.end());
+    out.reserve(target);
     std::size_t lit_pos = 0;
     std::uint32_t last_offset = 0;
     for (std::uint32_t i = 0; i < seq_count; ++i) {
@@ -247,9 +310,12 @@ ZstdLikeCodec::decompressInto(ByteSpan block, Bytes &out) const
             fatal("zstdlike: bad offset ", offset);
         appendMatch(out, offset, match_len);
     }
-    if (out.size() != expected)
-        fatal("zstdlike: size mismatch (", out.size(), " vs ", expected,
-              ")");
+    if (out.size() != target)
+        fatal("zstdlike: size mismatch (", out.size() - dict.size(),
+              " vs ", expected, ")");
+    if (!dict.empty())
+        out.erase(out.begin(),
+                  out.begin() + static_cast<std::ptrdiff_t>(dict.size()));
 }
 
 } // namespace compress

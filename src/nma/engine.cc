@@ -1,6 +1,7 @@
 #include "engine.hh"
 
 #include "common/logging.hh"
+#include "compress/dict.hh"
 
 namespace xfm
 {
@@ -43,21 +44,25 @@ CompressionEngine::modeledSize(std::size_t input_size)
 }
 
 std::pair<Bytes, Tick>
-CompressionEngine::compress(ByteSpan input)
+CompressionEngine::compress(ByteSpan input,
+                            std::shared_ptr<const Bytes> dict)
 {
     bytes_compressed_ += input.size();
     Bytes out;
     if (profile_.modeledRatio > 0.0)
         out.assign(modeledSize(input.size()), 0);
+    else if (dict && !dict->empty())
+        compress::encodeShardRef(*codec_, *dict, input, out);
     else
-        out = codec_->compress(input);
+        codec_->compressInto(input, out);
     return {std::move(out), durationFor(input.size(),
                                         profile_.compressGBps)};
 }
 
 std::pair<Bytes, Tick>
 CompressionEngine::decompress(ByteSpan block,
-                              std::uint32_t expected_raw)
+                              std::uint32_t expected_raw,
+                              std::shared_ptr<const Bytes> dict)
 {
     Bytes out;
     if (profile_.modeledRatio > 0.0) {
@@ -65,8 +70,13 @@ CompressionEngine::decompress(ByteSpan block,
                    "size-model decompression needs the expected "
                    "output size");
         out.assign(expected_raw, 0);
+    } else if (dict && !dict->empty()) {
+        // The driver staged the page's preset dictionary alongside
+        // the descriptor (DESIGN.md §16); decodeShard validates it
+        // against the 0xD2 header and ignores it for plain blocks.
+        compress::decodeShard(*codec_, block, *dict, out);
     } else {
-        out = codec_->decompress(block);
+        compress::decodeShard(*codec_, block, out);
     }
     bytes_decompressed_ += out.size();
     return {std::move(out), durationFor(out.size(),
@@ -74,7 +84,8 @@ CompressionEngine::decompress(ByteSpan block,
 }
 
 std::pair<EngineJob, Tick>
-CompressionEngine::compressDeferred(compress::ScratchArena::Lease input)
+CompressionEngine::compressDeferred(compress::ScratchArena::Lease input,
+                                    std::shared_ptr<const Bytes> dict)
 {
     const std::size_t n = input->size();
     bytes_compressed_ += n;
@@ -90,11 +101,20 @@ CompressionEngine::compressDeferred(compress::ScratchArena::Lease input)
         return {std::move(job), latency};
     }
     state.input = std::move(input);
+    if (dict && dict->empty())
+        dict.reset();
     if (pool_ && pool_->parallel()) {
         state.task = pool_->submit(
-            [codec = codec_, s = job.state_] {
-                codec->compressInto(*s->input, s->out);
+            [codec = codec_, s = job.state_, d = std::move(dict)] {
+                if (d)
+                    compress::encodeShardRef(*codec, *d, *s->input,
+                                             s->out);
+                else
+                    codec->compressInto(*s->input, s->out);
             });
+    } else if (dict) {
+        compress::encodeShardRef(*codec_, *dict, *state.input,
+                                 state.out);
     } else {
         codec_->compressInto(*state.input, state.out);
     }
@@ -103,11 +123,14 @@ CompressionEngine::compressDeferred(compress::ScratchArena::Lease input)
 
 std::pair<EngineJob, Tick>
 CompressionEngine::decompressDeferred(
-    compress::ScratchArena::Lease input, std::uint32_t expected_raw)
+    compress::ScratchArena::Lease input, std::uint32_t expected_raw,
+    std::shared_ptr<const Bytes> dict)
 {
     EngineJob job;
     job.state_ = std::make_shared<EngineJob::State>();
     auto &state = *job.state_;
+    if (dict && dict->empty())
+        dict.reset();
 
     if (profile_.modeledRatio > 0.0) {
         XFM_ASSERT(expected_raw > 0,
@@ -122,7 +145,10 @@ CompressionEngine::decompressDeferred(
     if (expected_raw == 0) {
         // Unknown output size: run inline so the latency and byte
         // counter can be charged from the actual output.
-        codec_->decompressInto(*input, state.out);
+        if (dict)
+            compress::decodeShard(*codec_, *input, *dict, state.out);
+        else
+            compress::decodeShard(*codec_, *input, state.out);
         bytes_decompressed_ += state.out.size();
         return {std::move(job), durationFor(state.out.size(),
                                             profile_.decompressGBps)};
@@ -137,11 +163,18 @@ CompressionEngine::decompressDeferred(
     state.input = std::move(input);
     if (pool_ && pool_->parallel()) {
         state.task = pool_->submit(
-            [codec = codec_, s = job.state_] {
-                codec->decompressInto(*s->input, s->out);
+            [codec = codec_, s = job.state_, d = std::move(dict)] {
+                if (d)
+                    compress::decodeShard(*codec, *s->input, *d,
+                                          s->out);
+                else
+                    compress::decodeShard(*codec, *s->input, s->out);
             });
+    } else if (dict) {
+        compress::decodeShard(*codec_, *state.input, *dict,
+                              state.out);
     } else {
-        codec_->decompressInto(*state.input, state.out);
+        compress::decodeShard(*codec_, *state.input, state.out);
     }
     return {std::move(job), latency};
 }

@@ -101,17 +101,31 @@ class CompressionEngine
     CompressionEngine(compress::Algorithm algo,
                       EngineProfile profile = EngineProfile{});
 
-    /** Compress and report (output, compute latency). */
-    std::pair<Bytes, Tick> compress(ByteSpan input);
+    /**
+     * Compress and report (output, compute latency).
+     *
+     * @param dict optional preset dictionary (DESIGN.md §16): when
+     *        non-null and non-empty the output is a dict-referencing
+     *        container (compress::encodeShardRef) unless the plain
+     *        block is smaller — the dictionary itself is stored once
+     *        per page by the backend, not replicated into shards.
+     *        Ignored in size-model mode.
+     */
+    std::pair<Bytes, Tick>
+    compress(ByteSpan input,
+             std::shared_ptr<const Bytes> dict = nullptr);
 
     /**
      * Decompress and report (output, compute latency).
      *
      * @param expected_raw expected decompressed size; required by
      *        size-model mode, ignored (0 allowed) otherwise.
+     * @param dict preset dictionary staged by the driver for 0xD2
+     *        blocks (DESIGN.md §16); may be null for plain/0xD1.
      */
-    std::pair<Bytes, Tick> decompress(ByteSpan block,
-                                      std::uint32_t expected_raw = 0);
+    std::pair<Bytes, Tick>
+    decompress(ByteSpan block, std::uint32_t expected_raw = 0,
+               std::shared_ptr<const Bytes> dict = nullptr);
 
     /**
      * Deferred compress: the simulated latency (a function of the
@@ -123,20 +137,25 @@ class CompressionEngine
      * any worker count.
      *
      * @param input staged input bytes; the job owns the lease.
+     * @param dict  optional preset dictionary; see compress(). The
+     *        shared_ptr keeps it alive for worker-pool execution.
      */
     std::pair<EngineJob, Tick>
-    compressDeferred(compress::ScratchArena::Lease input);
+    compressDeferred(compress::ScratchArena::Lease input,
+                     std::shared_ptr<const Bytes> dict = nullptr);
 
     /**
      * Deferred decompress; see compressDeferred(). Requires the
      * expected raw size (which the simulated latency and the byte
      * counter are charged from — equal to the actual output for any
      * valid block); pass 0 to force inline execution with counters
-     * charged from the actual output.
+     * charged from the actual output. The optional dictionary is
+     * required whenever the staged block is a 0xD2 container.
      */
     std::pair<EngineJob, Tick>
     decompressDeferred(compress::ScratchArena::Lease input,
-                       std::uint32_t expected_raw);
+                       std::uint32_t expected_raw,
+                       std::shared_ptr<const Bytes> dict = nullptr);
 
     /** Attach (or detach, nullptr) the fan-out pool. */
     void setWorkerPool(WorkerPool *pool) { pool_ = pool; }

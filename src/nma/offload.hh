@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "common/units.hh"
 #include "compress/compressor.hh"
@@ -74,6 +75,15 @@ struct OffloadRequest
     std::uint64_t traceId = 0;
     /** Stamped by the device at submit(); anchors the queue span. */
     Tick submitTick = 0;
+    /**
+     * Preset dictionary staged with the descriptor (DESIGN.md §16);
+     * nullptr/empty disables dict mode. Compress offloads emit
+     * dict-referencing (0xD2) blocks with it; decompress offloads
+     * need it back to decode those blocks — the driver recovers it
+     * from the page's once-per-slot packed copy and stages it into
+     * the engine's SPM as part of the descriptor.
+     */
+    std::shared_ptr<const Bytes> dict;
 };
 
 /** Completion record delivered to the driver. */

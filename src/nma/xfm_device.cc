@@ -385,12 +385,12 @@ XfmDevice::executeRead(const ReadOp &op, AccessClass cls)
     if (kind == OffloadKind::Compress) {
         ++stats_.compressOffloads;
         std::tie(job, latency) =
-            engine_.compressDeferred(std::move(staged));
+            engine_.compressDeferred(std::move(staged), op.req.dict);
     } else {
         ++stats_.decompressOffloads;
         std::tie(job, latency) =
             engine_.decompressDeferred(std::move(staged),
-                                       op.req.rawSize);
+                                       op.req.rawSize, op.req.dict);
     }
 
     if (tracer_ && op.req.traceId)

@@ -56,6 +56,8 @@ System::System(std::string name, EventQueue &eq,
         xcfg.health = cfg_.health;
         xcfg.quarantineCap = cfg_.quarantineCap;
         xcfg.workers = cfg_.workers;
+        xcfg.shardDict = cfg_.shardDict;
+        xcfg.dictBytes = cfg_.dictBytes;
         xfm_backend_ = std::make_unique<xfmsys::XfmBackend>(
             this->name() + ".backend", eq, xcfg, host_ctrl_.get());
         backend_ = xfm_backend_.get();

@@ -78,6 +78,12 @@ struct SystemConfig
      */
     std::size_t workers = 1;
 
+    /** Multi-channel preset dictionaries for the XFM backend
+     *  (DESIGN.md §16); off by default. */
+    bool shardDict = false;
+    /** Sampled dictionary size in bytes (dict mode only). */
+    std::size_t dictBytes = 2048;
+
     /** Fault scenario for the XFM backend (disarmed by default). */
     fault::FaultPlan faultPlan{};
     /** Driver retry policy for transient injected faults. */

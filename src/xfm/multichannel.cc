@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "compress/dict.hh"
 
 namespace xfm
 {
@@ -215,6 +216,61 @@ measureMultiChannel(const std::vector<Bytes> &pages,
         // Same-offset placement: every DIMM reserves the largest
         // shard's extent.
         res.placedBytes += max_shard * num_dimms;
+    }
+    return res;
+}
+
+MultiChannelResult
+measureMultiChannelDict(const std::vector<Bytes> &pages,
+                        const compress::Compressor &codec,
+                        std::size_t num_dimms, std::size_t dict_bytes,
+                        std::size_t interleave, WorkerPool *pool)
+{
+    MultiChannelResult res;
+    res.dimms = num_dimms;
+    std::vector<Bytes> shards;
+    std::vector<Bytes> blocks(num_dimms);
+    Bytes dict;
+    Bytes packed;
+    std::vector<Bytes> restored(num_dimms);
+    Bytes roundtrip;
+    for (const auto &page : pages) {
+        res.rawBytes += page.size();
+        splitPageInto(page, num_dimms, interleave, shards);
+        dict = compress::buildPresetDictionary(page, interleave,
+                                               dict_bytes);
+        compress::packDict(codec, dict, packed);
+        if (pool && pool->parallel()) {
+            pool->parallelFor(num_dimms, [&](std::size_t d) {
+                compress::encodeShardRef(codec, dict, shards[d],
+                                         blocks[d]);
+            });
+        } else {
+            for (std::size_t d = 0; d < num_dimms; ++d)
+                compress::encodeShardRef(codec, dict, shards[d],
+                                         blocks[d]);
+        }
+        std::vector<std::uint32_t> sizes(num_dimms);
+        for (std::size_t d = 0; d < num_dimms; ++d) {
+            sizes[d] = static_cast<std::uint32_t>(blocks[d].size());
+            res.compressedBytes += blocks[d].size();
+        }
+        // The packed dictionary is stored once per page,
+        // water-filled into the slot tails (it rides in the
+        // same-offset padding until that is exhausted).
+        res.compressedBytes += packed.size();
+        res.dictBytes += packed.size();
+        const std::uint64_t slot = compress::dictSlotSize(
+            sizes, static_cast<std::uint32_t>(packed.size()));
+        res.placedBytes += slot * num_dimms;
+        // Integrity gate: the dict-mode blocks must restore the
+        // exact page through the shared decode path.
+        for (std::size_t d = 0; d < num_dimms; ++d)
+            compress::decodeShard(codec, blocks[d], dict,
+                                  restored[d]);
+        gatherPageInto(restored, interleave, roundtrip);
+        XFM_ASSERT(roundtrip == page,
+                   "dict-mode multichannel round-trip mismatch");
     }
     return res;
 }

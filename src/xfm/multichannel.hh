@@ -127,6 +127,8 @@ struct MultiChannelResult
     std::uint64_t rawBytes = 0;
     std::uint64_t compressedBytes = 0;    ///< sum of shard blocks
     std::uint64_t placedBytes = 0;        ///< with same-offset padding
+    std::uint64_t dictBytes = 0;          ///< packed dicts (included
+                                          ///< in compressedBytes)
 
     /** Pure compression ratio of the interleaved layout. */
     double
@@ -164,6 +166,23 @@ measureMultiChannel(const std::vector<Bytes> &pages,
                     std::size_t num_dimms,
                     std::size_t interleave = defaultInterleave,
                     WorkerPool *pool = nullptr);
+
+/**
+ * measureMultiChannel() with preset dictionaries (DESIGN.md §16),
+ * using the backend's accounting: each page samples one
+ * cross-shard dictionary, shards are encoded against it when that
+ * wins (dict-referencing container, 3-byte header, plain block
+ * otherwise), and the packed dictionary is stored ONCE per page,
+ * water-filled into the slot tails (compress::dictStripes()) so it
+ * occupies same-offset padding before growing the slot.
+ * Every page is decoded back and verified against the original.
+ */
+MultiChannelResult
+measureMultiChannelDict(const std::vector<Bytes> &pages,
+                        const compress::Compressor &codec,
+                        std::size_t num_dimms, std::size_t dict_bytes,
+                        std::size_t interleave = defaultInterleave,
+                        WorkerPool *pool = nullptr);
 
 } // namespace xfmsys
 } // namespace xfm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "compress/dict.hh"
 
 namespace xfm
 {
@@ -176,6 +177,77 @@ XfmBackend::decompressDeadline() const
     return curTick() + slack;
 }
 
+std::shared_ptr<const Bytes>
+XfmBackend::pageDict(VirtPage page) const
+{
+    // Single-DIMM mode is gated off: the shard IS the page, so the
+    // codec's own window already sees everything the sampled
+    // dictionary could carry and storing it can only lose bytes.
+    if (!cfg_.shardDict || cfg_.dictBytes == 0 || cfg_.numDimms < 2)
+        return nullptr;
+    auto dict = std::make_shared<Bytes>(compress::buildPresetDictionary(
+        readPage(page), cfg_.interleave, cfg_.dictBytes));
+    if (dict->empty())
+        return nullptr;
+    return dict;
+}
+
+std::shared_ptr<const Bytes>
+XfmBackend::loadPageDict(const PageEntry &entry)
+{
+    if (entry.dictStored == 0)
+        return nullptr;
+    XFM_ASSERT(!entry.shardSizes.empty(),
+               "dict-bearing page has no shard sizes");
+    const auto stripes =
+        compress::dictStripes(entry.shardSizes, entry.dictStored);
+    Bytes packed;
+    packed.reserve(entry.dictStored);
+    Bytes stripe;
+    for (std::size_t d = 0; d < stripes.size(); ++d) {
+        if (stripes[d] == 0)
+            continue;
+        dimms_[d].mem->read(
+            slotAddr(entry.offset) + entry.shardSizes[d], stripes[d],
+            stripe);
+        packed.insert(packed.end(), stripe.begin(), stripe.end());
+    }
+    return std::make_shared<Bytes>(
+        compress::unpackDict(*codec_, packed));
+}
+
+void
+XfmBackend::placePageDict(std::uint64_t offset,
+                          const std::vector<std::uint32_t> &shard_sizes,
+                          const Bytes &packed)
+{
+    if (packed.empty())
+        return;
+    const auto stripes = compress::dictStripes(
+        shard_sizes, static_cast<std::uint32_t>(packed.size()));
+    std::size_t off = 0;
+    for (std::size_t d = 0; d < stripes.size(); ++d) {
+        if (stripes[d] == 0)
+            continue;
+        const Bytes stripe(packed.begin() + off,
+                           packed.begin() + off + stripes[d]);
+        dimms_[d].mem->write(slotAddr(offset) + shard_sizes[d],
+                             stripe);
+        off += stripes[d];
+    }
+}
+
+void
+XfmBackend::countDictShard(ByteSpan block)
+{
+    if (!cfg_.shardDict)
+        return;
+    if (compress::isDictBlock(block) || compress::isDictRefBlock(block))
+        ++xfm_stats_.dictShards;
+    else
+        ++xfm_stats_.dictFallbacks;
+}
+
 void
 XfmBackend::writePage(VirtPage page, ByteSpan data)
 {
@@ -279,16 +351,34 @@ XfmBackend::cpuSwapOut(VirtPage page, SwapCallback done,
     // each index touches only its own DIMM's memory and scratch
     // slot, and every result below is consumed in index order, so
     // the outcome is byte-identical for any worker count.
+    const auto dict = pageDict(page);
+    Bytes packed_dict;
+    if (dict)
+        compress::packDict(*codec_, *dict, packed_dict);
+    std::vector<std::uint8_t> dict_used(cfg_.numDimms, 0);
     pool_.parallelFor(cfg_.numDimms, [&](std::size_t d) {
         dimms_[d].mem->read(shardFrameAddr(page), cfg_.shardBytes(),
                             shard_scratch_[d]);
-        codec_->compressInto(shard_scratch_[d], block_scratch_[d]);
+        if (dict)
+            dict_used[d] = compress::encodeShardRef(
+                *codec_, *dict, shard_scratch_[d],
+                block_scratch_[d]);
+        else
+            codec_->compressInto(shard_scratch_[d], block_scratch_[d]);
     });
+    // Every shard fell back to a plain block: the dictionary would
+    // be dead weight, so the page stores none.
+    if (std::find(dict_used.begin(), dict_used.end(), 1)
+        == dict_used.end())
+        packed_dict.clear();
     const std::vector<Bytes> &blocks = block_scratch_;
-    std::uint32_t max_size = 0;
+    // Slot size: largest shard block, grown only if the water-filled
+    // dictionary stripes overflow the same-offset padding.
+    std::vector<std::uint32_t> sizes(cfg_.numDimms);
     for (std::size_t d = 0; d < cfg_.numDimms; ++d)
-        max_size = std::max<std::uint32_t>(
-            max_size, static_cast<std::uint32_t>(blocks[d].size()));
+        sizes[d] = static_cast<std::uint32_t>(blocks[d].size());
+    const std::uint32_t max_size = compress::dictSlotSize(
+        sizes, static_cast<std::uint32_t>(packed_dict.size()));
 
     std::uint64_t offset = alloc_.allocate(max_size);
     if (offset == SameOffsetAllocator::invalidOffset) {
@@ -318,11 +408,14 @@ XfmBackend::cpuSwapOut(VirtPage page, SwapCallback done,
     entry.offset = offset;
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
         dimms_[d].mem->write(slotAddr(offset), blocks[d]);
-        entry.shardSizes.push_back(
-            static_cast<std::uint32_t>(blocks[d].size()));
-        outcome.compressedSize +=
-            static_cast<std::uint32_t>(blocks[d].size());
+        countDictShard(blocks[d]);
+        entry.shardSizes.push_back(sizes[d]);
+        outcome.compressedSize += sizes[d];
     }
+    entry.dictStored =
+        static_cast<std::uint32_t>(packed_dict.size());
+    placePageDict(offset, entry.shardSizes, packed_dict);
+    outcome.compressedSize += entry.dictStored;
     entries_.emplace(page, std::move(entry));
 
     ++stats_.swapOuts;
@@ -376,10 +469,16 @@ XfmBackend::cpuSwapIn(VirtPage page, SwapCallback done,
     // each shard decompresses straight into its DIMM-local frame.
     // Decompressions fan out over the pool; the frame writes commit
     // serially in index order below.
+    const auto dict = loadPageDict(entry);
     pool_.parallelFor(cfg_.numDimms, [&](std::size_t d) {
         dimms_[d].mem->read(slotAddr(entry.offset),
                             entry.shardSizes[d], block_scratch_[d]);
-        codec_->decompressInto(block_scratch_[d], shard_scratch_[d]);
+        if (dict)
+            compress::decodeShard(*codec_, block_scratch_[d], *dict,
+                                  shard_scratch_[d]);
+        else
+            compress::decodeShard(*codec_, block_scratch_[d],
+                                  shard_scratch_[d]);
     });
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
         XFM_ASSERT(shard_scratch_[d].size() == cfg_.shardBytes(),
@@ -387,6 +486,7 @@ XfmBackend::cpuSwapIn(VirtPage page, SwapCallback done,
         dimms_[d].mem->write(shardFrameAddr(page), shard_scratch_[d]);
         outcome.compressedSize += entry.shardSizes[d];
     }
+    outcome.compressedSize += entry.dictStored;
     alloc_.release(entry.offset);
     entries_.erase(it);
 
@@ -514,6 +614,9 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
     op->done = std::move(done);
     op->traceId = tid;
     op->traceStart = curTick();
+    op->dict = pageDict(page);
+    if (op->dict)
+        compress::packDict(*codec_, *op->dict, op->packedDict);
     if (cpu_shards)
         op->cpuBlocks.resize(cfg_.numDimms);
 
@@ -526,7 +629,13 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
             // known (all completions in).
             dimms_[d].mem->read(shardFrameAddr(page),
                                 cfg_.shardBytes(), shard_scratch_[d]);
-            codec_->compressInto(shard_scratch_[d], op->cpuBlocks[d]);
+            if (op->dict)
+                compress::encodeShardRef(*codec_, *op->dict,
+                                         shard_scratch_[d],
+                                         op->cpuBlocks[d]);
+            else
+                codec_->compressInto(shard_scratch_[d],
+                                     op->cpuBlocks[d]);
             op->sizes[d] = static_cast<std::uint32_t>(
                 op->cpuBlocks[d].size());
             ++xfm_stats_.shardCpuFallbacks;
@@ -555,7 +664,7 @@ XfmBackend::swapOut(VirtPage page, bool allow_offload,
             : dimms_[d].driver->xfmCompress(
                   shardFrameAddr(page),
                   static_cast<std::uint32_t>(cfg_.shardBytes()),
-                  deadline, partition_, tid);
+                  deadline, partition_, tid, op->dict);
         if (admitted) {
             op->retries += dimms_[d].driver->lastSubmitRetries();
             xfm_stats_.offloadRetries +=
@@ -704,17 +813,32 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
     op->done = std::move(done);
     op->traceId = tid;
     op->traceStart = curTick();
+    // Pages stored with a preset dictionary: gather the packed copy
+    // from the slot-tail stripes and stage it with every descriptor.
+    // The host reads it once and fans it out to each engine's SPM,
+    // so the dict transfer burns a little host bandwidth per DIMM.
+    op->dict = loadPageDict(entry);
+    if (op->dict && host_ctrl_)
+        host_ctrl_->submit({slotAddr(entry.offset), entry.dictStored,
+                            false, nullptr});
 
     const Tick deadline = decompressDeadline();
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+        if (op->dict && !shard_on_cpu(d) && host_ctrl_)
+            host_ctrl_->submit({slotAddr(entry.offset),
+                                entry.dictStored, true, nullptr});
         if (shard_on_cpu(d)) {
             // Per-shard CPU fallback, same zero-copy shape as
             // cpuSwapIn: decompress straight into the local frame.
             dimms_[d].mem->read(slotAddr(entry.offset),
                                 entry.shardSizes[d],
                                 block_scratch_[d]);
-            codec_->decompressInto(block_scratch_[d],
-                                   shard_scratch_[d]);
+            if (op->dict)
+                compress::decodeShard(*codec_, block_scratch_[d],
+                                      *op->dict, shard_scratch_[d]);
+            else
+                compress::decodeShard(*codec_, block_scratch_[d],
+                                      shard_scratch_[d]);
             XFM_ASSERT(shard_scratch_[d].size() == cfg_.shardBytes(),
                        "shard decompressed to wrong size");
             dimms_[d].mem->write(shardFrameAddr(page),
@@ -745,7 +869,7 @@ XfmBackend::swapIn(VirtPage page, bool allow_offload, SwapCallback done)
                   slotAddr(entry.offset), entry.shardSizes[d],
                   shardFrameAddr(page),
                   static_cast<std::uint32_t>(cfg_.shardBytes()),
-                  deadline, partition_, tid);
+                  deadline, partition_, tid, op->dict);
         if (admitted) {
             op->retries += dimms_[d].driver->lastSubmitRetries();
             xfm_stats_.offloadRetries +=
@@ -804,9 +928,10 @@ XfmBackend::placeCompressWritebacks(
     const std::shared_ptr<PendingOp> &op)
 {
     // All shards compressed: size the same-offset slot by the
-    // largest shard and commit write-backs.
-    const std::uint32_t max_size =
-        *std::max_element(op->sizes.begin(), op->sizes.end());
+    // largest shard, grown only if the water-filled dictionary
+    // stripes overflow the padding — then commit write-backs.
+    const std::uint32_t max_size = compress::dictSlotSize(
+        op->sizes, static_cast<std::uint32_t>(op->packedDict.size()));
     std::uint64_t offset = alloc_.allocate(max_size);
     if (offset == SameOffsetAllocator::invalidOffset) {
         compact();
@@ -841,6 +966,9 @@ XfmBackend::placeCompressWritebacks(
         return;
     }
     op->offset = offset;
+    // The dictionary's slot-tail stripes can land now: engine
+    // write-backs touch only the first sizes[d] bytes of each slot.
+    placePageDict(offset, op->sizes, op->packedDict);
     for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
         if (!op->cpuShard.empty() && op->cpuShard[d]) {
             // The CPU-compressed shard block can land now that the
@@ -894,9 +1022,21 @@ XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
         // op->sizes holds the compressed shard sizes.
         for (auto s : op->sizes)
             outcome.compressedSize += s;
+        // Dict accounting reads each stored block's leading byte:
+        // engine-staged shards never surface their bytes here.
+        if (cfg_.shardDict) {
+            Bytes lead;
+            for (std::size_t d = 0; d < cfg_.numDimms; ++d) {
+                dimms_[d].mem->read(slotAddr(op->offset), 1, lead);
+                countDictShard(lead);
+            }
+        }
         PageEntry entry;
         entry.offset = op->offset;
         entry.shardSizes = op->sizes;
+        entry.dictStored =
+            static_cast<std::uint32_t>(op->packedDict.size());
+        outcome.compressedSize += entry.dictStored;
         entries_.emplace(op->page, std::move(entry));
         ++stats_.swapOuts;
         if (used_cpu)
@@ -912,6 +1052,7 @@ XfmBackend::finishOp(const std::shared_ptr<PendingOp> &op, Tick now,
                    "finishing swap-in of unknown page ", op->page);
         for (auto s : it->second.shardSizes)
             outcome.compressedSize += s;
+        outcome.compressedSize += it->second.dictStored;
         alloc_.release(op->offset);
         entries_.erase(op->page);
         ++stats_.swapIns;
@@ -982,8 +1123,15 @@ XfmBackend::recoverShardOnCpu(std::size_t dimm,
             op->cpuBlocks.resize(cfg_.numDimms);
         dimms_[dimm].mem->read(shardFrameAddr(page), cfg_.shardBytes(),
                                shard_scratch_[dimm]);
-        codec_->compressInto(shard_scratch_[dimm],
-                             op->cpuBlocks[dimm]);
+        // Reuse the op's dictionary: the redone block must be
+        // byte-identical to the one the engine would have staged.
+        if (op->dict)
+            compress::encodeShardRef(*codec_, *op->dict,
+                                     shard_scratch_[dimm],
+                                     op->cpuBlocks[dimm]);
+        else
+            codec_->compressInto(shard_scratch_[dimm],
+                                 op->cpuBlocks[dimm]);
         op->sizes[dimm] =
             static_cast<std::uint32_t>(op->cpuBlocks[dimm].size());
         chargeCpu(cfg_.shardBytes(), true, latency);
@@ -1026,7 +1174,12 @@ XfmBackend::recoverShardOnCpu(std::size_t dimm,
     const std::uint32_t csize = eit->second.shardSizes[dimm];
     dimms_[dimm].mem->read(slotAddr(op->offset), csize,
                            block_scratch_[dimm]);
-    codec_->decompressInto(block_scratch_[dimm], shard_scratch_[dimm]);
+    if (op->dict)
+        compress::decodeShard(*codec_, block_scratch_[dimm],
+                              *op->dict, shard_scratch_[dimm]);
+    else
+        compress::decodeShard(*codec_, block_scratch_[dimm],
+                              shard_scratch_[dimm]);
     XFM_ASSERT(shard_scratch_[dimm].size() == cfg_.shardBytes(),
                "shard decompressed to wrong size");
     dimms_[dimm].mem->write(shardFrameAddr(page), shard_scratch_[dimm]);
@@ -1110,6 +1263,7 @@ XfmBackend::quarantinePage(VirtPage page)
             std::uint32_t freed = 0;
             for (auto s : e->second.shardSizes)
                 freed += s;
+            freed += e->second.dictStored;
             alloc_.release(e->second.offset);
             entries_.erase(e);
             if (reclaim_hook_)
@@ -1153,6 +1307,10 @@ XfmBackend::registerMetrics(obs::MetricRegistry &r)
               "single shards redone on the CPU after watchdog drops");
     r.counter(p + "breakerFallbacks", &xfm_stats_.breakerFallbacks,
               "whole swaps rerouted: every channel breaker open");
+    r.counter(p + "dictShards", &xfm_stats_.dictShards,
+              "shards stored as preset-dictionary containers");
+    r.counter(p + "dictFallbacks", &xfm_stats_.dictFallbacks,
+              "dict-mode shards kept as plain blocks (smaller)");
     r.counter(p + "bytesCompressed", &stats_.bytesCompressed);
     r.counter(p + "bytesDecompressed", &stats_.bytesDecompressed);
     r.counter(p + "cpuCycles", &stats_.cpuCycles);

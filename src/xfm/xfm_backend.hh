@@ -87,6 +87,28 @@ struct XfmSystemConfig
     std::size_t quarantineCap = 0;
 
     /**
+     * Multi-channel preset dictionaries (DESIGN.md §16): when
+     * enabled, every swap-out samples a dictionary from the whole
+     * page and compresses each shard with it preloaded as match
+     * history, recovering cross-shard redundancy the interleave
+     * split destroys. The dictionary is stored ONCE per page —
+     * packed after DIMM 0's shard block inside the same-offset slot
+     * — and shards carry only a 3-byte dict-referencing header, so
+     * the dictionary's bytes are amortised across all shards. At
+     * swap-in the driver recovers the packed copy and stages it to
+     * each engine with the descriptor; CPU fallbacks and watchdog
+     * redos reuse the same dictionary so every path stays
+     * byte-identical. Off by default: the default configuration's
+     * stored bytes are unchanged.
+     */
+    bool shardDict = false;
+    /** Sampled dictionary size in bytes (dict mode only). Half a
+     *  page samples enough cross-shard context to recover most of
+     *  the 4-DIMM ratio loss while packing into a few hundred
+     *  stored bytes on correlated data. */
+    std::size_t dictBytes = 2048;
+
+    /**
      * Wall-clock execution contexts for the embarrassingly-parallel
      * codec work (per-DIMM shard compression, NMA engine jobs).
      * Only host runtime changes: results are committed in shard
@@ -131,6 +153,11 @@ struct XfmBackendStats
     /** Time CPU-path swaps waited on refresh/RFM bank locks (only
      *  accumulates when refresh realism is armed). */
     std::uint64_t cpuRefreshStallTicks = 0;
+    /** Shards stored as preset-dictionary containers (dict mode). */
+    std::uint64_t dictShards = 0;
+    /** Dict-mode shards where the plain block won (adaptive
+     *  per-shard fallback kept the smaller encoding). */
+    std::uint64_t dictFallbacks = 0;
 };
 
 /**
@@ -288,6 +315,9 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
     {
         std::uint64_t offset;  ///< same-offset slot (region-relative)
         std::vector<std::uint32_t> shardSizes;
+        /** Bytes of packed preset dictionary appended after DIMM 0's
+         *  shard block in the slot (0 = page stored without one). */
+        std::uint32_t dictStored = 0;
     };
 
     /** Coordination record for a multi-DIMM offload in flight. */
@@ -316,11 +346,36 @@ class XfmBackend : public SimObject, public sfm::SfmBackend
         bool dead = false;  ///< fell back / aborted
         std::uint64_t traceId = 0;  ///< obs::Tracer request id
         Tick traceStart = 0;        ///< request submission tick
+        /** Preset dictionary shared by every shard of this op (null
+         *  when dict mode is off / the page stored none). Watchdog
+         *  redos must reuse it so the CPU-redone block is
+         *  byte-identical to the one the engine would have staged. */
+        std::shared_ptr<const Bytes> dict;
+        /** packDict() image awaiting its once-per-page placement
+         *  after DIMM 0's shard block (compress ops only). */
+        Bytes packedDict;
     };
 
     std::uint64_t shardFrameAddr(sfm::VirtPage page) const;
     std::uint64_t slotAddr(std::uint64_t offset) const;
     Tick decompressDeadline() const;
+
+    /** Sample the page's preset dictionary (null when dict mode is
+     *  off or the sample came back empty). */
+    std::shared_ptr<const Bytes> pageDict(sfm::VirtPage page) const;
+    /** Recover the once-per-page packed dictionary from the slot
+     *  tails (null when the page stored none). The stripe split is
+     *  recomputed from (shardSizes, dictStored), so no per-stripe
+     *  metadata is stored. */
+    std::shared_ptr<const Bytes> loadPageDict(const PageEntry &entry);
+    /** Water-fill the packed dictionary across the slot tails
+     *  (stripe d lands after DIMM d's shard block). */
+    void placePageDict(std::uint64_t offset,
+                       const std::vector<std::uint32_t> &shard_sizes,
+                       const Bytes &packed);
+    /** Attribute one stored compress-shard block to the dict-mode
+     *  counters (no-op while dict mode is off). */
+    void countDictShard(ByteSpan block);
 
     void cpuSwapOut(sfm::VirtPage page, sfm::SwapCallback done,
                     std::uint64_t trace_id = 0);

@@ -287,7 +287,8 @@ XfmDriver::reapCompletions()
 nma::OffloadId
 XfmDriver::xfmCompress(std::uint64_t src, std::uint32_t size,
                        Tick deadline, std::uint32_t partition,
-                       std::uint64_t trace_id)
+                       std::uint64_t trace_id,
+                       std::shared_ptr<const Bytes> dict)
 {
     const std::uint32_t worst =
         nma::CompressionEngine::worstCaseCompressedSize(size);
@@ -302,6 +303,7 @@ XfmDriver::xfmCompress(std::uint64_t src, std::uint32_t size,
     req.deadline = deadline;
     req.partition = partition;
     req.traceId = trace_id;
+    req.dict = std::move(dict);
     return submitTracked(req, worst);
 }
 
@@ -309,7 +311,8 @@ nma::OffloadId
 XfmDriver::xfmDecompress(std::uint64_t src, std::uint32_t size,
                          std::uint64_t dst, std::uint32_t raw_size,
                          Tick deadline, std::uint32_t partition,
-                         std::uint64_t trace_id)
+                         std::uint64_t trace_id,
+                         std::shared_ptr<const Bytes> dict)
 {
     // The staged footprint of a decompression averages near its
     // compressed size: the 4 KiB output exists in the SPM only
@@ -327,6 +330,7 @@ XfmDriver::xfmDecompress(std::uint64_t src, std::uint32_t size,
     req.deadline = deadline;
     req.partition = partition;
     req.traceId = trace_id;
+    req.dict = std::move(dict);
     return submitTracked(req, size);
 }
 

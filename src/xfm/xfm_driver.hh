@@ -72,19 +72,31 @@ class XfmDriver
      * Submit a compression offload.
      * @param partition SPM QoS partition to charge (0 = uncapped).
      * @param trace_id  obs::Tracer request id (0 = untraced).
+     * @param dict      preset dictionary handed to the engine
+     *                  (DESIGN.md §16); null disables dict mode.
      * @return offload id or nma::invalidOffloadId (CPU fallback).
      */
     nma::OffloadId xfmCompress(std::uint64_t src, std::uint32_t size,
                                Tick deadline,
                                std::uint32_t partition = 0,
-                               std::uint64_t trace_id = 0);
+                               std::uint64_t trace_id = 0,
+                               std::shared_ptr<const Bytes> dict =
+                                   nullptr);
 
-    /** Submit a decompression offload (destination known). */
+    /**
+     * Submit a decompression offload (destination known).
+     *
+     * @param dict preset dictionary staged with the descriptor for
+     *             pages stored with 0xD2 shard blocks (DESIGN.md
+     *             §16); null for plain pages.
+     */
     nma::OffloadId xfmDecompress(std::uint64_t src, std::uint32_t size,
                                  std::uint64_t dst,
                                  std::uint32_t raw_size, Tick deadline,
                                  std::uint32_t partition = 0,
-                                 std::uint64_t trace_id = 0);
+                                 std::uint64_t trace_id = 0,
+                                 std::shared_ptr<const Bytes> dict =
+                                     nullptr);
 
     /** Commit the write-back target of a completed compression. */
     void commitWriteback(nma::OffloadId id, std::uint64_t dst);

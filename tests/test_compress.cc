@@ -816,3 +816,353 @@ INSTANTIATE_TEST_SUITE_P(
 } // namespace
 } // namespace compress
 } // namespace xfm
+
+// ------------------------------------------------------------------
+// PR 10 hot-path and preset-dictionary coverage.
+
+#include "compress/dict.hh"
+#include "compress/hotpaths.hh"
+
+namespace xfm
+{
+namespace compress
+{
+namespace
+{
+
+/** The SWAR 64-bit match extension must agree with the reference
+ *  byte scan at every alignment and boundary. */
+TEST(SwarMatch, BoundaryLengthsAgreeWithReference)
+{
+    // Two buffers sharing an i-byte prefix for every i spanning the
+    // word boundaries the SWAR kernel cares about.
+    for (std::uint32_t prefix :
+         {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 63u, 64u, 65u, 127u}) {
+        Bytes a(160, 0x5A);
+        Bytes b(a);
+        b[prefix] ^= 0x01;  // first difference exactly at `prefix`
+        for (std::uint32_t limit :
+             {prefix, prefix + 1, prefix + 9, 160u}) {
+            const auto want = matchLengthReference(
+                a.data(), b.data(), std::min<std::uint32_t>(limit, 160));
+            const auto got = matchLengthFast(
+                a.data(), b.data(), std::min<std::uint32_t>(limit, 160));
+            EXPECT_EQ(got, want)
+                << "prefix=" << prefix << " limit=" << limit;
+        }
+    }
+}
+
+TEST(SwarMatch, UnalignedPointersAgree)
+{
+    Rng rng(7);
+    Bytes buf(512);
+    for (auto &byte : buf)
+        byte = static_cast<std::uint8_t>(rng.uniformInt(4));
+    for (std::size_t oa = 0; oa < 9; ++oa) {
+        for (std::size_t ob = 0; ob < 9; ++ob) {
+            const std::uint32_t limit = static_cast<std::uint32_t>(
+                buf.size() - std::max(oa, ob) - 1);
+            EXPECT_EQ(matchLengthFast(buf.data() + oa,
+                                      buf.data() + ob, limit),
+                      matchLengthReference(buf.data() + oa,
+                                           buf.data() + ob, limit));
+        }
+    }
+}
+
+TEST(SwarMatch, AllEqualHitsLimit)
+{
+    const Bytes a(300, 0xEE);
+    const Bytes b(300, 0xEE);
+    EXPECT_EQ(matchLengthFast(a.data(), b.data(), 300), 300u);
+    EXPECT_EQ(matchLengthFast(a.data(), b.data(), 0), 0u);
+}
+
+TEST(SwarMatch, FirstByteDiffers)
+{
+    const Bytes a(64, 1);
+    const Bytes b(64, 2);
+    EXPECT_EQ(matchLengthFast(a.data(), b.data(), 64), 0u);
+}
+
+/** Page-tail reads: the fast scan must not require padding past the
+ *  limit (runs clean under ASan with the buffers ending exactly at
+ *  the limit). */
+TEST(SwarMatch, PageTailExactLimit)
+{
+    for (std::size_t n : {1u, 5u, 8u, 13u, 64u, 100u}) {
+        const Bytes a(n, 0x42);
+        const Bytes b(n, 0x42);
+        EXPECT_EQ(matchLengthFast(a.data(), b.data(),
+                                  static_cast<std::uint32_t>(n)),
+                  n);
+    }
+}
+
+/** decodePair() must consume bits exactly like two decode() calls,
+ *  on alphabets with and without subtable-deep codes. */
+TEST(Huffman, BatchedPairDecodeMatchesScalar)
+{
+    // Two shapes: a flat-ish literal alphabet (all codes fit the
+    // root) and a skewed one whose rare symbols get >11-bit codes
+    // and exercise the two-level subtables.
+    const std::vector<std::vector<std::uint64_t>> shapes = {
+        [] {
+            std::vector<std::uint64_t> c(300, 1);
+            return c;
+        }(),
+        [] {
+            std::vector<std::uint64_t> c(300, 1);
+            for (std::size_t s = 0; s < 8; ++s)
+                c[s] = 1 << 14;
+            return c;
+        }(),
+    };
+    for (const auto &counts : shapes) {
+        const auto lengths = huffmanCodeLengths(counts);
+        unsigned max_len = 0;
+        for (auto len : lengths)
+            max_len = std::max<unsigned>(max_len, len);
+        HuffmanEncoder enc(lengths);
+        HuffmanDecoder dec(lengths);
+
+        Rng rng(max_len);
+        std::vector<std::uint32_t> symbols(4096);
+        for (auto &s : symbols)
+            s = static_cast<std::uint32_t>(
+                rng.uniformInt(counts.size()));
+        Bytes stream;
+        BitWriter bw(stream);
+        for (const auto s : symbols)
+            enc.encode(bw, s);
+        bw.flush();
+
+        BitReader scalar(stream);
+        BitReader paired(stream);
+        std::vector<std::uint32_t> got_scalar;
+        std::vector<std::uint32_t> got_paired;
+        while (got_scalar.size() < symbols.size())
+            got_scalar.push_back(dec.decode(scalar));
+        while (got_paired.size() < symbols.size()) {
+            std::uint32_t s0 = 0;
+            std::uint32_t s1 = 0;
+            const unsigned n = dec.decodePair(paired, s0, s1);
+            got_paired.push_back(s0);
+            if (n == 2)
+                got_paired.push_back(s1);
+        }
+        // A pair at the final symbol may overshoot by one; trim.
+        got_paired.resize(symbols.size());
+        EXPECT_EQ(got_scalar, symbols);
+        EXPECT_EQ(got_paired, symbols);
+    }
+}
+
+TEST(Huffman, SubtableDeepCodesRoundTrip)
+{
+    // Force codes deeper than the 11-bit root: a huge skew pushes
+    // the rare tail to the 15-bit limit.
+    std::vector<std::uint64_t> counts(600, 1);
+    counts[0] = 1ull << 30;
+    counts[1] = 1ull << 20;
+    const auto lengths = huffmanCodeLengths(counts);
+    unsigned max_len = 0;
+    for (auto len : lengths)
+        max_len = std::max<unsigned>(max_len, len);
+    ASSERT_GT(max_len, 11u) << "shape failed to exceed the root";
+
+    HuffmanEncoder enc(lengths);
+    HuffmanDecoder dec(lengths);
+    std::vector<std::uint32_t> symbols;
+    for (std::uint32_t s = 0; s < 600; ++s) {
+        symbols.push_back(s);
+        symbols.push_back(0);  // interleave the hot symbol
+    }
+    Bytes stream;
+    BitWriter bw(stream);
+    for (const auto s : symbols)
+        enc.encode(bw, s);
+    bw.flush();
+    BitReader br(stream);
+    for (const auto want : symbols)
+        EXPECT_EQ(dec.decode(br), want);
+}
+
+/** The hot-path toggles change speed only: compressed bytes must be
+ *  identical with the SWAR matcher and batched Huffman decode
+ *  forced off. */
+TEST(Hotpaths, TogglesPreserveCompressedBytes)
+{
+    for (const auto algo :
+         {Algorithm::LzFast, Algorithm::Deflate, Algorithm::ZstdLike}) {
+        const auto codec = makeCompressor(algo);
+        for (const auto kind :
+             {CorpusKind::EnglishText, CorpusKind::Json,
+              CorpusKind::ZeroHeavy}) {
+            const Bytes data = generateCorpus(kind, 11, 16384);
+            Bytes fast_block;
+            Bytes scalar_block;
+            codec->compressInto(data, fast_block);
+            {
+                hotpaths::ScopedToggle no_swar(hotpaths::swarMatch,
+                                               false);
+                hotpaths::ScopedToggle no_pairs(
+                    hotpaths::batchedHuffman, false);
+                codec->compressInto(data, scalar_block);
+                Bytes out;
+                codec->decompressInto(scalar_block, out);
+                EXPECT_EQ(out, data);
+            }
+            EXPECT_EQ(fast_block, scalar_block)
+                << algorithmName(algo) << "/" << corpusName(kind);
+        }
+    }
+}
+
+/** Steady-state tokenisation reuses the pooled finder tables
+ *  instead of reallocating them per call. */
+TEST(FinderPool, NoAllocationSteadyState)
+{
+    const Bytes page = generateCorpus(CorpusKind::Html, 3, 4096);
+    lz77Tokenize(page, Lz77Params{});  // warm this thread's pool
+    const auto warm = finderTableStats();
+    for (int i = 0; i < 16; ++i)
+        lz77Tokenize(page, Lz77Params{});
+    const auto after = finderTableStats();
+    EXPECT_EQ(after.first, warm.first)
+        << "steady-state tokenisation grew a finder table";
+    EXPECT_GE(after.second, warm.second + 16);
+}
+
+// ------------------------------------------------------------ dict
+
+class DictTest : public ::testing::TestWithParam<Algorithm>
+{
+  protected:
+    std::unique_ptr<Compressor> codec_ = makeCompressor(GetParam());
+};
+
+/** The six spatially-correlated classes dict mode targets. */
+const std::vector<CorpusKind> &
+dictCorpora()
+{
+    static const std::vector<CorpusKind> kinds = {
+        CorpusKind::Json,     CorpusKind::Html,
+        CorpusKind::SourceCode, CorpusKind::LogLines,
+        CorpusKind::KeyValue, CorpusKind::Dictionary,
+    };
+    return kinds;
+}
+
+TEST_P(DictTest, ShardRoundTripAllCorpora)
+{
+    for (const auto kind : dictCorpora()) {
+        const Bytes page = generateCorpus(kind, 17, 4096);
+        const Bytes dict = buildPresetDictionary(page, 256, 2048);
+        ASSERT_FALSE(dict.empty());
+        // Quarter-page shards, as 4-DIMM interleave produces.
+        for (std::size_t d = 0; d < 4; ++d) {
+            const ByteSpan shard{page.data() + d * 1024, 1024};
+            Bytes self_block;
+            Bytes ref_block;
+            encodeShard(*codec_, dict, shard, self_block);
+            encodeShardRef(*codec_, dict, shard, ref_block);
+
+            const Bytes want(shard.begin(), shard.end());
+            Bytes out;
+            decodeShard(*codec_, self_block, out);
+            EXPECT_EQ(out, want);
+            decodeShard(*codec_, ref_block, dict, out);
+            EXPECT_EQ(out, want);
+        }
+    }
+}
+
+TEST_P(DictTest, PackedDictionaryRoundTrips)
+{
+    for (const auto kind : dictCorpora()) {
+        const Bytes page = generateCorpus(kind, 23, 4096);
+        const Bytes dict = buildPresetDictionary(page, 256, 2048);
+        Bytes packed;
+        packDict(*codec_, dict, packed);
+        ASSERT_LE(packed.size(), packedDictBound(dict.size()));
+        EXPECT_EQ(unpackDict(*codec_, packed), dict);
+    }
+}
+
+TEST_P(DictTest, RefBlockWithoutDictIsFatal)
+{
+    const Bytes page = generateCorpus(CorpusKind::Json, 3, 4096);
+    const Bytes dict = buildPresetDictionary(page, 256, 2048);
+    Bytes block;
+    if (!encodeShardRef(*codec_, dict, ByteSpan{page.data(), 1024},
+                        block))
+        GTEST_SKIP() << "dict container not used for this codec";
+    Bytes out;
+    EXPECT_THROW(decodeShard(*codec_, block, out), FatalError);
+    // Wrong-length dictionary must also be rejected.
+    const Bytes wrong(dict.size() + 1, 0);
+    EXPECT_THROW(decodeShard(*codec_, block, wrong, out), FatalError);
+}
+
+TEST_P(DictTest, EmptyDictFallsBackToPlain)
+{
+    const Bytes page = generateCorpus(CorpusKind::Html, 5, 4096);
+    Bytes block;
+    EXPECT_FALSE(
+        encodeShardRef(*codec_, ByteSpan{}, page, block));
+    Bytes out;
+    decodeShard(*codec_, block, out);
+    EXPECT_EQ(out, page);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, DictTest,
+    ::testing::Values(Algorithm::LzFast, Algorithm::Deflate,
+                      Algorithm::ZstdLike),
+    [](const auto &info) { return algorithmName(info.param); });
+
+TEST(DictStripes, SumAndFitInvariants)
+{
+    // Padding absorbs the dictionary when the shards are skewed;
+    // the slot grows (evenly) only when it cannot.
+    const std::vector<std::uint32_t> skewed = {900, 300, 310, 280};
+    const auto s1 = dictStripes(skewed, 1200);
+    EXPECT_EQ(dictSlotSize(skewed, 1200), 900u);
+    std::uint32_t total = 0;
+    for (std::size_t d = 0; d < s1.size(); ++d) {
+        total += s1[d];
+        EXPECT_LE(skewed[d] + s1[d], 900u);
+    }
+    EXPECT_EQ(total, 1200u);
+
+    const std::vector<std::uint32_t> flat = {500, 500, 500, 500};
+    const std::uint32_t slot = dictSlotSize(flat, 1000);
+    EXPECT_EQ(slot, 750u);  // 1000 / 4 DIMMs of growth
+    const auto s2 = dictStripes(flat, 1000);
+    total = 0;
+    for (std::size_t d = 0; d < s2.size(); ++d) {
+        total += s2[d];
+        EXPECT_LE(flat[d] + s2[d], slot);
+    }
+    EXPECT_EQ(total, 1000u);
+
+    // No dictionary: the slot is just the largest shard.
+    EXPECT_EQ(dictSlotSize(skewed, 0), 900u);
+}
+
+TEST(Dict, BuildIsDeterministicAndBounded)
+{
+    const Bytes page = generateCorpus(CorpusKind::LogLines, 9, 4096);
+    const Bytes a = buildPresetDictionary(page, 256, 2048);
+    const Bytes b = buildPresetDictionary(page, 256, 2048);
+    EXPECT_EQ(a, b);
+    EXPECT_LE(a.size(), 2048u);
+    // Whole-chunk sampling: every dictionary byte exists in the page.
+    EXPECT_FALSE(a.empty());
+}
+
+} // namespace
+} // namespace compress
+} // namespace xfm

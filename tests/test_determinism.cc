@@ -64,12 +64,21 @@ enum class TierMode
     On,            ///< three tiers + spill scan armed
 };
 
+/** How runSystem configures per-page preset dictionaries. */
+enum class DictMode
+{
+    Default,       ///< config never mentions dictionaries
+    ConfiguredOff, ///< shardDict = false, dictBytes spelled out
+    On,            ///< shardDict = true
+};
+
 /** One complete demote/promote run under the given fault seed. */
 RunResult
 runSystem(std::uint64_t fault_seed, std::size_t workers = 1,
           std::uint32_t sq_depth = 1, std::uint32_t cq_coalesce = 1,
           std::size_t sim_shards = 1,
-          TierMode tier_mode = TierMode::Default)
+          TierMode tier_mode = TierMode::Default,
+          DictMode dict_mode = DictMode::Default)
 {
     // Sharded event core: per-DIMM domains staged between tREFI
     // window barriers (DESIGN.md §13). sim_shards = 1 is the
@@ -96,6 +105,12 @@ runSystem(std::uint64_t fault_seed, std::size_t workers = 1,
         cfg.tier.dfmBytes = mib(1);
         cfg.tier.faults = cfg.faultPlan;
         cfg.tier.retry = cfg.retry;
+    }
+    if (dict_mode != DictMode::Default) {
+        // Both knobs spelled out; only `shardDict` differs between
+        // the configured-off and the dict-enabled run.
+        cfg.shardDict = dict_mode == DictMode::On;
+        cfg.dictBytes = 2048;
     }
     System sys("sys", eq, cfg);
     obs::Tracer tracer(4096);
@@ -341,6 +356,61 @@ TEST(Determinism, TieredRingIsReproducible)
     EXPECT_EQ(a.stats, b.stats);
     EXPECT_EQ(a.json, b.json);
     EXPECT_EQ(a.trace, b.trace);
+}
+
+TEST(Determinism, ExplicitDictOffMatchesDefault)
+{
+    // Preset-dictionary opt-out contract (DESIGN.md §16): spelling
+    // out xfm.shard_dict = 0 with the default dict_bytes must not
+    // change a single byte of any export relative to a run that
+    // never mentioned dictionaries — no dictionary is sampled, no
+    // packed dict is placed, no stat appears.
+    const RunResult def = runSystem(7);
+    const RunResult off = runSystem(7, 1, 1, 1, 1, TierMode::Default,
+                                    DictMode::ConfiguredOff);
+    EXPECT_EQ(def.stats, off.stats);
+    EXPECT_EQ(def.json, off.json);
+    EXPECT_EQ(def.trace, off.trace);
+    EXPECT_EQ(def.injections, off.injections);
+}
+
+TEST(Determinism, DictMatrixIsByteIdentical)
+{
+    // Dictionaries on extend the determinism matrix: sampling,
+    // per-shard adaptive fallback, and water-filled placement must
+    // replay byte-identically across event-core shard counts, drain
+    // workers, and ring depths — and differently from the plain run
+    // (the dictionaries actually engaged).
+    const RunResult base =
+        runSystem(7, 1, 1, 1, 1, TierMode::Default, DictMode::On);
+    const RunResult plain = runSystem(7);
+    EXPECT_GT(base.injections, 0u);
+    EXPECT_FALSE(base.json.empty());
+    EXPECT_FALSE(base.trace.empty());
+    EXPECT_NE(base.stats, plain.stats);
+    for (std::size_t shards : {1, 8}) {
+        for (std::size_t workers : {1, 8}) {
+            const RunResult got =
+                runSystem(7, workers, 1, 1, shards,
+                          TierMode::Default, DictMode::On);
+            EXPECT_EQ(got.stats, base.stats)
+                << "shards=" << shards << " workers=" << workers;
+            EXPECT_EQ(got.json, base.json)
+                << "shards=" << shards << " workers=" << workers;
+            EXPECT_EQ(got.trace, base.trace)
+                << "shards=" << shards << " workers=" << workers;
+            EXPECT_EQ(got.injections, base.injections);
+        }
+    }
+    // Composed with the async command rings: depth 8 has its own
+    // golden (the ring reorders completions deterministically).
+    const RunResult ring1 =
+        runSystem(7, 1, 8, 2, 1, TierMode::Default, DictMode::On);
+    const RunResult ring2 =
+        runSystem(7, 8, 8, 2, 8, TierMode::Default, DictMode::On);
+    EXPECT_EQ(ring1.stats, ring2.stats);
+    EXPECT_EQ(ring1.json, ring2.json);
+    EXPECT_EQ(ring1.trace, ring2.trace);
 }
 
 TEST(Determinism, DifferentFaultSeedDiverges)

@@ -70,6 +70,8 @@ struct DifferentialResult
 {
     std::uint64_t xfmCpuOps = 0;      ///< fallbacks the XFM side took
     std::uint64_t offloadRetries = 0; ///< driver re-submissions used
+    std::uint64_t dictShards = 0;     ///< shards stored in dict mode
+    std::uint64_t dictFallbacks = 0;  ///< dict-mode plain fallbacks
 };
 
 /**
@@ -80,7 +82,7 @@ DifferentialResult
 runDifferential(compress::Algorithm alg, const fault::FaultPlan &plan,
                 const health::HealthConfig &health = {},
                 std::uint32_t sq_depth = 1,
-                std::size_t sim_shards = 1)
+                std::size_t sim_shards = 1, bool shard_dict = false)
 {
     // sim_shards > 1 runs the sharded event core with per-DIMM
     // domains staged at tREFI window barriers (DESIGN.md §13); the
@@ -98,6 +100,7 @@ runDifferential(compress::Algorithm alg, const fault::FaultPlan &plan,
     xcfg.health = health;
     xcfg.device.sqDepth = sq_depth;
     xcfg.device.cqCoalesce = sq_depth > 1 ? 2 : 1;
+    xcfg.shardDict = shard_dict;  // dictBytes keeps its 2048 default
     xfmsys::XfmBackend xfm("xfm", eq, xcfg);
     xfm.start();
 
@@ -176,6 +179,8 @@ runDifferential(compress::Algorithm alg, const fault::FaultPlan &plan,
     DifferentialResult r;
     r.xfmCpuOps = xfm.stats().cpuSwapOuts + xfm.stats().cpuSwapIns;
     r.offloadRetries = xfm.xfmStats().offloadRetries;
+    r.dictShards = xfm.xfmStats().dictShards;
+    r.dictFallbacks = xfm.xfmStats().dictFallbacks;
     return r;
 }
 
@@ -383,6 +388,45 @@ TEST_P(DifferentialTest, ShardedCoreBreakersRestoresAllPages)
     EXPECT_GT(s8.xfmCpuOps, 0u);
     EXPECT_EQ(s8.xfmCpuOps, mono.xfmCpuOps);
     EXPECT_EQ(s8.offloadRetries, mono.offloadRetries);
+}
+
+TEST_P(DifferentialTest, DictCleanRunRestoresAllPages)
+{
+    // Preset dictionaries on (`xfm.shard_dict`): shards store in the
+    // dict-referencing container, the packed dictionary rides the
+    // slot tails, and every restore must still be byte-exact against
+    // the dict-less CPU baseline.
+    const auto r = runDifferential(GetParam(), fault::FaultPlan{},
+                                   {}, 1, 1, true);
+    EXPECT_EQ(r.offloadRetries, 0u);
+    // The page mix is dominated by spatially-correlated classes, so
+    // dict mode must actually engage, not silently fall back.
+    EXPECT_GT(r.dictShards, 0u);
+}
+
+TEST_P(DifferentialTest, DictFaultedRunRestoresAllPages)
+{
+    // Dict mode under the aggressive plan with breakers armed:
+    // engine restores, per-shard CPU fallbacks, and watchdog redos
+    // must all decode against the same recovered dictionary.
+    health::HealthConfig h;
+    h.enabled = true;
+    h.window = 8;
+    h.failConsecutive = 3;
+    h.cooldown = microseconds(50.0);
+    const auto r = runDifferential(GetParam(), aggressivePlan(), h,
+                                   1, 1, true);
+    EXPECT_GT(r.xfmCpuOps, 0u);
+    EXPECT_GT(r.dictShards, 0u);
+}
+
+TEST_P(DifferentialTest, DictRingDepthEightFaultedRestoresAllPages)
+{
+    // Dict mode, deep ring, faults: completion reordering must not
+    // detach a shard from its page's dictionary.
+    const auto r = runDifferential(GetParam(), aggressivePlan(), {},
+                                   8, 1, true);
+    EXPECT_GT(r.dictShards, 0u);
 }
 
 TEST_P(DifferentialTest, TieredCleanRunRestoresAllPages)
